@@ -1,0 +1,60 @@
+"""Figure 11 — correlation between FP classes and compression.
+
+Paper: scatter of (fraction of FP-equivalence classes) vs compression;
+"there is no graph in the lower right corner, i.e., there is no graph
+with a low number of equivalence classes and bad compression."
+
+We reproduce the scatter over all 18 registry graphs and assert the
+empty-corner property plus a positive rank correlation.
+"""
+
+from repro.bench import Report, grepair_bytes
+from repro.core.orders import fp_equivalence_classes
+from repro.datasets import DATASETS, load_dataset
+
+_SECTION = "Figure 11: FP classes vs compression ratio"
+
+
+def _rank_correlation(xs, ys):
+    """Spearman rho without scipy (ties broken by order)."""
+    def ranks(values):
+        order = sorted(range(len(values)), key=lambda i: values[i])
+        result = [0.0] * len(values)
+        for rank, index in enumerate(order):
+            result[index] = float(rank)
+        return result
+
+    rx, ry = ranks(xs), ranks(ys)
+    n = len(xs)
+    mean = (n - 1) / 2.0
+    cov = sum((a - mean) * (b - mean) for a, b in zip(rx, ry))
+    var = sum((a - mean) ** 2 for a in rx)
+    return cov / var if var else 0.0
+
+
+def test_fig11_scatter(benchmark):
+    names = list(DATASETS)
+
+    def run():
+        points = []
+        for name in names:
+            graph, alphabet = load_dataset(name)
+            fraction = (fp_equivalence_classes(graph)
+                        / max(1, graph.node_size))
+            _, result = grepair_bytes(graph, alphabet)
+            points.append((name, fraction, result.size_ratio))
+        return points
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, fraction, ratio in sorted(points, key=lambda p: p[1]):
+        Report.add(_SECTION,
+                   f"{name:18s} classes/|V|={fraction:7.2%} "
+                   f"|G|/|g|={ratio:7.2%}")
+    # Empty lower-right corner: few classes -> never bad compression.
+    for name, fraction, ratio in points:
+        if fraction < 0.05:
+            assert ratio < 0.5, (name, fraction, ratio)
+    rho = _rank_correlation([p[1] for p in points],
+                            [p[2] for p in points])
+    Report.add(_SECTION, f"Spearman rank correlation: {rho:+.2f}")
+    assert rho > 0.4

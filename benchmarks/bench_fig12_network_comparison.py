@@ -1,0 +1,73 @@
+"""Figure 12 — network graphs: gRePair vs k2-tree vs LM vs HN (bpe).
+
+Paper findings on its eight SNAP graphs:
+
+* gRePair improves on the plain k2-tree on all graphs but NotreDame;
+* gRePair is generally worse than LM and HN, with Email-EuAll and
+  CA-GrQc as the exceptions.
+
+We assert the two robust parts of that shape at our scale: gRePair
+beats (or matches within noise) k2 on a clear majority of graphs while
+losing to it only on the web graph, and LM wins on the web graph
+(whose copy-model redundancy is LM's home turf).
+"""
+
+import pytest
+
+from repro.bench import Report, baseline_sizes, bits_per_edge, \
+    grepair_bytes
+from repro.datasets import load_dataset
+from repro.datasets.registry import names_by_family
+
+_SECTION = "Figure 12: network graphs, bpe by compressor"
+
+_RESULTS = {}
+
+
+@pytest.mark.parametrize("name", names_by_family("network"))
+def test_fig12_one_graph(benchmark, name):
+    graph, alphabet = load_dataset(name)
+
+    def run():
+        ours, _ = grepair_bytes(graph, alphabet)
+        sizes = baseline_sizes(graph, alphabet, include_lm_hn=True)
+        sizes["grepair"] = ours
+        return {key: bits_per_edge(value, graph.num_edges)
+                for key, value in sizes.items()}
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[name] = row
+    Report.add(_SECTION,
+               f"{name:14s} gRePair={row['grepair']:6.2f} "
+               f"k2={row['k2']:6.2f} lm={row['lm']:6.2f} "
+               f"hn={row['hn']:6.2f}")
+    assert row["grepair"] > 0
+
+
+def test_fig12_shape(benchmark):
+    """Aggregate shape assertions over the eight per-graph rows."""
+
+    def run():
+        return dict(_RESULTS)
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(results) == 8, "per-graph benches must run first"
+    beats_k2 = [name for name, row in results.items()
+                if row["grepair"] <= row["k2"] * 1.02]
+    lm_wins = [name for name, row in results.items()
+               if row["lm"] < row["grepair"]]
+    Report.add(_SECTION,
+               f"gRePair <= k2 on {len(beats_k2)}/8 graphs: "
+               f"{sorted(beats_k2)}")
+    Report.add(_SECTION,
+               f"LM beats gRePair on {len(lm_wins)}/8 graphs: "
+               f"{sorted(lm_wins)}")
+    # Paper: gRePair improves on k2 on all graphs but NotreDame (where
+    # it at best ties).
+    assert len(beats_k2) >= 6
+    assert results["notredame"]["grepair"] >= \
+        results["notredame"]["k2"] * 0.99
+    # Paper: LM/HN win on some graphs (gRePair is "generally worse
+    # than LM and HN").  At our scale LM wins on at least one graph;
+    # EXPERIMENTS.md discusses where the margin differs.
+    assert len(lm_wins) >= 1

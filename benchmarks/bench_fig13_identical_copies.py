@@ -1,0 +1,54 @@
+"""Figure 13 — disjoint unions of one tiny graph, 8..4096 copies.
+
+The paper's exponential-compression showcase: the unit is "a directed
+circle with four nodes and one of the two possible diagonal edges";
+with c identical copies, gRePair's output grows ~logarithmically in c
+("exponential compression") while every baseline's output grows
+linearly.  Both axes of the paper's plot are logarithmic.
+
+Assertions: quadrupling the copies from 64 to 1024 (16x more edges)
+grows gRePair's output by far less than 4x, while k2's output grows
+by at least 6x.
+"""
+
+from repro.bench import Report, baseline_sizes, grepair_bytes
+from repro.datasets import fig13_base_graph, identical_copies
+
+_SECTION = "Figure 13: identical copies (output bytes)"
+_COUNTS = [8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096]
+
+
+def test_fig13_growth_curves(benchmark):
+    base = fig13_base_graph()
+
+    def run():
+        curve = {}
+        for count in _COUNTS:
+            graph, alphabet = identical_copies(base, count)
+            ours, _ = grepair_bytes(graph, alphabet)
+            k2 = baseline_sizes(graph, alphabet,
+                                include_lm_hn=(count <= 1024))
+            curve[count] = (graph.num_edges, ours, k2)
+        return curve
+
+    curve = benchmark.pedantic(run, rounds=1, iterations=1)
+    for count in _COUNTS:
+        edges, ours, base_sizes = curve[count]
+        extras = " ".join(f"{key}={value}" for key, value in
+                          sorted(base_sizes.items()))
+        Report.add(_SECTION,
+                   f"copies={count:5d} |E|={edges:6d} "
+                   f"gRePair={ours:6d} B  {extras}")
+
+    ours_64 = curve[64][1]
+    ours_1024 = curve[1024][1]
+    k2_64 = curve[64][2]["k2"]
+    k2_1024 = curve[1024][2]["k2"]
+    Report.add(_SECTION,
+               f"64 -> 1024 copies (16x edges): gRePair x"
+               f"{ours_1024 / ours_64:.1f}, k2 x{k2_1024 / k2_64:.1f}")
+    assert ours_1024 < 4 * ours_64          # strongly sublinear
+    assert k2_1024 > 6 * k2_64              # roughly linear
+    # And the headline: at 4096 copies gRePair is orders of magnitude
+    # smaller than the k2 baseline.
+    assert curve[4096][2]["k2"] > 20 * curve[4096][1]

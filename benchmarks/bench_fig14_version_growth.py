@@ -1,0 +1,55 @@
+"""Figure 14 — growing DBLP version graph under different node orders.
+
+The paper compresses version graphs assembled from 1..11 cumulative
+DBLP snapshots (1960..1970) with FP / BFS / random / natural orders
+and the k2-tree baseline.  Finding: FP clearly beats the other orders
+as versions accumulate, whose results sit much closer to k2-trees.
+
+Assertions: on the full 11-version graph, FP gives the smallest
+gRePair output among the orders, and gRePair-FP beats k2.
+"""
+
+from repro.bench import Report, baseline_sizes, bits_per_edge, \
+    grepair_bytes
+from repro.core.pipeline import GRePairSettings
+from repro.datasets.versions import coauthorship_snapshots, \
+    disjoint_union
+
+_SECTION = "Figure 14: DBLP version growth by node order (bpe)"
+_ORDERS = ["fp", "bfs", "random", "natural"]
+_STEPS = [1, 3, 5, 7, 9, 11]
+
+
+def test_fig14_growth(benchmark):
+    snapshots = coauthorship_snapshots(11, 30, seed=303)
+
+    def run():
+        table = {}
+        for step in _STEPS:
+            graph, alphabet = disjoint_union(snapshots[:step])
+            row = {}
+            for order in _ORDERS:
+                size, _ = grepair_bytes(
+                    graph, alphabet,
+                    GRePairSettings(order=order, seed=5))
+                row[order] = bits_per_edge(size, graph.num_edges)
+            row["k2"] = bits_per_edge(
+                baseline_sizes(graph, alphabet,
+                               include_lm_hn=False)["k2"],
+                graph.num_edges)
+            table[step] = row
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    for step in _STEPS:
+        row = table[step]
+        cells = " ".join(f"{key}:{row[key]:6.2f}"
+                         for key in _ORDERS + ["k2"])
+        Report.add(_SECTION, f"versions={step:2d}  {cells}")
+
+    final = table[11]
+    assert final["fp"] == min(final[order] for order in _ORDERS)
+    assert final["fp"] < final["k2"]
+    # The FP advantage grows with the number of versions.
+    assert (table[11]["random"] - table[11]["fp"]) > \
+        (table[1]["random"] - table[1]["fp"]) - 0.3

@@ -1,0 +1,63 @@
+"""Extension — regular path queries over the grammar (paper §VI).
+
+The paper lists regular path queries as future work; we implemented
+them via product skeletons (see ``repro.queries.paths``).  This bench
+checks them against ground truth on a labeled version graph and
+records the product-skeleton sizes, demonstrating the claimed
+complexity profile: precomputation O(|G| * |Q|^2), then per-query work
+independent of |val(G)|.
+"""
+
+import random
+
+import networkx as nx
+
+from repro.bench import Report
+from repro.core.derivation import derive
+from repro.core.pipeline import compress
+from repro.datasets import load_dataset
+from repro.queries.index import GrammarIndex
+from repro.queries.paths import LabelDFA, RegularPathQueries
+
+_SECTION = "Extension: regular path queries (future work of the paper)"
+
+
+def test_rpq_on_version_graph(benchmark):
+    graph, alphabet = load_dataset("tic-tac-toe")
+    labels = sorted(set(edge.label for _, edge in graph.edges()))
+    first = labels[0]
+    result = compress(graph, alphabet, validate=False)
+    canonical = result.grammar.canonicalize()
+    index = GrammarIndex(canonical)
+    dfa = LabelDFA.plus(first)
+
+    def build_and_query():
+        rpq = RegularPathQueries(index, dfa)
+        val = derive(canonical)
+        truth = nx.DiGraph()
+        truth.add_nodes_from(val.nodes())
+        for _, edge in val.edges():
+            if edge.label == first:
+                truth.add_edge(*edge.att)
+        rng = random.Random(11)
+        nodes = sorted(val.nodes())
+        checked = 0
+        for _ in range(300):
+            source = rng.choice(nodes)
+            target = rng.choice(nodes)
+            if source == target:
+                continue
+            expected = nx.has_path(truth, source, target)
+            assert rpq.matches(source, target) == expected
+            checked += 1
+        return rpq, checked
+
+    rpq, checked = benchmark.pedantic(build_and_query, rounds=1,
+                                      iterations=1)
+    skeleton_entries = sum(len(pairs) for pairs in
+                           rpq._skeletons.values())
+    Report.add(_SECTION,
+               f"tic-tac-toe, DFA=label+: {checked} queries correct; "
+               f"{canonical.num_rules} product skeletons, "
+               f"{skeleton_entries} entries total")
+    assert checked > 200

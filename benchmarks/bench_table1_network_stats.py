@@ -1,0 +1,36 @@
+"""Table I — network graph statistics: |V|, |E|, |[~FP]|.
+
+The paper's Table I lists node count, edge count and the number of
+FP-equivalence classes for the eight SNAP network graphs.  We report
+the same columns for the seeded stand-ins (absolute numbers are
+scaled; the *fraction* of FP classes per node is the comparable
+quantity, cf. Fig. 11).
+"""
+
+from repro.bench import Report
+from repro.core.orders import fp_equivalence_classes
+from repro.datasets import load_dataset
+from repro.datasets.registry import names_by_family
+
+_SECTION = "Table I: network graphs (|V|, |E|, |[~FP]|)"
+
+
+def _stats_row(name):
+    graph, _ = load_dataset(name)
+    classes = fp_equivalence_classes(graph)
+    Report.add(_SECTION,
+               f"{name:18s} |V|={graph.node_size:7d} "
+               f"|E|={graph.num_edges:7d} |[~FP]|={classes:7d} "
+               f"({classes / max(1, graph.node_size):.2%} of nodes)")
+    return classes
+
+
+def test_table1_network_stats(benchmark):
+    names = names_by_family("network")
+
+    def run():
+        return [_stats_row(name) for name in names]
+
+    classes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert len(classes) == 8
+    assert all(c > 0 for c in classes)

@@ -1,0 +1,37 @@
+"""Table III — version graph statistics: |V|, |E|, |Sigma|, |[~FP]|.
+
+Tic-Tac-Toe is the paper's repetitiveness extreme: 5634 nodes but only
+9 FP classes.  The stand-in must land in the same
+few-classes-per-thousand-nodes regime.
+"""
+
+from repro.bench import Report
+from repro.core.orders import fp_equivalence_classes
+from repro.datasets import load_dataset
+from repro.datasets.registry import names_by_family
+
+_SECTION = "Table III: version graphs (|V|, |E|, |Sigma|, |[~FP]|)"
+
+
+def test_table3_version_stats(benchmark):
+    names = names_by_family("version")
+
+    def run():
+        stats = {}
+        for name in names:
+            graph, alphabet = load_dataset(name)
+            classes = fp_equivalence_classes(graph)
+            stats[name] = (graph.node_size, classes)
+            Report.add(
+                _SECTION,
+                f"{name:18s} |V|={graph.node_size:7d} "
+                f"|E|={graph.num_edges:7d} |Sigma|={len(alphabet):3d} "
+                f"|[~FP]|={classes:7d}")
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    ttt_nodes, ttt_classes = stats["tic-tac-toe"]
+    # Tic-Tac-Toe regime: classes are a vanishing fraction of nodes.
+    assert ttt_classes < ttt_nodes / 50
+    # Chess is far more diverse than TTT (paper: 74592 vs 9 classes).
+    assert stats["chess"][1] > 10 * ttt_classes

@@ -1,0 +1,48 @@
+"""Table IV — compression (bpe) for maxRank in {2..8} on six graphs.
+
+Paper finding: "In most cases the best result was either achieved with
+a setting of 2 or with a value of 4.  Even in the cases where a
+maximal rank of 4 does not yield the best result, the difference is
+less than 1 bpe" — small maxRank wins, large ranks degrade.
+
+We sweep the same six graph families (Email-EuAll, NotreDame, the
+three CA graphs, Email-Enron).  Expected shape: the per-graph minimum
+sits at rank 2-4, and rank >= 6 is never the winner.
+"""
+
+import pytest
+
+from repro.bench import Report, bits_per_edge, grepair_bytes
+from repro.core.pipeline import GRePairSettings
+from repro.datasets import load_dataset
+
+_SECTION = "Table IV: maxRank sweep (bpe)"
+_GRAPHS = ["email-euall", "notredame", "ca-astroph", "ca-condmat",
+           "ca-grqc", "email-enron"]
+_RANKS = [2, 3, 4, 5, 6, 7, 8]
+
+
+@pytest.mark.parametrize("name", _GRAPHS)
+def test_table4_maxrank_sweep(benchmark, name):
+    graph, alphabet = load_dataset(name)
+
+    def run():
+        row = {}
+        for rank in _RANKS:
+            size, _ = grepair_bytes(
+                graph, alphabet, GRePairSettings(max_rank=rank))
+            row[rank] = bits_per_edge(size, graph.num_edges)
+        return row
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    best = min(row, key=row.get)
+    cells = " ".join(f"{rank}:{row[rank]:6.2f}" for rank in _RANKS)
+    Report.add(_SECTION, f"{name:14s} {cells}   best=maxRank {best}")
+    # Paper shape: the best setting is a small rank (2-4; the paper
+    # observed 2 or 4), and large ranks only degrade ("we did some
+    # tests for higher values but only got worse results").
+    assert best <= 4
+    assert row[4] <= row[8] * 1.2
+    # Our greedy counting penalizes intermediate ranks on the CA
+    # graphs more than the paper's prototype did (maxRank=2 wins by a
+    # wider margin); EXPERIMENTS.md discusses the deviation.

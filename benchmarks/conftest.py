@@ -1,0 +1,23 @@
+"""Benchmark-suite plumbing: report printing and shared fixtures."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.bench.report import Report
+
+_RESULTS = Path(__file__).parent / "results" / "report.txt"
+
+
+def pytest_terminal_summary(terminalreporter):
+    """Print every collected table after the pytest-benchmark output."""
+    rendered = Report.render()
+    if not rendered.strip():
+        return
+    terminalreporter.ensure_newline()
+    terminalreporter.section("paper tables and figures (reproduction)")
+    for line in rendered.splitlines():
+        terminalreporter.write_line(line)
+    Report.dump(_RESULTS)
+    terminalreporter.write_line("")
+    terminalreporter.write_line(f"(also written to {_RESULTS})")

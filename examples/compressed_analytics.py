@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Analytics on the compressed graph: the paper's §V promise in action.
+
+"Using [neighborhood queries], any arbitrary graph algorithm can be
+performed on the compressed representation."  This example compresses
+an RDF-style dataset once, then answers an analytics mix *without ever
+decompressing*:
+
+* one-pass CMSO functions (node/edge counts, components, degree
+  extrema) — these are *faster* than on the raw graph,
+* traversal kernels (BFS distances, shortest paths, degree histogram)
+  built on Prop.-4 neighborhoods,
+* a label-constrained regular path query (the paper's named future
+  work, implemented here via DFA-product skeletons).
+
+Run:  python examples/compressed_analytics.py
+"""
+
+from repro.core.pipeline import compress
+from repro.datasets.rdf import jamendo_graph
+from repro.encoding import encode_grammar
+from repro.queries import GrammarQueries
+from repro.queries.index import GrammarIndex
+from repro.queries.paths import LabelDFA, RegularPathQueries
+from repro.queries.traversal import bfs_distances, degree_histogram, \
+    shortest_path
+
+
+def main():
+    graph, alphabet = jamendo_graph(artists=120, seed=3)
+    result = compress(graph, alphabet, validate=False)
+    blob = encode_grammar(result.grammar, include_names=False)
+    print(f"dataset: {graph.node_size} nodes, {graph.num_edges} "
+          f"triples")
+    print(f"compressed to {blob.total_bytes} bytes "
+          f"({blob.bits_per_edge(graph.num_edges):.2f} bpe), "
+          f"{result.grammar.num_rules} rules\n")
+
+    queries = GrammarQueries(result.grammar)
+
+    # --- one-pass speed-up queries -----------------------------------
+    print("speed-up queries (one pass over the grammar):")
+    print(f"  nodes:      {queries.node_count()}")
+    print(f"  edges:      {queries.edge_count()}")
+    print(f"  components: {queries.connected_components()}")
+    degrees = queries.degrees()
+    print(f"  max out-degree: {degrees.max_out_degree()}")
+    print(f"  max in-degree:  {degrees.max_in_degree()}\n")
+
+    # --- neighborhood-based traversal --------------------------------
+    print("traversal kernels (neighborhood queries, Prop. 4):")
+    source = next(node for node in range(1, queries.node_count() + 1)
+                  if len(queries.out_neighbors(node)) >= 2)
+    distances = bfs_distances(queries, source, max_hops=3)
+    print(f"  nodes within 3 hops of node {source}: {len(distances)}")
+    far = max(distances, key=distances.get)
+    path = shortest_path(queries, source, far)
+    print(f"  a shortest path {source} -> {far}: {path}")
+    histogram = degree_histogram(queries)
+    top = sorted(histogram.items())[-3:]
+    print(f"  out-degree histogram tail: {top}\n")
+
+    # --- regular path query ------------------------------------------
+    made = alphabet.by_name("foaf:made")
+    track = alphabet.by_name("mo:track")
+    dfa = LabelDFA.word([made, track])  # artist -made-> record -track->
+    rpq = RegularPathQueries(GrammarIndex(queries.grammar), dfa)
+    hits = 0
+    probes = 0
+    # Probe exactly the 2-hop chains the neighborhoods expose; the RPQ
+    # engine then certifies which chains spell made . track.
+    for source_id in range(1, queries.node_count() + 1):
+        if probes >= 4000 or hits >= 25:
+            break
+        for middle in queries.out_neighbors(source_id):
+            for target in queries.out_neighbors(middle):
+                probes += 1
+                if rpq.matches(source_id, target):
+                    hits += 1
+    print("regular path query artist -foaf:made-> record "
+          "-mo:track-> track:")
+    print(f"  {hits} certified matches among {probes} probed "
+          f"2-hop chains")
+    assert hits > 0
+    print("compressed-analytics example OK")
+
+
+if __name__ == "__main__":
+    main()

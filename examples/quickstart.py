@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Quickstart: compress a graph, inspect the grammar, query it.
+
+Walks through the complete public API on the paper's own running
+example (Figure 1): a "theta graph" of three parallel a-b paths.
+gRePair discovers the repeated a-b digram, produces the grammar
+
+    S = A A A        (three parallel nonterminal edges)
+    A -> o -a-> o -b-> o    (endpoints external, middle internal)
+
+and the binary container stores S as per-label k2-trees plus the rule
+as a delta-coded edge list.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Alphabet,
+    GRePairSettings,
+    Hypergraph,
+    compress,
+    derive,
+)
+from repro.encoding import decode_grammar, encode_grammar
+from repro.queries import GrammarQueries
+
+
+def build_theta_graph():
+    """Three parallel a-b paths between one source and one target."""
+    alphabet = Alphabet()
+    a = alphabet.add_terminal(rank=2, name="a")
+    b = alphabet.add_terminal(rank=2, name="b")
+    graph = Hypergraph()
+    source = graph.add_node()
+    target = graph.add_node()
+    for _ in range(3):
+        middle = graph.add_node()
+        graph.add_edge(a, (source, middle))
+        graph.add_edge(b, (middle, target))
+    return graph, alphabet
+
+
+def main():
+    graph, alphabet = build_theta_graph()
+    print(f"input graph: {graph!r}")
+
+    # ------------------------------------------------------------------
+    # 1. Compress.  Settings default to the paper's recommendation
+    #    (maxRank=4, FP node order, virtual edges, pruning).
+    # ------------------------------------------------------------------
+    result = compress(graph, alphabet,
+                      GRePairSettings(order="natural"))
+    grammar = result.grammar
+    print(f"compressed:  {result.summary()}")
+    for rule in grammar.rules():
+        edges = [(alphabet.describe(e.label), e.att)
+                 for _, e in rule.rhs.edges()]
+        print(f"  rule N{rule.lhs} (rank {rule.rhs.rank}): {edges}")
+
+    # ------------------------------------------------------------------
+    # 2. Serialize to the paper's binary format and restore.
+    # ------------------------------------------------------------------
+    blob = encode_grammar(grammar)
+    print(f"container:   {blob.total_bytes} bytes, "
+          f"sections {blob.section_bytes}")
+    restored = decode_grammar(blob)
+    print(f"restored:    {restored!r}")
+
+    # ------------------------------------------------------------------
+    # 3. Decompress (derive) — node IDs are deterministic.
+    # ------------------------------------------------------------------
+    derived = derive(restored)
+    print(f"derived:     {derived!r} "
+          f"(expected {graph.node_size} nodes, {graph.num_edges} edges)")
+    assert derived.node_size == graph.node_size
+    assert derived.num_edges == graph.num_edges
+
+    # ------------------------------------------------------------------
+    # 4. Query without decompressing (paper section V).
+    # ------------------------------------------------------------------
+    queries = GrammarQueries(restored)
+    print(f"node count (from grammar):  {queries.node_count()}")
+    print(f"edge count (from grammar):  {queries.edge_count()}")
+    print(f"components (from grammar):  "
+          f"{queries.connected_components()}")
+    print(f"out-neighbors of node 1:    {queries.out_neighbors(1)}")
+    print(f"reachable 1 -> 2?           {queries.reachable(1, 2)}")
+    print(f"reachable 2 -> 1?           {queries.reachable(2, 1)}")
+    print("quickstart OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""RDF compression: the paper's headline use case (Table V).
+
+Builds an RDF graph from (subject, predicate, object) triples exactly
+like the paper's pipeline (dictionary maps resources to node IDs, one
+edge label per predicate), compresses it with gRePair and with the
+per-predicate k2-tree baseline of Alvarez-Garcia et al., and compares
+sizes.  On star-shaped graphs such as DBpedia's instance-types data,
+gRePair is orders of magnitude smaller — the effect this example
+demonstrates on a synthetic types graph.
+
+Also shows how to map query answers back to resource names through
+the dictionary.
+
+Run:  python examples/rdf_compression.py
+"""
+
+from repro.baselines import K2Compressor
+from repro.core.pipeline import compress
+from repro.datasets.io import graph_from_triples
+from repro.datasets.rdf import types_graph
+from repro.encoding import encode_grammar
+from repro.queries import GrammarQueries
+
+
+def handcrafted_triples():
+    """A miniature DBpedia-like fragment."""
+    people = [f"person/{i}" for i in range(6)]
+    triples = []
+    for person in people:
+        triples.append((person, "rdf:type", "class/Person"))
+    triples += [
+        ("person/0", "foaf:knows", "person/1"),
+        ("person/1", "foaf:knows", "person/2"),
+        ("person/2", "foaf:knows", "person/0"),
+        ("person/3", "dbo:birthPlace", "place/Helsinki"),
+        ("person/4", "dbo:birthPlace", "place/Helsinki"),
+        ("person/5", "dbo:birthPlace", "place/Edinburgh"),
+        ("place/Helsinki", "rdf:type", "class/City"),
+        ("place/Edinburgh", "rdf:type", "class/City"),
+    ]
+    return triples
+
+
+def small_example():
+    print("== small handcrafted RDF graph ==")
+    graph, alphabet, dictionary = graph_from_triples(
+        handcrafted_triples())
+    print(f"triples -> {graph.num_edges} edges over "
+          f"{graph.node_size} resources, {len(alphabet)} predicates")
+    result = compress(graph, alphabet)
+    print(f"compressed: {result.summary()}")
+
+    # The grammar reproduces an isomorphic copy with deterministic node
+    # IDs (paper section III-C2: "the grammar only produces an
+    # isomorphic copy ... we can produce a mapping from the new node
+    # IDs to the original ones").  Queries therefore run on val(G)
+    # IDs; counts and structure are preserved exactly.
+    queries = GrammarQueries(result.grammar)
+    print(f"resources (from grammar):  {queries.node_count()} "
+          f"(dictionary holds {len(dictionary)})")
+    print(f"triples   (from grammar):  {queries.edge_count()}")
+    print(f"connected components:      "
+          f"{queries.connected_components()}")
+    sample = 1
+    print(f"out-neighbors of node {sample}: "
+          f"{queries.out_neighbors(sample)}")
+
+
+def star_benchmark():
+    print("\n== DBpedia-style instance-types graph (Table V shape) ==")
+    graph, alphabet = types_graph(instances=5000, classes=30, seed=1)
+    print(f"graph: {graph.node_size} nodes, {graph.num_edges} "
+          f"rdf:type edges")
+    result = compress(graph, alphabet)
+    ours = encode_grammar(result.grammar,
+                          include_names=False).total_bytes
+    k2 = len(K2Compressor().compress(graph))
+    print(f"gRePair: {ours:7d} bytes "
+          f"({8.0 * ours / graph.num_edges:5.2f} bpe)")
+    print(f"k2-tree: {k2:7d} bytes "
+          f"({8.0 * k2 / graph.num_edges:5.2f} bpe)")
+    print(f"-> gRePair is {k2 / ours:.0f}x smaller "
+          f"(paper: orders of magnitude on types graphs)")
+
+
+def main():
+    small_example()
+    star_benchmark()
+    print("rdf example OK")
+
+
+if __name__ == "__main__":
+    main()

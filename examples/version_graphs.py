@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Version graphs: near-exponential compression of repeated structure.
+
+Reproduces the paper's two version-graph demonstrations at example
+scale:
+
+1. **Identical copies (Fig. 13)** — disjoint unions of one tiny graph.
+   gRePair's output grows roughly *logarithmically* in the number of
+   copies (hierarchical doubling of nonterminals through the
+   virtual-edge chain), while a k2-tree grows linearly.
+
+2. **Growing snapshots (Fig. 14)** — cumulative versions of one
+   co-authorship network, compressed under different node orders.  The
+   FP order aligns isomorphic versions, so corresponding substructures
+   compress identically; random/BFS orders lose most of that.
+
+Run:  python examples/version_graphs.py
+"""
+
+from repro.baselines import K2Compressor
+from repro.core.pipeline import GRePairSettings, compress
+from repro.datasets.versions import (
+    coauthorship_snapshots,
+    disjoint_union,
+    fig13_base_graph,
+    identical_copies,
+)
+from repro.encoding import encode_grammar
+
+
+def grepair_size(graph, alphabet, **settings):
+    result = compress(graph, alphabet, GRePairSettings(**settings),
+                      validate=False)
+    return encode_grammar(result.grammar,
+                          include_names=False).total_bytes
+
+
+def identical_copies_demo():
+    print("== identical copies (Fig. 13) ==")
+    base = fig13_base_graph()
+    k2 = K2Compressor()
+    print(f"{'copies':>7s} {'edges':>7s} {'gRePair':>9s} {'k2':>9s}")
+    for count in (8, 32, 128, 512):
+        graph, alphabet = identical_copies(base, count)
+        ours = grepair_size(graph, alphabet)
+        baseline = len(k2.compress(graph))
+        print(f"{count:7d} {graph.num_edges:7d} {ours:8d}B "
+              f"{baseline:8d}B")
+    print("-> gRePair grows ~logarithmically, k2 linearly\n")
+
+
+def snapshot_demo():
+    print("== growing snapshots under node orders (Fig. 14) ==")
+    snapshots = coauthorship_snapshots(years=8, papers_per_year=25,
+                                       seed=42)
+    print(f"{'versions':>9s} {'edges':>7s} {'fp':>8s} {'bfs':>8s} "
+          f"{'random':>8s}")
+    for step in (2, 4, 6, 8):
+        graph, alphabet = disjoint_union(snapshots[:step])
+        sizes = {
+            order: grepair_size(graph, alphabet, order=order, seed=9)
+            for order in ("fp", "bfs", "random")
+        }
+        print(f"{step:9d} {graph.num_edges:7d} "
+              f"{sizes['fp']:7d}B {sizes['bfs']:7d}B "
+              f"{sizes['random']:7d}B")
+    print("-> FP keeps corresponding versions aligned; other orders "
+          "degrade as versions accumulate")
+
+
+def main():
+    identical_copies_demo()
+    snapshot_demo()
+    print("version-graphs example OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Legacy setup shim: the environment's setuptools lacks the wheel
+package, so editable installs go through setup.py develop."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,56 @@
+"""repro — grammar-based graph compression (gRePair).
+
+A faithful, self-contained reproduction of
+
+    Sebastian Maneth and Fabian Peternek,
+    "Compressing Graphs by Grammars", ICDE 2016.
+
+Public API highlights
+---------------------
+``Hypergraph`` / ``Alphabet``
+    The directed edge-labeled hypergraph data model.
+``compress`` / ``GRePairSettings`` / ``CompressionResult``
+    Run the gRePair compressor and inspect the resulting SL-HR grammar.
+``derive``
+    Expand a grammar back into its (deterministically numbered) graph.
+``encode_grammar`` / ``decode_grammar``
+    The binary format: k2-tree start graph + delta-coded rules.
+``GrammarQueries``
+    Neighborhood, reachability and component queries evaluated directly
+    on the grammar (paper section V).
+
+See ``examples/quickstart.py`` for a tour.
+"""
+
+from repro.core import (
+    Alphabet,
+    CompressionResult,
+    Edge,
+    GRePair,
+    GRePairSettings,
+    Hypergraph,
+    Rule,
+    SLHRGrammar,
+    compress,
+    derive,
+    fp_equivalence_classes,
+    node_order,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "CompressionResult",
+    "Edge",
+    "GRePair",
+    "GRePairSettings",
+    "Hypergraph",
+    "Rule",
+    "SLHRGrammar",
+    "compress",
+    "derive",
+    "fp_equivalence_classes",
+    "node_order",
+    "__version__",
+]

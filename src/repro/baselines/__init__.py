@@ -1,0 +1,31 @@
+"""Baseline compressors the paper compares against (section IV).
+
+* :mod:`k2baseline` — the plain k2-tree representation of Brisaboa,
+  Ladra and Navarro [21], extended to labeled (RDF) graphs with one
+  tree per predicate as in Alvarez-Garcia et al. [8].  The paper used
+  its own Scala implementation of exactly this scheme.
+* :mod:`listmerge` — the "list merge" (LM) compressor of Grabowski and
+  Bieniecki [20]: blocks of 64 adjacency lists are merged into one
+  ordered list plus per-node membership bitmaps, then Deflate does the
+  rest.  State of the art for out-neighbor-only web graph queries.
+* :mod:`hn` — Hernandez and Navarro [22]: dense-substructure (virtual
+  node) mining in the style of Buehrer and Chellapilla [23] followed
+  by a k2-tree of the residual graph (parameters T=10, P=2, ES=10 as
+  in the paper).
+
+All three expose ``compress(graph) -> bytes`` / ``decompress(data)``
+plus a byte-size report, so the benchmark harness can compute bpe the
+same way for every contender.  LM and HN operate on unlabeled simple
+digraphs only — the paper likewise compares them only on network and
+unlabeled version graphs.
+"""
+
+from repro.baselines.hn import HNCompressor
+from repro.baselines.k2baseline import K2Compressor
+from repro.baselines.listmerge import ListMergeCompressor
+
+__all__ = [
+    "HNCompressor",
+    "K2Compressor",
+    "ListMergeCompressor",
+]

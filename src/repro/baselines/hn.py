@@ -1,0 +1,173 @@
+"""HN — virtual-node mining + k2-tree (Hernandez & Navarro [22]).
+
+The method combines the dense-substructure detection of Buehrer and
+Chellapilla [23] with a k2-tree of the residual graph: repeatedly find
+bicliques (a set of sources S sharing a set C of out-neighbors),
+replace the |S| x |C| edges with a fresh *virtual node* v and
+|S| + |C| edges (u -> v for u in S, v -> c for c in C), then encode
+what remains as a k2-tree.
+
+Mining follows the shingle-clustering recipe of [23]: sources are
+bucketed by the min-hash ("shingle") of their out-neighbor sets, so
+sources with heavily overlapping lists collide; inside a bucket a
+greedy scan grows S while the common neighbor set stays >= ES.
+Parameters follow the paper's choice for HN: ``T = 10`` (minimum edge
+saving for a biclique to be materialized), ``P = 2`` mining passes and
+``ES = 10`` (minimum common-neighbor-set size).
+
+Decompression expands virtual nodes transitively (a later pass can
+capture virtual nodes of an earlier one).  Unlabeled simple digraphs
+only, as in the paper's comparisons.
+
+Format::
+
+    varint real-node count n
+    varint total node count (n + virtual nodes)
+    k2-tree bytes of the residual graph over all nodes
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import EncodingError
+from repro.encoding.k2tree import K2Tree
+from repro.util.varint import read_uvarint, write_uvarint
+
+#: Multiplier/offset of the cheap deterministic integer hash used for
+#: shingles (64-bit splitmix-style).
+_HASH_MULT = 0x9E3779B97F4A7C15
+_HASH_MASK = (1 << 64) - 1
+
+
+def _shingle(targets: Set[int]) -> int:
+    """Min-hash of a target set (deterministic across runs)."""
+    return min(((t * _HASH_MULT) ^ (t >> 7)) & _HASH_MASK
+               for t in targets)
+
+
+class HNCompressor:
+    """Dense-substructure virtual nodes followed by a k2-tree."""
+
+    def __init__(self, min_saving: int = 10, passes: int = 2,
+                 min_edge_set: int = 10, k: int = 2) -> None:
+        self.min_saving = min_saving
+        self.passes = passes
+        self.min_edge_set = min_edge_set
+        self.k = k
+
+    # ------------------------------------------------------------------
+    # Mining
+    # ------------------------------------------------------------------
+    def _mine_pass(self, adjacency: Dict[int, Set[int]],
+                   next_virtual: int) -> Tuple[int, int]:
+        """One clustering pass; returns (new next_virtual, bicliques)."""
+        buckets: Dict[int, List[int]] = {}
+        for source, targets in adjacency.items():
+            if len(targets) >= self.min_edge_set:
+                buckets.setdefault(_shingle(targets), []).append(source)
+        found = 0
+        for shingle in sorted(buckets):
+            bucket = sorted(buckets[shingle])
+            used: Set[int] = set()
+            for anchor in bucket:
+                if anchor in used:
+                    continue
+                common = set(adjacency[anchor])
+                group = [anchor]
+                for candidate in bucket:
+                    if candidate in used or candidate == anchor:
+                        continue
+                    narrowed = common & adjacency[candidate]
+                    if len(narrowed) >= self.min_edge_set:
+                        common = narrowed
+                        group.append(candidate)
+                if len(group) < 2:
+                    continue
+                saving = (len(group) * len(common)
+                          - (len(group) + len(common)))
+                if saving < self.min_saving:
+                    continue
+                virtual = next_virtual
+                next_virtual += 1
+                adjacency[virtual] = set(common)
+                for source in group:
+                    adjacency[source] -= common
+                    adjacency[source].add(virtual)
+                    used.add(source)
+                found += 1
+        return next_virtual, found
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(self, graph: Hypergraph) -> bytes:
+        """Mine virtual nodes, then k2-encode the residual graph."""
+        normalized, _ = graph.normalized()
+        n = normalized.node_size
+        adjacency: Dict[int, Set[int]] = {v: set() for v in
+                                          range(1, n + 1)}
+        for _, edge in normalized.edges():
+            if len(edge.att) != 2:
+                raise EncodingError("HN supports rank-2 edges only")
+            adjacency[edge.att[0]].add(edge.att[1])
+        next_virtual = n + 1
+        for _ in range(self.passes):
+            next_virtual, found = self._mine_pass(adjacency, next_virtual)
+            if not found:
+                break
+        total = next_virtual - 1
+        cells = [(source - 1, target - 1)
+                 for source, targets in adjacency.items()
+                 for target in targets]
+        tree = K2Tree.from_cells(cells, total, self.k)
+        payload = tree.to_bytes()
+        out = bytearray()
+        write_uvarint(out, n)
+        write_uvarint(out, total)
+        out.extend(payload)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Decompression
+    # ------------------------------------------------------------------
+    def decompress(self, data: bytes, label: int = 1) -> Hypergraph:
+        """Expand virtual nodes back into their bicliques."""
+        n, pos = read_uvarint(data, 0)
+        total, pos = read_uvarint(data, pos)
+        tree = K2Tree.from_bytes(data[pos:])
+        successors: Dict[int, List[int]] = {}
+        for row, col in tree.cells():
+            successors.setdefault(row + 1, []).append(col + 1)
+
+        # Resolve virtual targets transitively, memoized.  Virtual
+        # nodes reference only strictly newer virtual nodes' targets,
+        # and expansion is acyclic by construction.
+        resolved: Dict[int, Set[int]] = {}
+
+        def expand(node: int) -> Set[int]:
+            if node in resolved:
+                return resolved[node]
+            result: Set[int] = set()
+            for target in successors.get(node, ()):  # pragma: no branch
+                if target <= n:
+                    result.add(target)
+                else:
+                    result |= expand(target)
+            resolved[node] = result
+            return result
+
+        graph = Hypergraph()
+        for _ in range(n):
+            graph.add_node()
+        for source in range(1, n + 1):
+            targets: Set[int] = set()
+            for target in successors.get(source, ()):
+                if target <= n:
+                    targets.add(target)
+                else:
+                    targets |= expand(target)
+            for target in sorted(targets):
+                graph.add_edge(label, (source, target))
+        return graph

@@ -1,0 +1,138 @@
+"""Plain k2-tree graph compressor (Brisaboa et al. [21], RDF per [8]).
+
+The graph's adjacency relation is stored as one k2-tree per edge label
+(for unlabeled graphs that is a single tree) — the paper's main
+baseline and also the representation it reuses for grammar start
+graphs.  Supports the k2-tree's native queries: cell (edge existence),
+direct (out-) and reverse (in-) neighbors, per label or across labels.
+
+Format::
+
+    varint  node count n
+    varint  number of labels
+    per label: varint label id, varint tree-byte-length, tree bytes
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import EncodingError
+from repro.encoding.k2tree import K2Tree
+from repro.util.varint import read_uvarint, write_uvarint
+
+
+class K2Compressor:
+    """Whole-graph k2-tree compressor.
+
+    Parameters
+    ----------
+    k:
+        Tree arity parameter; the paper uses ``k = 2`` ("as this
+        provides the best compression").
+    """
+
+    def __init__(self, k: int = 2) -> None:
+        self.k = k
+
+    # ------------------------------------------------------------------
+    # Compression
+    # ------------------------------------------------------------------
+    def compress(self, graph: Hypergraph) -> bytes:
+        """Serialize a simple graph as per-label k2-trees.
+
+        Node IDs may be arbitrary; they are normalized to ``1..n``
+        first (matrix rows/columns are 0-based node indices).
+        """
+        normalized, _ = graph.normalized()
+        n = normalized.node_size
+        by_label: Dict[int, List[Tuple[int, int]]] = {}
+        for _, edge in normalized.edges():
+            if len(edge.att) != 2:
+                raise EncodingError(
+                    "k2-tree baseline supports rank-2 edges only, got "
+                    f"rank {len(edge.att)}"
+                )
+            by_label.setdefault(edge.label, []).append(
+                (edge.att[0] - 1, edge.att[1] - 1)
+            )
+        out = bytearray()
+        write_uvarint(out, n)
+        write_uvarint(out, len(by_label))
+        for label in sorted(by_label):
+            cells = by_label[label]
+            if len(set(cells)) != len(cells):
+                raise EncodingError(
+                    f"label {label} has parallel edges; the k2 baseline "
+                    "requires a simple graph"
+                )
+            tree = K2Tree.from_cells(cells, n, self.k)
+            payload = tree.to_bytes()
+            write_uvarint(out, label)
+            write_uvarint(out, len(payload))
+            out.extend(payload)
+        return bytes(out)
+
+    # ------------------------------------------------------------------
+    # Decompression and queries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _parse(data: bytes) -> Tuple[int, Dict[int, K2Tree]]:
+        n, pos = read_uvarint(data, 0)
+        label_count, pos = read_uvarint(data, pos)
+        trees: Dict[int, K2Tree] = {}
+        for _ in range(label_count):
+            label, pos = read_uvarint(data, pos)
+            length, pos = read_uvarint(data, pos)
+            trees[label] = K2Tree.from_bytes(data[pos:pos + length])
+            pos += length
+        return n, trees
+
+    def decompress(self, data: bytes) -> Hypergraph:
+        """Rebuild the graph (nodes ``1..n``)."""
+        n, trees = self._parse(data)
+        graph = Hypergraph()
+        for _ in range(n):
+            graph.add_node()
+        for label in sorted(trees):
+            for row, col in trees[label].cells():
+                graph.add_edge(label, (row + 1, col + 1))
+        return graph
+
+    def out_neighbors(self, data: bytes, node: int,
+                      label: Optional[int] = None) -> List[int]:
+        """Out-neighbors of ``node`` (1-based), optionally per label."""
+        n, trees = self._parse(data)
+        if not 1 <= node <= n:
+            raise EncodingError(f"node {node} out of range 1..{n}")
+        result = set()
+        for lab, tree in trees.items():
+            if label is not None and lab != label:
+                continue
+            result.update(col + 1 for col in tree.row_ones(node - 1))
+        return sorted(result)
+
+    def in_neighbors(self, data: bytes, node: int,
+                     label: Optional[int] = None) -> List[int]:
+        """In-neighbors of ``node`` (1-based), optionally per label."""
+        n, trees = self._parse(data)
+        if not 1 <= node <= n:
+            raise EncodingError(f"node {node} out of range 1..{n}")
+        result = set()
+        for lab, tree in trees.items():
+            if label is not None and lab != label:
+                continue
+            result.update(row + 1 for row in tree.col_ones(node - 1))
+        return sorted(result)
+
+    def has_edge(self, data: bytes, source: int, target: int,
+                 label: Optional[int] = None) -> bool:
+        """Edge-existence query on the compressed form."""
+        _, trees = self._parse(data)
+        for lab, tree in trees.items():
+            if label is not None and lab != label:
+                continue
+            if tree.get(source - 1, target - 1):
+                return True
+        return False

@@ -1,0 +1,146 @@
+"""Classic string RePair (Larsson & Moffat [15]).
+
+Included for the paper's conclusion claim: "gRePair over string- and
+tree-graphs obtains similar compression ratios as the original
+specialized versions for strings and trees."  The benchmark
+``bench_string_graphs.py`` feeds the same underlying string to this
+compressor and, as a labeled path graph, to gRePair, and compares
+grammar sizes.
+
+The implementation is the textbook loop: repeatedly replace the most
+frequent adjacent symbol pair by a fresh nonterminal until no pair
+occurs twice, then prune rules referenced at most once by inlining
+them (which makes right-hand sides variable-length, exactly as in the
+paper's ``B -> abc`` pruning example).  The original's O(n) data
+structures are unnecessary at test scale; the replacement decisions —
+most frequent pair, ties by first occurrence — are the same.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Sequence, Tuple
+
+
+class StringGrammar:
+    """Result of string RePair: final sequence plus rules."""
+
+    def __init__(self, sequence: List[int],
+                 rules: Dict[int, List[int]]) -> None:
+        self.sequence = sequence
+        self.rules = rules
+
+    @property
+    def size(self) -> int:
+        """Grammar size: |final sequence| + sum of rule rhs lengths."""
+        return len(self.sequence) + sum(len(rhs) for rhs in
+                                        self.rules.values())
+
+    def expand(self) -> List[int]:
+        """Derive the original string back (correctness check)."""
+        cache: Dict[int, List[int]] = {}
+
+        def expand_symbol(symbol: int) -> List[int]:
+            if symbol not in self.rules:
+                return [symbol]
+            if symbol not in cache:
+                expanded: List[int] = []
+                for child in self.rules[symbol]:
+                    expanded.extend(expand_symbol(child))
+                cache[symbol] = expanded
+            return cache[symbol]
+
+        result: List[int] = []
+        for symbol in self.sequence:
+            result.extend(expand_symbol(symbol))
+        return result
+
+
+def _most_frequent_pair(
+    sequence: Sequence[int],
+) -> Tuple[int, int] | None:
+    """Most frequent adjacent pair under RePair's non-overlap count.
+
+    In a run ``aaa`` the pair ``aa`` counts once, not twice.
+    """
+    counts: Counter = Counter()
+    previous_was_pair = False
+    for left, right in zip(sequence, sequence[1:]):
+        if previous_was_pair and left == right:
+            previous_was_pair = False
+            continue
+        counts[(left, right)] += 1
+        previous_was_pair = left == right
+    if not counts:
+        return None
+    pair, count = counts.most_common(1)[0]
+    return pair if count >= 2 else None
+
+
+def _replace_pair(sequence: List[int], pair: Tuple[int, int],
+                  symbol: int) -> List[int]:
+    result: List[int] = []
+    i = 0
+    while i < len(sequence):
+        if (i + 1 < len(sequence)
+                and (sequence[i], sequence[i + 1]) == pair):
+            result.append(symbol)
+            i += 2
+        else:
+            result.append(sequence[i])
+            i += 1
+    return result
+
+
+def _prune(sequence: List[int], rules: Dict[int, List[int]]) -> None:
+    """Inline every rule referenced at most once (variable-length rhs)."""
+    changed = True
+    while changed:
+        changed = False
+        refs: Counter = Counter(sequence)
+        for rhs in rules.values():
+            refs.update(rhs)
+        for symbol in list(rules):
+            if refs[symbol] > 1:
+                continue
+            body = rules.pop(symbol)
+            replaced = False
+            for i, value in enumerate(sequence):
+                if value == symbol:
+                    sequence[i:i + 1] = body
+                    replaced = True
+                    break
+            if not replaced:
+                for rhs in rules.values():
+                    for i, value in enumerate(rhs):
+                        if value == symbol:
+                            rhs[i:i + 1] = body
+                            replaced = True
+                            break
+                    if replaced:
+                        break
+            changed = True
+
+
+def string_repair(sequence: Sequence[int],
+                  first_nonterminal: int = 1 << 20) -> StringGrammar:
+    """Run RePair on an integer sequence.
+
+    ``first_nonterminal`` must exceed every input symbol; fresh
+    nonterminals count up from it.
+    """
+    working = list(sequence)
+    rules: Dict[int, List[int]] = {}
+    next_symbol = first_nonterminal
+    while True:
+        pair = _most_frequent_pair(working)
+        if pair is None:
+            break
+        rules[next_symbol] = list(pair)
+        working = _replace_pair(working, pair, next_symbol)
+        next_symbol += 1
+    _prune(working, rules)
+    return StringGrammar(working, rules)
+
+
+__all__ = ["StringGrammar", "string_repair"]

@@ -1,0 +1,50 @@
+"""Report collector: accumulates table rows across benchmark tests.
+
+pytest captures stdout per test, so the bench modules do not print
+directly; they append formatted rows to the module-level
+:class:`Report` singleton, and ``benchmarks/conftest.py`` dumps every
+section in ``pytest_terminal_summary`` (which is never captured) and
+into ``benchmarks/results/report.txt``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List
+
+
+class Report:
+    """Process-wide ordered collection of report sections."""
+
+    _sections: Dict[str, List[str]] = {}
+
+    @classmethod
+    def add(cls, section: str, line: str) -> None:
+        """Append one formatted line under ``section``."""
+        cls._sections.setdefault(section, []).append(line)
+
+    @classmethod
+    def sections(cls) -> Dict[str, List[str]]:
+        """All sections in insertion order."""
+        return dict(cls._sections)
+
+    @classmethod
+    def clear(cls) -> None:
+        """Reset (used by unit tests of the harness)."""
+        cls._sections.clear()
+
+    @classmethod
+    def render(cls) -> str:
+        """The full report as one string."""
+        blocks = []
+        for section, lines in cls._sections.items():
+            underline = "=" * len(section)
+            blocks.append(f"\n{section}\n{underline}")
+            blocks.extend(lines)
+        return "\n".join(blocks)
+
+    @classmethod
+    def dump(cls, path: Path) -> None:
+        """Write the rendered report to ``path``."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(cls.render() + "\n", encoding="utf-8")

@@ -1,0 +1,175 @@
+"""Command-line interface: compress, decompress, inspect, query.
+
+A thin production-style front end over the library, so the compressor
+is usable without writing Python::
+
+    python -m repro.cli compress graph.tsv graph.grpr
+    python -m repro.cli stats graph.grpr
+    python -m repro.cli decompress graph.grpr roundtrip.tsv
+    python -m repro.cli query graph.grpr reach 4 17
+    python -m repro.cli query graph.grpr out 4
+    python -m repro.cli query graph.grpr components
+
+Graphs are read/written as edge lists (``source target [label]`` per
+line, ``#`` comments allowed); compressed grammars use the paper's
+binary container format.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro import GRePairSettings, compress, derive
+from repro.core.orders import NODE_ORDERS
+from repro.datasets.io import read_edge_list, write_edge_list
+from repro.encoding import GrammarFile, decode_grammar, encode_grammar
+from repro.exceptions import ReproError
+from repro.queries import GrammarQueries
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="gRePair grammar-based graph compression "
+                    "(Maneth & Peternek, ICDE 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    comp = sub.add_parser("compress", help="edge list -> .grpr")
+    comp.add_argument("input", type=Path)
+    comp.add_argument("output", type=Path)
+    comp.add_argument("--max-rank", type=int, default=4,
+                      help="maximal digram rank (paper default: 4)")
+    comp.add_argument("--order", choices=sorted(NODE_ORDERS),
+                      default="fp", help="node order (default: fp)")
+    comp.add_argument("--seed", type=int, default=0,
+                      help="seed for the random order")
+    comp.add_argument("--no-virtual-edges", action="store_true",
+                      help="disable the disconnected-components pass")
+    comp.add_argument("--no-prune", action="store_true",
+                      help="disable grammar pruning")
+    comp.add_argument("--no-names", action="store_true",
+                      help="drop label names from the output")
+
+    dec = sub.add_parser("decompress", help=".grpr -> edge list")
+    dec.add_argument("input", type=Path)
+    dec.add_argument("output", type=Path)
+
+    stats = sub.add_parser("stats", help="inspect a .grpr container")
+    stats.add_argument("input", type=Path)
+
+    query = sub.add_parser("query", help="evaluate queries on a .grpr")
+    query.add_argument("input", type=Path)
+    query.add_argument("kind",
+                       choices=["reach", "out", "in", "components",
+                                "nodes", "edges"])
+    query.add_argument("args", nargs="*", type=int,
+                       help="node IDs (reach: two; out/in: one)")
+
+    return parser
+
+
+def _cmd_compress(args: argparse.Namespace) -> int:
+    graph, alphabet, _ = read_edge_list(args.input)
+    settings = GRePairSettings(
+        max_rank=args.max_rank,
+        order=args.order,
+        seed=args.seed,
+        virtual_edges=not args.no_virtual_edges,
+        prune=not args.no_prune,
+    )
+    result = compress(graph, alphabet, settings)
+    blob = encode_grammar(result.grammar,
+                          include_names=not args.no_names)
+    blob.write(args.output)
+    bpe = blob.bits_per_edge(max(1, graph.num_edges))
+    print(f"{args.input}: |V|={graph.node_size} |E|={graph.num_edges}")
+    print(f"grammar: {result.summary()}")
+    print(f"output:  {blob.total_bytes} bytes ({bpe:.2f} bpe) "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_decompress(args: argparse.Namespace) -> int:
+    grammar = decode_grammar(GrammarFile.read(args.input))
+    graph = derive(grammar)
+    write_edge_list(graph, grammar.alphabet, args.output)
+    print(f"{args.input}: {grammar.num_rules} rules -> "
+          f"|V|={graph.node_size} |E|={graph.num_edges} "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    data = GrammarFile.read(args.input)
+    grammar = decode_grammar(data)
+    queries = GrammarQueries(grammar)
+    print(f"container:      {data.total_bytes} bytes")
+    print(f"rules:          {grammar.num_rules}")
+    print(f"grammar size:   |G| = {grammar.size}")
+    print(f"grammar height: {grammar.height()}")
+    print(f"start graph:    {grammar.start.node_size} nodes, "
+          f"{grammar.start.num_edges} edges")
+    print(f"derived graph:  {queries.node_count()} nodes, "
+          f"{queries.edge_count()} edges")
+    edges = max(1, queries.edge_count())
+    print(f"bpe:            {8.0 * data.total_bytes / edges:.2f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    grammar = decode_grammar(GrammarFile.read(args.input))
+    queries = GrammarQueries(grammar)
+    kind = args.kind
+    if kind == "reach":
+        if len(args.args) != 2:
+            raise ReproError("reach needs exactly two node IDs")
+        source, target = args.args
+        answer = queries.reachable(source, target)
+        print(f"reach({source}, {target}) = {answer}")
+        return 0 if answer else 1
+    if kind in ("out", "in"):
+        if len(args.args) != 1:
+            raise ReproError(f"{kind} needs exactly one node ID")
+        node = args.args[0]
+        neighbors = (queries.out_neighbors(node) if kind == "out"
+                     else queries.in_neighbors(node))
+        print(" ".join(map(str, neighbors)))
+        return 0
+    if kind == "components":
+        print(queries.connected_components())
+        return 0
+    if kind == "nodes":
+        print(queries.node_count())
+        return 0
+    print(queries.edge_count())
+    return 0
+
+
+_COMMANDS = {
+    "compress": _cmd_compress,
+    "decompress": _cmd_decompress,
+    "stats": _cmd_stats,
+    "query": _cmd_query,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

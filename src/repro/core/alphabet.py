@@ -1,0 +1,148 @@
+"""Ranked alphabets of terminal and nonterminal labels.
+
+Section II of the paper fixes a ranked alphabet ``Sigma = {1, ..., n}``
+with a rank for every symbol, and grammars add a disjoint ranked
+alphabet ``N`` of nonterminals.  We keep both in one :class:`Alphabet`
+object: labels are small integers (compact to encode), each label knows
+its rank, whether it is a terminal, and an optional human-readable name
+(e.g. an RDF predicate).
+
+Terminals are created up front from the input graph; nonterminals are
+minted by gRePair via :meth:`Alphabet.fresh_nonterminal`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import GrammarError
+
+#: Reserved name for the virtual edges used to connect disconnected
+#: components during the second gRePair pass (paper section III-A).
+VIRTUAL_LABEL_NAME = "__virtual__"
+
+
+class Alphabet:
+    """A ranked alphabet holding terminal and nonterminal labels.
+
+    Labels are consecutive integers starting at 1, matching the paper's
+    convention ``Sigma = {1, ..., n}``.  Ranks are at least 1; simple
+    directed edges have rank 2.
+    """
+
+    def __init__(self) -> None:
+        self._rank: List[int] = [0]  # index 0 unused; labels start at 1
+        self._terminal: List[bool] = [False]
+        self._name: List[Optional[str]] = [None]
+        self._by_name: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+    def add_terminal(self, rank: int = 2, name: Optional[str] = None) -> int:
+        """Register a terminal label of the given rank; returns its ID."""
+        return self._add(rank, terminal=True, name=name)
+
+    def fresh_nonterminal(self, rank: int) -> int:
+        """Mint a new nonterminal label of the given rank."""
+        return self._add(rank, terminal=False, name=None)
+
+    def _add(self, rank: int, terminal: bool, name: Optional[str]) -> int:
+        if rank < 1:
+            raise GrammarError(f"label rank must be >= 1, got {rank}")
+        if name is not None and name in self._by_name:
+            raise GrammarError(f"duplicate label name {name!r}")
+        label = len(self._rank)
+        self._rank.append(rank)
+        self._terminal.append(terminal)
+        self._name.append(name)
+        if name is not None:
+            self._by_name[name] = label
+        return label
+
+    def ensure_terminal(self, name: str, rank: int = 2) -> int:
+        """Return the terminal named ``name``, creating it if missing."""
+        existing = self._by_name.get(name)
+        if existing is not None:
+            if self._rank[existing] != rank:
+                raise GrammarError(
+                    f"label {name!r} already registered with rank "
+                    f"{self._rank[existing]}, requested {rank}"
+                )
+            return existing
+        return self.add_terminal(rank, name)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Total number of labels (terminals + nonterminals)."""
+        return len(self._rank) - 1
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(1, len(self._rank)))
+
+    def __contains__(self, label: int) -> bool:
+        return 1 <= label < len(self._rank)
+
+    def rank(self, label: int) -> int:
+        """Rank of ``label``."""
+        self._check(label)
+        return self._rank[label]
+
+    def is_terminal(self, label: int) -> bool:
+        """True if ``label`` is a terminal symbol."""
+        self._check(label)
+        return self._terminal[label]
+
+    def is_nonterminal(self, label: int) -> bool:
+        """True if ``label`` is a nonterminal symbol."""
+        return not self.is_terminal(label)
+
+    def name(self, label: int) -> Optional[str]:
+        """Human-readable name of ``label`` if one was registered."""
+        self._check(label)
+        return self._name[label]
+
+    def by_name(self, name: str) -> int:
+        """Label ID registered under ``name``; raises if unknown."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise GrammarError(f"unknown label name {name!r}") from None
+
+    def terminals(self) -> List[int]:
+        """All terminal label IDs, ascending."""
+        return [label for label in self if self._terminal[label]]
+
+    def nonterminals(self) -> List[int]:
+        """All nonterminal label IDs, ascending."""
+        return [label for label in self if not self._terminal[label]]
+
+    def max_rank(self) -> int:
+        """Largest rank over all labels (0 for an empty alphabet)."""
+        return max(self._rank[1:], default=0)
+
+    def _check(self, label: int) -> None:
+        if not 1 <= label < len(self._rank):
+            raise GrammarError(f"unknown label {label}")
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def describe(self, label: int) -> str:
+        """A short string for diagnostics, e.g. ``a/2`` or ``N7/3``."""
+        name = self.name(label)
+        kind = name if name is not None else (
+            f"t{label}" if self.is_terminal(label) else f"N{label}"
+        )
+        return f"{kind}/{self.rank(label)}"
+
+    def copy(self) -> "Alphabet":
+        """An independent copy (used by decoders and tests)."""
+        clone = Alphabet()
+        clone._rank = list(self._rank)
+        clone._terminal = list(self._terminal)
+        clone._name = list(self._name)
+        clone._by_name = dict(self._by_name)
+        return clone

@@ -1,0 +1,100 @@
+"""Deterministic derivation ``val(G)`` of an SL-HR grammar.
+
+An SL-HR grammar derives exactly one graph up to isomorphism.  The
+paper (end of section II) removes the remaining freedom by fixing node
+IDs: start-graph nodes keep IDs ``1..m``; nonterminal edges are ordered,
+and expanding them in that order assigns the next available IDs to the
+nodes each rule application creates, in right-hand-side order.  Section
+V relies on the resulting contiguity: the nodes of ``val(e_i)`` (the
+subgraph derived from the i-th top-level nonterminal edge) occupy a
+contiguous ID range.
+
+We realize this with a depth-first expansion: a nonterminal edge is
+fully expanded (including the nonterminal edges its rule introduces, in
+right-hand-side edge order) before the next nonterminal edge at the same
+level.  The same traversal order is used by the query index in
+:mod:`repro.queries.index`, so query answers refer to exactly these IDs.
+
+The start graph is normalized to node IDs ``1..m`` first; the returned
+``mapping`` relates original start-graph IDs to derived IDs so callers
+holding external data values (the paper's map ``phi: V -> D``) can
+re-attach them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import GrammarError
+
+
+def derive(grammar: SLHRGrammar,
+           max_edges: int | None = None) -> Hypergraph:
+    """Expand ``grammar`` into the hypergraph ``val(G)``.
+
+    Parameters
+    ----------
+    grammar:
+        The grammar to expand.  Must be straight-line.
+    max_edges:
+        Optional safety limit; expansion raises :class:`GrammarError`
+        when the number of materialized edges would exceed it (grammars
+        can derive graphs exponentially larger than themselves).
+
+    Returns
+    -------
+    Hypergraph
+        ``val(G)`` with the paper's deterministic node numbering.
+    """
+    graph, _ = derive_with_mapping(grammar, max_edges=max_edges)
+    return graph
+
+
+def derive_with_mapping(
+    grammar: SLHRGrammar,
+    max_edges: int | None = None,
+) -> Tuple[Hypergraph, Dict[int, int]]:
+    """Like :func:`derive` but also return the start-node ID mapping.
+
+    The mapping sends each *original* start-graph node ID to its ID in
+    ``val(G)`` (i.e. its position ``1..m`` in ascending original order).
+    """
+    start = grammar.start
+    mapping = {old: new for new, old in
+               enumerate(sorted(start.nodes()), start=1)}
+    result = Hypergraph()
+    for _ in range(start.node_size):
+        result.add_node()
+    result.set_external(tuple(mapping[n] for n in start.ext))
+
+    pending: List[int] = []  # stack of nonterminal edge IDs in `result`
+    for _, edge in sorted(start.edges()):
+        att = tuple(mapping[n] for n in edge.att)
+        eid = result.add_edge(edge.label, att)
+        if grammar.has_rule(edge.label):
+            pending.append(eid)
+    # Depth-first: expand the first pending edge completely before the
+    # next, so reverse the stack once (later pops come first).
+    pending.reverse()
+
+    next_node = start.node_size + 1
+    while pending:
+        eid = pending.pop()
+        label = result.edge(eid).label
+        if not grammar.has_rule(label):  # pragma: no cover - guarded above
+            raise GrammarError(f"nonterminal {label} has no rule")
+        new_edges = grammar.inline_edge(result, eid, fresh_base=next_node)
+        rhs = grammar.rhs(label)
+        next_node += rhs.node_size - rhs.rank
+        if max_edges is not None and result.num_edges > max_edges:
+            raise GrammarError(
+                f"derivation exceeded max_edges={max_edges}"
+            )
+        # Push this rule's nonterminal edges so that the first one (in
+        # rhs edge order) is expanded next.
+        introduced = [e for e in new_edges
+                      if grammar.has_rule(result.edge(e).label)]
+        pending.extend(reversed(introduced))
+    return result, mapping

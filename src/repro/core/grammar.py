@@ -1,0 +1,411 @@
+"""Straight-line hyperedge replacement (SL-HR) grammars.
+
+Definition 1 of the paper: a grammar ``G = (N, P, S)`` with a ranked
+nonterminal alphabet ``N``, rules ``P ⊂ N × HGR(Σ ∪ N)`` such that
+``rank(A) = rank(rhs(A))``, and a start graph ``S``.  Straight-line
+means the nonterminal reference relation ``≤NT`` is acyclic and each
+nonterminal has exactly one rule, so the grammar derives exactly one
+graph (up to isomorphism; :func:`repro.core.derivation.derive` fixes the
+node numbering deterministically).
+
+Size accounting follows section II, with the start graph included (the
+paper's Figure 6/7 example — "the sizes of this grammar and the graph
+differ by exactly three" — only balances when ``|S|`` is counted):
+
+* ``|G| = |S| + Σ_A |rhs(A)|``
+* ``handle(A)`` is a minimal graph holding one A-edge; its size is the
+  size a nonterminal edge adds to a graph.  With the paper's size
+  measure that is ``rank(A) + 1`` for rank <= 2 and ``2·rank(A)``
+  otherwise (rank nodes plus the edge's size); the worked example
+  ``con(A) = 4·(5−3)−5`` for a rank-2 nonterminal fixes
+  ``|handle| = 3 = 2 + 1``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import GrammarError
+
+
+class Rule(NamedTuple):
+    """A grammar rule ``lhs -> rhs``."""
+
+    lhs: int
+    rhs: Hypergraph
+
+
+def handle_size(rank: int) -> int:
+    """Size of ``handle(A)`` for a nonterminal of the given rank.
+
+    The handle is a graph with ``rank`` nodes and one edge of that rank;
+    its total size is ``rank + 1`` for rank <= 2 and ``rank + rank``
+    otherwise (paper size measure: small edges cost 1, hyperedges their
+    rank).
+    """
+    return rank + (1 if rank <= 2 else rank)
+
+
+class SLHRGrammar:
+    """An SL-HR grammar: start graph plus one rule per nonterminal.
+
+    The rule dictionary preserves insertion order, which by construction
+    of gRePair is a *top-down* creation order; :meth:`bottom_up_order`
+    computes the ``≤NT`` topological order explicitly and does not rely
+    on insertion order.
+    """
+
+    def __init__(self, alphabet: Alphabet, start: Hypergraph) -> None:
+        self.alphabet = alphabet
+        self.start = start
+        self._rules: Dict[int, Hypergraph] = {}
+
+    # ------------------------------------------------------------------
+    # Rule management
+    # ------------------------------------------------------------------
+    def add_rule(self, lhs: int, rhs: Hypergraph) -> None:
+        """Register the (unique) rule for nonterminal ``lhs``."""
+        if self.alphabet.is_terminal(lhs):
+            raise GrammarError(
+                f"label {lhs} is a terminal and cannot head a rule"
+            )
+        if lhs in self._rules:
+            raise GrammarError(f"nonterminal {lhs} already has a rule")
+        if self.alphabet.rank(lhs) != rhs.rank:
+            raise GrammarError(
+                f"rank mismatch for nonterminal {lhs}: label rank "
+                f"{self.alphabet.rank(lhs)}, rhs rank {rhs.rank}"
+            )
+        self._rules[lhs] = rhs
+
+    def remove_rule(self, lhs: int) -> Hypergraph:
+        """Drop the rule for ``lhs`` and return its right-hand side."""
+        try:
+            return self._rules.pop(lhs)
+        except KeyError:
+            raise GrammarError(f"no rule for nonterminal {lhs}") from None
+
+    def rhs(self, lhs: int) -> Hypergraph:
+        """Right-hand side of the unique rule for ``lhs``."""
+        try:
+            return self._rules[lhs]
+        except KeyError:
+            raise GrammarError(f"no rule for nonterminal {lhs}") from None
+
+    def has_rule(self, lhs: int) -> bool:
+        """True if ``lhs`` has a rule."""
+        return lhs in self._rules
+
+    def nonterminals(self) -> List[int]:
+        """Nonterminals with rules, in insertion order."""
+        return list(self._rules)
+
+    def rules(self) -> Iterator[Rule]:
+        """Iterate the rules in insertion order."""
+        for lhs, rhs in self._rules.items():
+            yield Rule(lhs, rhs)
+
+    @property
+    def num_rules(self) -> int:
+        """Number of rules (excluding the start graph)."""
+        return len(self._rules)
+
+    # ------------------------------------------------------------------
+    # Size metrics
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """``|G|``: total size of start graph plus all right-hand sides."""
+        return self.start.total_size + sum(
+            rhs.total_size for rhs in self._rules.values()
+        )
+
+    @property
+    def edge_size(self) -> int:
+        """``|G|_E`` over start graph and rules."""
+        return self.start.edge_size + sum(
+            rhs.edge_size for rhs in self._rules.values()
+        )
+
+    @property
+    def node_size(self) -> int:
+        """``|G|_V`` over start graph and rules."""
+        return self.start.node_size + sum(
+            rhs.node_size for rhs in self._rules.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def references(self) -> Dict[int, int]:
+        """``ref(A)`` for every nonterminal with a rule.
+
+        Counts A-labeled edges in the start graph and in every
+        right-hand side (paper section III-A3).  Nonterminals that are
+        never referenced map to 0.
+        """
+        refs = {lhs: 0 for lhs in self._rules}
+        for graph in self._all_graphs():
+            for _, edge in graph.edges():
+                if edge.label in refs:
+                    refs[edge.label] += 1
+        return refs
+
+    def _all_graphs(self) -> Iterator[Hypergraph]:
+        yield self.start
+        yield from self._rules.values()
+
+    def nonterminal_edges(self, graph: Hypergraph) -> List[int]:
+        """IDs of edges of ``graph`` labeled by a ruled nonterminal."""
+        return [eid for eid, edge in graph.edges()
+                if edge.label in self._rules]
+
+    def successors(self, lhs: int) -> List[int]:
+        """Nonterminals referenced by the rhs of ``lhs`` (with dups)."""
+        return [edge.label for _, edge in self.rhs(lhs).edges()
+                if edge.label in self._rules]
+
+    def bottom_up_order(self) -> List[int]:
+        """Nonterminals ordered so referenced ones come first.
+
+        This is a topological order of ``≤NT`` reversed: if ``rhs(A)``
+        references ``B`` then ``B`` appears before ``A``.  Raises
+        :class:`GrammarError` if ``≤NT`` is cyclic (grammar not
+        straight-line).
+        """
+        order: List[int] = []
+        state: Dict[int, int] = {}  # 0 = visiting, 1 = done
+        for root in self._rules:
+            if root in state:
+                continue
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            while stack:
+                node, idx = stack[-1]
+                if idx == 0:
+                    if state.get(node) == 1:
+                        stack.pop()
+                        continue
+                    state[node] = 0
+                succ = self.successors(node)
+                advanced = False
+                while idx < len(succ):
+                    child = succ[idx]
+                    idx += 1
+                    child_state = state.get(child)
+                    if child_state == 0:
+                        raise GrammarError(
+                            "grammar is not straight-line: cyclic "
+                            f"nonterminal references around {child}"
+                        )
+                    if child_state is None:
+                        stack[-1] = (node, idx)
+                        stack.append((child, 0))
+                        advanced = True
+                        break
+                if advanced:
+                    continue
+                stack.pop()
+                if state[node] != 1:
+                    state[node] = 1
+                    order.append(node)
+        return order
+
+    def height(self) -> int:
+        """Height of ``≤NT``: longest chain of nonterminal references.
+
+        A grammar whose rules contain no nonterminal edges has height 1;
+        an empty rule set has height 0.
+        """
+        depth: Dict[int, int] = {}
+        for lhs in self.bottom_up_order():
+            children = self.successors(lhs)
+            depth[lhs] = 1 + max((depth[c] for c in children), default=0)
+        return max(depth.values(), default=0)
+
+    def contribution(self, lhs: int,
+                     refs: Optional[Dict[int, int]] = None) -> int:
+        """``con(A) = ref(A)·(|rhs(A)| − |handle(A)|) − |rhs(A)|``."""
+        if refs is None:
+            refs = self.references()
+        rhs = self.rhs(lhs)
+        return (refs[lhs] * (rhs.total_size - handle_size(rhs.rank))
+                - rhs.total_size)
+
+    # ------------------------------------------------------------------
+    # Derivation step (shared by pruning, virtual-edge removal, derive)
+    # ------------------------------------------------------------------
+    def inline_edge(self, host: Hypergraph, edge_id: int,
+                    fresh_base: Optional[int] = None) -> List[int]:
+        """Apply the rule of ``host``'s edge ``edge_id`` in place.
+
+        Removes the nonterminal edge, copies the right-hand side into
+        ``host`` merging external nodes with the edge's attachment, and
+        returns the IDs of the newly created edges (in rhs insertion
+        order).  ``fresh_base`` optionally forces new node IDs to start
+        at a given value (used by the deterministic derivation).
+        """
+        edge = host.edge(edge_id)
+        rhs = self.rhs(edge.label)
+        if len(edge.att) != rhs.rank:
+            raise GrammarError(
+                f"edge rank {len(edge.att)} does not match rule rank "
+                f"{rhs.rank} for nonterminal {edge.label}"
+            )
+        host.remove_edge(edge_id)
+        mapping: Dict[int, int] = dict(zip(rhs.ext, edge.att))
+        next_id = fresh_base
+        for node in sorted(rhs.nodes()):
+            if node in mapping:
+                continue
+            if next_id is None:
+                mapping[node] = host.add_node()
+            else:
+                mapping[node] = host.add_node(next_id)
+                next_id += 1
+        new_edges = []
+        for _, rhs_edge in rhs.edges():
+            att = tuple(mapping[n] for n in rhs_edge.att)
+            new_edges.append(host.add_edge(rhs_edge.label, att))
+        return new_edges
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check all SL-HR invariants; raises :class:`GrammarError`.
+
+        Checks: every nonterminal edge in any graph has a rule; edge
+        ranks match label ranks; ``≤NT`` is acyclic; rule ranks match
+        label ranks.
+        """
+        for lhs, rhs in self._rules.items():
+            if self.alphabet.rank(lhs) != rhs.rank:
+                raise GrammarError(
+                    f"rule for {lhs}: rank mismatch "
+                    f"({self.alphabet.rank(lhs)} vs {rhs.rank})"
+                )
+        for graph in self._all_graphs():
+            for eid, edge in graph.edges():
+                if edge.label not in self.alphabet:
+                    raise GrammarError(f"edge {eid}: unknown label "
+                                       f"{edge.label}")
+                if self.alphabet.rank(edge.label) != len(edge.att):
+                    raise GrammarError(
+                        f"edge {eid}: label {edge.label} has rank "
+                        f"{self.alphabet.rank(edge.label)} but "
+                        f"{len(edge.att)} attachments"
+                    )
+                if (self.alphabet.is_nonterminal(edge.label)
+                        and edge.label not in self._rules):
+                    raise GrammarError(
+                        f"edge {eid}: nonterminal {edge.label} has no rule"
+                    )
+        self.bottom_up_order()  # raises on cycles
+
+    # ------------------------------------------------------------------
+    # Derived-graph statistics (no materialization)
+    # ------------------------------------------------------------------
+    def derived_counts(self) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Per nonterminal: derived internal-node and terminal-edge counts.
+
+        Returns ``(nodes, edges)`` where ``nodes[A]`` is the number of
+        *new* nodes deriving one A-edge creates in total (all levels) and
+        ``edges[A]`` the number of terminal edges it derives.  Both are
+        computed bottom-up without expanding the grammar — this is what
+        makes speed-up queries sublinear in ``val(G)``.
+        """
+        nodes: Dict[int, int] = {}
+        edges: Dict[int, int] = {}
+        for lhs in self.bottom_up_order():
+            rhs = self._rules[lhs]
+            n = rhs.node_size - rhs.rank
+            e = 0
+            for _, edge in rhs.edges():
+                if edge.label in self._rules:
+                    n += nodes[edge.label]
+                    e += edges[edge.label]
+                else:
+                    e += 1
+            nodes[lhs] = n
+            edges[lhs] = e
+        return nodes, edges
+
+    def derived_node_size(self) -> int:
+        """``|val(G)|_V`` without deriving the graph."""
+        nodes, _ = self.derived_counts()
+        total = self.start.node_size
+        for _, edge in self.start.edges():
+            if edge.label in self._rules:
+                total += nodes[edge.label]
+        return total
+
+    def derived_edge_count(self) -> int:
+        """Number of terminal edges of ``val(G)`` without deriving."""
+        _, edges = self.derived_counts()
+        total = 0
+        for _, edge in self.start.edges():
+            if edge.label in self._rules:
+                total += edges[edge.label]
+            else:
+                total += 1
+        return total
+
+    # ------------------------------------------------------------------
+    # Canonical form (used by the binary encoder and the query index)
+    # ------------------------------------------------------------------
+    def canonicalize(self) -> "SLHRGrammar":
+        """Return an equivalent grammar in canonical numbering.
+
+        * start-graph nodes renumbered ``1..m`` in ascending old-ID
+          order; edges renumbered ``1..|E|`` sorted by (label,
+          attachment) — the order the binary decoder reproduces;
+        * every right-hand side renumbered *external-first*: external
+          nodes get ``1..rank`` in ``ext`` order (so the order induced
+          by the IDs equals the external order, as the paper's rule
+          format requires), internal nodes follow in ascending old-ID
+          order; edges sorted by (label, attachment) as well.
+
+        ``val`` of the canonical grammar equals ``val`` of the decoded
+        binary form node for node, which is what the query modules rely
+        on.
+        """
+
+        def rebuild(graph: Hypergraph, mapping: Dict[int, int],
+                    ext: Tuple[int, ...]) -> Hypergraph:
+            result = Hypergraph()
+            for _ in range(graph.node_size):
+                result.add_node()
+            relabeled = sorted(
+                (edge.label, tuple(mapping[n] for n in edge.att))
+                for _, edge in graph.edges()
+            )
+            for label, att in relabeled:
+                result.add_edge(label, att)
+            result.set_external(ext)
+            return result
+
+        start_map = {old: new for new, old in
+                     enumerate(sorted(self.start.nodes()), start=1)}
+        start = rebuild(self.start, start_map,
+                        tuple(start_map[n] for n in self.start.ext))
+        canonical = SLHRGrammar(self.alphabet, start)
+        for lhs, rhs in self._rules.items():
+            mapping: Dict[int, int] = {}
+            for node in rhs.ext:
+                mapping[node] = len(mapping) + 1
+            for node in sorted(rhs.nodes()):
+                if node not in mapping:
+                    mapping[node] = len(mapping) + 1
+            canonical.add_rule(
+                lhs,
+                rebuild(rhs, mapping, tuple(range(1, rhs.rank + 1))),
+            )
+        return canonical
+
+    def __repr__(self) -> str:
+        return (
+            f"SLHRGrammar(rules={self.num_rules}, |G|={self.size}, "
+            f"start={self.start!r})"
+        )

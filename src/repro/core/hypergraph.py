@@ -1,0 +1,375 @@
+"""Directed edge-labeled hypergraphs with external nodes.
+
+This is the data model of section II of the paper: a hypergraph is a
+tuple ``g = (V, E, att, lab, ext)`` where ``att`` maps each edge to a
+repetition-free sequence of nodes, ``lab`` assigns each edge a label of
+matching rank, and ``ext`` is a repetition-free sequence of *external*
+nodes (the interface merged with an edge's attachment when a grammar
+rule is applied).
+
+The paper's size measures are implemented exactly:
+
+* node size ``|g|_V = |V|``,
+* edge size ``|g|_E`` counts edges of rank <= 2 as 1 and an edge of
+  rank r > 2 as r,
+* total size ``|g| = |g|_V + |g|_E``.
+
+Nodes and edges are identified by positive integers.  Node IDs can be
+arbitrary (the gRePair loop deletes nodes, leaving gaps); the
+:meth:`Hypergraph.normalized` helper renumbers to ``1..m`` for the
+paper's canonical form, and :func:`repro.core.derivation.derive`
+produces the deterministic ``val(G)`` numbering.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.exceptions import HypergraphError
+
+
+class Edge(NamedTuple):
+    """An immutable hyperedge: a label plus its attachment sequence.
+
+    For a simple directed edge, ``att = (source, target)``.
+    """
+
+    label: int
+    att: Tuple[int, ...]
+
+    @property
+    def rank(self) -> int:
+        """Number of attached nodes."""
+        return len(self.att)
+
+    @property
+    def size(self) -> int:
+        """Paper's size contribution: 1 if rank <= 2, else the rank."""
+        return 1 if len(self.att) <= 2 else len(self.att)
+
+
+class Hypergraph:
+    """A mutable directed edge-labeled hypergraph.
+
+    Invariants enforced on mutation:
+
+    * every attachment sequence references existing nodes and contains
+      no node twice (paper restriction (1)),
+    * the external sequence contains no node twice (restriction (2)).
+
+    Restriction (3) — node IDs forming ``{1..m}`` — is *not* enforced on
+    every mutation because the compression loop removes nodes; use
+    :meth:`normalized` to re-establish it.
+    """
+
+    __slots__ = ("_nodes", "_edges", "_incidence", "_ext", "_next_node",
+                 "_next_edge")
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, None] = {}
+        self._edges: Dict[int, Edge] = {}
+        # node -> insertion-ordered set of incident edge IDs
+        self._incidence: Dict[int, Dict[int, None]] = {}
+        self._ext: Tuple[int, ...] = ()
+        self._next_node = 1
+        self._next_edge = 1
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[Tuple[int, Sequence[int]]],
+        num_nodes: Optional[int] = None,
+        ext: Sequence[int] = (),
+    ) -> "Hypergraph":
+        """Build a graph from ``(label, att)`` pairs.
+
+        Node IDs are taken from the attachments (and ``1..num_nodes`` if
+        given), so isolated nodes can be included explicitly.
+        """
+        graph = cls()
+        if num_nodes is not None:
+            for node in range(1, num_nodes + 1):
+                graph.add_node(node)
+        for label, att in edges:
+            for node in att:
+                if node not in graph._nodes:
+                    graph.add_node(node)
+            graph.add_edge(label, att)
+        graph.set_external(ext)
+        return graph
+
+    def add_node(self, node: Optional[int] = None) -> int:
+        """Add a node; auto-assigns the next free ID when none given."""
+        if node is None:
+            node = self._next_node
+        if node < 1:
+            raise HypergraphError(f"node IDs must be >= 1, got {node}")
+        if node in self._nodes:
+            raise HypergraphError(f"node {node} already exists")
+        self._nodes[node] = None
+        self._incidence[node] = {}
+        if node >= self._next_node:
+            self._next_node = node + 1
+        return node
+
+    def add_edge(self, label: int, att: Sequence[int],
+                 edge_id: Optional[int] = None) -> int:
+        """Add an edge labeled ``label`` attached to ``att``.
+
+        Returns the new edge's ID.  Attachment nodes must exist and be
+        pairwise distinct.
+        """
+        att_tuple = tuple(att)
+        if not att_tuple:
+            raise HypergraphError("edges must attach to at least one node")
+        if len(set(att_tuple)) != len(att_tuple):
+            raise HypergraphError(
+                f"attachment {att_tuple} contains a node twice"
+            )
+        for node in att_tuple:
+            if node not in self._nodes:
+                raise HypergraphError(f"attachment node {node} not in graph")
+        if edge_id is None:
+            edge_id = self._next_edge
+        elif edge_id in self._edges:
+            raise HypergraphError(f"edge {edge_id} already exists")
+        self._edges[edge_id] = Edge(label, att_tuple)
+        for node in att_tuple:
+            self._incidence[node][edge_id] = None
+        if edge_id >= self._next_edge:
+            self._next_edge = edge_id + 1
+        return edge_id
+
+    def remove_edge(self, edge_id: int) -> Edge:
+        """Remove and return an edge."""
+        try:
+            edge = self._edges.pop(edge_id)
+        except KeyError:
+            raise HypergraphError(f"no edge {edge_id}") from None
+        for node in edge.att:
+            self._incidence[node].pop(edge_id, None)
+        return edge
+
+    def remove_node(self, node: int) -> None:
+        """Remove an isolated, non-external node."""
+        if node not in self._nodes:
+            raise HypergraphError(f"no node {node}")
+        if self._incidence[node]:
+            raise HypergraphError(
+                f"node {node} still has {len(self._incidence[node])} "
+                "incident edges"
+            )
+        if node in self._ext:
+            raise HypergraphError(f"node {node} is external")
+        del self._nodes[node]
+        del self._incidence[node]
+
+    def set_external(self, ext: Sequence[int]) -> None:
+        """Declare the external-node sequence (paper's ``ext``)."""
+        ext_tuple = tuple(ext)
+        if len(set(ext_tuple)) != len(ext_tuple):
+            raise HypergraphError(f"ext {ext_tuple} contains a node twice")
+        for node in ext_tuple:
+            if node not in self._nodes:
+                raise HypergraphError(f"external node {node} not in graph")
+        self._ext = ext_tuple
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def ext(self) -> Tuple[int, ...]:
+        """The external-node sequence."""
+        return self._ext
+
+    @property
+    def rank(self) -> int:
+        """Rank of the hypergraph = number of external nodes."""
+        return len(self._ext)
+
+    def nodes(self) -> List[int]:
+        """All node IDs in insertion order."""
+        return list(self._nodes)
+
+    def has_node(self, node: int) -> bool:
+        """True if ``node`` exists."""
+        return node in self._nodes
+
+    def has_edge(self, edge_id: int) -> bool:
+        """True if the edge ID exists."""
+        return edge_id in self._edges
+
+    def edge(self, edge_id: int) -> Edge:
+        """The :class:`Edge` stored under ``edge_id``."""
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise HypergraphError(f"no edge {edge_id}") from None
+
+    def edges(self) -> Iterator[Tuple[int, Edge]]:
+        """Iterate ``(edge_id, Edge)`` pairs in insertion order."""
+        return iter(self._edges.items())
+
+    def edge_ids(self) -> List[int]:
+        """All edge IDs in insertion order."""
+        return list(self._edges)
+
+    def incident(self, node: int) -> List[int]:
+        """IDs of edges incident with ``node`` (insertion order)."""
+        try:
+            return list(self._incidence[node])
+        except KeyError:
+            raise HypergraphError(f"no node {node}") from None
+
+    def degree(self, node: int) -> int:
+        """Number of incident edges of ``node``."""
+        try:
+            return len(self._incidence[node])
+        except KeyError:
+            raise HypergraphError(f"no node {node}") from None
+
+    def is_internal(self, node: int) -> bool:
+        """True if ``node`` is not external."""
+        return node not in self._ext
+
+    def neighbors(self, node: int) -> List[int]:
+        """Distinct nodes sharing an edge with ``node`` (paper's N(v))."""
+        seen: Dict[int, None] = {}
+        for edge_id in self._incidence[node]:
+            for other in self._edges[edge_id].att:
+                if other != node:
+                    seen[other] = None
+        return list(seen)
+
+    def out_neighbors(self, node: int) -> List[int]:
+        """Targets of rank-2 edges whose source is ``node``."""
+        result = []
+        for edge_id in self._incidence[node]:
+            edge = self._edges[edge_id]
+            if len(edge.att) == 2 and edge.att[0] == node:
+                result.append(edge.att[1])
+        return result
+
+    def in_neighbors(self, node: int) -> List[int]:
+        """Sources of rank-2 edges whose target is ``node``."""
+        result = []
+        for edge_id in self._incidence[node]:
+            edge = self._edges[edge_id]
+            if len(edge.att) == 2 and edge.att[1] == node:
+                result.append(edge.att[0])
+        return result
+
+    # ------------------------------------------------------------------
+    # Size metrics (paper section II)
+    # ------------------------------------------------------------------
+    @property
+    def node_size(self) -> int:
+        """``|g|_V``: the number of nodes."""
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        """Plain edge count (not the paper's weighted edge size)."""
+        return len(self._edges)
+
+    @property
+    def edge_size(self) -> int:
+        """``|g|_E``: rank-<=2 edges count 1, larger edges their rank."""
+        return sum(edge.size for edge in self._edges.values())
+
+    @property
+    def total_size(self) -> int:
+        """``|g| = |g|_V + |g|_E``."""
+        return self.node_size + self.edge_size
+
+    def is_simple(self) -> bool:
+        """Paper's simpleness: all edges rank 2, no parallel duplicates."""
+        seen = set()
+        for edge in self._edges.values():
+            if len(edge.att) != 2:
+                return False
+            key = (edge.label, edge.att)
+            if key in seen:
+                return False
+            seen.add(key)
+        return True
+
+    def labels(self) -> List[int]:
+        """Distinct edge labels present, in first-seen order."""
+        seen: Dict[int, None] = {}
+        for edge in self._edges.values():
+            seen[edge.label] = None
+        return list(seen)
+
+    def edges_with_label(self, label: int) -> List[int]:
+        """Edge IDs carrying ``label`` (insertion order)."""
+        return [eid for eid, edge in self._edges.items()
+                if edge.label == label]
+
+    # ------------------------------------------------------------------
+    # Structure helpers
+    # ------------------------------------------------------------------
+    def copy(self) -> "Hypergraph":
+        """Deep copy preserving node/edge IDs and counters."""
+        clone = Hypergraph()
+        clone._nodes = dict(self._nodes)
+        clone._edges = dict(self._edges)
+        clone._incidence = {n: dict(inc) for n, inc in
+                            self._incidence.items()}
+        clone._ext = self._ext
+        clone._next_node = self._next_node
+        clone._next_edge = self._next_edge
+        return clone
+
+    def normalized(self) -> Tuple["Hypergraph", Dict[int, int]]:
+        """Renumber nodes to ``1..m`` (paper restriction (3)).
+
+        Nodes are numbered in ascending order of their current IDs.
+        Returns the new graph and the old-ID -> new-ID mapping.  Edge IDs
+        are renumbered to ``1..|E|`` in insertion order.
+        """
+        mapping = {old: new for new, old in
+                   enumerate(sorted(self._nodes), start=1)}
+        clone = Hypergraph()
+        for _ in range(len(mapping)):
+            clone.add_node()
+        for edge in self._edges.values():
+            clone.add_edge(edge.label, tuple(mapping[n] for n in edge.att))
+        clone.set_external(tuple(mapping[n] for n in self._ext))
+        return clone, mapping
+
+    def edge_multiset(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """Sorted ``(label, att)`` list — equality modulo edge IDs."""
+        return sorted((edge.label, edge.att) for edge in
+                      self._edges.values())
+
+    def structurally_equal(self, other: "Hypergraph") -> bool:
+        """True if node sets, edge multisets and ext coincide.
+
+        This is equality of the abstract hypergraph, ignoring edge IDs
+        and insertion order (but *not* an isomorphism test: node IDs
+        must match).
+        """
+        return (
+            set(self._nodes) == set(other._nodes)
+            and self._ext == other._ext
+            and self.edge_multiset() == other.edge_multiset()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Hypergraph(|V|={self.node_size}, edges={self.num_edges}, "
+            f"|g|_E={self.edge_size}, rank={self.rank})"
+        )

@@ -1,0 +1,187 @@
+"""Node orders for the gRePair occurrence-counting traversal.
+
+Section III-B1 of the paper: the traversal order ``ω`` strongly
+influences which non-overlapping occurrence sets the greedy counting
+finds.  The paper evaluates
+
+* **natural** — node IDs as given,
+* **BFS** — breadth-first traversal order,
+* **random** — a random permutation (used in Fig. 14),
+* **FP0** — nodes ordered by degree (the 0-th step of FP),
+* **FP** — a fixpoint of iterated neighborhood refinement starting from
+  the degrees (a 1-dimensional Weisfeiler–Leman color refinement,
+  extended to directed labeled hypergraphs as the paper suggests).
+
+We add **DFS** for completeness.  All orders are deterministic: ties
+break on node ID, and the random order takes an explicit seed.
+
+The FP refinement also yields the equivalence relation ``≅FP`` whose
+class count the paper correlates with compression quality (Fig. 11):
+:func:`fp_equivalence_classes`.
+"""
+
+from __future__ import annotations
+
+import random as _random
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import HypergraphError
+
+#: Safety cap on refinement rounds; 1-WL stabilizes in < |V| rounds.
+_MAX_FP_ROUNDS = 100
+
+
+def natural_order(graph: Hypergraph) -> List[int]:
+    """Nodes in ascending ID order (the paper's *natural* order)."""
+    return sorted(graph.nodes())
+
+
+def _traversal_order(graph: Hypergraph, depth_first: bool) -> List[int]:
+    order: List[int] = []
+    visited = set()
+    for root in sorted(graph.nodes()):
+        if root in visited:
+            continue
+        frontier: List[int] = [root]
+        visited.add(root)
+        head = 0
+        while head < len(frontier):
+            if depth_first:
+                node = frontier.pop()
+            else:
+                node = frontier[head]
+                head += 1
+            order.append(node)
+            for neighbor in sorted(graph.neighbors(node),
+                                   reverse=depth_first):
+                if neighbor not in visited:
+                    visited.add(neighbor)
+                    frontier.append(neighbor)
+        if depth_first:
+            # frontier was consumed by pops; reset scan position
+            head = len(frontier)
+    return order
+
+
+def bfs_order(graph: Hypergraph) -> List[int]:
+    """Breadth-first order, restarting at the smallest unvisited node."""
+    return _traversal_order(graph, depth_first=False)
+
+
+def dfs_order(graph: Hypergraph) -> List[int]:
+    """Depth-first order, restarting at the smallest unvisited node."""
+    return _traversal_order(graph, depth_first=True)
+
+
+def random_order(graph: Hypergraph, seed: int = 0) -> List[int]:
+    """A seeded random permutation of the nodes."""
+    nodes = sorted(graph.nodes())
+    rng = _random.Random(seed)
+    rng.shuffle(nodes)
+    return nodes
+
+
+# ----------------------------------------------------------------------
+# FP: fixpoint neighborhood refinement
+# ----------------------------------------------------------------------
+def _initial_colors(graph: Hypergraph) -> Dict[int, int]:
+    """c0(v) = degree of v (paper's starting coloring)."""
+    return {node: graph.degree(node) for node in graph.nodes()}
+
+
+def _refine_once(graph: Hypergraph,
+                 colors: Dict[int, int]) -> Tuple[Dict[int, int], int]:
+    """One refinement round; returns new colors and class count.
+
+    The paper defines ``f0(v) = (c(v), c(v1), ..., c(vn))`` with
+    neighbors sorted by color, then ranks the tuples lexicographically.
+    For directed labeled hypergraphs we refine with the sorted multiset
+    of *incidence signatures*: per incident edge, its label, the
+    position of ``v`` in the attachment, and the colors of the other
+    attached nodes in attachment order.  On undirected unlabeled simple
+    graphs this degenerates to the paper's definition.
+    """
+    signatures: Dict[int, Tuple] = {}
+    for node in graph.nodes():
+        incidences = []
+        for eid in graph.incident(node):
+            edge = graph.edge(eid)
+            position = edge.att.index(node)
+            others = tuple(colors[u] for u in edge.att if u != node)
+            incidences.append((edge.label, position, others))
+        incidences.sort()
+        signatures[node] = (colors[node], tuple(incidences))
+    ranked = {sig: rank for rank, sig in
+              enumerate(sorted(set(signatures.values())), start=1)}
+    new_colors = {node: ranked[signatures[node]] for node in signatures}
+    return new_colors, len(ranked)
+
+
+def fixpoint_colors(graph: Hypergraph,
+                    iterations: int | None = None) -> Dict[int, int]:
+    """FP colors after refinement to a fixpoint (or ``iterations``).
+
+    ``iterations=0`` returns the initial degree coloring (FP0).
+    """
+    colors = _initial_colors(graph)
+    if iterations == 0:
+        return colors
+    limit = _MAX_FP_ROUNDS if iterations is None else iterations
+    previous_classes = len(set(colors.values()))
+    for _ in range(limit):
+        colors, classes = _refine_once(graph, colors)
+        if classes == previous_classes:
+            break
+        previous_classes = classes
+    return colors
+
+
+def fp_equivalence_classes(graph: Hypergraph) -> int:
+    """Number of classes of ``≅FP`` (the paper's ``|[≅FP]|``)."""
+    if graph.node_size == 0:
+        return 0
+    return len(set(fixpoint_colors(graph).values()))
+
+
+def fixpoint_order(graph: Hypergraph,
+                   iterations: int | None = None) -> List[int]:
+    """Nodes sorted by FP color (ties by node ID).
+
+    ``iterations=0`` gives the paper's FP0 (degree) order.
+    """
+    colors = fixpoint_colors(graph, iterations)
+    return sorted(graph.nodes(), key=lambda v: (colors[v], v))
+
+
+def fp0_order(graph: Hypergraph) -> List[int]:
+    """Degree order (the paper's FP0)."""
+    return fixpoint_order(graph, iterations=0)
+
+
+#: Registry of named node orders used by the pipeline and benchmarks.
+NODE_ORDERS: Dict[str, Callable[..., List[int]]] = {
+    "natural": natural_order,
+    "bfs": bfs_order,
+    "dfs": dfs_order,
+    "random": random_order,
+    "fp0": fp0_order,
+    "fp": fixpoint_order,
+}
+
+
+def node_order(graph: Hypergraph, name: str, seed: int = 0) -> List[int]:
+    """Compute the named node order of ``graph``.
+
+    ``seed`` only affects the ``random`` order.
+    """
+    try:
+        factory = NODE_ORDERS[name]
+    except KeyError:
+        raise HypergraphError(
+            f"unknown node order {name!r}; choose from "
+            f"{sorted(NODE_ORDERS)}"
+        ) from None
+    if name == "random":
+        return factory(graph, seed=seed)
+    return factory(graph)

@@ -1,0 +1,92 @@
+"""Grammar pruning (paper section III-A3).
+
+Pruning removes rules that do not pay for themselves.  The measure is
+
+    con(A) = ref(A) * (|rhs(A)| - |handle(A)|) - |rhs(A)|
+
+the change of total grammar size if every A-edge were derived (rule
+deleted, each reference replaced by a copy of the right-hand side).
+``con(A) > 0`` means deriving would *grow* the grammar, so the rule
+contributes to compression and is kept.
+
+Procedure, following the paper (and TreeRePair's bottom-up heuristic):
+
+1. every nonterminal with ``ref(A) <= 1`` is inlined and removed —
+   by definition it cannot contribute (a single reference saves
+   nothing, an unreferenced rule is dead weight);
+2. the remaining nonterminals are visited in bottom-up ``<=NT`` order;
+   each with ``con(A) <= 0`` is inlined at all its reference sites and
+   removed.  Contributions are recomputed at visit time because earlier
+   removals change both ``ref`` and right-hand-side sizes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.core.grammar import SLHRGrammar, handle_size
+from repro.core.hypergraph import Hypergraph
+
+
+def _label_counts(graph: Hypergraph) -> Counter:
+    """Multiset of edge labels in ``graph``."""
+    counts: Counter = Counter()
+    for _, edge in graph.edges():
+        counts[edge.label] += 1
+    return counts
+
+
+def _inline_everywhere(grammar: SLHRGrammar, lhs: int,
+                       refs: Dict[int, int]) -> None:
+    """Inline ``lhs`` at all reference sites, drop its rule, fix refs.
+
+    Inlining at ``r`` sites turns the one stored copy of ``rhs(lhs)``
+    into ``r`` copies, so every label ``B`` it contains gains
+    ``(r - 1) * count_B`` references; an unreferenced rule (``r = 0``)
+    loses them instead.
+    """
+    rhs = grammar.rhs(lhs)
+    counts = _label_counts(rhs)
+    r = refs[lhs]
+    hosts = [grammar.start] + [rule.rhs for rule in grammar.rules()
+                               if rule.lhs != lhs]
+    for host in hosts:
+        for eid in host.edges_with_label(lhs):
+            grammar.inline_edge(host, eid)
+    grammar.remove_rule(lhs)
+    for label, count in counts.items():
+        if label in refs:
+            refs[label] += (r - 1) * count
+    del refs[lhs]
+
+
+def prune_grammar(grammar: SLHRGrammar) -> int:
+    """Prune ``grammar`` in place; returns the number of rules removed."""
+    removed = 0
+    refs = grammar.references()
+
+    # Phase 1: drop unreferenced and singly-referenced rules.  Removing
+    # a ref-0 rule decreases other refs, which can create new ref<=1
+    # rules, so iterate to a fixpoint.
+    changed = True
+    while changed:
+        changed = False
+        for lhs in list(grammar.nonterminals()):
+            if refs.get(lhs, 0) <= 1:
+                _inline_everywhere(grammar, lhs, refs)
+                removed += 1
+                changed = True
+
+    # Phase 2: bottom-up contribution check.
+    for lhs in grammar.bottom_up_order():
+        if not grammar.has_rule(lhs):  # removed as part of a cascade
+            continue
+        rhs = grammar.rhs(lhs)
+        contribution = (refs[lhs]
+                        * (rhs.total_size - handle_size(rhs.rank))
+                        - rhs.total_size)
+        if contribution <= 0:
+            _inline_everywhere(grammar, lhs, refs)
+            removed += 1
+    return removed

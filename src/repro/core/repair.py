@@ -1,0 +1,377 @@
+"""The gRePair compression algorithm (paper section III).
+
+Given a start graph the algorithm repeatedly
+
+1. counts, per digram, a set of non-overlapping occurrences by
+   traversing the nodes in a fixed order ``ω`` and greedily pairing the
+   incident edges per label combination (the paper's ``Occ(E1, E2)``
+   scheme — only O(deg) pairs per node are considered),
+2. picks a most frequent digram from the bucket priority queue,
+3. replaces every (still valid) occurrence by a fresh nonterminal edge
+   and adds the rule ``A -> digram``,
+4. updates occurrence lists around the replacement sites.
+
+Counting passes are re-run until no active digram remains: the paper's
+incremental updates are approximated by (a) pairing each new
+nonterminal edge with available neighbor edges immediately (bounded
+work per replacement) and (b) full re-counts, which restore any pairing
+the bounded updates missed.  Every replaced digram strictly decreases
+the number of edges of the start graph, so the loop terminates.
+
+After the main loop, disconnected components are linked with *virtual
+edges* and the loop runs again — this is the step that gives version
+graphs their near-exponential compression (paper Fig. 13): chains of
+isomorphic components become digrams of nonterminal and virtual edges,
+which then pair hierarchically.  The virtual edges are deleted from the
+grammar afterwards.  Finally the grammar is pruned
+(:mod:`repro.core.pruning`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.alphabet import Alphabet, VIRTUAL_LABEL_NAME
+from repro.core.digram import (
+    DigramKey,
+    Occurrence,
+    digram_key,
+    removal_nodes,
+    replacement_attachment,
+    rule_graph,
+)
+from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.core.occurrences import BucketQueue, OccurrenceTable
+from repro.core.orders import node_order
+from repro.core.pruning import prune_grammar
+from repro.exceptions import GrammarError
+from repro.util.unionfind import UnionFind
+
+#: Nodes with more incident edges than this are skipped by the bounded
+#: per-replacement update (full re-count passes cover them instead).
+_UPDATE_DEGREE_CAP = 256
+
+
+class GRePairStats:
+    """Counters filled during a compression run (for reports/tests)."""
+
+    def __init__(self) -> None:
+        self.passes = 0
+        self.digrams_replaced = 0
+        self.occurrences_replaced = 0
+        self.virtual_edges_added = 0
+        self.rules_pruned = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """Plain-dict view used by the benchmark harness."""
+        return dict(self.__dict__)
+
+
+class GRePair:
+    """One compression run over a start graph.
+
+    Parameters
+    ----------
+    graph:
+        The input hypergraph.  It is mutated in place and becomes the
+        grammar's start graph; pass a copy to keep the original.
+    alphabet:
+        Label alphabet of ``graph``; fresh nonterminals are minted here.
+    max_rank:
+        Maximal digram (hence nonterminal) rank considered; the paper's
+        ``maxRank`` parameter (default 4, the paper's recommendation).
+    order:
+        Node-order name (see :data:`repro.core.orders.NODE_ORDERS`).
+    seed:
+        Seed for the ``random`` order.
+    virtual_edges:
+        Enable the disconnected-components pass.
+    prune:
+        Enable the pruning phase.
+    """
+
+    def __init__(
+        self,
+        graph: Hypergraph,
+        alphabet: Alphabet,
+        max_rank: int = 4,
+        order: str = "fp",
+        seed: int = 0,
+        virtual_edges: bool = True,
+        prune: bool = True,
+    ) -> None:
+        if max_rank < 2:
+            raise GrammarError(f"max_rank must be >= 2, got {max_rank}")
+        self.graph = graph
+        self.alphabet = alphabet
+        self.max_rank = max_rank
+        self.order_name = order
+        self.seed = seed
+        self.use_virtual_edges = virtual_edges
+        self.use_pruning = prune
+        self.stats = GRePairStats()
+        self._order: List[int] = []
+        self._grammar: Optional[SLHRGrammar] = None
+
+    # ------------------------------------------------------------------
+    # Public entry point
+    # ------------------------------------------------------------------
+    def run(self) -> SLHRGrammar:
+        """Execute gRePair and return the resulting SL-HR grammar."""
+        if self._grammar is not None:
+            raise GrammarError("GRePair instances are single-use")
+        self._grammar = SLHRGrammar(self.alphabet, self.graph)
+        self._order = node_order(self.graph, self.order_name, self.seed)
+        self._compress_to_fixpoint()
+        if self.use_virtual_edges:
+            self._virtual_edge_pass()
+        if self.use_pruning:
+            self.stats.rules_pruned = prune_grammar(self._grammar)
+        return self._grammar
+
+    # ------------------------------------------------------------------
+    # Counting (paper step 2)
+    # ------------------------------------------------------------------
+    def _count_all(self, table: OccurrenceTable,
+                   queue: BucketQueue) -> None:
+        """One full counting pass over all nodes in ω order."""
+        graph = self.graph
+        for node in self._order:
+            if graph.has_node(node):
+                self._count_around(node, table, queue)
+
+    def _count_around(self, node: int, table: OccurrenceTable,
+                      queue: BucketQueue) -> None:
+        """Pair the incident edges of ``node`` per label combination.
+
+        Edges are grouped by (label, position of ``node`` in the
+        attachment) — the paper treats directions as labels.  Groups are
+        paired with each other (zip) and within themselves (split in
+        halves, the paper's ``Occ`` construction), skipping edges whose
+        partner-label slot is already taken and pairs whose digram rank
+        exceeds ``max_rank``.
+        """
+        graph = self.graph
+        groups: Dict[Tuple[int, int], List[int]] = {}
+        for eid in graph.incident(node):
+            edge = graph.edge(eid)
+            groups.setdefault((edge.label, edge.att.index(node)),
+                              []).append(eid)
+        types = sorted(groups)
+        for i, type_a in enumerate(types):
+            label_a = type_a[0]
+            for type_b in types[i:]:
+                label_b = type_b[0]
+                if type_a == type_b:
+                    members = [eid for eid in groups[type_a]
+                               if table.can_pair(eid, label_a)]
+                    half = len(members) // 2
+                    pairs = list(zip(members[:half], members[half:]))
+                else:
+                    first = [eid for eid in groups[type_a]
+                             if table.can_pair(eid, label_b)]
+                    second = [eid for eid in groups[type_b]
+                              if table.can_pair(eid, label_a)]
+                    pairs = list(zip(first, second))
+                for eid_a, eid_b in pairs:
+                    self._try_record(eid_a, eid_b, table, queue)
+
+    def _try_record(self, eid_a: int, eid_b: int, table: OccurrenceTable,
+                    queue: BucketQueue) -> bool:
+        """Record the pair as an occurrence if it forms a legal digram."""
+        graph = self.graph
+        if eid_a == eid_b:
+            return False
+        label_a = graph.edge(eid_a).label
+        label_b = graph.edge(eid_b).label
+        if not (table.can_pair(eid_a, label_b)
+                and table.can_pair(eid_b, label_a)):
+            return False
+        key, occ, _ = digram_key(graph, eid_a, eid_b)
+        if key is None or not 1 <= key.rank <= self.max_rank:
+            return False
+        olist = table.record(key, occ)
+        queue.file(olist)
+        return True
+
+    # ------------------------------------------------------------------
+    # Replacement (paper steps 3-6)
+    # ------------------------------------------------------------------
+    def _compress_to_fixpoint(self) -> None:
+        """Alternate counting passes and replacements until quiescent."""
+        while True:
+            self.stats.passes += 1
+            table = OccurrenceTable()
+            queue = BucketQueue(self.graph.num_edges)
+            self._count_all(table, queue)
+            if not self._drain_queue(table, queue):
+                return
+
+    def _drain_queue(self, table: OccurrenceTable,
+                     queue: BucketQueue) -> bool:
+        """Replace digrams until the queue empties.
+
+        Returns True if at least one replacement happened (the caller
+        then re-counts and tries again).
+        """
+        replaced_any = False
+        while True:
+            key = queue.pop_most_frequent()
+            if key is None:
+                return replaced_any
+            olist = table.get(key)
+            if olist is None:
+                continue
+            olist.bucket = None
+            valid = self._revalidate(key, table, queue)
+            if len(valid) < 2:
+                # Not active: free its edges so future passes can
+                # re-pair them differently.
+                table.drop_list(key)
+                continue
+            nonterminal = self.alphabet.fresh_nonterminal(key.rank)
+            self._grammar.add_rule(nonterminal, rule_graph(key))
+            self.stats.digrams_replaced += 1
+            for occ in valid:
+                if self._replace_occurrence(key, occ, nonterminal,
+                                            table, queue):
+                    self.stats.occurrences_replaced += 1
+                    replaced_any = True
+            table.drop_list(key)
+
+    def _revalidate(self, key: DigramKey, table: OccurrenceTable,
+                    queue: BucketQueue) -> List[Occurrence]:
+        """Filter the occurrence list of ``key`` against the live graph.
+
+        Occurrences whose edges vanished are released; occurrences whose
+        digram key drifted (externality changed nearby) are re-filed
+        under their current key.
+        """
+        graph = self.graph
+        olist = table.get(key)
+        if olist is None:
+            return []
+        valid: List[Occurrence] = []
+        for occ in list(olist):
+            if not (graph.has_edge(occ.edge_a)
+                    and graph.has_edge(occ.edge_b)):
+                table.release(key, occ)
+                continue
+            current, canonical, _ = digram_key(graph, occ.edge_a,
+                                               occ.edge_b)
+            if current == key:
+                valid.append(occ)
+                continue
+            table.release(key, occ)
+            if (current is not None
+                    and 1 <= current.rank <= self.max_rank
+                    and table.can_pair(canonical.edge_a, current.label_b)
+                    and table.can_pair(canonical.edge_b, current.label_a)):
+                refiled = table.record(current, canonical)
+                queue.file(refiled)
+        return valid
+
+    def _replace_occurrence(self, key: DigramKey, occ: Occurrence,
+                            nonterminal: int, table: OccurrenceTable,
+                            queue: BucketQueue) -> bool:
+        """Replace one occurrence by a ``nonterminal`` edge.
+
+        Validity is re-checked first: replacing an earlier occurrence of
+        the same digram may have changed this one's externality (they
+        can share attachment nodes).  Returns True if replaced.
+        """
+        graph = self.graph
+        if not (graph.has_edge(occ.edge_a) and graph.has_edge(occ.edge_b)):
+            table.release(key, occ)
+            return False
+        current, canonical, local = digram_key(graph, occ.edge_a,
+                                               occ.edge_b)
+        if current != key or canonical != occ:
+            table.release(key, occ)
+            if (current is not None
+                    and 1 <= current.rank <= self.max_rank
+                    and table.can_pair(canonical.edge_a, current.label_b)
+                    and table.can_pair(canonical.edge_b, current.label_a)):
+                queue.file(table.record(current, canonical))
+            return False
+        attachment = replacement_attachment(key, local)
+        doomed_nodes = removal_nodes(key, local)
+        # Invalidate every other occurrence using these edges (their
+        # digram counts drop — paper's update step).
+        for eid in occ.edges():
+            for affected in table.release_edge(eid):
+                if affected != key:
+                    stale = table.get(affected)
+                    if stale is not None:
+                        queue.file(stale)
+        graph.remove_edge(occ.edge_a)
+        graph.remove_edge(occ.edge_b)
+        for node in doomed_nodes:
+            graph.remove_node(node)
+        new_edge = graph.add_edge(nonterminal, attachment)
+        self._pair_new_edge(new_edge, table, queue)
+        return True
+
+    def _pair_new_edge(self, new_edge: int, table: OccurrenceTable,
+                       queue: BucketQueue) -> None:
+        """Bounded incremental update around a fresh nonterminal edge.
+
+        For each attachment node (of moderate degree) the new edge is
+        offered one pairing with the first compatible incident edge —
+        the paper's "first edge in the respective list" selection.
+        Anything missed here is recovered by the next full counting
+        pass.
+        """
+        graph = self.graph
+        for node in graph.edge(new_edge).att:
+            if graph.degree(node) > _UPDATE_DEGREE_CAP:
+                continue
+            for other in graph.incident(node):
+                if other == new_edge:
+                    continue
+                if self._try_record(new_edge, other, table, queue):
+                    break
+
+    # ------------------------------------------------------------------
+    # Virtual edges (paper's extra step after the main loop)
+    # ------------------------------------------------------------------
+    def _virtual_edge_pass(self) -> None:
+        """Link components with virtual edges, re-compress, unlink."""
+        graph = self.graph
+        components = UnionFind(graph.nodes())
+        for _, edge in graph.edges():
+            first = edge.att[0]
+            for other in edge.att[1:]:
+                components.union(first, other)
+        if components.set_count <= 1:
+            return
+        virtual = self.alphabet.ensure_terminal(VIRTUAL_LABEL_NAME, rank=2)
+        # Chain component representatives in ω order so that isomorphic
+        # components (adjacent under the FP order) become neighbors.
+        position = {node: idx for idx, node in enumerate(self._order)}
+        representatives: Dict[object, int] = {}
+        for node in sorted(graph.nodes(), key=lambda v: position[v]):
+            root = components.find(node)
+            if root not in representatives:
+                representatives[root] = node
+        chain = list(representatives.values())
+        for left, right in zip(chain, chain[1:]):
+            graph.add_edge(virtual, (left, right))
+            self.stats.virtual_edges_added += 1
+        self._compress_to_fixpoint()
+        self._remove_virtual_edges(virtual)
+
+    def _remove_virtual_edges(self, virtual: int) -> None:
+        """Delete virtual edges from the start graph and every rule.
+
+        Deleting a terminal edge from a right-hand side commutes with
+        derivation, so ``val(G)`` afterwards is exactly the original
+        graph (each derived virtual edge stems from exactly one virtual
+        edge in some rule instance or in the start graph).
+        """
+        grammar = self._grammar
+        graphs = [grammar.start] + [rule.rhs for rule in grammar.rules()]
+        for host in graphs:
+            for eid in host.edges_with_label(virtual):
+                host.remove_edge(eid)

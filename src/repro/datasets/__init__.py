@@ -1,0 +1,57 @@
+"""Dataset substrate: generators and loaders for the evaluation graphs.
+
+The paper evaluates on three graph families (section IV-A): network
+graphs from SNAP, RDF graphs from DBpedia/Identica/Jamendo, and
+version graphs built from DBLP and game-state datasets.  None of those
+can be fetched in this offline environment, so this subpackage
+provides seeded generators that reproduce each family's *structural
+signature* — the property gRePair's behaviour depends on (see
+DESIGN.md section 3 for the substitution rationale).
+
+:mod:`registry` exposes the named stand-ins used by the benchmark
+suite, one per dataset row of the paper's Tables I-III.
+"""
+
+from repro.datasets.io import (
+    graph_from_pairs,
+    graph_from_triples,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.datasets.registry import DATASETS, Dataset, load_dataset
+from repro.datasets.rdf import jamendo_graph, properties_graph, types_graph
+from repro.datasets.synthetic import (
+    coauthorship_graph,
+    communication_graph,
+    copy_model_graph,
+    random_graph,
+)
+from repro.datasets.versions import (
+    coauthorship_snapshots,
+    disjoint_union,
+    fig13_base_graph,
+    game_state_versions,
+    identical_copies,
+)
+
+__all__ = [
+    "DATASETS",
+    "Dataset",
+    "coauthorship_graph",
+    "coauthorship_snapshots",
+    "communication_graph",
+    "copy_model_graph",
+    "disjoint_union",
+    "fig13_base_graph",
+    "game_state_versions",
+    "graph_from_pairs",
+    "graph_from_triples",
+    "identical_copies",
+    "jamendo_graph",
+    "load_dataset",
+    "properties_graph",
+    "random_graph",
+    "read_edge_list",
+    "types_graph",
+    "write_edge_list",
+]

@@ -1,0 +1,105 @@
+"""Graph construction from edge pairs / RDF triples, and edge-list I/O.
+
+The paper's pipeline maps RDF triples ``(s, p, o)`` to integer node
+pairs with an edge labeled ``p`` via a dictionary (section IV-C2); the
+dictionary itself is out of scope for all size comparisons.  These
+helpers perform exactly that mapping for arbitrary hashable subjects /
+objects and string predicates.
+
+Hypergraph restrictions are enforced on ingestion: self-loops are
+dropped (attachments must be repetition-free) and duplicate
+(label, source, target) triples are collapsed — both match the
+treatment of the SNAP edge lists in the paper ("we considered all of
+them to be lists of directed edges").
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Hashable, Iterable, List, Tuple, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import DatasetError
+
+
+def graph_from_pairs(
+    pairs: Iterable[Tuple[Hashable, Hashable]],
+    label_name: str = "edge",
+) -> Tuple[Hypergraph, Alphabet, Dict[Hashable, int]]:
+    """Build an unlabeled (single-label) digraph from (u, v) pairs.
+
+    Returns the graph, its alphabet and the value -> node-ID
+    dictionary.  Self-loops and duplicates are dropped.
+    """
+    triples = ((u, label_name, v) for u, v in pairs)
+    return graph_from_triples(triples)
+
+
+def graph_from_triples(
+    triples: Iterable[Tuple[Hashable, str, Hashable]],
+) -> Tuple[Hypergraph, Alphabet, Dict[Hashable, int]]:
+    """Build a labeled digraph from RDF-style (s, p, o) triples.
+
+    Subjects and objects share one node dictionary (RDF resources can
+    appear in both roles).  Returns (graph, alphabet, dictionary).
+    """
+    alphabet = Alphabet()
+    graph = Hypergraph()
+    dictionary: Dict[Hashable, int] = {}
+    seen = set()
+
+    def node_of(value: Hashable) -> int:
+        existing = dictionary.get(value)
+        if existing is None:
+            existing = graph.add_node()
+            dictionary[value] = existing
+        return existing
+
+    for subject, predicate, obj in triples:
+        if subject == obj:
+            continue  # self-loop: outside the hypergraph model
+        label = alphabet.ensure_terminal(predicate, rank=2)
+        source = node_of(subject)
+        target = node_of(obj)
+        key = (label, source, target)
+        if key in seen:
+            continue
+        seen.add(key)
+        graph.add_edge(label, (source, target))
+    return graph, alphabet, dictionary
+
+
+def write_edge_list(graph: Hypergraph, alphabet: Alphabet,
+                    path: Union[str, Path]) -> None:
+    """Write ``source target label-name`` lines (rank-2 edges only)."""
+    lines: List[str] = []
+    for _, edge in graph.edges():
+        if len(edge.att) != 2:
+            raise DatasetError("edge lists support rank-2 edges only")
+        name = alphabet.name(edge.label) or str(edge.label)
+        lines.append(f"{edge.att[0]}\t{edge.att[1]}\t{name}")
+    Path(path).write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(
+    path: Union[str, Path],
+) -> Tuple[Hypergraph, Alphabet, Dict[Hashable, int]]:
+    """Read a file of ``source target [label]`` lines.
+
+    Lines starting with ``#`` are comments; the label column defaults
+    to ``edge``.  Node tokens are kept as strings in the returned
+    dictionary.
+    """
+    def parse():
+        for raw in Path(path).read_text(encoding="utf-8").splitlines():
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) < 2:
+                raise DatasetError(f"malformed edge-list line: {raw!r}")
+            label = parts[2] if len(parts) > 2 else "edge"
+            yield parts[0], label, parts[1]
+
+    return graph_from_triples(parse())

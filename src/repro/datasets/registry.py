@@ -1,0 +1,138 @@
+"""Named dataset registry: one stand-in per row of Tables I-III.
+
+Sizes are scaled down from the paper's datasets (pure-Python gRePair is
+polynomial but slow; DESIGN.md section 3 records the substitution).
+The *relative* characteristics are preserved: family-typical structure,
+label-count regimes and the ordering of FP-equivalence-class fractions.
+
+Every entry is a zero-argument factory returning
+``(Hypergraph, Alphabet)``; :func:`load_dataset` memoizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.hypergraph import Hypergraph
+from repro.datasets.rdf import (
+    identica_graph,
+    jamendo_graph,
+    properties_graph,
+    types_graph,
+)
+from repro.datasets.synthetic import (
+    coauthorship_graph,
+    communication_graph,
+    copy_model_graph,
+)
+from repro.datasets.versions import (
+    dblp_version_graph,
+    game_state_versions,
+)
+from repro.exceptions import DatasetError
+
+GraphFactory = Callable[[], Tuple[Hypergraph, Alphabet]]
+
+
+@dataclass(frozen=True)
+class Dataset:
+    """Registry entry: a named graph family stand-in."""
+
+    name: str
+    family: str  # "network" | "rdf" | "version"
+    paper_reference: str  # the dataset it stands in for
+    factory: GraphFactory
+
+
+def _network(name: str, ref: str, factory: GraphFactory) -> Dataset:
+    return Dataset(name, "network", ref, factory)
+
+
+def _rdf(name: str, ref: str, factory: GraphFactory) -> Dataset:
+    return Dataset(name, "rdf", ref, factory)
+
+
+def _version(name: str, ref: str, factory: GraphFactory) -> Dataset:
+    return Dataset(name, "version", ref, factory)
+
+
+#: All dataset stand-ins, keyed by name.  Table I (network graphs):
+DATASETS: Dict[str, Dataset] = {}
+
+for _entry in [
+    _network("ca-astroph", "CA-AstroPh (dense co-authorship)",
+             lambda: coauthorship_graph(900, new_author_rate=0.35,
+                                        max_authors=6, seed=101)),
+    _network("ca-condmat", "CA-CondMat (medium co-authorship)",
+             lambda: coauthorship_graph(900, new_author_rate=0.55,
+                                        max_authors=4, seed=102)),
+    _network("ca-grqc", "CA-GrQc (small co-authorship)",
+             lambda: coauthorship_graph(450, new_author_rate=0.5,
+                                        max_authors=4, seed=103)),
+    _network("email-enron", "Email-Enron (corporate e-mail)",
+             lambda: communication_graph(1500, 5200, sender_exp=2.0,
+                                         receiver_exp=1.6, seed=104)),
+    _network("email-euall", "Email-EuAll (sparse e-mail, many hubs)",
+             lambda: communication_graph(4000, 6000, sender_exp=2.6,
+                                         receiver_exp=1.2, seed=105)),
+    _network("notredame", "NotreDame (web graph)",
+             lambda: copy_model_graph(2000, out_degree=5,
+                                      copy_prob=0.75, seed=106)),
+    _network("wiki-talk", "Wiki-Talk (talk-page activity)",
+             lambda: communication_graph(5000, 8000, sender_exp=2.8,
+                                         receiver_exp=1.1, seed=107)),
+    _network("wiki-vote", "Wiki-Vote (small dense voting)",
+             lambda: communication_graph(900, 5000, sender_exp=1.8,
+                                         receiver_exp=1.5, seed=108)),
+    # Table II (RDF graphs):
+    _rdf("rdf-properties-en", "1: Specific mapping-based properties (en)",
+         lambda: properties_graph(1800, predicates=71, templates=18,
+                                  seed=201)),
+    _rdf("rdf-types-ru", "2: Mapping-based types (ru) - 79 classes",
+         lambda: types_graph(6000, classes=25, class_exp=2.2, seed=202)),
+    _rdf("rdf-types-es", "3: Mapping-based types (es) - 336 classes",
+         lambda: types_graph(7000, classes=90, class_exp=2.0, seed=203)),
+    _rdf("rdf-types-de", "4: Mapping-based types (de with en)",
+         lambda: types_graph(9000, classes=90, class_exp=1.6, seed=204)),
+    _rdf("rdf-identica", "5: Identica microblog",
+         lambda: identica_graph(1200, seed=205)),
+    _rdf("rdf-jamendo", "6: Jamendo music metadata",
+         lambda: jamendo_graph(260, seed=206)),
+    # Table III (version graphs):
+    _version("tic-tac-toe", "Tic-Tac-Toe winning positions (3 labels)",
+             lambda: game_state_versions(700, templates=4, labels=3,
+                                         template_nodes=5,
+                                         template_edges=7, seed=301)),
+    _version("chess", "Chess legal moves (12 labels)",
+             lambda: game_state_versions(700, templates=220, labels=12,
+                                         template_nodes=7,
+                                         template_edges=10, seed=302)),
+    _version("dblp60-70", "DBLP co-authorship 1960-1970 (11 versions)",
+             lambda: dblp_version_graph(11, 30, seed=303)),
+    _version("dblp60-90", "DBLP co-authorship 1960-1990 (31 versions)",
+             lambda: dblp_version_graph(31, 30, new_author_rate=0.72,
+                                        seed=304)),
+]:
+    DATASETS[_entry.name] = _entry
+
+_CACHE: Dict[str, Tuple[Hypergraph, Alphabet]] = {}
+
+
+def load_dataset(name: str) -> Tuple[Hypergraph, Alphabet]:
+    """Instantiate (and memoize) the named dataset stand-in."""
+    try:
+        dataset = DATASETS[name]
+    except KeyError:
+        raise DatasetError(
+            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+        ) from None
+    if name not in _CACHE:
+        _CACHE[name] = dataset.factory()
+    return _CACHE[name]
+
+
+def names_by_family(family: str) -> List[str]:
+    """Dataset names of one family, in registry order."""
+    return [d.name for d in DATASETS.values() if d.family == family]

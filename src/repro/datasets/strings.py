@@ -1,0 +1,131 @@
+"""Strings and trees as graphs (paper section VI).
+
+The paper's conclusion observes that "gRePair over string- and
+tree-graphs obtains similar compression ratios as the original
+specialized versions for strings and trees".  These converters embed
+both shapes into the hypergraph model:
+
+* a string ``w = a1 a2 ... an`` becomes the path graph with ``n + 1``
+  nodes and one ``ai``-labeled edge per position;
+* an ordered tree becomes a graph with one child-edge per tree edge,
+  labeled by the child's symbol (the standard first-child encoding is
+  unnecessary because hyperedges are ordered).
+
+``bench_string_graphs.py`` uses them to compare gRePair against
+classic string RePair on the same data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import DatasetError
+
+#: A tree is a (symbol, children) pair; leaves have no children.
+Tree = Tuple[str, Sequence["Tree"]]
+
+
+def string_to_graph(text: Union[str, Sequence[str]],
+                    ) -> Tuple[Hypergraph, Alphabet]:
+    """Embed a string as a labeled path graph.
+
+    Accepts a plain string (one symbol per character) or a sequence of
+    symbol names.
+    """
+    if not text:
+        raise DatasetError("cannot embed the empty string")
+    alphabet = Alphabet()
+    graph = Hypergraph()
+    previous = graph.add_node()
+    for symbol in text:
+        label = alphabet.ensure_terminal(str(symbol), rank=2)
+        nxt = graph.add_node()
+        graph.add_edge(label, (previous, nxt))
+        previous = nxt
+    return graph, alphabet
+
+
+def graph_to_string(graph: Hypergraph,
+                    alphabet: Alphabet) -> List[str]:
+    """Inverse of :func:`string_to_graph` (for round-trip tests).
+
+    Expects a single directed path; raises otherwise.
+    """
+    indegree: Dict[int, int] = {node: 0 for node in graph.nodes()}
+    successor: Dict[int, Tuple[int, int]] = {}
+    for _, edge in graph.edges():
+        if len(edge.att) != 2:
+            raise DatasetError("not a string graph (hyperedge found)")
+        source, target = edge.att
+        if source in successor:
+            raise DatasetError("not a path (branching source)")
+        successor[source] = (target, edge.label)
+        indegree[target] += 1
+    starts = [node for node in graph.nodes()
+              if indegree[node] == 0 and node in successor]
+    if len(starts) != 1:
+        raise DatasetError("not a single path")
+    symbols: List[str] = []
+    node = starts[0]
+    while node in successor:
+        node, label = successor[node]
+        symbols.append(alphabet.name(label) or str(label))
+    if len(symbols) != graph.num_edges:
+        raise DatasetError("disconnected or cyclic string graph")
+    return symbols
+
+
+def tree_to_graph(tree: Tree) -> Tuple[Hypergraph, Alphabet]:
+    """Embed an ordered labeled tree as a graph.
+
+    Each tree node becomes a graph node; each parent-child relation
+    becomes a directed edge labeled with the child's symbol.  (The
+    root's symbol labels a rank-1 marker edge so no information is
+    lost.)
+    """
+    alphabet = Alphabet()
+    graph = Hypergraph()
+
+    root_symbol, _ = tree
+    root = graph.add_node()
+    marker = alphabet.ensure_terminal(f"root:{root_symbol}", rank=1)
+    graph.add_edge(marker, (root,))
+
+    stack: List[Tuple[int, Tree]] = [(root, tree)]
+    while stack:
+        parent, (_, children) = stack.pop()
+        for child in children:
+            symbol, _ = child
+            label = alphabet.ensure_terminal(symbol, rank=2)
+            node = graph.add_node()
+            graph.add_edge(label, (parent, node))
+            stack.append((node, child))
+    return graph, alphabet
+
+
+def balanced_binary_tree(depth: int, symbols: Sequence[str] = ("a", "b"),
+                         ) -> Tree:
+    """A full binary tree of the given depth with alternating symbols.
+
+    Highly repetitive — the tree analogue of ``(ab)^n`` — so both
+    TreeRePair and gRePair should compress it to logarithmic size.
+    """
+    if depth < 0:
+        raise DatasetError(f"depth must be >= 0, got {depth}")
+
+    def build(level: int) -> Tree:
+        symbol = symbols[level % len(symbols)]
+        if level == depth:
+            return (symbol, ())
+        return (symbol, (build(level + 1), build(level + 1)))
+
+    return build(0)
+
+
+def repeated_string(unit: str, count: int) -> str:
+    """``unit`` repeated ``count`` times (RePair's best case)."""
+    if count < 1:
+        raise DatasetError(f"count must be >= 1, got {count}")
+    return unit * count

@@ -1,0 +1,169 @@
+"""Version-graph builders (stand-ins for Table III and Figs. 13/14).
+
+A *version graph* is the disjoint union of multiple versions of the
+same graph (paper section IV-A).  The paper uses:
+
+* **Tic-Tac-Toe / Chess** — collections of small labeled game-state
+  graphs (from the subdue datasets); massively repetitive for TTT
+  (``|[~FP]| = 9``!), diverse for Chess.
+* **DBLP60-70 / DBLP60-90** — yearly snapshots of a growing
+  co-authorship network, disjoint-unioned.
+* **Fig. 13** — 8..4096 identical copies of one tiny graph ("a
+  directed circle with four nodes and one of the two possible diagonal
+  edges"): the exponential-compression showcase.
+
+Builders here create those shapes from the seeded generators of
+:mod:`repro.datasets.synthetic`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import DatasetError
+
+
+def disjoint_union(
+    graphs: Sequence[Tuple[Hypergraph, Alphabet]],
+) -> Tuple[Hypergraph, Alphabet]:
+    """Disjoint union; labels are unified by *name* across versions."""
+    union_alphabet = Alphabet()
+    union = Hypergraph()
+    for graph, alphabet in graphs:
+        label_map: Dict[int, int] = {}
+        for label in alphabet:
+            name = alphabet.name(label) or f"label/{label}"
+            label_map[label] = union_alphabet.ensure_terminal(
+                name, alphabet.rank(label)
+            )
+        node_map: Dict[int, int] = {}
+        for node in sorted(graph.nodes()):
+            node_map[node] = union.add_node()
+        for _, edge in graph.edges():
+            union.add_edge(label_map[edge.label],
+                           tuple(node_map[n] for n in edge.att))
+    return union, union_alphabet
+
+
+def fig13_base_graph() -> Tuple[Hypergraph, Alphabet]:
+    """The paper's Fig. 13 unit: 4-node directed circle + one diagonal."""
+    alphabet = Alphabet()
+    label = alphabet.add_terminal(2, "edge")
+    graph = Hypergraph()
+    a, b, c, d = (graph.add_node() for _ in range(4))
+    graph.add_edge(label, (a, b))
+    graph.add_edge(label, (b, c))
+    graph.add_edge(label, (c, d))
+    graph.add_edge(label, (d, a))
+    graph.add_edge(label, (a, c))  # one of the two possible diagonals
+    return graph, alphabet
+
+
+def identical_copies(base: Tuple[Hypergraph, Alphabet],
+                     count: int) -> Tuple[Hypergraph, Alphabet]:
+    """``count`` disjoint identical copies of ``base`` (Fig. 13)."""
+    if count < 1:
+        raise DatasetError(f"count must be >= 1, got {count}")
+    return disjoint_union([base] * count)
+
+
+# ----------------------------------------------------------------------
+# DBLP-style growing co-authorship snapshots
+# ----------------------------------------------------------------------
+def coauthorship_snapshots(
+    years: int,
+    papers_per_year: int,
+    new_author_rate: float = 0.8,
+    max_authors: int = 3,
+    seed: int = 0,
+) -> List[Tuple[Hypergraph, Alphabet]]:
+    """Cumulative yearly snapshots of one growing co-author network.
+
+    Snapshot ``i`` contains all papers of years ``0..i`` — successive
+    versions are near-identical (the whole point of version-graph
+    compression).  Node IDs are stable across snapshots, mirroring the
+    DBLP author-ID construction in the paper.
+    """
+    rng = random.Random(seed)
+    appearances: List[int] = []
+    num_authors = 0
+    edges: Set[Tuple[int, int]] = set()
+    snapshots: List[Tuple[Hypergraph, Alphabet]] = []
+    for _ in range(years):
+        for _ in range(papers_per_year):
+            team_size = rng.randint(2, max_authors)
+            team: Set[int] = set()
+            while len(team) < team_size:
+                if not appearances or rng.random() < new_author_rate:
+                    num_authors += 1
+                    team.add(num_authors)
+                else:
+                    team.add(rng.choice(appearances))
+            appearances.extend(team)
+            members = sorted(team)
+            for i, u in enumerate(members):
+                for v in members[i + 1:]:
+                    edges.add((u, v))
+        alphabet = Alphabet()
+        label = alphabet.add_terminal(2, "coauthor")
+        graph = Hypergraph()
+        for _ in range(num_authors):
+            graph.add_node()
+        for u, v in sorted(edges):
+            graph.add_edge(label, (u, v))
+        snapshots.append((graph, alphabet))
+    return snapshots
+
+
+def dblp_version_graph(years: int, papers_per_year: int,
+                       new_author_rate: float = 0.8,
+                       seed: int = 0) -> Tuple[Hypergraph, Alphabet]:
+    """Disjoint union of cumulative snapshots (DBLP60-70 / DBLP60-90)."""
+    return disjoint_union(coauthorship_snapshots(
+        years, papers_per_year, new_author_rate=new_author_rate, seed=seed
+    ))
+
+
+# ----------------------------------------------------------------------
+# Game-state version graphs (Tic-Tac-Toe / Chess stand-ins)
+# ----------------------------------------------------------------------
+def game_state_versions(
+    states: int,
+    templates: int,
+    labels: int,
+    template_nodes: int = 5,
+    template_edges: int = 6,
+    seed: int = 0,
+) -> Tuple[Hypergraph, Alphabet]:
+    """Union of many small labeled graphs drawn from few templates.
+
+    Tic-Tac-Toe's winning-position graph is extremely repetitive (the
+    paper measures only 9 FP-equivalence classes on 5634 nodes): a
+    handful of position shapes repeated over and over.  We model this
+    as ``states`` copies sampled from ``templates`` distinct random
+    labeled template graphs.  Chess is the same construction with many
+    more templates and labels.
+    """
+    rng = random.Random(seed)
+    template_pool: List[Tuple[Hypergraph, Alphabet]] = []
+    for t in range(templates):
+        alphabet = Alphabet()
+        label_ids = [alphabet.ensure_terminal(f"move/{i}", 2)
+                     for i in range(labels)]
+        graph = Hypergraph()
+        nodes = [graph.add_node() for _ in range(template_nodes)]
+        placed: Set[Tuple[int, int, int]] = set()
+        while len(placed) < template_edges:
+            u, v = rng.sample(nodes, 2)
+            label = rng.choice(label_ids)
+            if (label, u, v) in placed:
+                continue
+            placed.add((label, u, v))
+            graph.add_edge(label, (u, v))
+        template_pool.append((graph, alphabet))
+    chosen = [template_pool[rng.randrange(templates)]
+              for _ in range(states)]
+    return disjoint_union(chosen)

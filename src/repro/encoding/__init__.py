@@ -1,0 +1,37 @@
+"""Binary serialization of SL-HR grammars and k2-trees.
+
+The paper's output format (section III-C2) has two parts:
+
+* the **start graph**, encoded with one k2-tree per edge label
+  (adjacency matrices for rank-2 labels, incidence matrices plus a
+  permutation table for hyperedge labels) — :mod:`startgraph`;
+* the **productions**, encoded as bit-level edge lists with Elias
+  delta codes — :mod:`rules`.
+
+:mod:`container` wraps both in a self-describing byte format with a
+magic number and varint section lengths, and provides the decoder that
+rebuilds a working :class:`repro.core.SLHRGrammar`.
+
+:mod:`k2tree` is also used standalone as the paper's main baseline
+compressor (see :mod:`repro.baselines.k2baseline`).
+"""
+
+from repro.encoding.container import (
+    GrammarFile,
+    decode_grammar,
+    encode_grammar,
+)
+from repro.encoding.k2tree import K2Tree
+from repro.encoding.rules import decode_rules, encode_rules
+from repro.encoding.startgraph import decode_start_graph, encode_start_graph
+
+__all__ = [
+    "GrammarFile",
+    "K2Tree",
+    "decode_grammar",
+    "decode_rules",
+    "decode_start_graph",
+    "encode_grammar",
+    "encode_rules",
+    "encode_start_graph",
+]

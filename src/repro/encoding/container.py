@@ -1,0 +1,226 @@
+"""Container file format tying alphabet, start graph and rules together.
+
+Layout (all byte-aligned sections, lengths as LEB128 varints)::
+
+    magic   "GRPR"                     4 bytes
+    version 0x01                       1 byte
+    k       varint                     k2-tree arity (2 by default)
+    [alphabet section]   varint length + payload
+    [start section]      varint bit length + payload (padded to bytes)
+    [rules section]      varint bit length + payload (padded to bytes)
+
+The alphabet section stores every label's rank, a terminal flag and an
+optional UTF-8 name, so a decoded grammar is fully self-describing
+(RDF predicates keep their names).
+
+:class:`GrammarFile` is the user-facing handle: it knows its section
+sizes (the paper reports that the start-graph k2-trees dominate the
+output; :attr:`GrammarFile.section_bytes` lets benchmarks verify that)
+and converts to/from ``bytes`` and files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.grammar import SLHRGrammar
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.varint import read_uvarint, write_uvarint
+from repro.encoding.rules import decode_rules, encode_rules
+from repro.encoding.startgraph import decode_start_graph, encode_start_graph
+
+_MAGIC = b"GRPR"
+_VERSION = 1
+
+
+@dataclass
+class GrammarFile:
+    """A serialized grammar plus size accounting."""
+
+    data: bytes
+    section_bytes: Dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the complete container in bytes."""
+        return len(self.data)
+
+    def bits_per_edge(self, num_edges: int) -> float:
+        """bpe against a given original edge count (paper's metric)."""
+        if num_edges <= 0:
+            raise EncodingError("num_edges must be positive for bpe")
+        return 8.0 * self.total_bytes / num_edges
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the container to ``path``."""
+        Path(path).write_bytes(self.data)
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "GrammarFile":
+        """Load a container previously written with :meth:`write`."""
+        data = Path(path).read_bytes()
+        # Section sizes are re-derived during decoding; store total only.
+        return cls(data=data, section_bytes={})
+
+
+def _encode_alphabet(alphabet: Alphabet, include_names: bool) -> bytes:
+    out = bytearray()
+    write_uvarint(out, len(alphabet))
+    for label in alphabet:
+        write_uvarint(out, alphabet.rank(label))
+        name = alphabet.name(label) if include_names else None
+        flags = (1 if alphabet.is_terminal(label) else 0)
+        flags |= (2 if name is not None else 0)
+        out.append(flags)
+        if name is not None:
+            encoded = name.encode("utf-8")
+            write_uvarint(out, len(encoded))
+            out.extend(encoded)
+    return bytes(out)
+
+
+def _decode_alphabet(data: bytes) -> Alphabet:
+    alphabet = Alphabet()
+    count, pos = read_uvarint(data, 0)
+    if count > 8 * len(data) + 8:
+        raise EncodingError("alphabet count exceeds section size")
+    for _ in range(count):
+        rank, pos = read_uvarint(data, pos)
+        if pos >= len(data):
+            raise EncodingError("truncated alphabet section")
+        flags = data[pos]
+        pos += 1
+        name = None
+        if flags & 2:
+            length, pos = read_uvarint(data, pos)
+            if pos + length > len(data):
+                raise EncodingError("truncated label name")
+            try:
+                name = data[pos:pos + length].decode("utf-8")
+            except UnicodeDecodeError as exc:
+                raise EncodingError(f"corrupt label name: {exc}") \
+                    from None
+            pos += length
+        if flags & 1:
+            alphabet.add_terminal(rank, name)
+        else:
+            alphabet.fresh_nonterminal(rank)
+    return alphabet
+
+
+def _compact_labels(grammar: SLHRGrammar) -> SLHRGrammar:
+    """Drop unused nonterminal labels, renumbering the survivors.
+
+    gRePair mints a nonterminal per replaced digram, but pruning
+    typically removes most rules again; serializing the dead labels
+    would waste alphabet space and inflate every delta-coded label
+    reference.  Terminals keep their IDs (all of them, used or not), so
+    the derived graph ``val(G)`` is unchanged; only nonterminal IDs are
+    compacted.
+    """
+    from repro.core.alphabet import Alphabet
+    from repro.core.hypergraph import Hypergraph
+
+    old = grammar.alphabet
+    compact = Alphabet()
+    mapping: dict = {}
+    for label in old:
+        if old.is_terminal(label):
+            mapping[label] = compact.add_terminal(old.rank(label),
+                                                  old.name(label))
+    for label in sorted(grammar.nonterminals()):
+        mapping[label] = compact.fresh_nonterminal(old.rank(label))
+
+    def relabel(graph: Hypergraph) -> Hypergraph:
+        result = Hypergraph()
+        for node in sorted(graph.nodes()):
+            result.add_node(node)
+        for _, edge in graph.edges():
+            result.add_edge(mapping[edge.label], edge.att)
+        result.set_external(graph.ext)
+        return result
+
+    rebuilt = SLHRGrammar(compact, relabel(grammar.start))
+    for lhs in sorted(grammar.nonterminals()):
+        rebuilt.add_rule(mapping[lhs], relabel(grammar.rhs(lhs)))
+    return rebuilt
+
+
+def encode_grammar(grammar: SLHRGrammar, k: int = 2,
+                   include_names: bool = True) -> GrammarFile:
+    """Serialize ``grammar`` (canonicalizing it first) to a container.
+
+    ``include_names=False`` drops label names from the output — this is
+    the setting the benchmarks use, matching the paper's convention of
+    excluding the RDF dictionary from all size comparisons.
+    """
+    canonical = _compact_labels(grammar.canonicalize())
+    alphabet_bytes = _encode_alphabet(canonical.alphabet, include_names)
+
+    start_writer = BitWriter()
+    encode_start_graph(canonical.start, start_writer, k=k)
+    start_payload = start_writer.to_bytes()
+
+    rules_writer = BitWriter()
+    encode_rules(canonical, rules_writer)
+    rules_payload = rules_writer.to_bytes()
+
+    out = bytearray()
+    out.extend(_MAGIC)
+    out.append(_VERSION)
+    write_uvarint(out, k)
+    write_uvarint(out, len(alphabet_bytes))
+    out.extend(alphabet_bytes)
+    write_uvarint(out, len(start_writer))
+    out.extend(start_payload)
+    write_uvarint(out, len(rules_writer))
+    out.extend(rules_payload)
+    return GrammarFile(
+        data=bytes(out),
+        section_bytes={
+            "header": 5,
+            "alphabet": len(alphabet_bytes),
+            "start": len(start_payload),
+            "rules": len(rules_payload),
+        },
+    )
+
+
+def decode_grammar(source: Union[GrammarFile, bytes]) -> SLHRGrammar:
+    """Rebuild a working grammar from a container.
+
+    The result is canonical: ``val(decoded)`` equals
+    ``val(grammar.canonicalize())`` of the encoded grammar node for
+    node.
+    """
+    data = source.data if isinstance(source, GrammarFile) else source
+    if len(data) < 6:
+        raise EncodingError("container too short")
+    if data[:4] != _MAGIC:
+        raise EncodingError("not a grammar container (bad magic)")
+    if data[4] != _VERSION:
+        raise EncodingError(f"unsupported container version {data[4]}")
+    pos = 5
+    k, pos = read_uvarint(data, pos)
+
+    alpha_len, pos = read_uvarint(data, pos)
+    alphabet = _decode_alphabet(data[pos:pos + alpha_len])
+    pos += alpha_len
+
+    start_bits, pos = read_uvarint(data, pos)
+    start_bytes = (start_bits + 7) // 8
+    start_reader = BitReader(data[pos:pos + start_bytes], start_bits)
+    start = decode_start_graph(start_reader, alphabet, k=k)
+    pos += start_bytes
+
+    rules_bits, pos = read_uvarint(data, pos)
+    rules_bytes = (rules_bits + 7) // 8
+    rules_reader = BitReader(data[pos:pos + rules_bytes], rules_bits)
+    grammar = SLHRGrammar(alphabet, start)
+    decode_rules(rules_reader, alphabet, grammar)
+    grammar.validate()
+    return grammar

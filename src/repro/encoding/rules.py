@@ -1,0 +1,112 @@
+"""Production serialization (paper section III-C2).
+
+Right-hand sides are expected to be very small graphs, so they are
+stored as plain bit-level edge lists rather than k2-trees, following
+the paper's format:
+
+* every production begins with its edge count (delta code),
+* every edge stores one terminal/nonterminal marker bit, the number of
+  attached nodes, the delta-coded node IDs each preceded by one
+  external-marker bit, and finally the delta-coded label;
+* external nodes carry IDs whose ascending order equals the external
+  order (guaranteed by :meth:`repro.core.SLHRGrammar.canonicalize`,
+  which numbers them ``1..rank``).
+
+Two small extensions over the paper's description keep decoding
+lossless in general:
+
+* the left-hand-side label and the node/external counts are written
+  explicitly (pruning and virtual-edge removal can leave isolated
+  nodes in a right-hand side that no edge list would mention),
+* the paper's example encodes only its specific figure; the counts
+  make the format self-delimiting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.alphabet import Alphabet
+from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.elias import decode_delta, encode_delta
+
+
+def encode_rules(grammar: SLHRGrammar, writer: BitWriter) -> None:
+    """Append all productions of ``grammar`` to ``writer``.
+
+    Rules are written in ascending left-hand-side label order, which is
+    also the order :func:`decode_rules` re-registers them in.
+    """
+    order = sorted(grammar.nonterminals())
+    encode_delta(writer, len(order) + 1)
+    for lhs in order:
+        _encode_rule(grammar, lhs, writer)
+
+
+def _encode_rule(grammar: SLHRGrammar, lhs: int,
+                 writer: BitWriter) -> None:
+    rhs = grammar.rhs(lhs)
+    rank = rhs.rank
+    if tuple(rhs.ext) != tuple(range(1, rank + 1)):
+        raise EncodingError(
+            f"rule {lhs} is not canonical (ext must be 1..rank); call "
+            "grammar.canonicalize() first"
+        )
+    nodes = rhs.nodes()
+    if nodes and max(nodes) != len(nodes):
+        raise EncodingError(f"rule {lhs}: node IDs must be 1..n")
+    encode_delta(writer, lhs)
+    encode_delta(writer, rhs.node_size + 1)
+    encode_delta(writer, rank + 1)
+    encode_delta(writer, rhs.num_edges + 1)
+    alphabet = grammar.alphabet
+    for _, edge in sorted(rhs.edges()):
+        writer.write_bit(0 if alphabet.is_terminal(edge.label) else 1)
+        encode_delta(writer, len(edge.att))
+        for node in edge.att:
+            writer.write_bit(1 if node <= rank else 0)
+            encode_delta(writer, node)
+        encode_delta(writer, edge.label)
+
+
+def decode_rules(reader: BitReader, alphabet: Alphabet,
+                 grammar: SLHRGrammar) -> List[int]:
+    """Read productions from ``reader`` into ``grammar``.
+
+    Nonterminal labels referenced before the alphabet knows them are
+    registered on the fly (the container encodes the alphabet up
+    front, so in practice this only validates).  Returns the decoded
+    left-hand-side labels in stream order.
+    """
+    count = decode_delta(reader) - 1
+    decoded: List[int] = []
+    for _ in range(count):
+        lhs = decode_delta(reader)
+        num_nodes = decode_delta(reader) - 1
+        rank = decode_delta(reader) - 1
+        num_edges = decode_delta(reader) - 1
+        rhs = Hypergraph()
+        for _ in range(num_nodes):
+            rhs.add_node()
+        for _ in range(num_edges):
+            is_nonterminal = reader.read_bit()
+            arity = decode_delta(reader)
+            att = []
+            for _ in range(arity):
+                reader.read_bit()  # external marker (implied by ID)
+                att.append(decode_delta(reader))
+            label = decode_delta(reader)
+            if label in alphabet:
+                if alphabet.is_terminal(label) == bool(is_nonterminal):
+                    raise EncodingError(
+                        f"rule {lhs}: edge label {label} terminal flag "
+                        "mismatch"
+                    )
+            rhs.add_edge(label, att)
+        rhs.set_external(tuple(range(1, rank + 1)))
+        grammar.add_rule(lhs, rhs)
+        decoded.append(lhs)
+    return decoded

@@ -1,0 +1,240 @@
+"""Start-graph serialization (paper section III-C2).
+
+The start graph is the large, incompressible remainder of a gRePair
+grammar (the paper reports it usually accounts for > 90 % of the output
+size), so it gets the compact k2-tree treatment:
+
+* for every **rank-2 label** (terminal or nonterminal) the subgraph of
+  its edges is an adjacency matrix encoded as one k2-tree — this is
+  the vertical-partitioning RDF layout of [8];
+* for every **other rank** the subgraph is an *incidence matrix*
+  (edge rows x node columns) encoded as a k2-tree, plus a permutation
+  table that restores the attachment order the matrix loses: the
+  distinct permutations are enumerated and each edge stores an index
+  in ``ceil(log2 #permutations)`` bits, exactly as the paper
+  describes.
+
+One deviation forced by correctness: gRePair can emit *parallel*
+nonterminal edges (same label, same attachment — e.g. the paper's own
+Figure 1 start graph ``S = A A A``), which an adjacency matrix cannot
+express.  Extra copies are stored in a small escape list of
+delta-coded (source, target, multiplicity) triples.
+
+All integers in this stream are Elias delta codes (values shifted by
+one where zero is possible).  The stream is self-delimiting given the
+node count written up front.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Tuple
+
+from repro.core.alphabet import Alphabet
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.elias import decode_delta, encode_delta
+from repro.encoding.k2tree import K2Tree
+
+
+def _fixed_width(count: int) -> int:
+    """Bits needed to address ``count`` distinct values (min 1)."""
+    if count <= 1:
+        return 1
+    return (count - 1).bit_length()
+
+
+def encode_start_graph(graph: Hypergraph, writer: BitWriter,
+                       k: int = 2) -> None:
+    """Append the start-graph encoding of ``graph`` to ``writer``.
+
+    ``graph`` must be in canonical form (nodes ``1..m``); see
+    :meth:`repro.core.SLHRGrammar.canonicalize`.
+    """
+    m = graph.node_size
+    nodes = graph.nodes()
+    if nodes and (min(nodes) != 1 or max(nodes) != m):
+        raise EncodingError(
+            "start graph must be canonical (nodes 1..m); call "
+            "grammar.canonicalize() first"
+        )
+    encode_delta(writer, m + 1)
+    encode_delta(writer, len(graph.ext) + 1)
+    for node in graph.ext:
+        encode_delta(writer, node)
+
+    labels = sorted(graph.labels())
+    encode_delta(writer, len(labels) + 1)
+    for label in labels:
+        edges = [graph.edge(eid) for eid in graph.edges_with_label(label)]
+        rank = len(edges[0].att)
+        encode_delta(writer, label)
+        encode_delta(writer, rank)
+        # Encode the label's subgraph both ways and keep the smaller:
+        # matrix form (k2-tree) amortizes for large relations, a plain
+        # delta edge list wins for the few-edge labels gRePair leaves
+        # behind.  One flag bit records the choice.
+        matrix = BitWriter()
+        if rank == 2:
+            _encode_adjacency(matrix, edges, m, k)
+        else:
+            _encode_incidence(matrix, edges, m, rank, k)
+        listed = BitWriter()
+        _encode_edge_list(listed, edges)
+        if len(listed) < len(matrix):
+            writer.write_bit(1)
+            writer.extend(listed)
+        else:
+            writer.write_bit(0)
+            writer.extend(matrix)
+
+
+def _write_tree(writer: BitWriter, tree: K2Tree) -> None:
+    encode_delta(writer, tree.t_length + 1)
+    encode_delta(writer, tree.l_length + 1)
+    tree.write(writer)
+
+
+def _read_tree(reader: BitReader, size: int, k: int) -> K2Tree:
+    t_len = decode_delta(reader) - 1
+    l_len = decode_delta(reader) - 1
+    return K2Tree.read(reader, k, size, t_len, l_len)
+
+
+def _encode_adjacency(writer: BitWriter, edges, m: int, k: int) -> None:
+    counts: Counter = Counter((e.att[0], e.att[1]) for e in edges)
+    tree = K2Tree.from_cells(
+        ((u - 1, v - 1) for (u, v) in counts), m, k
+    )
+    _write_tree(writer, tree)
+    duplicates = {pair: c for pair, c in counts.items() if c > 1}
+    encode_delta(writer, len(duplicates) + 1)
+    for (u, v) in sorted(duplicates):
+        encode_delta(writer, u)
+        encode_delta(writer, v)
+        encode_delta(writer, duplicates[(u, v)] - 1)  # extra copies
+
+
+def _encode_edge_list(writer: BitWriter, edges) -> None:
+    """Plain delta-coded edge list (fallback for tiny relations)."""
+    encode_delta(writer, len(edges) + 1)
+    for edge in edges:
+        for node in edge.att:
+            encode_delta(writer, node)
+
+
+def _decode_edge_list(reader: BitReader, graph: Hypergraph, label: int,
+                      rank: int) -> None:
+    count = decode_delta(reader) - 1
+    for _ in range(count):
+        att = tuple(decode_delta(reader) for _ in range(rank))
+        graph.add_edge(label, att)
+
+
+def _encode_incidence(writer: BitWriter, edges, m: int, rank: int,
+                      k: int) -> None:
+    encode_delta(writer, len(edges) + 1)
+    size = max(m, len(edges))
+    cells = [(row, node - 1)
+             for row, edge in enumerate(edges)
+             for node in edge.att]
+    _write_tree(writer, K2Tree.from_cells(cells, size, k))
+    # Permutation table: per edge, the permutation that maps the
+    # sorted node set back to attachment order.
+    permutations: List[Tuple[int, ...]] = []
+    index_of: Dict[Tuple[int, ...], int] = {}
+    edge_perm: List[int] = []
+    for edge in edges:
+        ordered = sorted(edge.att)
+        perm = tuple(ordered.index(node) for node in edge.att)
+        if perm not in index_of:
+            index_of[perm] = len(permutations)
+            permutations.append(perm)
+        edge_perm.append(index_of[perm])
+    encode_delta(writer, len(permutations) + 1)
+    element_width = _fixed_width(rank)
+    for perm in permutations:
+        for value in perm:
+            writer.write_bits(value, element_width)
+    perm_width = _fixed_width(len(permutations))
+    for index in edge_perm:
+        writer.write_bits(index, perm_width)
+
+
+def decode_start_graph(reader: BitReader, alphabet: Alphabet,
+                       k: int = 2) -> Hypergraph:
+    """Inverse of :func:`encode_start_graph`.
+
+    The alphabet is only used for sanity checks (label ranks); decoding
+    is self-contained otherwise.
+    """
+    m = decode_delta(reader) - 1
+    graph = Hypergraph()
+    for _ in range(m):
+        graph.add_node()
+    ext_len = decode_delta(reader) - 1
+    ext = [decode_delta(reader) for _ in range(ext_len)]
+    num_labels = decode_delta(reader) - 1
+    for _ in range(num_labels):
+        label = decode_delta(reader)
+        rank = decode_delta(reader)
+        if label in alphabet and alphabet.rank(label) != rank:
+            raise EncodingError(
+                f"label {label}: stream says rank {rank}, alphabet says "
+                f"{alphabet.rank(label)}"
+            )
+        as_list = reader.read_bit()
+        if as_list:
+            _decode_edge_list(reader, graph, label, rank)
+        elif rank == 2:
+            _decode_adjacency(reader, graph, label, m, k)
+        else:
+            _decode_incidence(reader, graph, label, m, rank, k)
+    graph.set_external(ext)
+    return graph
+
+
+def _decode_adjacency(reader: BitReader, graph: Hypergraph, label: int,
+                      m: int, k: int) -> None:
+    tree = _read_tree(reader, m, k)
+    cells = tree.cells()
+    num_duplicates = decode_delta(reader) - 1
+    multiplicity: Dict[Tuple[int, int], int] = {}
+    for _ in range(num_duplicates):
+        u = decode_delta(reader)
+        v = decode_delta(reader)
+        multiplicity[(u, v)] = decode_delta(reader)
+    # Emit in canonical (attachment-sorted) order, parallel copies
+    # adjacent — matching ``SLHRGrammar.canonicalize``.
+    for row, col in cells:
+        att = (row + 1, col + 1)
+        for _ in range(1 + multiplicity.get(att, 0)):
+            graph.add_edge(label, att)
+
+
+def _decode_incidence(reader: BitReader, graph: Hypergraph, label: int,
+                      m: int, rank: int, k: int) -> None:
+    num_edges = decode_delta(reader) - 1
+    size = max(m, num_edges)
+    tree = _read_tree(reader, size, k)
+    rows: Dict[int, List[int]] = {}
+    for row, col in tree.cells():
+        rows.setdefault(row, []).append(col + 1)
+    num_perms = decode_delta(reader) - 1
+    element_width = _fixed_width(rank)
+    permutations = [
+        tuple(reader.read_bits(element_width) for _ in range(rank))
+        for _ in range(num_perms)
+    ]
+    perm_width = _fixed_width(num_perms)
+    for row in range(num_edges):
+        members = sorted(rows.get(row, ()))
+        if len(members) != rank:
+            raise EncodingError(
+                f"incidence row {row} for label {label} has "
+                f"{len(members)} nodes, expected {rank}"
+            )
+        perm = permutations[reader.read_bits(perm_width)]
+        att = tuple(members[position] for position in perm)
+        graph.add_edge(label, att)

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class HypergraphError(ReproError):
+    """Raised when a hypergraph invariant is violated.
+
+    Examples: attaching an edge to an unknown node, duplicate nodes in an
+    attachment sequence, removing a node that still has incident edges.
+    """
+
+
+class GrammarError(ReproError):
+    """Raised when an SL-HR grammar invariant is violated.
+
+    Examples: two rules for one nonterminal, cyclic nonterminal references,
+    rank mismatch between a nonterminal and its right-hand side.
+    """
+
+
+class EncodingError(ReproError):
+    """Raised on malformed serialized data or encoder misuse."""
+
+
+class QueryError(ReproError):
+    """Raised on invalid query arguments (e.g. node ID out of range)."""
+
+
+class DatasetError(ReproError):
+    """Raised by dataset generators and loaders on invalid parameters."""

@@ -1,0 +1,92 @@
+"""Query evaluation over compressed graphs (paper section V).
+
+The paper distinguishes *neighborhood queries* (traverse the compressed
+graph edge by edge; any graph algorithm can run on top, with a
+slow-down) and *speed-up queries* (evaluated in one pass through the
+grammar, hence proportionally faster than on the decompressed graph).
+Both families are implemented here — the paper describes them but
+notes "the results in this section have not been implemented".
+
+:class:`GrammarQueries` is the convenience facade: build it from any
+grammar (it canonicalizes a copy so node IDs match ``val(G)``) and ask
+away.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.grammar import SLHRGrammar
+from repro.queries.components import ComponentQueries
+from repro.queries.degrees import DegreeQueries
+from repro.queries.index import GrammarIndex, GRepresentation
+from repro.queries.neighborhood import NeighborhoodQueries
+from repro.queries.reachability import ReachabilityQueries
+
+__all__ = [
+    "ComponentQueries",
+    "DegreeQueries",
+    "GRepresentation",
+    "GrammarIndex",
+    "GrammarQueries",
+    "NeighborhoodQueries",
+    "ReachabilityQueries",
+]
+
+
+class GrammarQueries:
+    """All query families over one (canonicalized) grammar.
+
+    Node IDs refer to the deterministic numbering of ``val(G)`` — the
+    same numbering :func:`repro.core.derive` produces for the
+    canonical grammar, so answers can be checked against the
+    decompressed graph directly.
+    """
+
+    def __init__(self, grammar: SLHRGrammar) -> None:
+        self.grammar = grammar.canonicalize()
+        self.index = GrammarIndex(self.grammar)
+        self._neighborhood = NeighborhoodQueries(self.index)
+        self._reachability: ReachabilityQueries | None = None
+        self._components: ComponentQueries | None = None
+        self._degrees: DegreeQueries | None = None
+
+    # -- neighborhood ---------------------------------------------------
+    def out_neighbors(self, node_id: int) -> List[int]:
+        """Sorted out-neighbor IDs of ``node_id`` (paper's ``N+``)."""
+        return self._neighborhood.out_neighbors(node_id)
+
+    def in_neighbors(self, node_id: int) -> List[int]:
+        """Sorted in-neighbor IDs of ``node_id`` (paper's ``N-``)."""
+        return self._neighborhood.in_neighbors(node_id)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Sorted undirected neighborhood ``N(v)``."""
+        return self._neighborhood.neighbors(node_id)
+
+    # -- speed-up queries -------------------------------------------------
+    def reachable(self, source_id: int, target_id: int) -> bool:
+        """(s,t)-reachability in ``O(|G|)`` (Theorem 6)."""
+        if self._reachability is None:
+            self._reachability = ReachabilityQueries(self.index)
+        return self._reachability.reachable(source_id, target_id)
+
+    def connected_components(self) -> int:
+        """Number of connected components of ``val(G)`` (CMSO-style)."""
+        if self._components is None:
+            self._components = ComponentQueries(self.grammar)
+        return self._components.connected_components()
+
+    def degrees(self) -> DegreeQueries:
+        """Degree-extrema evaluator (CMSO function, one pass)."""
+        if self._degrees is None:
+            self._degrees = DegreeQueries(self.grammar)
+        return self._degrees
+
+    def node_count(self) -> int:
+        """``|val(G)|_V`` without decompressing."""
+        return self.index.total_nodes
+
+    def edge_count(self) -> int:
+        """Terminal edge count of ``val(G)`` without decompressing."""
+        return self.grammar.derived_edge_count()

@@ -1,0 +1,111 @@
+"""One-pass "speed-up" functions over the grammar (paper section V).
+
+Courcelle–Mosbah-style *compatible* functions can be evaluated in one
+bottom-up pass through an SL-HR grammar.  The paper lists counting
+connected components among the well-known CMSO functions; we implement
+it (plus node/edge counting, which the grammar supports directly via
+:meth:`repro.core.SLHRGrammar.derived_counts`).
+
+For every nonterminal the pass summarizes its right-hand side as
+
+* a partition of the external nodes into undirected-connectivity
+  classes (considering the subgraph ``val(A)``), and
+* the number of connected components of ``val(A)`` that touch no
+  external node (these are finished — nothing above can merge them).
+
+A nonterminal edge in a host contributes its child partition (merging
+the attached host nodes accordingly) and its closed-component count.
+Evaluating the summary on the start graph yields the number of
+connected components of ``val(G)`` in ``O(|G| alpha)`` — exponentially
+faster than union-find over the decompressed graph when compression is
+exponential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.util.unionfind import UnionFind
+
+
+class _Summary:
+    """Connectivity summary of one rule: ext partition + closed count."""
+
+    __slots__ = ("blocks", "closed")
+
+    def __init__(self, blocks: List[Tuple[int, ...]], closed: int) -> None:
+        #: Partition of external *positions* into connectivity classes.
+        self.blocks = blocks
+        #: Components of val(A) containing no external node.
+        self.closed = closed
+
+
+def _summarize(host: Hypergraph, grammar: SLHRGrammar,
+               summaries: Dict[int, _Summary]) -> Tuple[UnionFind, int]:
+    """Union-find over ``host`` nodes with nonterminals expanded.
+
+    Returns the union-find and the total count of closed components
+    contributed by nonterminal edges below this host.
+    """
+    components = UnionFind(host.nodes())
+    closed_below = 0
+    for _, edge in host.edges():
+        if grammar.has_rule(edge.label):
+            summary = summaries[edge.label]
+            closed_below += summary.closed
+            for block in summary.blocks:
+                anchor = edge.att[block[0]]
+                for position in block[1:]:
+                    components.union(anchor, edge.att[position])
+        else:
+            anchor = edge.att[0]
+            for node in edge.att[1:]:
+                components.union(anchor, node)
+    return components, closed_below
+
+
+class ComponentQueries:
+    """Connected-component counting without decompression."""
+
+    def __init__(self, grammar: SLHRGrammar) -> None:
+        self.grammar = grammar
+        self._summaries = self._compute_summaries()
+
+    def _compute_summaries(self) -> Dict[int, _Summary]:
+        summaries: Dict[int, _Summary] = {}
+        for lhs in self.grammar.bottom_up_order():
+            rhs = self.grammar.rhs(lhs)
+            components, closed_below = _summarize(rhs, self.grammar,
+                                                  summaries)
+            ext_positions: Dict[int, List[int]] = {}
+            ext_roots = set()
+            for position, node in enumerate(rhs.ext):
+                root = components.find(node)
+                ext_positions.setdefault(root, []).append(position)
+                ext_roots.add(root)
+            closed = closed_below
+            for node in rhs.nodes():
+                root = components.find(node)
+                if root == node and root not in ext_roots:
+                    closed += 1
+            blocks = [tuple(positions) for positions in
+                      ext_positions.values()]
+            summaries[lhs] = _Summary(blocks, closed)
+        return summaries
+
+    def connected_components(self) -> int:
+        """Number of connected components of ``val(G)``."""
+        start = self.grammar.start
+        components, closed_below = _summarize(start, self.grammar,
+                                              self._summaries)
+        return components.set_count + closed_below
+
+    def node_count(self) -> int:
+        """``|val(G)|_V`` (derived, not materialized)."""
+        return self.grammar.derived_node_size()
+
+    def edge_count(self) -> int:
+        """Number of terminal edges of ``val(G)``."""
+        return self.grammar.derived_edge_count()

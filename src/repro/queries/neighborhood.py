@@ -1,0 +1,113 @@
+"""Neighborhood queries over the grammar (paper section V, Prop. 4).
+
+Given a node ID of ``val(G)``, compute its in-/out-/undirected
+neighbors without decompressing: locate the node's G-representation,
+then inspect the edges incident with it in its host graph.  Terminal
+edges yield neighbors directly (internal neighbors by ID arithmetic,
+external neighbors through ``getID``); a nonterminal edge incident at
+attachment position ``p`` delegates to the recursive
+``getNeighboring(e, p)`` of the paper, which walks *down* the rule for
+the neighbors its derivation produces.
+
+Runtime is ``O(log l + n·h)`` for ``n`` neighbors, matching
+Proposition 4.
+
+Directions apply to rank-2 terminal edges; the ``direction``
+parameter selects outgoing (``att = (v, u)``), incoming
+(``att = (u, v)``) or any incidence (which also covers terminal
+hyperedges, should the input contain any).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set, Tuple
+
+from repro.core.hypergraph import Edge
+from repro.exceptions import QueryError
+from repro.queries.index import GrammarIndex
+
+
+def _terminal_targets(edge: Edge, position: int,
+                      direction: str) -> Iterable[int]:
+    """Attachment positions adjacent to ``position`` on a terminal edge."""
+    if direction == "out":
+        if len(edge.att) == 2 and position == 0:
+            yield 1
+    elif direction == "in":
+        if len(edge.att) == 2 and position == 1:
+            yield 0
+    elif direction == "any":
+        for other in range(len(edge.att)):
+            if other != position:
+                yield other
+    else:
+        raise QueryError(f"unknown direction {direction!r}")
+
+
+class NeighborhoodQueries:
+    """In/out/any neighborhood evaluation on a :class:`GrammarIndex`."""
+
+    def __init__(self, index: GrammarIndex) -> None:
+        self.index = index
+        self.grammar = index.grammar
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def out_neighbors(self, node_id: int) -> List[int]:
+        """IDs of nodes reachable over one outgoing edge (``N+``)."""
+        return self._neighbors(node_id, "out")
+
+    def in_neighbors(self, node_id: int) -> List[int]:
+        """IDs of nodes with an edge into ``node_id`` (``N-``)."""
+        return self._neighbors(node_id, "in")
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Undirected neighborhood ``N(v)`` (any shared edge)."""
+        return self._neighbors(node_id, "any")
+
+    # ------------------------------------------------------------------
+    # Implementation
+    # ------------------------------------------------------------------
+    def _neighbors(self, node_id: int, direction: str) -> List[int]:
+        rep = self.index.locate(node_id)
+        host = self.index.host_of(rep)
+        result: Set[int] = set()
+        path = list(rep.edges)
+        for eid in host.incident(rep.node):
+            edge = host.edge(eid)
+            position = edge.att.index(rep.node)
+            if self.grammar.has_rule(edge.label):
+                self._descend(path + [eid], position, direction, result)
+            else:
+                for target in _terminal_targets(edge, position, direction):
+                    result.add(self.index.get_id(path,
+                                                 edge.att[target]))
+        result.discard(node_id)
+        return sorted(result)
+
+    def _descend(self, path_to_edge: List[int], position: int,
+                 direction: str, result: Set[int]) -> None:
+        """The paper's ``getNeighboring(e, p)``: neighbors inside val(e).
+
+        ``path_to_edge`` addresses the nonterminal edge instance (its
+        last element is the edge itself); ``position`` is the
+        attachment position of the queried node.  Iterative with an
+        explicit stack (grammar height can be large).
+        """
+        stack: List[Tuple[List[int], int]] = [(path_to_edge, position)]
+        while stack:
+            path, pos = stack.pop()
+            label = self.index.label_of_path(path)
+            rhs = self.grammar.rhs(label)
+            entry = rhs.ext[pos]
+            for eid in rhs.incident(entry):
+                edge = rhs.edge(eid)
+                local_pos = edge.att.index(entry)
+                if self.grammar.has_rule(edge.label):
+                    stack.append((path + [eid], local_pos))
+                    continue
+                for target in _terminal_targets(edge, local_pos,
+                                                direction):
+                    result.add(self.index.get_id(path,
+                                                 edge.att[target]))

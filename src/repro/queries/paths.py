@@ -1,0 +1,233 @@
+"""Regular path queries over SL-HR grammars (paper future work).
+
+The paper's conclusion names regular path queries as the next query
+class to support: "In the future we want to find more query classes
+with this property (e.g., regular path queries)".  This module
+implements them with the same skeleton technique as Theorem 6, lifted
+to the product with a finite automaton:
+
+For a DFA ``M`` over the edge-label alphabet and nodes ``s, t``, the
+query asks whether some path from ``s`` to ``t`` spells a word of
+``L(M)``.  Define per nonterminal ``A`` the *product skeleton*
+
+    sk_M(A) ⊆ (ext-positions x Q)^2
+
+with ``((i, q), (j, q'))`` present iff ``val(A)`` contains a path from
+external node ``i`` to external node ``j`` whose label word drives
+``M`` from state ``q`` to state ``q'``.  Product skeletons compose
+exactly like plain skeletons and are computed bottom-up in
+``O(|G| * |Q|^2)``; queries then run level-by-level like Theorem 6 —
+the speed-up claim carries over with a ``|Q|^2`` factor.
+
+Plain reachability is the special case of the one-state DFA accepting
+``Sigma*``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, \
+    Set, Tuple
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import QueryError
+from repro.queries.index import GrammarIndex
+
+#: A product-skeleton entry: ((ext_i, state), (ext_j, state')).
+_ProductPair = Tuple[Tuple[int, int], Tuple[int, int]]
+
+
+class LabelDFA:
+    """A deterministic finite automaton over edge labels.
+
+    States are integers ``0..n-1``; transitions map
+    ``(state, label) -> state``.  Missing transitions reject (partial
+    DFA).  Construct directly or via the small combinators below.
+    """
+
+    def __init__(self, num_states: int, start: int,
+                 accepting: Iterable[int],
+                 transitions: Mapping[Tuple[int, int], int]) -> None:
+        if not 0 <= start < num_states:
+            raise QueryError(f"start state {start} out of range")
+        self.num_states = num_states
+        self.start = start
+        self.accepting = frozenset(accepting)
+        for state in self.accepting:
+            if not 0 <= state < num_states:
+                raise QueryError(f"accepting state {state} out of range")
+        self.transitions = dict(transitions)
+
+    def step(self, state: int, label: int) -> int | None:
+        """Next state on reading ``label``, or None (reject)."""
+        return self.transitions.get((state, label))
+
+    # ------------------------------------------------------------------
+    # Combinators for common query shapes
+    # ------------------------------------------------------------------
+    @classmethod
+    def any_path(cls, labels: Iterable[int]) -> "LabelDFA":
+        """``Sigma*`` — plain reachability."""
+        transitions = {(0, label): 0 for label in labels}
+        return cls(1, 0, [0], transitions)
+
+    @classmethod
+    def word(cls, labels: Sequence[int]) -> "LabelDFA":
+        """Exactly the label sequence ``labels``."""
+        transitions = {(i, label): i + 1
+                       for i, label in enumerate(labels)}
+        return cls(len(labels) + 1, 0, [len(labels)], transitions)
+
+    @classmethod
+    def star(cls, label: int) -> "LabelDFA":
+        """``label*`` (includes the empty path)."""
+        return cls(1, 0, [0], {(0, label): 0})
+
+    @classmethod
+    def plus(cls, label: int) -> "LabelDFA":
+        """``label+`` (at least one edge)."""
+        return cls(2, 0, [1], {(0, label): 1, (1, label): 1})
+
+    @classmethod
+    def concat_star(cls, prefix: Sequence[int],
+                    looping: int) -> "LabelDFA":
+        """``prefix . looping*`` — a common RPQ shape."""
+        n = len(prefix)
+        transitions = {(i, label): i + 1
+                       for i, label in enumerate(prefix)}
+        transitions[(n, looping)] = n
+        return cls(n + 1, 0, [n], transitions)
+
+
+def _product_adjacency(
+    host: Hypergraph,
+    grammar,
+    dfa: LabelDFA,
+    skeletons: Dict[int, FrozenSet[_ProductPair]],
+    reverse: bool = False,
+) -> Dict[Tuple[int, int], List[Tuple[int, int]]]:
+    """Adjacency of the (host-node x DFA-state) product digraph."""
+    adjacency: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+
+    def arc(src: Tuple[int, int], dst: Tuple[int, int]) -> None:
+        if reverse:
+            src, dst = dst, src
+        adjacency.setdefault(src, []).append(dst)
+
+    for _, edge in host.edges():
+        if grammar.has_rule(edge.label):
+            for (i, q), (j, q2) in skeletons[edge.label]:
+                arc((edge.att[i], q), (edge.att[j], q2))
+            continue
+        if len(edge.att) != 2:
+            raise QueryError(
+                "regular path queries require a simple derived graph"
+            )
+        source, target = edge.att
+        for state in range(dfa.num_states):
+            nxt = dfa.step(state, edge.label)
+            if nxt is not None:
+                arc((source, state), (target, nxt))
+    return adjacency
+
+
+def _search(adjacency, sources) -> Set[Tuple[int, int]]:
+    seen: Set[Tuple[int, int]] = set()
+    queue = deque()
+    for source in sources:
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        item = queue.popleft()
+        for succ in adjacency.get(item, ()):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+class RegularPathQueries:
+    """RPQ evaluation on a :class:`GrammarIndex` for one DFA."""
+
+    def __init__(self, index: GrammarIndex, dfa: LabelDFA) -> None:
+        self.index = index
+        self.grammar = index.grammar
+        self.dfa = dfa
+        self._skeletons = self._compute_skeletons()
+
+    def _compute_skeletons(self) -> Dict[int, FrozenSet[_ProductPair]]:
+        skeletons: Dict[int, FrozenSet[_ProductPair]] = {}
+        for lhs in self.grammar.bottom_up_order():
+            rhs = self.grammar.rhs(lhs)
+            adjacency = _product_adjacency(rhs, self.grammar, self.dfa,
+                                           skeletons)
+            pairs: Set[_ProductPair] = set()
+            for i, ext_node in enumerate(rhs.ext):
+                for state in range(self.dfa.num_states):
+                    reached = _search(adjacency, [(ext_node, state)])
+                    for j, other in enumerate(rhs.ext):
+                        for state2 in range(self.dfa.num_states):
+                            if (other, state2) in reached and \
+                                    (i, state) != (j, state2):
+                                pairs.add(((i, state), (j, state2)))
+            skeletons[lhs] = frozenset(pairs)
+        return skeletons
+
+    # ------------------------------------------------------------------
+    # Query (mirrors ReachabilityQueries.reachable on the product)
+    # ------------------------------------------------------------------
+    def matches(self, source_id: int, target_id: int) -> bool:
+        """True if a path from source to target spells a word of L(M).
+
+        The empty path counts when the DFA accepts the empty word and
+        ``source == target``.
+        """
+        if source_id == target_id and self.dfa.start in \
+                self.dfa.accepting:
+            return True
+        source_rep = self.index.locate(source_id)
+        target_rep = self.index.locate(target_id)
+        common = 0
+        for eu, ev in zip(source_rep.edges, target_rep.edges):
+            if eu != ev:
+                break
+            common += 1
+        source_sets = self._lift(source_rep, starting=True)
+        target_sets = self._lift(target_rep, starting=False)
+        for level in range(common, -1, -1):
+            host = self.index._host_for(source_rep.edges[:level])
+            adjacency = _product_adjacency(host, self.grammar, self.dfa,
+                                           self._skeletons)
+            reached = _search(adjacency, source_sets[level])
+            if reached & target_sets[level]:
+                return True
+        return False
+
+    def _lift(self, rep, starting: bool) -> List[Set[Tuple[int, int]]]:
+        """Per-level product sets, forward from the source (``starting``)
+        or backward to the target (accepting states seed the search)."""
+        edges = rep.edges
+        depth = len(edges)
+        sets: List[Set[Tuple[int, int]]] = [set()
+                                            for _ in range(depth + 1)]
+        if starting:
+            sets[depth] = {(rep.node, self.dfa.start)}
+        else:
+            sets[depth] = {(rep.node, state)
+                           for state in self.dfa.accepting}
+        for level in range(depth, 0, -1):
+            host = self.index._host_for(edges[:level])
+            adjacency = _product_adjacency(host, self.grammar, self.dfa,
+                                           self._skeletons,
+                                           reverse=not starting)
+            reached = _search(adjacency, sets[level])
+            parent_host = self.index._host_for(edges[:level - 1])
+            attachment = parent_host.edge(edges[level - 1]).att
+            lifted: Set[Tuple[int, int]] = set()
+            for position, ext_node in enumerate(host.ext):
+                for state in range(self.dfa.num_states):
+                    if (ext_node, state) in reached:
+                        lifted.add((attachment[position], state))
+            sets[level - 1] = lifted
+        return sets

@@ -1,0 +1,189 @@
+"""Linear-time (s,t)-reachability over SL-HR grammars (Theorem 6).
+
+The paper's algorithm in two parts:
+
+**Skeleton graphs.**  For every nonterminal ``A`` (bottom-up in the
+``<=NT`` order) summarize its right-hand side as a relation over its
+external nodes: position ``i`` can reach position ``j`` inside
+``val(A)``.  The right-hand side is turned into a small digraph —
+terminal rank-2 edges directly, nonterminal edges by their (already
+computed) skeleton relations — and searched from each external node.
+The paper realizes the same information with SCC condensation plus
+cycles over external nodes; storing the transitively closed relation
+is an equivalent presentation for rank <= maxRank (a small constant)
+and keeps the overall precomputation ``O(maxRank * |G|)``.
+
+**Query.**  Locate the G-representations of ``s`` and ``t``.  Walking
+the derivation path of ``s`` upward, compute at each level the set of
+external positions its exits can reach (the paper's ``E_i``); dually
+for ``t`` with reverse search (``F_i``).  The two paths share a common
+instance prefix; at *every* shared host — from the divergence point up
+to the start graph — test whether the lifted source set reaches the
+lifted target set inside that host's skeleton-expanded digraph.  (The
+check must run at each shared level, not only in the start graph: a
+witness path may live entirely inside a shared instance and never
+surface at the top.  Paths that leave a host and re-enter through
+context are caught one level up, because the skeleton relations are
+transitively closed.)
+
+Every level's search is linear in the host's size and each host is
+visited a constant number of times, so a query costs ``O(|G|)`` —
+a speed-up proportional to the compression ratio, since BFS on the
+decompressed graph costs ``O(|val(G)|)``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.core.hypergraph import Hypergraph
+from repro.exceptions import QueryError
+from repro.queries.index import GrammarIndex
+
+
+def _expanded_adjacency(
+    host: Hypergraph,
+    grammar,
+    skeletons: Dict[int, FrozenSet[Tuple[int, int]]],
+    reverse: bool = False,
+) -> Dict[int, List[int]]:
+    """Digraph over ``host``'s nodes with nonterminals expanded.
+
+    Terminal rank-2 edges contribute their direction; nonterminal
+    edges contribute one arc per pair of their skeleton relation.
+    Terminal edges of other ranks are rejected: reachability is defined
+    on simple graphs (paper section V).
+    """
+    adjacency: Dict[int, List[int]] = {node: [] for node in host.nodes()}
+    for _, edge in host.edges():
+        if grammar.has_rule(edge.label):
+            for i, j in skeletons[edge.label]:
+                src, dst = edge.att[i], edge.att[j]
+                if reverse:
+                    src, dst = dst, src
+                adjacency[src].append(dst)
+            continue
+        if len(edge.att) != 2:
+            raise QueryError(
+                "reachability requires a simple derived graph; found a "
+                f"terminal edge of rank {len(edge.att)}"
+            )
+        src, dst = edge.att
+        if reverse:
+            src, dst = dst, src
+        adjacency[src].append(dst)
+    return adjacency
+
+
+def _search(adjacency: Dict[int, List[int]],
+            sources: Iterable[int]) -> Set[int]:
+    """Nodes reachable from ``sources`` (inclusive) via BFS."""
+    seen: Set[int] = set()
+    queue = deque()
+    for source in sources:
+        if source not in seen:
+            seen.add(source)
+            queue.append(source)
+    while queue:
+        node = queue.popleft()
+        for succ in adjacency.get(node, ()):
+            if succ not in seen:
+                seen.add(succ)
+                queue.append(succ)
+    return seen
+
+
+class ReachabilityQueries:
+    """(s,t)-reachability on a :class:`GrammarIndex`."""
+
+    def __init__(self, index: GrammarIndex) -> None:
+        self.index = index
+        self.grammar = index.grammar
+        self._skeletons = self._compute_skeletons()
+
+    # ------------------------------------------------------------------
+    # Precomputation
+    # ------------------------------------------------------------------
+    def _compute_skeletons(self) -> Dict[int, FrozenSet[Tuple[int, int]]]:
+        skeletons: Dict[int, FrozenSet[Tuple[int, int]]] = {}
+        for lhs in self.grammar.bottom_up_order():
+            rhs = self.grammar.rhs(lhs)
+            adjacency = _expanded_adjacency(rhs, self.grammar, skeletons)
+            pairs: Set[Tuple[int, int]] = set()
+            for i, ext_node in enumerate(rhs.ext):
+                reached = _search(adjacency, [ext_node])
+                for j, other in enumerate(rhs.ext):
+                    if i != j and other in reached:
+                        pairs.add((i, j))
+            skeletons[lhs] = frozenset(pairs)
+        return skeletons
+
+    def skeleton(self, lhs: int) -> FrozenSet[Tuple[int, int]]:
+        """The skeleton relation of nonterminal ``lhs`` (positions)."""
+        try:
+            return self._skeletons[lhs]
+        except KeyError:
+            raise QueryError(f"no skeleton for label {lhs}") from None
+
+    # ------------------------------------------------------------------
+    # Query
+    # ------------------------------------------------------------------
+    def reachable(self, source_id: int, target_id: int) -> bool:
+        """True if ``target_id`` is reachable from ``source_id``."""
+        if source_id == target_id:
+            return True
+        source_rep = self.index.locate(source_id)
+        target_rep = self.index.locate(target_id)
+
+        # Longest common instance prefix of the two derivation paths.
+        common = 0
+        for eu, ev in zip(source_rep.edges, target_rep.edges):
+            if eu != ev:
+                break
+            common += 1
+
+        source_sets = self._lift(source_rep, reverse=False)
+        target_sets = self._lift(target_rep, reverse=True)
+
+        # Check every shared host from the divergence point up to S.
+        for level in range(common, -1, -1):
+            host = self._host_at(source_rep.edges, level)
+            adjacency = _expanded_adjacency(host, self.grammar,
+                                            self._skeletons)
+            reached = _search(adjacency, source_sets[level])
+            if reached & set(target_sets[level]):
+                return True
+        return False
+
+    def _host_at(self, edges: Sequence[int], level: int) -> Hypergraph:
+        """Host graph at depth ``level`` along an edge path."""
+        return self.index._host_for(edges[:level])
+
+    def _lift(self, rep, reverse: bool) -> List[Set[int]]:
+        """Per-level node sets of exits (or entries, reversed).
+
+        ``result[level]`` holds nodes of the host at depth ``level``
+        from which the represented node is reachable (``reverse=True``)
+        or which are reachable from it (``reverse=False``) through the
+        subtree below; one entry per host on the path (depth 0 = S).
+        """
+        edges = rep.edges
+        depth = len(edges)
+        sets: List[Set[int]] = [set() for _ in range(depth + 1)]
+        sets[depth] = {rep.node}
+        for level in range(depth, 0, -1):
+            host = self._host_at(edges, level)
+            adjacency = _expanded_adjacency(host, self.grammar,
+                                            self._skeletons,
+                                            reverse=reverse)
+            reached = _search(adjacency, sets[level])
+            parent_edge_id = edges[level - 1]
+            parent_host = self._host_at(edges, level - 1)
+            attachment = parent_host.edge(parent_edge_id).att
+            sets[level - 1] = {
+                attachment[position]
+                for position, ext_node in enumerate(host.ext)
+                if ext_node in reached
+            }
+        return sets

@@ -1,0 +1,44 @@
+"""Low-level substrate utilities shared across the library.
+
+This subpackage deliberately has no dependencies on the rest of
+:mod:`repro`; the core, encoding and query layers build on top of it.
+
+Modules
+-------
+bitio
+    MSB-first bit stream writer/reader used by all binary encoders.
+elias
+    Elias gamma and delta universal integer codes (the paper's rule
+    format stores node IDs and labels as delta codes, ref. [27]).
+varint
+    LEB128 variable-length integers for container headers.
+unionfind
+    Disjoint-set forest with union by size and path compression.
+tarjan
+    Iterative Tarjan strongly-connected-components algorithm used by the
+    skeleton-graph construction of Theorem 6.
+"""
+
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.elias import (
+    decode_delta,
+    decode_gamma,
+    encode_delta,
+    encode_gamma,
+)
+from repro.util.tarjan import strongly_connected_components
+from repro.util.unionfind import UnionFind
+from repro.util.varint import read_uvarint, write_uvarint
+
+__all__ = [
+    "BitReader",
+    "BitWriter",
+    "UnionFind",
+    "decode_delta",
+    "decode_gamma",
+    "encode_delta",
+    "encode_gamma",
+    "read_uvarint",
+    "strongly_connected_components",
+    "write_uvarint",
+]

@@ -1,0 +1,159 @@
+"""MSB-first bit stream I/O.
+
+The grammar serialization of the paper (section III-C2) is defined at the
+bit level: one bit marks terminal/nonterminal edges, one bit marks
+external nodes, and integers are stored as Elias delta codes.  These two
+classes provide the byte-packing substrate for that format and for the
+k2-tree bit arrays.
+
+Bits are packed most-significant-bit first, which makes the hex dump of a
+stream readable left-to-right and matches the usual presentation of
+universal codes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.exceptions import EncodingError
+
+
+class BitWriter:
+    """Accumulates single bits and fixed-width integers into bytes.
+
+    Example
+    -------
+    >>> w = BitWriter()
+    >>> w.write_bit(1)
+    >>> w.write_bits(0b101, 3)
+    >>> w.to_bytes().hex()
+    'd0'
+    """
+
+    def __init__(self) -> None:
+        self._buffer: bytearray = bytearray()
+        self._current: int = 0
+        self._filled: int = 0  # bits currently held in _current (0..7)
+        self._length: int = 0  # total bits written
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return self._length
+
+    def write_bit(self, bit: int) -> None:
+        """Append a single bit (any truthy value counts as 1)."""
+        self._current = (self._current << 1) | (1 if bit else 0)
+        self._filled += 1
+        self._length += 1
+        if self._filled == 8:
+            self._buffer.append(self._current)
+            self._current = 0
+            self._filled = 0
+
+    def write_bits(self, value: int, width: int) -> None:
+        """Append ``width`` bits of ``value``, most significant first.
+
+        Raises :class:`EncodingError` if ``value`` does not fit in
+        ``width`` bits or either argument is negative.
+        """
+        if width < 0 or value < 0:
+            raise EncodingError(
+                f"write_bits requires non-negative arguments, got "
+                f"value={value}, width={width}"
+            )
+        if width and value >> width:
+            raise EncodingError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self.write_bit((value >> shift) & 1)
+
+    def write_bools(self, bits: Iterable[bool]) -> None:
+        """Append an iterable of booleans as bits."""
+        for bit in bits:
+            self.write_bit(1 if bit else 0)
+
+    def extend(self, other: "BitWriter") -> None:
+        """Append every bit written to ``other`` onto this writer."""
+        reader = BitReader(other.to_bytes(), len(other))
+        for _ in range(len(other)):
+            self.write_bit(reader.read_bit())
+
+    def to_bytes(self) -> bytes:
+        """Return the stream padded with zero bits to a byte boundary.
+
+        The writer remains usable; padding is not added to the internal
+        state.
+        """
+        out = bytearray(self._buffer)
+        if self._filled:
+            out.append(self._current << (8 - self._filled))
+        return bytes(out)
+
+    def bit_length(self) -> int:
+        """Alias of ``len(self)`` for readability at call sites."""
+        return self._length
+
+
+class BitReader:
+    """Reads bits MSB-first from a bytes object produced by a writer.
+
+    Parameters
+    ----------
+    data:
+        The packed bytes.
+    bit_length:
+        Number of valid bits in ``data``.  Defaults to ``8 * len(data)``;
+        passing the writer's exact bit length makes end-of-stream checks
+        precise instead of byte-granular.
+    """
+
+    def __init__(self, data: bytes, bit_length: int | None = None) -> None:
+        self._data = data
+        self._limit = 8 * len(data) if bit_length is None else bit_length
+        if self._limit > 8 * len(data):
+            raise EncodingError(
+                f"bit_length {self._limit} exceeds data size "
+                f"{8 * len(data)} bits"
+            )
+        self._pos = 0
+
+    @property
+    def position(self) -> int:
+        """Current read offset in bits."""
+        return self._pos
+
+    @property
+    def remaining(self) -> int:
+        """Number of unread bits."""
+        return self._limit - self._pos
+
+    def read_bit(self) -> int:
+        """Read one bit; raises :class:`EncodingError` past the end."""
+        if self._pos >= self._limit:
+            raise EncodingError("bit stream exhausted")
+        byte = self._data[self._pos >> 3]
+        bit = (byte >> (7 - (self._pos & 7))) & 1
+        self._pos += 1
+        return bit
+
+    def read_bits(self, width: int) -> int:
+        """Read ``width`` bits as an unsigned integer (MSB first)."""
+        if width < 0:
+            raise EncodingError(f"negative width {width}")
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_bools(self, count: int) -> List[bool]:
+        """Read ``count`` bits as a list of booleans."""
+        return [bool(self.read_bit()) for _ in range(count)]
+
+    def align_to_byte(self) -> None:
+        """Skip forward to the next byte boundary (no-op if aligned)."""
+        rem = self._pos & 7
+        if rem:
+            skip = 8 - rem
+            if self._pos + skip > self._limit:
+                self._pos = self._limit
+            else:
+                self._pos += skip

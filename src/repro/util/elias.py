@@ -1,0 +1,80 @@
+"""Elias gamma and delta universal codes.
+
+The paper's rule encoding ("we store an edge list for every production,
+encoding the nodes using a variable-length delta-code", section III-C2,
+citing Elias [27]) uses the Elias delta code for positive integers.  We
+implement both gamma and delta:
+
+* gamma(n): ``floor(log2 n)`` zero bits, then the binary representation
+  of ``n`` (which starts with a 1).
+* delta(n): gamma(``floor(log2 n) + 1``) followed by the binary
+  representation of ``n`` without its leading 1 bit.
+
+Both code only integers ``n >= 1``; the helpers below raise
+:class:`EncodingError` on smaller values so off-by-one bugs surface
+immediately rather than corrupting a stream.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+
+
+def _check_positive(value: int) -> None:
+    if value < 1:
+        raise EncodingError(f"Elias codes require n >= 1, got {value}")
+
+
+def encode_gamma(writer: BitWriter, value: int) -> None:
+    """Append the Elias gamma code of ``value`` (>= 1) to ``writer``."""
+    _check_positive(value)
+    width = value.bit_length()
+    writer.write_bits(0, width - 1)
+    writer.write_bits(value, width)
+
+
+def decode_gamma(reader: BitReader) -> int:
+    """Read one Elias gamma code from ``reader``."""
+    zeros = 0
+    while reader.read_bit() == 0:
+        zeros += 1
+    value = 1
+    for _ in range(zeros):
+        value = (value << 1) | reader.read_bit()
+    return value
+
+
+def encode_delta(writer: BitWriter, value: int) -> None:
+    """Append the Elias delta code of ``value`` (>= 1) to ``writer``."""
+    _check_positive(value)
+    width = value.bit_length()
+    encode_gamma(writer, width)
+    if width > 1:
+        # Binary representation of value minus its leading 1 bit.
+        writer.write_bits(value - (1 << (width - 1)), width - 1)
+
+
+def decode_delta(reader: BitReader) -> int:
+    """Read one Elias delta code from ``reader``."""
+    width = decode_gamma(reader)
+    if width == 1:
+        return 1
+    return (1 << (width - 1)) | reader.read_bits(width - 1)
+
+
+def delta_length(value: int) -> int:
+    """Number of bits the delta code of ``value`` occupies.
+
+    Useful for size accounting without materializing a stream.
+    """
+    _check_positive(value)
+    width = value.bit_length()
+    gamma_width = 2 * width.bit_length() - 1
+    return gamma_width + width - 1
+
+
+def gamma_length(value: int) -> int:
+    """Number of bits the gamma code of ``value`` occupies."""
+    _check_positive(value)
+    return 2 * value.bit_length() - 1

@@ -1,0 +1,120 @@
+"""Iterative Tarjan strongly-connected-components algorithm.
+
+Theorem 6 of the paper builds, for every nonterminal, a *skeleton graph*
+whose construction starts by condensing the right-hand side into its
+strongly connected components "in linear time (e.g., using Tarjan's
+algorithm [36])".  Python's default recursion limit makes the classic
+recursive formulation unusable on graphs with long paths, so this is the
+standard explicit-stack variant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Mapping, Sequence
+
+
+def strongly_connected_components(
+    nodes: Iterable[Hashable],
+    successors: Mapping[Hashable, Sequence[Hashable]],
+) -> List[List[Hashable]]:
+    """Compute SCCs of the directed graph (``nodes``, ``successors``).
+
+    Parameters
+    ----------
+    nodes:
+        All nodes of the graph (isolated nodes included).
+    successors:
+        Adjacency mapping; nodes absent from the mapping are treated as
+        having no outgoing edges.  Successors not listed in ``nodes`` are
+        still visited (the node set is taken as the union).
+
+    Returns
+    -------
+    list of lists
+        The components in *reverse topological order* of the condensation
+        (i.e., a component appears before any component it can reach
+        through... is emitted when completed, which is reverse
+        topological order: every edge of the condensation goes from a
+        later to an earlier component in the returned list).
+    """
+    index_of: Dict[Hashable, int] = {}
+    lowlink: Dict[Hashable, int] = {}
+    on_stack: Dict[Hashable, bool] = {}
+    stack: List[Hashable] = []
+    components: List[List[Hashable]] = []
+    counter = 0
+
+    def neighbors(node: Hashable) -> Sequence[Hashable]:
+        return successors.get(node, ())
+
+    for root in nodes:
+        if root in index_of:
+            continue
+        # Each work item is (node, iterator position) simulated with an
+        # explicit index into the successor list.
+        work: List[List] = [[root, 0]]
+        while work:
+            node, child_index = work[-1]
+            if child_index == 0:
+                index_of[node] = counter
+                lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            succ = neighbors(node)
+            while child_index < len(succ):
+                child = succ[child_index]
+                child_index += 1
+                if child not in index_of:
+                    work[-1][1] = child_index
+                    work.append([child, 0])
+                    advanced = True
+                    break
+                if on_stack.get(child):
+                    lowlink[node] = min(lowlink[node], index_of[child])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                component: List[Hashable] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return components
+
+
+def condensation(
+    nodes: Iterable[Hashable],
+    successors: Mapping[Hashable, Sequence[Hashable]],
+) -> "tuple[Dict[Hashable, int], List[List[Hashable]], Dict[int, set]]":
+    """Condense a digraph into its SCC DAG.
+
+    Returns ``(component_of, components, dag_successors)`` where
+    ``component_of`` maps each node to its component index,
+    ``components`` lists members per index, and ``dag_successors`` maps a
+    component index to the set of successor component indices (no
+    self-loops).
+    """
+    components = strongly_connected_components(nodes, successors)
+    component_of: Dict[Hashable, int] = {}
+    for idx, members in enumerate(components):
+        for member in members:
+            component_of[member] = idx
+    dag: Dict[int, set] = {idx: set() for idx in range(len(components))}
+    for node, succ in successors.items():
+        src = component_of.get(node)
+        if src is None:
+            continue
+        for child in succ:
+            dst = component_of.get(child)
+            if dst is not None and dst != src:
+                dag[src].add(dst)
+    return component_of, components, dag

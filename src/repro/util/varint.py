@@ -1,0 +1,54 @@
+"""LEB128 unsigned varints for byte-aligned container headers.
+
+The grammar container format (see :mod:`repro.encoding.container`) stores
+section lengths and counts as varints so small grammars stay small while
+large ones are unbounded.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.exceptions import EncodingError
+
+
+def write_uvarint(out: bytearray, value: int) -> None:
+    """Append ``value`` (>= 0) to ``out`` in LEB128 encoding."""
+    if value < 0:
+        raise EncodingError(f"uvarint requires value >= 0, got {value}")
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def read_uvarint(data: bytes, offset: int = 0) -> Tuple[int, int]:
+    """Read one LEB128 varint from ``data`` at ``offset``.
+
+    Returns ``(value, next_offset)``.
+    """
+    result = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise EncodingError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 63:
+            raise EncodingError("varint too long (corrupt stream?)")
+
+
+def uvarint_bytes(value: int) -> bytes:
+    """Return the LEB128 encoding of ``value`` as a fresh bytes object."""
+    buf = bytearray()
+    write_uvarint(buf, value)
+    return bytes(buf)

@@ -1,0 +1,21 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Tuple
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from helpers import random_simple_graph  # noqa: E402
+
+from repro import Alphabet, Hypergraph  # noqa: E402
+
+
+@pytest.fixture
+def small_random() -> Tuple[Hypergraph, Alphabet]:
+    """One deterministic small random graph."""
+    return random_simple_graph(seed=7)

@@ -1,0 +1,103 @@
+"""Shared graph helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+import networkx as nx
+from networkx.algorithms.isomorphism import categorical_multiedge_match
+
+from repro import Alphabet, Hypergraph
+
+
+def to_networkx(graph: Hypergraph) -> nx.MultiDiGraph:
+    """Rank-2 hypergraph -> labeled networkx multidigraph."""
+    result = nx.MultiDiGraph()
+    result.add_nodes_from(graph.nodes())
+    for _, edge in graph.edges():
+        assert len(edge.att) == 2, "to_networkx needs rank-2 edges"
+        result.add_edge(edge.att[0], edge.att[1], label=edge.label)
+    return result
+
+
+def isomorphic(a: Hypergraph, b: Hypergraph) -> bool:
+    """Label-respecting isomorphism of two rank-2 hypergraphs."""
+    return nx.is_isomorphic(
+        to_networkx(a), to_networkx(b),
+        edge_match=categorical_multiedge_match("label", None),
+    )
+
+
+def random_simple_graph(
+    seed: int,
+    num_nodes: int = 40,
+    num_edges: int = 90,
+    num_labels: int = 3,
+) -> Tuple[Hypergraph, Alphabet]:
+    """Seeded random labeled digraph (no self-loops, no duplicates)."""
+    rng = random.Random(seed)
+    alphabet = Alphabet()
+    labels = [alphabet.add_terminal(2, f"L{i}") for i in range(num_labels)]
+    graph = Hypergraph()
+    for _ in range(num_nodes):
+        graph.add_node()
+    seen = set()
+    attempts = 0
+    while len(seen) < num_edges and attempts < 50 * num_edges:
+        attempts += 1
+        u = rng.randrange(1, num_nodes + 1)
+        v = rng.randrange(1, num_nodes + 1)
+        if u == v:
+            continue
+        label = rng.choice(labels)
+        if (label, u, v) in seen:
+            continue
+        seen.add((label, u, v))
+        graph.add_edge(label, (u, v))
+    return graph, alphabet
+
+
+def theta_graph(paths: int = 3) -> Tuple[Hypergraph, Alphabet]:
+    """The paper's Figure 1 graph: parallel a-b paths between two nodes."""
+    alphabet = Alphabet()
+    a = alphabet.add_terminal(2, "a")
+    b = alphabet.add_terminal(2, "b")
+    graph = Hypergraph()
+    source = graph.add_node()
+    target = graph.add_node()
+    for _ in range(paths):
+        middle = graph.add_node()
+        graph.add_edge(a, (source, middle))
+        graph.add_edge(b, (middle, target))
+    return graph, alphabet
+
+
+def copies_graph(count: int = 16) -> Tuple[Hypergraph, Alphabet]:
+    """Disjoint copies of a 4-node, 5-edge unit (Fig. 13 style)."""
+    alphabet = Alphabet()
+    a = alphabet.add_terminal(2, "a")
+    b = alphabet.add_terminal(2, "b")
+    graph = Hypergraph()
+    for _ in range(count):
+        base = [graph.add_node() for _ in range(4)]
+        graph.add_edge(a, (base[0], base[1]))
+        graph.add_edge(a, (base[1], base[2]))
+        graph.add_edge(a, (base[2], base[3]))
+        graph.add_edge(b, (base[3], base[0]))
+        graph.add_edge(b, (base[0], base[2]))
+    return graph, alphabet
+
+
+def star_graph(spokes: int = 50) -> Tuple[Hypergraph, Alphabet]:
+    """RDF-types-style star: leaves pointing at one hub."""
+    alphabet = Alphabet()
+    label = alphabet.add_terminal(2, "type")
+    graph = Hypergraph()
+    hub = graph.add_node()
+    for _ in range(spokes):
+        leaf = graph.add_node()
+        graph.add_edge(label, (leaf, hub))
+    return graph, alphabet
+
+

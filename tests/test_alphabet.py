@@ -1,0 +1,94 @@
+"""Unit tests for ranked alphabets."""
+
+import pytest
+
+from repro import Alphabet
+from repro.exceptions import GrammarError
+
+
+class TestAlphabet:
+    def test_labels_are_consecutive_from_one(self):
+        alphabet = Alphabet()
+        assert alphabet.add_terminal(2, "a") == 1
+        assert alphabet.add_terminal(2, "b") == 2
+        assert alphabet.fresh_nonterminal(3) == 3
+
+    def test_rank_lookup(self):
+        alphabet = Alphabet()
+        label = alphabet.add_terminal(4, "quad")
+        assert alphabet.rank(label) == 4
+
+    def test_terminal_flags(self):
+        alphabet = Alphabet()
+        t = alphabet.add_terminal(2)
+        n = alphabet.fresh_nonterminal(2)
+        assert alphabet.is_terminal(t)
+        assert alphabet.is_nonterminal(n)
+        assert alphabet.terminals() == [t]
+        assert alphabet.nonterminals() == [n]
+
+    def test_rank_must_be_positive(self):
+        with pytest.raises(GrammarError):
+            Alphabet().add_terminal(0)
+
+    def test_duplicate_name_rejected(self):
+        alphabet = Alphabet()
+        alphabet.add_terminal(2, "a")
+        with pytest.raises(GrammarError):
+            alphabet.add_terminal(2, "a")
+
+    def test_by_name(self):
+        alphabet = Alphabet()
+        label = alphabet.add_terminal(2, "knows")
+        assert alphabet.by_name("knows") == label
+        with pytest.raises(GrammarError):
+            alphabet.by_name("unknown")
+
+    def test_ensure_terminal_idempotent(self):
+        alphabet = Alphabet()
+        first = alphabet.ensure_terminal("p", 2)
+        second = alphabet.ensure_terminal("p", 2)
+        assert first == second
+        assert len(alphabet) == 1
+
+    def test_ensure_terminal_rank_conflict(self):
+        alphabet = Alphabet()
+        alphabet.ensure_terminal("p", 2)
+        with pytest.raises(GrammarError):
+            alphabet.ensure_terminal("p", 3)
+
+    def test_unknown_label_rejected(self):
+        alphabet = Alphabet()
+        with pytest.raises(GrammarError):
+            alphabet.rank(1)
+        assert 1 not in alphabet
+
+    def test_iteration_and_len(self):
+        alphabet = Alphabet()
+        alphabet.add_terminal(2)
+        alphabet.fresh_nonterminal(3)
+        assert list(alphabet) == [1, 2]
+        assert len(alphabet) == 2
+
+    def test_max_rank(self):
+        alphabet = Alphabet()
+        assert alphabet.max_rank() == 0
+        alphabet.add_terminal(2)
+        alphabet.fresh_nonterminal(5)
+        assert alphabet.max_rank() == 5
+
+    def test_describe(self):
+        alphabet = Alphabet()
+        named = alphabet.add_terminal(2, "a")
+        anon = alphabet.fresh_nonterminal(3)
+        assert alphabet.describe(named) == "a/2"
+        assert alphabet.describe(anon) == f"N{anon}/3"
+
+    def test_copy_is_independent(self):
+        alphabet = Alphabet()
+        alphabet.add_terminal(2, "a")
+        clone = alphabet.copy()
+        clone.add_terminal(2, "b")
+        assert len(alphabet) == 1
+        assert len(clone) == 2
+        assert clone.by_name("a") == 1

@@ -1,0 +1,165 @@
+"""Tests for the three baseline compressors (k2, LM, HN)."""
+
+import pytest
+
+from helpers import random_simple_graph
+
+from repro import Alphabet, Hypergraph
+from repro.baselines import HNCompressor, K2Compressor, \
+    ListMergeCompressor
+from repro.datasets.synthetic import copy_model_graph
+from repro.exceptions import EncodingError
+
+
+def _unlabeled(seed=0, n=60, m=150):
+    graph, alphabet = random_simple_graph(seed, num_nodes=n,
+                                          num_edges=m, num_labels=1)
+    return graph, alphabet
+
+
+class TestK2Baseline:
+    def test_roundtrip(self):
+        graph, _ = random_simple_graph(1)
+        comp = K2Compressor()
+        decoded = comp.decompress(comp.compress(graph))
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()
+
+    def test_labeled_roundtrip(self):
+        graph, _ = random_simple_graph(2, num_labels=4)
+        comp = K2Compressor()
+        decoded = comp.decompress(comp.compress(graph))
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()
+
+    def test_neighbor_queries(self):
+        graph, _ = _unlabeled(3)
+        comp = K2Compressor()
+        data = comp.compress(graph)
+        for node in range(1, graph.node_size + 1):
+            assert comp.out_neighbors(data, node) == sorted(
+                graph.out_neighbors(node))
+            assert comp.in_neighbors(data, node) == sorted(
+                graph.in_neighbors(node))
+
+    def test_has_edge(self):
+        graph, _ = _unlabeled(4, n=20, m=40)
+        comp = K2Compressor()
+        data = comp.compress(graph)
+        edge_set = {edge.att for _, edge in graph.edges()}
+        for u in range(1, 21):
+            for v in range(1, 21):
+                if u != v:
+                    assert comp.has_edge(data, u, v) == ((u, v) in
+                                                         edge_set)
+
+    def test_per_label_queries(self):
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        b = alphabet.add_terminal(2, "b")
+        graph = Hypergraph.from_edges([(a, (1, 2)), (b, (1, 3))])
+        comp = K2Compressor()
+        data = comp.compress(graph)
+        assert comp.out_neighbors(data, 1, label=a) == [2]
+        assert comp.out_neighbors(data, 1, label=b) == [3]
+
+    def test_parallel_edges_rejected(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (1, (1, 2))])
+        with pytest.raises(EncodingError):
+            K2Compressor().compress(graph)
+
+    def test_hyperedge_rejected(self):
+        graph = Hypergraph.from_edges([(1, (1, 2, 3))])
+        with pytest.raises(EncodingError):
+            K2Compressor().compress(graph)
+
+
+class TestListMerge:
+    def test_roundtrip(self):
+        graph, _ = _unlabeled(5)
+        comp = ListMergeCompressor()
+        decoded = comp.decompress(comp.compress(graph))
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()
+
+    def test_out_neighbors(self):
+        graph, _ = _unlabeled(6, n=150, m=400)
+        comp = ListMergeCompressor(chunk_size=16)
+        data = comp.compress(graph)
+        for node in (1, 17, 80, 150):
+            assert sorted(comp.out_neighbors(data, node)) == sorted(
+                graph.out_neighbors(node))
+
+    def test_out_of_range_query(self):
+        graph, _ = _unlabeled(7, n=10, m=20)
+        comp = ListMergeCompressor()
+        data = comp.compress(graph)
+        with pytest.raises(EncodingError):
+            comp.out_neighbors(data, 11)
+
+    def test_chunk_size_validation(self):
+        with pytest.raises(EncodingError):
+            ListMergeCompressor(chunk_size=0)
+
+    def test_merging_helps_on_copy_model(self):
+        """Overlapping adjacency lists (web-like) compress well."""
+        web, _ = copy_model_graph(300, seed=8)
+        rand, _ = _unlabeled(8, n=300, m=web.num_edges)
+        comp = ListMergeCompressor()
+        assert len(comp.compress(web)) < len(comp.compress(rand))
+
+    def test_empty_graph(self):
+        comp = ListMergeCompressor()
+        decoded = comp.decompress(comp.compress(Hypergraph()))
+        assert decoded.node_size == 0
+
+
+class TestHN:
+    def _biclique_graph(self, sources=20, targets=15):
+        graph = Hypergraph()
+        for _ in range(sources + targets + 5):
+            graph.add_node()
+        for u in range(1, sources + 1):
+            for v in range(sources + 1, sources + targets + 1):
+                graph.add_edge(1, (u, v))
+        return graph
+
+    def test_roundtrip_biclique(self):
+        graph = self._biclique_graph()
+        comp = HNCompressor()
+        decoded = comp.decompress(comp.compress(graph))
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()
+
+    def test_roundtrip_random(self):
+        graph, _ = _unlabeled(9)
+        comp = HNCompressor()
+        decoded = comp.decompress(comp.compress(graph))
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()
+
+    def test_virtual_nodes_shrink_bicliques(self):
+        graph = self._biclique_graph()
+        hn_size = len(HNCompressor().compress(graph))
+        k2_size = len(K2Compressor().compress(graph))
+        assert hn_size < k2_size
+
+    def test_mining_disabled_on_sparse_graph(self):
+        """Graphs without dense substructure mine nothing: HN == k2
+        tree plus a two-varint header."""
+        graph, _ = _unlabeled(10, n=40, m=60)
+        hn = HNCompressor()
+        data = hn.compress(graph)
+        decoded = hn.decompress(data)
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()
+
+    def test_multi_pass_nesting(self):
+        """Two overlapping bicliques can nest virtual nodes (P=2)."""
+        graph = Hypergraph()
+        for _ in range(80):
+            graph.add_node()
+        shared = list(range(41, 61))
+        for u in range(1, 30):
+            for v in shared:
+                graph.add_edge(1, (u, v))
+        for u in range(30, 41):
+            for v in shared[:12]:
+                graph.add_edge(1, (u, v))
+        comp = HNCompressor(passes=2)
+        decoded = comp.decompress(comp.compress(graph))
+        assert decoded.edge_multiset() == graph.normalized()[0].edge_multiset()

@@ -1,0 +1,80 @@
+"""Tests for the benchmark support layer (metrics + report)."""
+
+from helpers import random_simple_graph, star_graph
+
+from repro.bench import Report, baseline_sizes, bits_per_edge, \
+    grepair_bytes
+from repro.core.pipeline import GRePairSettings
+
+
+class TestMetrics:
+    def test_bits_per_edge(self):
+        assert bits_per_edge(100, 100) == 8.0
+        assert bits_per_edge(0, 10) == 0.0
+        assert bits_per_edge(10, 0) == 0.0
+
+    def test_grepair_bytes_returns_result(self):
+        graph, alphabet = star_graph(50)
+        size, result = grepair_bytes(graph, alphabet)
+        assert size > 0
+        assert result.grammar.num_rules > 0
+
+    def test_grepair_bytes_honors_settings(self):
+        graph, alphabet = star_graph(50)
+        size_v, _ = grepair_bytes(graph, alphabet,
+                                  GRePairSettings(virtual_edges=True))
+        size_n, _ = grepair_bytes(graph, alphabet,
+                                  GRePairSettings(virtual_edges=False))
+        assert size_v > 0 and size_n > 0
+
+    def test_baseline_sizes_unlabeled_gets_all_three(self):
+        graph, alphabet = random_simple_graph(1, num_labels=1)
+        sizes = baseline_sizes(graph, alphabet)
+        assert set(sizes) == {"k2", "lm", "hn"}
+
+    def test_baseline_sizes_labeled_gets_k2_only(self):
+        graph, alphabet = random_simple_graph(1, num_labels=3)
+        sizes = baseline_sizes(graph, alphabet)
+        assert set(sizes) == {"k2"}
+
+    def test_baseline_sizes_override(self):
+        graph, alphabet = random_simple_graph(1, num_labels=1)
+        sizes = baseline_sizes(graph, alphabet, include_lm_hn=False)
+        assert set(sizes) == {"k2"}
+
+
+class TestReport:
+    def setup_method(self):
+        self._saved = Report.sections()
+        Report.clear()
+
+    def teardown_method(self):
+        Report.clear()
+        for section, lines in self._saved.items():
+            for line in lines:
+                Report.add(section, line)
+
+    def test_add_and_render(self):
+        Report.add("Table X", "row 1")
+        Report.add("Table X", "row 2")
+        Report.add("Figure Y", "point")
+        rendered = Report.render()
+        assert "Table X" in rendered
+        assert rendered.index("row 1") < rendered.index("row 2")
+        assert "Figure Y" in rendered
+
+    def test_sections_snapshot(self):
+        Report.add("S", "line")
+        snapshot = Report.sections()
+        assert snapshot == {"S": ["line"]}
+
+    def test_dump(self, tmp_path):
+        Report.add("S", "line")
+        target = tmp_path / "sub" / "report.txt"
+        Report.dump(target)
+        assert "line" in target.read_text()
+
+    def test_clear(self):
+        Report.add("S", "line")
+        Report.clear()
+        assert Report.render().strip() == ""

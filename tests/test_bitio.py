@@ -1,0 +1,127 @@
+"""Unit tests for the MSB-first bit stream reader/writer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+
+
+class TestBitWriter:
+    def test_empty_stream(self):
+        writer = BitWriter()
+        assert len(writer) == 0
+        assert writer.to_bytes() == b""
+
+    def test_single_bit_msb_first(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        assert writer.to_bytes() == b"\x80"
+
+    def test_mixed_bits_pack_left_to_right(self):
+        writer = BitWriter()
+        writer.write_bit(1)
+        writer.write_bits(0b101, 3)
+        assert writer.to_bytes() == bytes([0b11010000])
+        assert len(writer) == 4
+
+    def test_write_bits_wide_value(self):
+        writer = BitWriter()
+        writer.write_bits(0xABCD, 16)
+        assert writer.to_bytes() == b"\xab\xcd"
+
+    def test_write_bits_rejects_overflow(self):
+        writer = BitWriter()
+        with pytest.raises(EncodingError):
+            writer.write_bits(8, 3)
+
+    def test_write_bits_rejects_negative(self):
+        writer = BitWriter()
+        with pytest.raises(EncodingError):
+            writer.write_bits(-1, 4)
+        with pytest.raises(EncodingError):
+            writer.write_bits(1, -1)
+
+    def test_to_bytes_does_not_consume(self):
+        writer = BitWriter()
+        writer.write_bits(0b1, 1)
+        first = writer.to_bytes()
+        second = writer.to_bytes()
+        assert first == second
+
+    def test_extend_concatenates_bit_exact(self):
+        left = BitWriter()
+        left.write_bits(0b101, 3)
+        right = BitWriter()
+        right.write_bits(0b11, 2)
+        left.extend(right)
+        assert len(left) == 5
+        assert left.to_bytes() == bytes([0b10111000])
+
+    def test_write_bools(self):
+        writer = BitWriter()
+        writer.write_bools([True, False, True, True])
+        assert writer.to_bytes() == bytes([0b10110000])
+
+
+class TestBitReader:
+    def test_read_back_bits(self):
+        writer = BitWriter()
+        writer.write_bits(0b110101, 6)
+        reader = BitReader(writer.to_bytes(), len(writer))
+        assert [reader.read_bit() for _ in range(6)] == [1, 1, 0, 1, 0, 1]
+
+    def test_exhaustion_raises(self):
+        reader = BitReader(b"\x80", 1)
+        reader.read_bit()
+        with pytest.raises(EncodingError):
+            reader.read_bit()
+
+    def test_bit_length_bound_checked(self):
+        with pytest.raises(EncodingError):
+            BitReader(b"\x00", 9)
+
+    def test_read_bits_value(self):
+        reader = BitReader(b"\xab\xcd")
+        assert reader.read_bits(16) == 0xABCD
+
+    def test_remaining_and_position(self):
+        reader = BitReader(b"\xff", 8)
+        assert reader.remaining == 8
+        reader.read_bits(3)
+        assert reader.position == 3
+        assert reader.remaining == 5
+
+    def test_align_to_byte(self):
+        reader = BitReader(b"\xff\x0f")
+        reader.read_bits(3)
+        reader.align_to_byte()
+        assert reader.position == 8
+        assert reader.read_bits(8) == 0x0F
+
+    def test_align_noop_when_aligned(self):
+        reader = BitReader(b"\xff\xff")
+        reader.read_bits(8)
+        reader.align_to_byte()
+        assert reader.position == 8
+
+
+@given(st.lists(st.booleans(), max_size=200))
+def test_roundtrip_any_bit_sequence(bits):
+    writer = BitWriter()
+    writer.write_bools(bits)
+    reader = BitReader(writer.to_bytes(), len(writer))
+    assert reader.read_bools(len(bits)) == bits
+
+
+@given(st.lists(st.tuples(st.integers(min_value=0, max_value=2**32),
+                          st.integers(min_value=33, max_value=40)),
+                max_size=50))
+def test_roundtrip_fixed_width_values(pairs):
+    writer = BitWriter()
+    for value, width in pairs:
+        writer.write_bits(value, width)
+    reader = BitReader(writer.to_bytes(), len(writer))
+    for value, width in pairs:
+        assert reader.read_bits(width) == value

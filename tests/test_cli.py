@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def edge_list(tmp_path):
+    path = tmp_path / "graph.tsv"
+    lines = ["# a theta graph plus a tail"]
+    for mid in (3, 4, 5):
+        lines.append(f"1\t{mid}\ta")
+        lines.append(f"{mid}\t2\tb")
+    lines.append("2\t6\tc")
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+@pytest.fixture
+def compressed(tmp_path, edge_list):
+    out = tmp_path / "graph.grpr"
+    assert main(["compress", str(edge_list), str(out)]) == 0
+    return out
+
+
+class TestCompress:
+    def test_creates_container(self, compressed):
+        assert compressed.exists()
+        assert compressed.read_bytes()[:4] == b"GRPR"
+
+    def test_options(self, tmp_path, edge_list, capsys):
+        out = tmp_path / "custom.grpr"
+        code = main(["compress", str(edge_list), str(out),
+                     "--max-rank", "2", "--order", "bfs",
+                     "--no-prune", "--no-names"])
+        assert code == 0
+        assert "bpe" in capsys.readouterr().out
+
+    def test_missing_input(self, tmp_path, capsys):
+        code = main(["compress", str(tmp_path / "nope.tsv"),
+                     str(tmp_path / "out.grpr")])
+        assert code == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDecompress:
+    def test_roundtrip(self, tmp_path, edge_list, compressed, capsys):
+        out = tmp_path / "roundtrip.tsv"
+        assert main(["decompress", str(compressed), str(out)]) == 0
+        original = {tuple(line.split()) for line in
+                    edge_list.read_text().splitlines()
+                    if line and not line.startswith("#")}
+        restored = {tuple(line.split()) for line in
+                    out.read_text().splitlines() if line}
+        # Same number of edges and same label multiset (node IDs are
+        # renumbered deterministically, per the paper).
+        assert len(original) == len(restored)
+        assert sorted(e[2] for e in original) == \
+            sorted(e[2] for e in restored)
+
+
+class TestStats:
+    def test_reports_sizes(self, compressed, capsys):
+        assert main(["stats", str(compressed)]) == 0
+        out = capsys.readouterr().out
+        assert "rules:" in out
+        assert "derived graph:" in out
+        assert "bpe:" in out
+
+
+class TestQuery:
+    def test_components(self, compressed, capsys):
+        assert main(["query", str(compressed), "components"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_counts(self, compressed, capsys):
+        assert main(["query", str(compressed), "nodes"]) == 0
+        assert capsys.readouterr().out.strip() == "6"
+        assert main(["query", str(compressed), "edges"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+
+    def test_reach_exit_codes(self, compressed, capsys):
+        assert main(["query", str(compressed), "reach", "1", "2"]) == 0
+        assert main(["query", str(compressed), "reach", "2", "1"]) == 1
+
+    def test_neighbors(self, compressed, capsys):
+        assert main(["query", str(compressed), "out", "1"]) == 0
+        first = capsys.readouterr().out.split()
+        assert len(first) == 3  # three middles
+
+    def test_bad_arity(self, compressed, capsys):
+        assert main(["query", str(compressed), "reach", "1"]) == 2
+        assert "error" in capsys.readouterr().err

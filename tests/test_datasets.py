@@ -1,0 +1,184 @@
+"""Tests for dataset generators, I/O and the registry."""
+
+import pytest
+
+from repro.core.orders import fp_equivalence_classes
+from repro.datasets import (
+    DATASETS,
+    disjoint_union,
+    fig13_base_graph,
+    graph_from_pairs,
+    graph_from_triples,
+    identical_copies,
+    load_dataset,
+    read_edge_list,
+    types_graph,
+    write_edge_list,
+)
+from repro.datasets.registry import names_by_family
+from repro.datasets.synthetic import (
+    coauthorship_graph,
+    communication_graph,
+    copy_model_graph,
+    random_graph,
+)
+from repro.datasets.versions import coauthorship_snapshots, \
+    game_state_versions
+from repro.exceptions import DatasetError
+
+
+class TestIO:
+    def test_graph_from_triples_dictionary(self):
+        graph, alphabet, dictionary = graph_from_triples([
+            ("s1", "p", "o1"), ("s2", "p", "o1"), ("s1", "q", "o2"),
+        ])
+        assert graph.num_edges == 3
+        assert len(dictionary) == 4
+        assert alphabet.by_name("p") != alphabet.by_name("q")
+
+    def test_self_loops_dropped(self):
+        graph, _, _ = graph_from_triples([("x", "p", "x"),
+                                          ("x", "p", "y")])
+        assert graph.num_edges == 1
+
+    def test_duplicates_collapsed(self):
+        graph, _, _ = graph_from_pairs([(1, 2), (1, 2), (2, 3)])
+        assert graph.num_edges == 2
+
+    def test_edge_list_roundtrip(self, tmp_path):
+        graph, alphabet, _ = graph_from_triples([
+            ("a", "p", "b"), ("b", "q", "c"),
+        ])
+        path = tmp_path / "graph.tsv"
+        write_edge_list(graph, alphabet, path)
+        loaded, loaded_alphabet, _ = read_edge_list(path)
+        assert loaded.num_edges == 2
+        assert {loaded_alphabet.name(l) for l in loaded_alphabet} == \
+            {"p", "q"}
+
+    def test_edge_list_comments_skipped(self, tmp_path):
+        path = tmp_path / "in.tsv"
+        path.write_text("# comment\n1 2 p\n\n3 4\n")
+        graph, alphabet, _ = read_edge_list(path)
+        assert graph.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.tsv"
+        path.write_text("justonetoken\n")
+        with pytest.raises(DatasetError):
+            read_edge_list(path)
+
+
+class TestGenerators:
+    def test_random_graph_size(self):
+        graph, _ = random_graph(50, 120, seed=1)
+        assert graph.node_size == 50
+        assert graph.num_edges == 120
+
+    def test_random_graph_capacity_check(self):
+        with pytest.raises(DatasetError):
+            random_graph(3, 100)
+
+    def test_generators_deterministic(self):
+        for factory in (lambda s: random_graph(30, 60, seed=s),
+                        lambda s: coauthorship_graph(50, seed=s),
+                        lambda s: communication_graph(60, 120, seed=s),
+                        lambda s: copy_model_graph(60, seed=s),
+                        lambda s: types_graph(100, seed=s)):
+            first, _ = factory(7)
+            second, _ = factory(7)
+            assert first.edge_multiset() == second.edge_multiset()
+            different, _ = factory(8)
+            assert (different.edge_multiset()
+                    != first.edge_multiset())
+
+    def test_coauthorship_is_symmetric(self):
+        graph, _ = coauthorship_graph(40, seed=2)
+        edges = {edge.att for _, edge in graph.edges()}
+        assert all((v, u) in edges for (u, v) in edges)
+
+    def test_communication_has_hubs(self):
+        graph, _ = communication_graph(200, 600, seed=3)
+        degrees = sorted((graph.degree(v) for v in graph.nodes()),
+                         reverse=True)
+        assert degrees[0] > 10 * max(1, degrees[len(degrees) // 2])
+
+    def test_copy_model_lists_overlap(self):
+        graph, _ = copy_model_graph(200, seed=4)
+        overlaps = 0
+        for v in range(3, 200):
+            a = set(graph.out_neighbors(v))
+            b = set(graph.out_neighbors(v - 1))
+            if a and len(a & b) >= 2:
+                overlaps += 1
+        assert overlaps > 10
+
+    def test_types_graph_is_star_shaped(self):
+        graph, alphabet = types_graph(500, classes=10, seed=5)
+        assert len(alphabet) == 1
+        assert fp_equivalence_classes(graph) < 40
+
+
+class TestVersions:
+    def test_fig13_unit(self):
+        graph, _ = fig13_base_graph()
+        assert graph.node_size == 4
+        assert graph.num_edges == 5
+
+    def test_identical_copies_scale(self):
+        base = fig13_base_graph()
+        graph, _ = identical_copies(base, 8)
+        assert graph.node_size == 32
+        assert graph.num_edges == 40
+
+    def test_identical_copies_validation(self):
+        with pytest.raises(DatasetError):
+            identical_copies(fig13_base_graph(), 0)
+
+    def test_disjoint_union_unifies_labels_by_name(self):
+        a = types_graph(10, classes=2, seed=1)
+        b = types_graph(10, classes=2, seed=2)
+        union, alphabet = disjoint_union([a, b])
+        assert len(alphabet) == 1
+        assert union.num_edges == a[0].num_edges + b[0].num_edges
+
+    def test_snapshots_are_cumulative(self):
+        snaps = coauthorship_snapshots(5, 10, seed=6)
+        sizes = [graph.num_edges for graph, _ in snaps]
+        assert sizes == sorted(sizes)
+        first_edges = set(snaps[0][0].edge_multiset())
+        last_edges = set(snaps[-1][0].edge_multiset())
+        assert first_edges <= last_edges
+
+    def test_game_states_repetitive(self):
+        graph, alphabet = game_state_versions(
+            100, templates=3, labels=3, seed=7)
+        assert fp_equivalence_classes(graph) < 60
+
+
+class TestRegistry:
+    def test_all_families_present(self):
+        assert len(names_by_family("network")) == 8
+        assert len(names_by_family("rdf")) == 6
+        assert len(names_by_family("version")) == 4
+
+    def test_load_unknown_rejected(self):
+        with pytest.raises(DatasetError):
+            load_dataset("no-such-graph")
+
+    def test_load_memoizes(self):
+        first = load_dataset("tic-tac-toe")
+        second = load_dataset("tic-tac-toe")
+        assert first[0] is second[0]
+
+    def test_registry_entries_have_metadata(self):
+        for dataset in DATASETS.values():
+            assert dataset.family in {"network", "rdf", "version"}
+            assert dataset.paper_reference
+
+    @pytest.mark.parametrize("name", ["ca-grqc", "rdf-types-ru",
+                                      "tic-tac-toe"])
+    def test_sample_datasets_loadable(self, name):
+        graph, alphabet = load_dataset(name)
+        assert graph.num_edges > 100
+        assert len(alphabet) >= 1

@@ -1,0 +1,152 @@
+"""Unit tests for digram keys and occurrences (paper Defs. 2-3)."""
+
+from repro import Hypergraph
+from repro.core.digram import (
+    digram_key,
+    removal_nodes,
+    replacement_attachment,
+    rule_graph,
+)
+
+
+def _path_graph():
+    """1 -a-> 2 -b-> 3 with extra edge at 3 (so 3 is external)."""
+    return Hypergraph.from_edges([(1, (1, 2)), (2, (2, 3)), (3, (3, 4))])
+
+
+class TestDigramKey:
+    def test_non_adjacent_pair_is_not_a_digram(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (1, (3, 4))])
+        key, occ, _ = digram_key(graph, 1, 2)
+        assert key is None
+        assert occ is None
+
+    def test_same_edge_is_not_a_digram(self):
+        graph = Hypergraph.from_edges([(1, (1, 2))])
+        key, _, _ = digram_key(graph, 1, 1)
+        assert key is None
+
+    def test_externality_follows_definition3(self):
+        """A node is external iff incident with an edge outside the pair."""
+        graph = _path_graph()
+        key, _, _ = digram_key(graph, 1, 2)
+        # Nodes 1, 2 have no other edges -> internal; 3 has one -> ext.
+        assert key.rank == 1
+        flags = dict(zip([0, 1, 2], key.ext_flags))
+        assert sum(key.ext_flags) == 1
+
+    def test_host_external_nodes_are_external(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (2, (2, 3))])
+        graph.set_external((1,))
+        key, _, _ = digram_key(graph, 1, 2)
+        assert key.rank == 1  # node 1 external via host ext
+
+    def test_orientation_canonical(self):
+        """Both orientations of the same pair give the same key."""
+        graph = _path_graph()
+        key_ab, occ_ab, _ = digram_key(graph, 1, 2)
+        key_ba, occ_ba, _ = digram_key(graph, 2, 1)
+        assert key_ab == key_ba
+        assert occ_ab == occ_ba
+
+    def test_isomorphic_occurrences_share_key(self):
+        graph = Hypergraph.from_edges([
+            (1, (1, 2)), (2, (2, 3)), (3, (3, 10)),   # occurrence 1
+            (1, (4, 5)), (2, (5, 6)), (3, (6, 11)),   # occurrence 2
+        ])
+        key1, _, _ = digram_key(graph, 1, 2)
+        key2, _, _ = digram_key(graph, 4, 5)
+        assert key1 == key2
+
+    def test_different_labels_different_keys(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (2, (2, 3)),
+                                       (1, (4, 2)), (1, (2, 5))])
+        key_ab, _, _ = digram_key(graph, 1, 2)
+        key_aa, _, _ = digram_key(graph, 1, 3)
+        assert key_ab != key_aa
+
+    def test_direction_matters(self):
+        fwd = Hypergraph.from_edges([(1, (1, 2)), (1, (2, 3))])
+        bwd = Hypergraph.from_edges([(1, (1, 2)), (1, (3, 2))])
+        key_fwd, _, _ = digram_key(fwd, 1, 2)
+        key_bwd, _, _ = digram_key(bwd, 1, 2)
+        assert key_fwd != key_bwd
+
+    def test_externality_is_part_of_identity(self):
+        """The paper's Figure 4: same shape, different ext -> distinct."""
+        bare = Hypergraph.from_edges([(1, (1, 2)), (1, (2, 3))])
+        decorated = Hypergraph.from_edges([(1, (1, 2)), (1, (2, 3)),
+                                           (2, (2, 9))])
+        key_bare, _, _ = digram_key(bare, 1, 2)
+        key_dec, _, _ = digram_key(decorated, 1, 2)
+        assert key_bare != key_dec
+
+    def test_hyperedge_pair(self):
+        graph = Hypergraph.from_edges([(1, (1, 2, 3)), (2, (3, 4))])
+        key, _, _ = digram_key(graph, 1, 2)
+        assert key is not None
+        assert key.num_nodes == 4
+
+    def test_shared_both_endpoints(self):
+        """Parallel a/b edges between the same two nodes."""
+        graph = Hypergraph.from_edges([(1, (1, 2)), (2, (1, 2)),
+                                       (3, (1, 9)), (3, (2, 9))])
+        key, _, _ = digram_key(graph, 1, 2)
+        assert key.num_nodes == 2
+        assert key.rank == 2
+
+
+class TestRuleGraph:
+    def test_rule_graph_matches_key(self):
+        graph = _path_graph()
+        key, occ, local = digram_key(graph, 1, 2)
+        rhs = rule_graph(key)
+        assert rhs.rank == key.rank
+        assert rhs.num_edges == 2
+        assert rhs.node_size == key.num_nodes
+        labels = sorted(edge.label for _, edge in rhs.edges())
+        assert labels == sorted([1, 2])
+
+    def test_replacement_attachment_order_is_stable(self):
+        """Two occurrences of one key produce consistent attachments."""
+        graph = Hypergraph.from_edges([
+            (1, (1, 2)), (2, (2, 3)), (3, (1, 20)), (3, (3, 21)),
+            (1, (4, 5)), (2, (5, 6)), (3, (4, 22)), (3, (6, 23)),
+        ])
+        key1, occ1, local1 = digram_key(graph, 1, 2)
+        key2, occ2, local2 = digram_key(graph, 5, 6)
+        assert key1 == key2
+        att1 = replacement_attachment(key1, local1)
+        att2 = replacement_attachment(key2, local2)
+        # Corresponding positions: (1, 3) and (4, 6).
+        assert att1 == (1, 3)
+        assert att2 == (4, 6)
+
+    def test_removal_nodes_are_internal_ones(self):
+        graph = _path_graph()
+        key, occ, local = digram_key(graph, 1, 2)
+        doomed = set(removal_nodes(key, local))
+        assert doomed == {1, 2}
+
+    def test_rule_application_reproduces_occurrence(self):
+        """Replacing then deriving restores the original edge pair."""
+        from repro import Alphabet, SLHRGrammar, derive
+        graph = _path_graph()
+        key, occ, local = digram_key(graph, 1, 2)
+        alphabet = Alphabet()
+        for _ in range(3):
+            alphabet.add_terminal(2)
+        nt = alphabet.fresh_nonterminal(key.rank)
+        attachment = replacement_attachment(key, local)
+        original = graph.copy()
+        graph.remove_edge(occ.edge_a)
+        graph.remove_edge(occ.edge_b)
+        for node in removal_nodes(key, local):
+            graph.remove_node(node)
+        graph.add_edge(nt, attachment)
+        grammar = SLHRGrammar(alphabet, graph)
+        grammar.add_rule(nt, rule_graph(key))
+        derived = derive(grammar)
+        assert (sorted(e.label for _, e in derived.edges())
+                == sorted(e.label for _, e in original.edges()))
+        assert derived.node_size == original.node_size

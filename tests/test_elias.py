@@ -1,0 +1,100 @@
+"""Unit tests for Elias gamma/delta codes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.elias import (
+    decode_delta,
+    decode_gamma,
+    delta_length,
+    encode_delta,
+    encode_gamma,
+    gamma_length,
+)
+
+
+def _bits_of(writer: BitWriter) -> str:
+    reader = BitReader(writer.to_bytes(), len(writer))
+    return "".join(str(reader.read_bit()) for _ in range(len(writer)))
+
+
+class TestGamma:
+    @pytest.mark.parametrize("value,expected", [
+        (1, "1"),
+        (2, "010"),
+        (3, "011"),
+        (4, "00100"),
+        (8, "0001000"),
+    ])
+    def test_known_codewords(self, value, expected):
+        writer = BitWriter()
+        encode_gamma(writer, value)
+        assert _bits_of(writer) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(EncodingError):
+            encode_gamma(BitWriter(), 0)
+
+    def test_length_helper_matches(self):
+        for value in [1, 2, 3, 7, 8, 100, 12345]:
+            writer = BitWriter()
+            encode_gamma(writer, value)
+            assert len(writer) == gamma_length(value)
+
+
+class TestDelta:
+    @pytest.mark.parametrize("value,expected", [
+        (1, "1"),
+        (2, "0100"),
+        (3, "0101"),
+        (4, "01100"),
+        (10, "00100010"),
+    ])
+    def test_known_codewords(self, value, expected):
+        writer = BitWriter()
+        encode_delta(writer, value)
+        assert _bits_of(writer) == expected
+
+    def test_rejects_zero(self):
+        with pytest.raises(EncodingError):
+            encode_delta(BitWriter(), 0)
+
+    def test_length_helper_matches(self):
+        for value in [1, 2, 3, 7, 8, 100, 12345, 10**6]:
+            writer = BitWriter()
+            encode_delta(writer, value)
+            assert len(writer) == delta_length(value)
+
+    def test_delta_shorter_than_gamma_for_large_values(self):
+        assert delta_length(10**6) < gamma_length(10**6)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**9), max_size=100))
+def test_gamma_stream_roundtrip(values):
+    writer = BitWriter()
+    for value in values:
+        encode_gamma(writer, value)
+    reader = BitReader(writer.to_bytes(), len(writer))
+    assert [decode_gamma(reader) for _ in values] == values
+
+
+@given(st.lists(st.integers(min_value=1, max_value=10**9), max_size=100))
+def test_delta_stream_roundtrip(values):
+    writer = BitWriter()
+    for value in values:
+        encode_delta(writer, value)
+    reader = BitReader(writer.to_bytes(), len(writer))
+    assert [decode_delta(reader) for _ in values] == values
+
+
+@given(st.integers(min_value=1, max_value=2**40))
+def test_delta_is_self_delimiting(value):
+    writer = BitWriter()
+    encode_delta(writer, value)
+    encode_delta(writer, 1)  # trailing data must not confuse decoding
+    reader = BitReader(writer.to_bytes(), len(writer))
+    assert decode_delta(reader) == value
+    assert decode_delta(reader) == 1

@@ -1,0 +1,194 @@
+"""Tests for start-graph, rule and container serialization."""
+
+import pytest
+
+from helpers import copies_graph, random_simple_graph, star_graph, \
+    theta_graph
+
+from repro import (
+    Alphabet,
+    GRePairSettings,
+    Hypergraph,
+    SLHRGrammar,
+    compress,
+    derive,
+)
+from repro.encoding import (
+    GrammarFile,
+    decode_grammar,
+    encode_grammar,
+)
+from repro.encoding.startgraph import decode_start_graph, \
+    encode_start_graph
+from repro.exceptions import EncodingError
+from repro.util.bitio import BitReader, BitWriter
+
+
+def _roundtrip_start(graph: Hypergraph, alphabet: Alphabet) -> Hypergraph:
+    writer = BitWriter()
+    encode_start_graph(graph, writer)
+    reader = BitReader(writer.to_bytes(), len(writer))
+    return decode_start_graph(reader, alphabet)
+
+
+class TestStartGraph:
+    def test_simple_roundtrip(self):
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        b = alphabet.add_terminal(2, "b")
+        graph = Hypergraph.from_edges(
+            [(a, (1, 2)), (a, (2, 3)), (b, (3, 1))], num_nodes=3)
+        decoded = _roundtrip_start(graph, alphabet)
+        assert decoded.edge_multiset() == graph.edge_multiset()
+        assert decoded.node_size == 3
+
+    def test_isolated_nodes_preserved(self):
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        graph = Hypergraph.from_edges([(a, (1, 2))], num_nodes=5)
+        decoded = _roundtrip_start(graph, alphabet)
+        assert decoded.node_size == 5
+
+    def test_parallel_edges_survive(self):
+        """Duplicate NT edges (paper Fig. 1: S = AAA) need the escape."""
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        graph = Hypergraph.from_edges(
+            [(a, (1, 2)), (a, (1, 2)), (a, (1, 2))], num_nodes=2)
+        decoded = _roundtrip_start(graph, alphabet)
+        assert decoded.num_edges == 3
+
+    def test_hyperedges_keep_attachment_order(self):
+        alphabet = Alphabet()
+        h = alphabet.add_terminal(3, "h")
+        graph = Hypergraph.from_edges(
+            [(h, (3, 1, 2)), (h, (2, 3, 4)), (h, (4, 2, 1))],
+            num_nodes=4)
+        decoded = _roundtrip_start(graph, alphabet)
+        assert (sorted(e.att for _, e in decoded.edges())
+                == sorted(e.att for _, e in graph.edges()))
+
+    def test_rank1_edges(self):
+        alphabet = Alphabet()
+        mark = alphabet.add_terminal(1, "mark")
+        graph = Hypergraph.from_edges([(mark, (2,)), (mark, (4,))],
+                                      num_nodes=4)
+        decoded = _roundtrip_start(graph, alphabet)
+        assert decoded.edge_multiset() == graph.edge_multiset()
+
+    def test_non_canonical_input_rejected(self):
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        graph = Hypergraph()
+        graph.add_node(3)
+        graph.add_node(7)
+        graph.add_edge(a, (3, 7))
+        with pytest.raises(EncodingError):
+            encode_start_graph(graph, BitWriter())
+
+    def test_external_sequence_roundtrip(self):
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        graph = Hypergraph.from_edges([(a, (1, 2))], num_nodes=3)
+        graph.set_external((2, 1))
+        decoded = _roundtrip_start(graph, alphabet)
+        assert decoded.ext == (2, 1)
+
+
+class TestContainer:
+    def _check_exact(self, graph, alphabet, settings=None):
+        result = compress(graph, alphabet,
+                          settings or GRePairSettings())
+        blob = encode_grammar(result.grammar)
+        decoded = decode_grammar(blob)
+        original_val = derive(result.grammar.canonicalize())
+        decoded_val = derive(decoded)
+        assert original_val.node_size == decoded_val.node_size
+        assert original_val.edge_multiset() == decoded_val.edge_multiset()
+        return blob, decoded
+
+    def test_theta_exact(self):
+        self._check_exact(*theta_graph())
+
+    def test_copies_exact(self):
+        self._check_exact(*copies_graph(32))
+
+    def test_star_exact(self):
+        self._check_exact(*star_graph(100))
+
+    def test_random_exact(self):
+        self._check_exact(*random_simple_graph(3))
+
+    def test_magic_checked(self):
+        with pytest.raises(EncodingError):
+            decode_grammar(b"NOPE" + b"\x00" * 10)
+
+    def test_version_checked(self):
+        graph, alphabet = theta_graph()
+        blob = encode_grammar(compress(graph, alphabet).grammar)
+        corrupted = blob.data[:4] + b"\x7f" + blob.data[5:]
+        with pytest.raises(EncodingError):
+            decode_grammar(corrupted)
+
+    def test_file_io(self, tmp_path):
+        graph, alphabet = theta_graph()
+        blob = encode_grammar(compress(graph, alphabet).grammar)
+        path = tmp_path / "grammar.grpr"
+        blob.write(path)
+        loaded = GrammarFile.read(path)
+        assert loaded.data == blob.data
+        decode_grammar(loaded)  # parses fine
+
+    def test_section_accounting(self):
+        graph, alphabet = copies_graph(16)
+        blob = encode_grammar(compress(graph, alphabet).grammar)
+        sections = blob.section_bytes
+        assert set(sections) == {"header", "alphabet", "start", "rules"}
+        assert sum(sections.values()) <= blob.total_bytes
+
+    def test_bits_per_edge(self):
+        graph, alphabet = theta_graph()
+        blob = encode_grammar(compress(graph, alphabet).grammar)
+        assert blob.bits_per_edge(6) == pytest.approx(
+            8.0 * blob.total_bytes / 6)
+        with pytest.raises(EncodingError):
+            blob.bits_per_edge(0)
+
+    def test_names_optional(self):
+        graph, alphabet = theta_graph()
+        grammar = compress(graph, alphabet).grammar
+        with_names = encode_grammar(grammar, include_names=True)
+        without = encode_grammar(grammar, include_names=False)
+        assert without.total_bytes < with_names.total_bytes
+        decoded = decode_grammar(with_names)
+        assert decoded.alphabet.by_name("a")
+
+    def test_label_compaction_drops_pruned_nonterminals(self):
+        graph, alphabet = copies_graph(32)
+        result = compress(graph, alphabet)
+        blob = encode_grammar(result.grammar)
+        decoded = decode_grammar(blob)
+        # Every nonterminal in the decoded alphabet has a rule.
+        for label in decoded.alphabet.nonterminals():
+            assert decoded.has_rule(label)
+
+    def test_terminal_ids_stable_under_compaction(self):
+        graph, alphabet = copies_graph(8)
+        result = compress(graph, alphabet)
+        decoded = decode_grammar(encode_grammar(result.grammar))
+        assert decoded.alphabet.by_name("a") == alphabet.by_name("a")
+        assert decoded.alphabet.by_name("b") == alphabet.by_name("b")
+
+    def test_empty_graph_container(self):
+        alphabet = Alphabet()
+        alphabet.add_terminal(2, "t")
+        grammar = SLHRGrammar(alphabet, Hypergraph())
+        decoded = decode_grammar(encode_grammar(grammar))
+        assert decoded.start.node_size == 0
+        assert decoded.num_rules == 0
+
+    def test_determinism(self):
+        graph, alphabet = copies_graph(16)
+        first = encode_grammar(compress(graph, alphabet).grammar)
+        second = encode_grammar(compress(graph, alphabet).grammar)
+        assert first.data == second.data

@@ -1,0 +1,208 @@
+"""Unit tests for SL-HR grammars, including the paper's Fig. 6 example."""
+
+import pytest
+
+from repro import Alphabet, Hypergraph, SLHRGrammar
+from repro.core.grammar import handle_size
+from repro.exceptions import GrammarError
+
+
+def _simple_grammar():
+    """S = three parallel A-edges; A -> a.b path (paper Figure 1)."""
+    alphabet = Alphabet()
+    a = alphabet.add_terminal(2, "a")
+    b = alphabet.add_terminal(2, "b")
+    nt = alphabet.fresh_nonterminal(2)
+    start = Hypergraph.from_edges([(nt, (1, 2))] * 3, num_nodes=2)
+    rhs = Hypergraph.from_edges([(a, (1, 2)), (b, (2, 3))], ext=(1, 3))
+    grammar = SLHRGrammar(alphabet, start)
+    grammar.add_rule(nt, rhs)
+    return grammar, alphabet, nt
+
+
+class TestHandleSize:
+    def test_rank2_handle(self):
+        """Fixed by the paper's con(A) = 4*(5-3)-5 example: |handle|=3."""
+        assert handle_size(2) == 3
+
+    def test_rank1_handle(self):
+        assert handle_size(1) == 2
+
+    def test_hyperedge_handles(self):
+        assert handle_size(3) == 6
+        assert handle_size(4) == 8
+
+
+class TestRules:
+    def test_add_and_lookup(self):
+        grammar, _, nt = _simple_grammar()
+        assert grammar.has_rule(nt)
+        assert grammar.num_rules == 1
+        assert grammar.rhs(nt).num_edges == 2
+
+    def test_terminal_lhs_rejected(self):
+        grammar, alphabet, _ = _simple_grammar()
+        with pytest.raises(GrammarError):
+            grammar.add_rule(alphabet.by_name("a"),
+                             grammar.rhs(grammar.nonterminals()[0]))
+
+    def test_duplicate_rule_rejected(self):
+        grammar, _, nt = _simple_grammar()
+        with pytest.raises(GrammarError):
+            grammar.add_rule(nt, grammar.rhs(nt))
+
+    def test_rank_mismatch_rejected(self):
+        alphabet = Alphabet()
+        nt = alphabet.fresh_nonterminal(3)
+        start = Hypergraph.from_edges([], num_nodes=1)
+        grammar = SLHRGrammar(alphabet, start)
+        rhs = Hypergraph.from_edges([], num_nodes=2, ext=(1, 2))
+        with pytest.raises(GrammarError):
+            grammar.add_rule(nt, rhs)
+
+
+class TestSizeAccounting:
+    def test_grammar_size_includes_start(self):
+        grammar, _, _ = _simple_grammar()
+        # |S| = 2 nodes + 3 edges = 5; |rhs| = 3 nodes + 2 edges = 5.
+        assert grammar.start.total_size == 5
+        assert grammar.size == 10
+
+    def test_figure6_contribution(self):
+        """con(A) = 4*(5-3)-5 = 3 (paper section III-A3).
+
+        The rule A -> (3 nodes, 2 edges) of rank 2 referenced 4 times.
+        """
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "t")
+        nt = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(nt, (1, 2)), (nt, (3, 4)),
+                                       (nt, (5, 6)), (nt, (7, 8))],
+                                      num_nodes=8)
+        rhs = Hypergraph.from_edges([(a, (1, 2)), (a, (2, 3))],
+                                    ext=(1, 3))
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(nt, rhs)
+        assert grammar.contribution(nt) == 3
+
+    def test_figure6_size_difference(self):
+        """Deriving every A grows the grammar by exactly con(A)."""
+        from repro import derive
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "t")
+        nt = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(nt, (1, 2)), (nt, (3, 4)),
+                                       (nt, (5, 6)), (nt, (7, 8))],
+                                      num_nodes=8)
+        rhs = Hypergraph.from_edges([(a, (1, 2)), (a, (2, 3))],
+                                    ext=(1, 3))
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(nt, rhs)
+        derived = derive(grammar)
+        assert derived.total_size - grammar.size == grammar.contribution(nt)
+
+
+class TestStructure:
+    def test_references_counts_all_graphs(self):
+        grammar, _, nt = _simple_grammar()
+        assert grammar.references() == {nt: 3}
+
+    def test_bottom_up_order_children_first(self):
+        alphabet = Alphabet()
+        t = alphabet.add_terminal(2, "t")
+        low = alphabet.fresh_nonterminal(2)
+        high = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(high, (1, 2))], num_nodes=2)
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(high,
+                         Hypergraph.from_edges([(low, (1, 2))],
+                                               ext=(1, 2)))
+        grammar.add_rule(low,
+                         Hypergraph.from_edges([(t, (1, 2))], ext=(1, 2)))
+        order = grammar.bottom_up_order()
+        assert order.index(low) < order.index(high)
+        assert grammar.height() == 2
+
+    def test_cycle_detected(self):
+        alphabet = Alphabet()
+        x = alphabet.fresh_nonterminal(2)
+        y = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(x, (1, 2))], num_nodes=2)
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(x, Hypergraph.from_edges([(y, (1, 2))],
+                                                  ext=(1, 2)))
+        grammar.add_rule(y, Hypergraph.from_edges([(x, (1, 2))],
+                                                  ext=(1, 2)))
+        with pytest.raises(GrammarError):
+            grammar.bottom_up_order()
+
+    def test_validate_flags_missing_rule(self):
+        alphabet = Alphabet()
+        nt = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(nt, (1, 2))], num_nodes=2)
+        grammar = SLHRGrammar(alphabet, start)
+        with pytest.raises(GrammarError):
+            grammar.validate()
+
+    def test_derived_counts(self):
+        grammar, _, nt = _simple_grammar()
+        nodes, edges = grammar.derived_counts()
+        assert nodes[nt] == 1  # one internal node per application
+        assert edges[nt] == 2
+        assert grammar.derived_node_size() == 2 + 3 * 1
+        assert grammar.derived_edge_count() == 6
+
+
+class TestInlineEdge:
+    def test_inline_merges_externals(self):
+        grammar, _, nt = _simple_grammar()
+        start = grammar.start
+        target = grammar.nonterminal_edges(start)[0]
+        new_edges = grammar.inline_edge(start, target)
+        assert len(new_edges) == 2
+        assert start.num_edges == 4  # 2 remaining A-edges + a + b
+        assert start.node_size == 3  # one internal node materialized
+
+    def test_inline_with_fresh_base(self):
+        grammar, _, nt = _simple_grammar()
+        start = grammar.start
+        target = grammar.nonterminal_edges(start)[0]
+        grammar.inline_edge(start, target, fresh_base=100)
+        assert 100 in start.nodes()
+
+
+class TestCanonicalize:
+    def test_external_first_numbering(self):
+        alphabet = Alphabet()
+        t = alphabet.add_terminal(2, "t")
+        nt = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(nt, (1, 2))], num_nodes=2)
+        # rhs with ext out of ID order: ext = (3, 1)
+        rhs = Hypergraph.from_edges([(t, (3, 2)), (t, (2, 1))],
+                                    ext=(3, 1))
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(nt, rhs)
+        canonical = grammar.canonicalize()
+        new_rhs = canonical.rhs(nt)
+        assert new_rhs.ext == (1, 2)
+        # old 3 -> 1, old 1 -> 2, old 2 (internal) -> 3
+        assert sorted(e.att for _, e in new_rhs.edges()) == [
+            (1, 3), (3, 2)
+        ]
+
+    def test_canonical_val_equals_original_val(self):
+        from repro import derive
+        grammar, _, _ = _simple_grammar()
+        original = derive(grammar)
+        canonical = derive(grammar.canonicalize())
+        assert original.structurally_equal(canonical)
+
+    def test_edges_sorted_by_label_then_attachment(self):
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        b = alphabet.add_terminal(2, "b")
+        start = Hypergraph.from_edges([(b, (1, 2)), (a, (2, 3)),
+                                       (a, (1, 2))], num_nodes=3)
+        grammar = SLHRGrammar(alphabet, start).canonicalize()
+        listed = [(e.label, e.att) for _, e in sorted(grammar.start.edges())]
+        assert listed == sorted(listed)

@@ -1,0 +1,180 @@
+"""Unit tests for the hypergraph data model (paper section II)."""
+
+import pytest
+
+from repro import Alphabet, Hypergraph
+from repro.exceptions import HypergraphError
+
+
+class TestConstruction:
+    def test_auto_node_ids_start_at_one(self):
+        graph = Hypergraph()
+        assert graph.add_node() == 1
+        assert graph.add_node() == 2
+
+    def test_explicit_node_ids(self):
+        graph = Hypergraph()
+        graph.add_node(5)
+        assert graph.add_node() == 6
+
+    def test_duplicate_node_rejected(self):
+        graph = Hypergraph()
+        graph.add_node(1)
+        with pytest.raises(HypergraphError):
+            graph.add_node(1)
+
+    def test_zero_node_id_rejected(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph().add_node(0)
+
+    def test_edge_needs_existing_nodes(self):
+        graph = Hypergraph()
+        graph.add_node()
+        with pytest.raises(HypergraphError):
+            graph.add_edge(1, (1, 2))
+
+    def test_attachment_repetition_rejected(self):
+        """Paper restriction (1): att contains no node twice."""
+        graph = Hypergraph()
+        graph.add_node()
+        with pytest.raises(HypergraphError):
+            graph.add_edge(1, (1, 1))
+
+    def test_external_repetition_rejected(self):
+        """Paper restriction (2): ext contains no node twice."""
+        graph = Hypergraph()
+        graph.add_node()
+        with pytest.raises(HypergraphError):
+            graph.set_external((1, 1))
+
+    def test_from_edges_builder(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (2, (2, 3))],
+                                      num_nodes=4, ext=(1,))
+        assert graph.node_size == 4
+        assert graph.num_edges == 2
+        assert graph.ext == (1,)
+
+    def test_hyperedge(self):
+        graph = Hypergraph.from_edges([(3, (1, 2, 3))])
+        (eid, edge), = graph.edges()
+        assert edge.rank == 3
+        assert graph.edge(eid).att == (1, 2, 3)
+
+
+class TestMutation:
+    def test_remove_edge_updates_incidence(self):
+        graph = Hypergraph.from_edges([(1, (1, 2))])
+        (eid, _), = graph.edges()
+        graph.remove_edge(eid)
+        assert graph.degree(1) == 0
+        assert not graph.has_edge(eid)
+
+    def test_remove_missing_edge_raises(self):
+        with pytest.raises(HypergraphError):
+            Hypergraph().remove_edge(9)
+
+    def test_remove_node_requires_isolation(self):
+        graph = Hypergraph.from_edges([(1, (1, 2))])
+        with pytest.raises(HypergraphError):
+            graph.remove_node(1)
+
+    def test_remove_external_node_rejected(self):
+        graph = Hypergraph()
+        graph.add_node()
+        graph.set_external((1,))
+        with pytest.raises(HypergraphError):
+            graph.remove_node(1)
+
+    def test_remove_isolated_node(self):
+        graph = Hypergraph()
+        graph.add_node()
+        graph.remove_node(1)
+        assert graph.node_size == 0
+
+
+class TestSizes:
+    def test_paper_size_measure(self):
+        """Rank-<=2 edges cost 1, larger edges their rank (section II)."""
+        graph = Hypergraph.from_edges(
+            [(1, (1, 2)), (2, (3,)), (3, (1, 2, 3))]
+        )
+        assert graph.node_size == 3
+        assert graph.edge_size == 1 + 1 + 3
+        assert graph.total_size == 8
+
+    def test_figure_1d_example(self):
+        """The formal hypergraph of the paper's Figure 1d."""
+        graph = Hypergraph.from_edges(
+            [(1, (1, 2)), (2, (2, 3)), (3, (2, 1, 3))]
+        )
+        assert graph.node_size == 3
+        assert graph.edge_size == 1 + 1 + 3
+        assert graph.rank == 0  # ext = epsilon
+
+    def test_rank_is_external_count(self):
+        graph = Hypergraph.from_edges([(1, (1, 2))])
+        graph.set_external((2, 1))
+        assert graph.rank == 2
+
+
+class TestQueries:
+    def test_neighbors(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (1, (1, 3)),
+                                       (2, (4, 1))])
+        assert sorted(graph.neighbors(1)) == [2, 3, 4]
+
+    def test_directed_neighbors(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (1, (3, 1))])
+        assert graph.out_neighbors(1) == [2]
+        assert graph.in_neighbors(1) == [3]
+
+    def test_degree_counts_incidences(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (3, (1, 2, 3))])
+        assert graph.degree(1) == 2
+        assert graph.degree(3) == 1
+
+    def test_is_simple(self):
+        simple = Hypergraph.from_edges([(1, (1, 2)), (2, (1, 2))])
+        assert simple.is_simple()
+        parallel = Hypergraph.from_edges([(1, (1, 2)), (1, (1, 2))])
+        assert not parallel.is_simple()
+        hyper = Hypergraph.from_edges([(1, (1, 2, 3))])
+        assert not hyper.is_simple()
+
+    def test_labels_and_edges_with_label(self):
+        graph = Hypergraph.from_edges([(1, (1, 2)), (2, (2, 3)),
+                                       (1, (3, 1))])
+        assert set(graph.labels()) == {1, 2}
+        assert len(graph.edges_with_label(1)) == 2
+
+
+class TestStructureHelpers:
+    def test_copy_is_independent(self):
+        graph = Hypergraph.from_edges([(1, (1, 2))])
+        clone = graph.copy()
+        clone.add_node()
+        assert clone.node_size == 3
+        assert graph.node_size == 2
+
+    def test_normalized_renumbers_to_1_m(self):
+        graph = Hypergraph()
+        graph.add_node(10)
+        graph.add_node(3)
+        graph.add_edge(1, (10, 3))
+        graph.set_external((10,))
+        normalized, mapping = graph.normalized()
+        assert sorted(normalized.nodes()) == [1, 2]
+        assert mapping == {3: 1, 10: 2}
+        assert normalized.ext == (2,)
+        (_, edge), = normalized.edges()
+        assert edge.att == (2, 1)
+
+    def test_structurally_equal_ignores_edge_ids(self):
+        a = Hypergraph.from_edges([(1, (1, 2)), (2, (2, 3))])
+        b = Hypergraph.from_edges([(2, (2, 3)), (1, (1, 2))])
+        assert a.structurally_equal(b)
+
+    def test_structurally_equal_detects_difference(self):
+        a = Hypergraph.from_edges([(1, (1, 2))], num_nodes=2)
+        b = Hypergraph.from_edges([(1, (2, 1))], num_nodes=2)
+        assert not a.structurally_equal(b)

@@ -1,0 +1,138 @@
+"""Unit tests for occurrence lists, counting discipline and the queue."""
+
+from repro.core.digram import DigramKey, Occurrence
+from repro.core.occurrences import (
+    BucketQueue,
+    OccurrenceList,
+    OccurrenceTable,
+)
+
+
+def _key(label_a=1, label_b=2):
+    """A rank-1 digram key over two rank-2 edges sharing one node."""
+    return DigramKey(label_a, 2, label_b, (1, 2), (False, True, False))
+
+
+class TestOccurrenceTable:
+    def test_record_and_lookup(self):
+        table = OccurrenceTable()
+        occ = Occurrence(10, 11)
+        table.record(_key(), occ)
+        assert len(table.get(_key())) == 1
+        assert table.occurrences_of_edge(10) == [(_key(), occ)]
+
+    def test_partner_label_discipline(self):
+        """An edge joins at most one occurrence per partner label."""
+        table = OccurrenceTable()
+        table.record(_key(1, 2), Occurrence(10, 11))
+        # 10 already counted with a label-2 partner:
+        assert not table.can_pair(10, 2)
+        # ...but may still pair with a label-3 edge:
+        assert table.can_pair(10, 3)
+
+    def test_same_label_digram_blocks_both_slots(self):
+        table = OccurrenceTable()
+        key = _key(5, 5)
+        table.record(key, Occurrence(20, 21))
+        assert not table.can_pair(20, 5)
+        assert not table.can_pair(21, 5)
+
+    def test_release_restores_slots(self):
+        table = OccurrenceTable()
+        occ = Occurrence(10, 11)
+        table.record(_key(), occ)
+        table.release(_key(), occ)
+        assert table.can_pair(10, 2)
+        assert table.can_pair(11, 1)
+        assert len(table.get(_key())) == 0
+
+    def test_release_edge_cascades_across_digrams(self):
+        table = OccurrenceTable()
+        table.record(_key(1, 2), Occurrence(10, 11))
+        table.record(_key(1, 3), Occurrence(10, 12))
+        affected = table.release_edge(10)
+        assert sorted(k.label_b for k in affected) == [2, 3]
+        assert table.occurrences_of_edge(10) == []
+        assert table.can_pair(11, 1)
+
+    def test_drop_list_frees_everything(self):
+        table = OccurrenceTable()
+        table.record(_key(), Occurrence(1, 2))
+        table.record(_key(), Occurrence(3, 4))
+        table.drop_list(_key())
+        assert table.get(_key()) is None
+        for edge in (1, 2, 3, 4):
+            assert table.can_pair(edge, 1)
+            assert table.can_pair(edge, 2)
+
+    def test_same_key_occurrences_are_edge_disjoint(self):
+        """Within one digram the recorded occurrences never overlap."""
+        table = OccurrenceTable()
+        table.record(_key(), Occurrence(1, 2))
+        # Edge 1 cannot be recorded again with a label-2 partner.
+        assert not table.can_pair(1, 2)
+
+
+class TestBucketQueue:
+    def _list_with(self, key, count):
+        olist = OccurrenceList(key)
+        for i in range(count):
+            olist.add(Occurrence(100 + 2 * i, 101 + 2 * i))
+        return olist
+
+    def test_single_occurrence_not_queued(self):
+        queue = BucketQueue(100)
+        olist = self._list_with(_key(), 1)
+        queue.file(olist)
+        assert queue.pop_most_frequent() is None
+
+    def test_most_frequent_first(self):
+        queue = BucketQueue(100)
+        small = self._list_with(_key(1, 2), 2)
+        large = self._list_with(_key(1, 3), 7)
+        queue.file(small)
+        queue.file(large)
+        assert queue.pop_most_frequent() == _key(1, 3)
+        assert queue.pop_most_frequent() == _key(1, 2)
+        assert queue.pop_most_frequent() is None
+
+    def test_top_bucket_holds_everything_above_sqrt(self):
+        queue = BucketQueue(16)  # top bucket = 4
+        huge = self._list_with(_key(1, 2), 50)
+        big = self._list_with(_key(1, 3), 5)
+        queue.file(big)
+        queue.file(huge)
+        popped = {queue.pop_most_frequent(), queue.pop_most_frequent()}
+        assert popped == {_key(1, 2), _key(1, 3)}
+
+    def test_refile_moves_between_buckets(self):
+        queue = BucketQueue(100)
+        olist = self._list_with(_key(), 5)
+        queue.file(olist)
+        # Simulate shrinkage: remove occurrences and re-file.
+        for occ in list(olist)[:4]:
+            olist.discard(occ)
+        queue.file(olist)  # now length 1 -> dequeued entirely
+        assert queue.pop_most_frequent() is None
+
+    def test_remove(self):
+        queue = BucketQueue(100)
+        olist = self._list_with(_key(), 3)
+        queue.file(olist)
+        queue.remove(olist)
+        assert queue.pop_most_frequent() is None
+
+    def test_pop_requires_caller_to_reset_bucket(self):
+        queue = BucketQueue(100)
+        olist = self._list_with(_key(), 3)
+        queue.file(olist)
+        assert queue.pop_most_frequent() == _key()
+        olist.bucket = None  # caller contract
+        queue.file(olist)
+        assert queue.pop_most_frequent() == _key()
+
+    def test_len_counts_queued_digrams(self):
+        queue = BucketQueue(100)
+        queue.file(self._list_with(_key(1, 2), 2))
+        queue.file(self._list_with(_key(1, 3), 3))
+        assert len(queue) == 2

@@ -1,0 +1,57 @@
+"""Tests for the high-level compress() pipeline API."""
+
+import pytest
+
+from helpers import copies_graph, theta_graph
+
+from repro import GRePairSettings, compress
+from repro.exceptions import HypergraphError
+
+
+class TestSettings:
+    def test_defaults_follow_paper(self):
+        settings = GRePairSettings()
+        assert settings.max_rank == 4
+        assert settings.order == "fp"
+        assert settings.virtual_edges
+        assert settings.prune
+
+    def test_describe(self):
+        text = GRePairSettings(max_rank=3, order="bfs").describe()
+        assert "maxRank=3" in text
+        assert "order=bfs" in text
+
+    def test_unknown_order_surfaces(self):
+        graph, alphabet = theta_graph()
+        with pytest.raises(HypergraphError):
+            compress(graph, alphabet, GRePairSettings(order="bogus"))
+
+
+class TestResult:
+    def test_summary_fields(self):
+        graph, alphabet = copies_graph(16)
+        result = compress(graph, alphabet)
+        assert result.original_size == graph.total_size
+        assert result.original_edges == graph.num_edges
+        assert result.grammar_size == result.grammar.size
+        assert 0 < result.size_ratio <= 1.0
+        text = result.summary()
+        assert "|g|=" in text and "rules" in text
+
+    def test_stats_populated(self):
+        graph, alphabet = copies_graph(16)
+        result = compress(graph, alphabet)
+        assert result.stats["passes"] >= 1
+        assert result.stats["occurrences_replaced"] > 0
+
+    def test_validation_runs_by_default(self):
+        graph, alphabet = theta_graph()
+        result = compress(graph, alphabet)
+        result.grammar.validate()  # must already be consistent
+
+    def test_empty_graph_ratio(self):
+        from repro import Alphabet, Hypergraph
+        alphabet = Alphabet()
+        alphabet.add_terminal(2, "t")
+        result = compress(Hypergraph(), alphabet)
+        assert result.size_ratio == 1.0

@@ -1,0 +1,158 @@
+"""Hypothesis property tests over the whole pipeline.
+
+The central invariants of the system:
+
+1. gRePair is lossless: ``val(compress(g))`` is isomorphic to ``g``
+   for arbitrary simple labeled digraphs and arbitrary settings.
+2. The binary container is exact: decoding an encoded grammar
+   reproduces the identical derived graph (same node IDs).
+3. Grammar queries agree with the decompressed graph.
+"""
+
+import random
+
+import networkx as nx
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from helpers import isomorphic
+
+from repro import Alphabet, GRePairSettings, Hypergraph, compress, derive
+from repro.encoding import decode_grammar, encode_grammar
+from repro.queries import GrammarQueries
+
+_settings = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@st.composite
+def graph_and_alphabet(draw):
+    """A random simple labeled digraph plus its alphabet."""
+    seed = draw(st.integers(0, 10**6))
+    num_nodes = draw(st.integers(2, 30))
+    num_labels = draw(st.integers(1, 4))
+    density = draw(st.floats(0.02, 0.35))
+    rng = random.Random(seed)
+    alphabet = Alphabet()
+    labels = [alphabet.add_terminal(2, f"L{i}") for i in range(num_labels)]
+    graph = Hypergraph()
+    for _ in range(num_nodes):
+        graph.add_node()
+    for u in range(1, num_nodes + 1):
+        for v in range(1, num_nodes + 1):
+            if u != v and rng.random() < density:
+                graph.add_edge(rng.choice(labels), (u, v))
+    return graph, alphabet
+
+
+@_settings
+@given(graph_and_alphabet(),
+       st.integers(2, 5),
+       st.sampled_from(["fp", "fp0", "bfs", "dfs", "natural", "random"]),
+       st.booleans(),
+       st.booleans())
+def test_compression_is_lossless(data, max_rank, order, virtual, prune):
+    graph, alphabet = data
+    result = compress(graph, alphabet, GRePairSettings(
+        max_rank=max_rank, order=order, virtual_edges=virtual,
+        prune=prune))
+    assert isomorphic(derive(result.grammar), graph)
+
+
+@_settings
+@given(graph_and_alphabet())
+def test_container_roundtrip_is_exact(data):
+    graph, alphabet = data
+    result = compress(graph, alphabet)
+    decoded = decode_grammar(encode_grammar(result.grammar))
+    original = derive(result.grammar.canonicalize())
+    restored = derive(decoded)
+    assert original.node_size == restored.node_size
+    assert original.edge_multiset() == restored.edge_multiset()
+
+
+@_settings
+@given(graph_and_alphabet())
+def test_grammar_invariants_hold(data):
+    graph, alphabet = data
+    result = compress(graph, alphabet)
+    grammar = result.grammar
+    grammar.validate()
+    refs = grammar.references()
+    # After pruning, every surviving rule is referenced at least twice
+    # and contributes positively.
+    for lhs in grammar.nonterminals():
+        assert refs[lhs] >= 2
+        assert grammar.contribution(lhs, refs) > 0
+
+
+@_settings
+@given(graph_and_alphabet(), st.integers(0, 100))
+def test_queries_match_ground_truth(data, probe_seed):
+    graph, alphabet = data
+    result = compress(graph, alphabet)
+    queries = GrammarQueries(result.grammar)
+    val = derive(result.grammar.canonicalize())
+    truth = nx.DiGraph()
+    truth.add_nodes_from(val.nodes())
+    for _, edge in val.edges():
+        truth.add_edge(*edge.att)
+    rng = random.Random(probe_seed)
+    nodes = sorted(truth.nodes())
+    for _ in range(10):
+        node = rng.choice(nodes)
+        assert queries.out_neighbors(node) == sorted(
+            truth.successors(node))
+        assert queries.in_neighbors(node) == sorted(
+            truth.predecessors(node))
+    for _ in range(10):
+        source, target = rng.choice(nodes), rng.choice(nodes)
+        assert queries.reachable(source, target) == nx.has_path(
+            truth, source, target)
+    assert queries.connected_components() == \
+        nx.number_connected_components(truth.to_undirected())
+
+
+@_settings
+@given(graph_and_alphabet())
+def test_size_never_grows_after_pruning(data):
+    """|G| <= |g| always holds with pruning enabled."""
+    graph, alphabet = data
+    result = compress(graph, alphabet)
+    assert result.grammar.size <= graph.total_size
+
+
+@_settings
+@given(graph_and_alphabet())
+def test_derived_counts_match_materialization(data):
+    graph, alphabet = data
+    grammar = compress(graph, alphabet).grammar
+    val = derive(grammar)
+    assert grammar.derived_node_size() == val.node_size
+    assert grammar.derived_edge_count() == val.num_edges
+
+
+@_settings
+@given(graph_and_alphabet())
+def test_streaming_equals_materialization(data):
+    from repro.core.streaming import iter_edges
+    graph, alphabet = data
+    grammar = compress(graph, alphabet).grammar.canonicalize()
+    streamed = sorted(iter_edges(grammar))
+    materialized = sorted((edge.label, edge.att)
+                          for _, edge in derive(grammar).edges())
+    assert streamed == materialized
+
+
+@_settings
+@given(graph_and_alphabet())
+def test_canonicalize_is_idempotent(data):
+    graph, alphabet = data
+    grammar = compress(graph, alphabet).grammar
+    once = grammar.canonicalize()
+    twice = once.canonicalize()
+    assert once.start.edge_multiset() == twice.start.edge_multiset()
+    assert derive(once).edge_multiset() == derive(twice).edge_multiset()

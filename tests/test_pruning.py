@@ -1,0 +1,128 @@
+"""Unit tests for the pruning phase (paper section III-A3)."""
+
+from helpers import isomorphic
+
+from repro import Alphabet, Hypergraph, SLHRGrammar, derive
+from repro.core.pruning import prune_grammar
+
+
+def _grammar_with_refs(ref_count):
+    """S has `ref_count` A-edges; A -> a.b with one internal node."""
+    alphabet = Alphabet()
+    a = alphabet.add_terminal(2, "a")
+    b = alphabet.add_terminal(2, "b")
+    nt = alphabet.fresh_nonterminal(2)
+    edges = [(nt, (2 * i + 1, 2 * i + 2)) for i in range(ref_count)]
+    start = Hypergraph.from_edges(edges, num_nodes=2 * ref_count)
+    grammar = SLHRGrammar(alphabet, start)
+    grammar.add_rule(nt, Hypergraph.from_edges(
+        [(a, (1, 2)), (b, (2, 3))], ext=(1, 3)))
+    return grammar, nt
+
+
+class TestPhase1:
+    def test_unreferenced_rule_removed(self):
+        grammar, nt = _grammar_with_refs(2)
+        dead = grammar.alphabet.fresh_nonterminal(2)
+        grammar.add_rule(dead, Hypergraph.from_edges(
+            [(1, (1, 2))], ext=(1, 2)))
+        removed = prune_grammar(grammar)
+        assert removed >= 1
+        assert not grammar.has_rule(dead)
+
+    def test_singly_referenced_rule_inlined(self):
+        grammar, nt = _grammar_with_refs(1)
+        before = derive(grammar)
+        removed = prune_grammar(grammar)
+        assert removed == 1
+        assert grammar.num_rules == 0
+        assert isomorphic(derive(grammar), before)
+
+    def test_ref0_cascade(self):
+        """Removing a dead rule can make its children removable."""
+        alphabet = Alphabet()
+        t = alphabet.add_terminal(2, "t")
+        inner = alphabet.fresh_nonterminal(2)
+        dead = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges([(t, (1, 2))], num_nodes=2)
+        grammar = SLHRGrammar(alphabet, start)
+        # `dead` is unreferenced but references `inner` twice.
+        grammar.add_rule(dead, Hypergraph.from_edges(
+            [(inner, (1, 2)), (inner, (2, 3))], ext=(1, 3)))
+        grammar.add_rule(inner, Hypergraph.from_edges(
+            [(t, (1, 2))], ext=(1, 2)))
+        prune_grammar(grammar)
+        assert grammar.num_rules == 0
+
+
+class TestPhase2:
+    def test_positive_contribution_kept(self):
+        """con(A) = 3*(5-3)-5 = 1 > 0 with three references."""
+        grammar, nt = _grammar_with_refs(3)
+        removed = prune_grammar(grammar)
+        assert removed == 0
+        assert grammar.has_rule(nt)
+
+    def test_zero_contribution_removed(self):
+        """con(A) = 2*(5-3)-5 = -1 <= 0 with two references."""
+        grammar, nt = _grammar_with_refs(2)
+        before = derive(grammar)
+        removed = prune_grammar(grammar)
+        assert removed == 1
+        assert grammar.num_rules == 0
+        assert isomorphic(derive(grammar), before)
+
+    def test_hyperedge_rule_with_no_savings_removed(self):
+        """A rank-3 rule whose rhs saves no nodes never contributes."""
+        alphabet = Alphabet()
+        a = alphabet.add_terminal(2, "a")
+        b = alphabet.add_terminal(2, "b")
+        nt = alphabet.fresh_nonterminal(3)
+        start = Hypergraph.from_edges(
+            [(nt, (1, 2, 3)), (nt, (4, 5, 6)), (nt, (7, 8, 9)),
+             (nt, (2, 3, 4))], num_nodes=9)
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(nt, Hypergraph.from_edges(
+            [(a, (1, 2)), (b, (2, 3))], ext=(1, 2, 3)))
+        before = derive(grammar)
+        prune_grammar(grammar)
+        assert grammar.num_rules == 0
+        assert isomorphic(derive(grammar), before)
+
+    def test_bottom_up_cascade_preserves_value(self):
+        """Inlining a child changes the parent's size; value invariant."""
+        alphabet = Alphabet()
+        t = alphabet.add_terminal(2, "t")
+        child = alphabet.fresh_nonterminal(2)
+        parent = alphabet.fresh_nonterminal(2)
+        start = Hypergraph.from_edges(
+            [(parent, (1, 2)), (parent, (3, 4)), (child, (5, 6)),
+             (child, (6, 7))], num_nodes=7)
+        grammar = SLHRGrammar(alphabet, start)
+        grammar.add_rule(parent, Hypergraph.from_edges(
+            [(child, (1, 2)), (t, (2, 3))], ext=(1, 3)))
+        grammar.add_rule(child, Hypergraph.from_edges(
+            [(t, (1, 2)), (t, (2, 3))], ext=(1, 3)))
+        before = derive(grammar)
+        prune_grammar(grammar)
+        grammar.validate()
+        assert isomorphic(derive(grammar), before)
+
+
+class TestValuePreservation:
+    def test_pruning_never_changes_val(self):
+        from helpers import copies_graph
+        from repro import GRePairSettings, compress
+        graph, alphabet = copies_graph(16)
+        pruned = compress(graph, alphabet, GRePairSettings(prune=True))
+        unpruned = compress(graph, alphabet, GRePairSettings(prune=False))
+        assert isomorphic(derive(pruned.grammar),
+                          derive(unpruned.grammar))
+
+    def test_pruning_never_grows_grammar(self):
+        from helpers import copies_graph
+        from repro import GRePairSettings, compress
+        graph, alphabet = copies_graph(16)
+        pruned = compress(graph, alphabet, GRePairSettings(prune=True))
+        unpruned = compress(graph, alphabet, GRePairSettings(prune=False))
+        assert pruned.grammar.size <= unpruned.grammar.size

@@ -1,0 +1,91 @@
+"""Failure injection: corrupted inputs must fail loudly, never hang.
+
+A production decoder's contract: any byte-level corruption raises
+:class:`ReproError` (usually :class:`EncodingError`) or — when the
+corruption happens to decode into a structurally valid but different
+grammar — still terminates and yields a validating grammar.  It must
+never raise foreign exceptions like IndexError or loop forever.
+"""
+
+import random
+
+import pytest
+
+from helpers import copies_graph, random_simple_graph, theta_graph
+
+from repro import compress
+from repro.encoding import decode_grammar, encode_grammar
+from repro.exceptions import ReproError
+
+
+def _blob(builder):
+    graph, alphabet = builder()
+    return encode_grammar(compress(graph, alphabet).grammar).data
+
+
+def _attempt_decode(data: bytes) -> None:
+    """Decode; only library errors (or success) are acceptable."""
+    try:
+        grammar = decode_grammar(data)
+    except ReproError:
+        return
+    except RecursionError:  # pragma: no cover - would be a real bug
+        pytest.fail("decoder recursed unboundedly")
+    grammar.validate()
+
+
+class TestTruncation:
+    def test_every_prefix_fails_cleanly(self):
+        data = _blob(theta_graph)
+        for length in range(len(data)):
+            _attempt_decode(data[:length])
+
+    def test_empty_input(self):
+        with pytest.raises(ReproError):
+            decode_grammar(b"")
+
+
+class TestBitFlips:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_single_byte_corruptions(self, seed):
+        data = bytearray(_blob(lambda: copies_graph(16)))
+        rng = random.Random(seed)
+        for _ in range(60):
+            corrupted = bytearray(data)
+            position = rng.randrange(len(corrupted))
+            corrupted[position] ^= 1 << rng.randrange(8)
+            _attempt_decode(bytes(corrupted))
+
+    def test_random_truncation_plus_flip(self):
+        data = _blob(lambda: random_simple_graph(2))
+        rng = random.Random(42)
+        for _ in range(40):
+            cut = rng.randrange(5, len(data))
+            corrupted = bytearray(data[:cut])
+            if corrupted:
+                corrupted[rng.randrange(len(corrupted))] ^= 0xFF
+            _attempt_decode(bytes(corrupted))
+
+
+class TestGarbage:
+    def test_random_bytes(self):
+        rng = random.Random(7)
+        for _ in range(30):
+            noise = bytes(rng.randrange(256)
+                          for _ in range(rng.randrange(1, 400)))
+            with pytest.raises(ReproError):
+                decode_grammar(b"GRPR\x01" + noise)
+
+    def test_wrong_magic(self):
+        with pytest.raises(ReproError):
+            decode_grammar(b"XXXX" + b"\x00" * 64)
+
+
+class TestSemanticGuards:
+    def test_oversized_section_length(self):
+        data = bytearray(_blob(theta_graph))
+        # Blow up the alphabet-length varint (offset 6 after magic,
+        # version and k) to point far past the buffer.
+        data[6:7] = b"\xff\xff\xff\x7f"
+        with pytest.raises(ReproError):
+            decode_grammar(bytes(data))

@@ -1,0 +1,61 @@
+"""Tests for streaming decompression."""
+
+import pytest
+
+from helpers import copies_graph, random_simple_graph, star_graph
+
+from repro import compress, derive
+from repro.core.streaming import count_streamed_edges, iter_edges
+from repro.exceptions import GrammarError
+
+
+@pytest.mark.parametrize("builder", [
+    lambda: random_simple_graph(13),
+    lambda: copies_graph(32),
+    lambda: star_graph(100),
+])
+def test_stream_matches_derive(builder):
+    graph, alphabet = builder()
+    grammar = compress(graph, alphabet).grammar.canonicalize()
+    streamed = sorted(iter_edges(grammar))
+    materialized = sorted((edge.label, edge.att)
+                          for _, edge in derive(grammar).edges())
+    assert streamed == materialized
+
+
+def test_stream_is_lazy():
+    """Taking a prefix must not expand the whole derivation."""
+    graph, alphabet = copies_graph(64)
+    grammar = compress(graph, alphabet).grammar.canonicalize()
+    iterator = iter_edges(grammar)
+    first_five = [next(iterator) for _ in range(5)]
+    assert len(first_five) == 5
+
+
+def test_stream_count_matches_derived_count():
+    graph, alphabet = copies_graph(48)
+    grammar = compress(graph, alphabet).grammar.canonicalize()
+    assert count_streamed_edges(grammar) == grammar.derived_edge_count()
+    assert count_streamed_edges(grammar) == graph.num_edges
+
+
+def test_stream_requires_canonical_grammar():
+    graph, alphabet = copies_graph(8)
+    grammar = compress(graph, alphabet).grammar
+    # The raw grammar's start graph has ID gaps from node removals.
+    if sorted(grammar.start.nodes()) != list(
+            range(1, grammar.start.node_size + 1)):
+        with pytest.raises(GrammarError):
+            list(iter_edges(grammar))
+    # The canonical form always works.
+    list(iter_edges(grammar.canonicalize()))
+
+
+def test_stream_terminal_only_grammar():
+    from repro import Alphabet, Hypergraph, SLHRGrammar
+    alphabet = Alphabet()
+    t = alphabet.add_terminal(2, "t")
+    start = Hypergraph.from_edges([(t, (1, 2)), (t, (2, 3))],
+                                  num_nodes=3)
+    grammar = SLHRGrammar(alphabet, start)
+    assert sorted(iter_edges(grammar)) == [(t, (1, 2)), (t, (2, 3))]

@@ -1,0 +1,77 @@
+"""Unit tests for the iterative Tarjan SCC implementation."""
+
+import random
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util.tarjan import condensation, strongly_connected_components
+
+
+def _as_sets(components):
+    return {frozenset(c) for c in components}
+
+
+class TestTarjan:
+    def test_empty(self):
+        assert strongly_connected_components([], {}) == []
+
+    def test_isolated_nodes(self):
+        comps = strongly_connected_components([1, 2, 3], {})
+        assert _as_sets(comps) == {frozenset({1}), frozenset({2}),
+                                   frozenset({3})}
+
+    def test_simple_cycle(self):
+        succ = {1: [2], 2: [3], 3: [1]}
+        comps = strongly_connected_components([1, 2, 3], succ)
+        assert _as_sets(comps) == {frozenset({1, 2, 3})}
+
+    def test_dag_is_all_singletons(self):
+        succ = {1: [2, 3], 2: [4], 3: [4]}
+        comps = strongly_connected_components([1, 2, 3, 4], succ)
+        assert len(comps) == 4
+
+    def test_reverse_topological_emission(self):
+        # 1 -> 2 -> 3 (all singletons): sinks are emitted first.
+        succ = {1: [2], 2: [3]}
+        comps = strongly_connected_components([1, 2, 3], succ)
+        assert comps == [[3], [2], [1]]
+
+    def test_two_cycles_with_bridge(self):
+        succ = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        comps = _as_sets(strongly_connected_components([1, 2, 3, 4], succ))
+        assert comps == {frozenset({1, 2}), frozenset({3, 4})}
+
+    def test_long_path_no_recursion_limit(self):
+        n = 50_000
+        succ = {i: [i + 1] for i in range(n)}
+        comps = strongly_connected_components(range(n + 1), succ)
+        assert len(comps) == n + 1
+
+    def test_condensation_structure(self):
+        succ = {1: [2], 2: [1, 3], 3: [4], 4: [3]}
+        component_of, comps, dag = condensation([1, 2, 3, 4], succ)
+        assert component_of[1] == component_of[2]
+        assert component_of[3] == component_of[4]
+        src = component_of[1]
+        dst = component_of[3]
+        assert dst in dag[src]
+        assert src not in dag[dst]
+        assert len(comps) == 2
+
+
+@settings(max_examples=50)
+@given(st.integers(0, 10_000))
+def test_matches_networkx_on_random_digraphs(seed):
+    rng = random.Random(seed)
+    n = rng.randint(1, 40)
+    edges = [(rng.randrange(n), rng.randrange(n))
+             for _ in range(rng.randint(0, 120))]
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(n))
+    graph.add_edges_from(edges)
+    succ = {u: sorted(graph.successors(u)) for u in graph}
+    ours = _as_sets(strongly_connected_components(range(n), succ))
+    theirs = {frozenset(c) for c in nx.strongly_connected_components(graph)}
+    assert ours == theirs

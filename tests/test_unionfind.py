@@ -1,0 +1,73 @@
+"""Unit tests for the disjoint-set forest."""
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.unionfind import UnionFind
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(range(5))
+        assert len(uf) == 5
+        assert uf.set_count == 5
+        assert all(uf.find(i) == i for i in range(5))
+
+    def test_union_merges_and_counts(self):
+        uf = UnionFind(range(4))
+        assert uf.union(0, 1)
+        assert uf.set_count == 3
+        assert uf.connected(0, 1)
+        assert not uf.connected(0, 2)
+
+    def test_union_idempotent(self):
+        uf = UnionFind()
+        uf.union("a", "b")
+        assert not uf.union("a", "b")
+        assert uf.set_count == 1
+
+    def test_lazy_element_creation(self):
+        uf = UnionFind()
+        assert uf.find(42) == 42
+        assert 42 in uf
+
+    def test_groups_partition_everything(self):
+        uf = UnionFind(range(10))
+        uf.union(0, 1)
+        uf.union(1, 2)
+        uf.union(5, 6)
+        groups = sorted(sorted(g) for g in uf.groups())
+        flattened = sorted(x for g in groups for x in g)
+        assert flattened == list(range(10))
+        assert [0, 1, 2] in groups
+        assert [5, 6] in groups
+        assert uf.set_count == len(groups)
+
+    def test_transitive_connectivity_chain(self):
+        uf = UnionFind()
+        for i in range(99):
+            uf.union(i, i + 1)
+        assert uf.connected(0, 99)
+        assert uf.set_count == 1
+
+
+@given(st.lists(st.tuples(st.integers(0, 30), st.integers(0, 30)),
+                max_size=80),
+       st.integers(0, 1000))
+def test_matches_naive_partition(unions, seed):
+    """Union-find agrees with a brute-force partition refinement."""
+    uf = UnionFind(range(31))
+    naive = {i: {i} for i in range(31)}
+    rng = random.Random(seed)
+    for a, b in unions:
+        uf.union(a, b)
+        if naive[a] is not naive[b]:
+            merged = naive[a] | naive[b]
+            for member in merged:
+                naive[member] = merged
+    for _ in range(50):
+        a, b = rng.randrange(31), rng.randrange(31)
+        assert uf.connected(a, b) == (naive[a] is naive[b])
+    assert uf.set_count == len({id(s) for s in naive.values()})

@@ -1,0 +1,52 @@
+"""Unit tests for LEB128 varints."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import EncodingError
+from repro.util.varint import read_uvarint, uvarint_bytes, write_uvarint
+
+
+class TestVarint:
+    @pytest.mark.parametrize("value,encoded", [
+        (0, b"\x00"),
+        (1, b"\x01"),
+        (127, b"\x7f"),
+        (128, b"\x80\x01"),
+        (300, b"\xac\x02"),
+    ])
+    def test_known_encodings(self, value, encoded):
+        assert uvarint_bytes(value) == encoded
+
+    def test_rejects_negative(self):
+        with pytest.raises(EncodingError):
+            write_uvarint(bytearray(), -1)
+
+    def test_truncated_stream_raises(self):
+        with pytest.raises(EncodingError):
+            read_uvarint(b"\x80")
+
+    def test_read_at_offset(self):
+        data = b"\xff" + uvarint_bytes(300)
+        value, pos = read_uvarint(data, 1)
+        assert value == 300
+        assert pos == len(data)
+
+    def test_overlong_raises(self):
+        with pytest.raises(EncodingError):
+            read_uvarint(b"\x80" * 10 + b"\x01")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**62), max_size=50))
+def test_varint_sequence_roundtrip(values):
+    out = bytearray()
+    for value in values:
+        write_uvarint(out, value)
+    pos = 0
+    decoded = []
+    for _ in values:
+        value, pos = read_uvarint(bytes(out), pos)
+        decoded.append(value)
+    assert decoded == values
+    assert pos == len(out)
