@@ -1,0 +1,93 @@
+"""Engine instrumentation — passes, settles and queue ops per corpus.
+
+The incremental engine's contract: one seed counting pass per phase and
+**zero re-count passes**, with realignment work (settle rounds) bounded
+by the dirty regions instead of the graph.  This module measures both
+engines over the shared smoke corpora, asserts the contract, and
+reports the maintained-work comparison next to the paper tables.
+
+Run the smoke lane with ``pytest -m smoke benchmarks`` (seconds) or the
+timed comparison with ``pytest benchmarks/bench_incremental_passes.py``.
+"""
+
+import pytest
+
+from repro import GRePairSettings
+from repro.bench import Report, SMOKE_CORPORA, compression_stats
+
+_SECTION = "Engine maintenance: passes / settles / queue ops"
+
+_IDS = list(SMOKE_CORPORA)
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("name", _IDS)
+def test_incremental_zero_recount_passes(name):
+    """Acceptance gate: no full re-count pass on any smoke corpus."""
+    graph, alphabet = SMOKE_CORPORA[name]()
+    stats, _ = compression_stats(graph, alphabet,
+                                 GRePairSettings(engine="incremental"))
+    assert stats.recount_passes == 0
+    # One seed pass for the main loop, at most one more for the
+    # virtual-edge phase.
+    assert 1 <= stats.passes <= 2
+
+
+@pytest.mark.smoke
+@pytest.mark.parametrize("name", _IDS)
+def test_incremental_matches_recount_ratio(name):
+    """Acceptance gate: compression ratio within 1% of the oracle."""
+    graph, alphabet = SMOKE_CORPORA[name]()
+    sizes = {}
+    for engine in ("incremental", "recount"):
+        _, result = compression_stats(graph, alphabet,
+                                      GRePairSettings(engine=engine))
+        sizes[engine] = result.grammar.size
+    assert sizes["incremental"] <= sizes["recount"] * 1.01 + 1, (
+        f"{name}: incremental |G|={sizes['incremental']} vs "
+        f"recount |G|={sizes['recount']}"
+    )
+
+
+@pytest.mark.smoke
+def test_settles_cheaper_than_recount_passes():
+    """Summed settle work stays below the oracle's re-count work."""
+    settle_nodes = 0
+    recount_nodes = 0
+    for name in _IDS:
+        graph, alphabet = SMOKE_CORPORA[name]()
+        inc, _ = compression_stats(graph, alphabet,
+                                   GRePairSettings(engine="incremental"))
+        rec, _ = compression_stats(graph, alphabet,
+                                   GRePairSettings(engine="recount"))
+        settle_nodes += inc.nodes_recounted
+        recount_nodes += rec.recount_passes * graph.node_size
+    assert settle_nodes < recount_nodes
+
+
+def test_engine_maintenance_report(benchmark):
+    """Timed comparison of both engines over every smoke corpus."""
+
+    def run():
+        rows = []
+        for name in _IDS:
+            graph, alphabet = SMOKE_CORPORA[name]()
+            inc, inc_result = compression_stats(
+                graph, alphabet, GRePairSettings(engine="incremental"))
+            rec, rec_result = compression_stats(
+                graph, alphabet, GRePairSettings(engine="recount"))
+            rows.append((name, graph.num_edges, inc, rec,
+                         inc_result.grammar.size,
+                         rec_result.grammar.size))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    for name, edges, inc, rec, inc_size, rec_size in rows:
+        Report.add(_SECTION,
+                   f"{name:14s} |E|={edges:5d} "
+                   f"inc: passes={inc.passes} settles={inc.settle_rounds} "
+                   f"recounted={inc.nodes_recounted:5d} "
+                   f"qops={inc.queue_pushes + inc.queue_pops:6d} "
+                   f"|G|={inc_size:5d}  "
+                   f"rec: passes={rec.passes} |G|={rec_size:5d}")
+        assert inc.recount_passes == 0

@@ -1,4 +1,11 @@
-"""Benchmark-suite plumbing: report printing and shared fixtures."""
+"""Benchmark-suite plumbing: report printing, markers, shared fixtures.
+
+The ``smoke`` marker tags the fast subset of each benchmark module —
+small corpora, no timing rounds — so CI can gate merges on
+``pytest -m smoke benchmarks`` in seconds while the full paper-table
+suite stays opt-in.  ``scripts/check_bench_regression.py`` runs the
+same smoke corpora against the committed baseline.
+"""
 
 from __future__ import annotations
 
@@ -7,6 +14,14 @@ from pathlib import Path
 from repro.bench.report import Report
 
 _RESULTS = Path(__file__).parent / "results" / "report.txt"
+
+
+def pytest_configure(config):
+    """Register the smoke marker for standalone benchmark runs."""
+    config.addinivalue_line(
+        "markers",
+        "smoke: fast engine-regression subset of the benchmark suite",
+    )
 
 
 def pytest_terminal_summary(terminalreporter):

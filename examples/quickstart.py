@@ -18,6 +18,7 @@ from repro import (
     Alphabet,
     GRePairSettings,
     Hypergraph,
+    StreamingCompressor,
     compress,
     derive,
 )
@@ -86,6 +87,38 @@ def main():
     print(f"out-neighbors of node 1:    {queries.out_neighbors(1)}")
     print(f"reachable 1 -> 2?           {queries.reachable(1, 2)}")
     print(f"reachable 2 -> 1?           {queries.reachable(2, 1)}")
+
+    # ------------------------------------------------------------------
+    # 5. Engines.  The default "incremental" engine maintains the
+    #    digram occurrence lists and the bucket priority queue purely
+    #    by local deltas: after one initial counting pass it never
+    #    re-counts the graph (stats["recount_passes"] == 0).  The
+    #    legacy "recount" engine re-runs full counting passes between
+    #    replacements and serves as a correctness/quality oracle.
+    # ------------------------------------------------------------------
+    incremental = compress(graph, alphabet,
+                           GRePairSettings(engine="incremental"))
+    recount = compress(graph, alphabet,
+                       GRePairSettings(engine="recount"))
+    print(f"incremental engine: |G|={incremental.grammar.size}, "
+          f"passes={incremental.stats['passes']}, "
+          f"re-counts={incremental.stats['recount_passes']}")
+    print(f"recount engine:     |G|={recount.grammar.size}, "
+          f"passes={recount.stats['passes']}, "
+          f"re-counts={recount.stats['recount_passes']}")
+
+    # ------------------------------------------------------------------
+    # 6. Streaming compression.  Edges can be fed in chunks; the
+    #    incremental state is reused across chunks, so no chunk ever
+    #    triggers a re-count of the accumulated graph.
+    # ------------------------------------------------------------------
+    streamer = StreamingCompressor(alphabet, order="natural")
+    chunk = [(edge.label, edge.att) for _, edge in graph.edges()]
+    streamer.add_edges(chunk[:len(chunk) // 2])
+    streamer.add_edges(chunk[len(chunk) // 2:])
+    streamed = streamer.finish()
+    print(f"streamed grammar:   |G|={streamed.size} "
+          f"(counting passes: {streamer.stats.passes})")
     print("quickstart OK")
 
 

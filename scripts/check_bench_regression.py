@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Gate engine changes against the committed benchmark baseline.
+
+Recomputes pass counts, settle work, queue operations and compression
+ratios for both engines over the shared smoke corpora
+(:data:`repro.bench.corpora.SMOKE_CORPORA`) and compares them with
+``benchmarks/BENCH_baseline.json``:
+
+* the incremental engine must report **zero** re-count passes and at
+  most the baseline's seed passes,
+* its compression ratio may not regress by more than ``--tolerance``
+  (default 1%) relative to the baseline ratio,
+* its ratio must stay within 1% of the recount oracle's current ratio,
+* settle work (nodes re-counted) and queue operations may not blow up
+  past ``--work-slack`` (default 1.25x) of the baseline.
+
+Exit code 0 means no regression; 1 means at least one check failed;
+``--update`` rewrites the baseline instead of checking.
+
+Usage::
+
+    python scripts/check_bench_regression.py            # check
+    python scripts/check_bench_regression.py --update   # re-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+from repro import GRePairSettings  # noqa: E402
+from repro.bench import SMOKE_CORPORA, compression_stats  # noqa: E402
+
+BASELINE_PATH = _ROOT / "benchmarks" / "BENCH_baseline.json"
+
+
+def measure() -> dict:
+    """Run both engines over every smoke corpus; collect the metrics."""
+    corpora = {}
+    for name, builder in SMOKE_CORPORA.items():
+        graph, alphabet = builder()
+        entry = {"edges": graph.num_edges, "nodes": graph.node_size}
+        for engine in ("incremental", "recount"):
+            stats, result = compression_stats(
+                graph, alphabet, GRePairSettings(engine=engine))
+            entry[engine] = {
+                "passes": stats.passes,
+                "recount_passes": stats.recount_passes,
+                "settle_rounds": stats.settle_rounds,
+                "nodes_recounted": stats.nodes_recounted,
+                "queue_ops": stats.queue_pushes + stats.queue_pops,
+                "grammar_size": result.grammar.size,
+                "ratio": round(result.size_ratio, 6),
+            }
+        corpora[name] = entry
+    return {"corpora": corpora}
+
+
+def check(current: dict, baseline: dict, tolerance: float,
+          work_slack: float) -> list:
+    """Compare a measurement against the baseline; return failures."""
+    failures = []
+
+    def fail(corpus, message):
+        failures.append(f"{corpus}: {message}")
+
+    for name, entry in current["corpora"].items():
+        base = baseline["corpora"].get(name)
+        if base is None:
+            fail(name, "missing from baseline (run --update)")
+            continue
+        inc = entry["incremental"]
+        base_inc = base["incremental"]
+        if inc["recount_passes"] != 0:
+            fail(name, f"incremental engine performed "
+                       f"{inc['recount_passes']} re-count passes")
+        if inc["passes"] > base_inc["passes"]:
+            fail(name, f"seed passes grew: {inc['passes']} > "
+                       f"{base_inc['passes']}")
+        if inc["ratio"] > base_inc["ratio"] * (1 + tolerance) + 1e-9:
+            fail(name, f"ratio regressed: {inc['ratio']:.4f} > "
+                       f"{base_inc['ratio']:.4f} (+{tolerance:.0%})")
+        oracle_ratio = entry["recount"]["ratio"]
+        if inc["ratio"] > oracle_ratio * (1 + tolerance) + 1e-9:
+            fail(name, f"ratio drifted from oracle: {inc['ratio']:.4f} "
+                       f"vs {oracle_ratio:.4f} (+{tolerance:.0%})")
+        for metric in ("nodes_recounted", "queue_ops"):
+            allowed = base_inc[metric] * work_slack + 50
+            if inc[metric] > allowed:
+                fail(name, f"{metric} blew up: {inc[metric]} > "
+                           f"{allowed:.0f} "
+                           f"(baseline {base_inc[metric]})")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="compare engine pass counts / ratios against "
+                    "the committed baseline")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline from this run")
+    parser.add_argument("--tolerance", type=float, default=0.01,
+                        help="relative ratio tolerance (default 0.01)")
+    parser.add_argument("--work-slack", type=float, default=1.25,
+                        help="allowed growth factor for settle/queue "
+                             "work (default 1.25)")
+    args = parser.parse_args(argv)
+
+    current = measure()
+    if args.update:
+        BASELINE_PATH.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"baseline written: {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --update",
+              file=sys.stderr)
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+    failures = check(current, baseline, args.tolerance, args.work_slack)
+    for name, entry in current["corpora"].items():
+        inc = entry["incremental"]
+        print(f"{name:14s} passes={inc['passes']} "
+              f"recounts={inc['recount_passes']} "
+              f"ratio={inc['ratio']:.4f} "
+              f"(oracle {entry['recount']['ratio']:.4f})")
+    if failures:
+        print("\nREGRESSIONS:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\nno regressions against", BASELINE_PATH.name)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,12 @@ Public API highlights
     The directed edge-labeled hypergraph data model.
 ``compress`` / ``GRePairSettings`` / ``CompressionResult``
     Run the gRePair compressor and inspect the resulting SL-HR grammar.
+    ``GRePairSettings(engine=...)`` selects the occurrence-maintenance
+    engine: ``"incremental"`` (default; no re-count passes) or
+    ``"recount"`` (legacy full-recount oracle).
+``StreamingCompressor``
+    Chunked compression that reuses the incremental engine's state
+    across chunks.
 ``derive``
     Expand a grammar back into its (deterministically numbered) graph.
 ``encode_grammar`` / ``decode_grammar``
@@ -23,31 +29,37 @@ See ``examples/quickstart.py`` for a tour.
 """
 
 from repro.core import (
+    ENGINES,
     Alphabet,
     CompressionResult,
+    CompressionStats,
     Edge,
     GRePair,
     GRePairSettings,
     Hypergraph,
     Rule,
     SLHRGrammar,
+    StreamingCompressor,
     compress,
     derive,
     fp_equivalence_classes,
     node_order,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Alphabet",
     "CompressionResult",
+    "CompressionStats",
+    "ENGINES",
     "Edge",
     "GRePair",
     "GRePairSettings",
     "Hypergraph",
     "Rule",
     "SLHRGrammar",
+    "StreamingCompressor",
     "compress",
     "derive",
     "fp_equivalence_classes",

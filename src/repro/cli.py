@@ -22,7 +22,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro import GRePairSettings, compress, derive
+from repro import ENGINES, GRePairSettings, compress, derive
 from repro.core.orders import NODE_ORDERS
 from repro.datasets.io import read_edge_list, write_edge_list
 from repro.encoding import GrammarFile, decode_grammar, encode_grammar
@@ -47,6 +47,11 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="fp", help="node order (default: fp)")
     comp.add_argument("--seed", type=int, default=0,
                       help="seed for the random order")
+    comp.add_argument("--engine", choices=list(ENGINES),
+                      default="incremental",
+                      help="occurrence maintenance: incremental "
+                           "(default, no re-count passes) or recount "
+                           "(legacy oracle)")
     comp.add_argument("--no-virtual-edges", action="store_true",
                       help="disable the disconnected-components pass")
     comp.add_argument("--no-prune", action="store_true",
@@ -80,6 +85,7 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         seed=args.seed,
         virtual_edges=not args.no_virtual_edges,
         prune=not args.no_prune,
+        engine=args.engine,
     )
     result = compress(graph, alphabet, settings)
     blob = encode_grammar(result.grammar,

@@ -32,12 +32,15 @@ from repro.core.orders import (
     random_order,
 )
 from repro.core.pipeline import CompressionResult, GRePairSettings, compress
-from repro.core.repair import GRePair
+from repro.core.repair import ENGINES, CompressionStats, GRePair
+from repro.core.streaming import StreamingCompressor
 
 __all__ = [
     "Alphabet",
     "CompressionResult",
+    "CompressionStats",
     "DigramKey",
+    "ENGINES",
     "Edge",
     "GRePair",
     "GRePairSettings",
@@ -46,6 +49,7 @@ __all__ = [
     "Occurrence",
     "Rule",
     "SLHRGrammar",
+    "StreamingCompressor",
     "VIRTUAL_LABEL_NAME",
     "bfs_order",
     "compress",

@@ -187,3 +187,42 @@ def removal_nodes(key: DigramKey,
     """Host nodes deleted by replacing this occurrence (internal ones)."""
     return tuple(node for node, idx in local_of_node.items()
                  if not key.ext_flags[idx])
+
+
+#: Degree bound below which externality flags can still flip.
+#:
+#: Inside any occurrence a node ``v`` is external iff ``deg(v) > c`` (or
+#: ``v`` is host-external), where ``c`` is the number of the pair's two
+#: edges incident with ``v`` — so ``c`` is 1 or 2.  A node of degree
+#: >= 4 therefore satisfies ``deg(v) > c`` in *every* occurrence, before
+#: and after any single-replacement degree change that keeps it >= 4:
+#: its flags are pinned True, and only degree transitions touching the
+#: range <= 3 can change a recorded occurrence's digram key.  This is
+#: why the incremental engine's dirty regions stay local: key drift is
+#: confined to low-degree neighborhoods of a replacement, and the
+#: settle cascade reaches all of them (verified by brute force in
+#: ``tests/test_digram.py``).
+EXT_STABLE_DEGREE = 3
+
+
+def occurrence_nodes(graph: Hypergraph, occ: Occurrence) -> Tuple[int,
+                                                                  ...]:
+    """Distinct host nodes of an occurrence, in local-index order."""
+    return tuple(_locals_for(graph.edge(occ.edge_a).att,
+                             graph.edge(occ.edge_b).att))
+
+
+def occurrence_is_current(graph: Hypergraph, key: DigramKey,
+                          occ: Occurrence) -> bool:
+    """True if ``occ`` still is an occurrence of exactly ``key``.
+
+    A recorded occurrence is *stale* once one of its edges was consumed
+    by a replacement or the externality of one of its nodes changed
+    (its true digram key drifted).  Both engines use this identity
+    check; the incremental engine additionally repairs drifted entries
+    eagerly instead of waiting for a counting pass to rediscover them.
+    """
+    if not (graph.has_edge(occ.edge_a) and graph.has_edge(occ.edge_b)):
+        return False
+    current, canonical, _ = digram_key(graph, occ.edge_a, occ.edge_b)
+    return current == key and canonical == occ

@@ -15,7 +15,12 @@ This module provides the data structures of section III-C1 of the paper:
   consumed,
 * a bucket priority queue of length ``ceil(sqrt(n))`` following Larsson
   and Moffat [15]: bucket ``i`` holds digrams with ``i`` occurrences,
-  the last bucket holds everything with at least ``sqrt(n)``.
+  the last bucket holds everything with at least ``sqrt(n)``,
+* a :class:`PairingIndex` — the per-node pairing state of the paper's
+  ``E_{σ1,σ2}(v)`` lists, kept as incident edges grouped by ``(label,
+  position of v)``.  The incremental engine maintains it under deltas
+  (edge insertions/removals) so that re-pairing a freed or fresh edge is
+  a local group scan instead of a global counting pass.
 
 Deletions are lazy: a recorded occurrence may become stale when a
 replacement deletes one of its edges or changes the externality of its
@@ -26,10 +31,12 @@ incorrect replacement.
 
 from __future__ import annotations
 
+import heapq
 import math
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.core.digram import DigramKey, Occurrence
+from repro.core.hypergraph import Edge, Hypergraph
 
 
 class OccurrenceList:
@@ -171,6 +178,74 @@ class OccurrenceTable:
         del self._lists[key]
 
 
+class PairingIndex:
+    """Per-node incident edges grouped by ``(label, position)``.
+
+    This is the delta-maintainable form of the paper's per-node edge
+    lists: ``group(v, σ, p)`` holds (in insertion order) the edges
+    labeled ``σ`` whose attachment has ``v`` at position ``p``.  The
+    incremental engine consults it to offer a fresh or freed edge new
+    partners without re-scanning the whole graph; the engine owns every
+    graph mutation and mirrors it here via :meth:`add` / :meth:`remove`.
+    """
+
+    __slots__ = ("_groups",)
+
+    def __init__(self) -> None:
+        # node -> (label, position) -> insertion-ordered edge-ID set
+        self._groups: Dict[int, Dict[Tuple[int, int],
+                                     Dict[int, None]]] = {}
+
+    @classmethod
+    def from_graph(cls, graph: Hypergraph) -> "PairingIndex":
+        """Index every edge of ``graph`` (one-time O(|E|) build)."""
+        index = cls()
+        for eid, edge in graph.edges():
+            index.add(eid, edge)
+        return index
+
+    def add(self, edge_id: int, edge: Edge) -> None:
+        """Register a newly inserted edge."""
+        for pos, node in enumerate(edge.att):
+            self._groups.setdefault(node, {}).setdefault(
+                (edge.label, pos), {})[edge_id] = None
+
+    def remove(self, edge_id: int, edge: Edge) -> None:
+        """Unregister a deleted edge (pass the edge as it was)."""
+        for pos, node in enumerate(edge.att):
+            node_groups = self._groups.get(node)
+            if node_groups is None:
+                continue
+            group = node_groups.get((edge.label, pos))
+            if group is not None:
+                group.pop(edge_id, None)
+                if not group:
+                    del node_groups[(edge.label, pos)]
+            if not node_groups:
+                del self._groups[node]
+
+    def groups_at(
+        self, node: int
+    ) -> List[Tuple[Tuple[int, int], List[int]]]:
+        """Snapshot of the groups at ``node``, sorted by (label, pos).
+
+        The sort makes pairing deterministic and mirrors the sorted
+        group traversal of the full counting pass.
+        """
+        node_groups = self._groups.get(node)
+        if not node_groups:
+            return []
+        return [(key, list(group))
+                for key, group in sorted(node_groups.items())]
+
+    def group_size(self, node: int, label: int, pos: int) -> int:
+        """Number of indexed edges in one group (0 if absent)."""
+        node_groups = self._groups.get(node)
+        if not node_groups:
+            return 0
+        return len(node_groups.get((label, pos), ()))
+
+
 class BucketQueue:
     """Larsson–Moffat frequency buckets over digram lists.
 
@@ -186,7 +261,20 @@ class BucketQueue:
         self._buckets: List[Dict[DigramKey, None]] = [
             {} for _ in range(self._top + 1)
         ]
+        # Per-bucket min-heaps over the keys, with lazy deletion: every
+        # membership insert pushes an entry, so a key present in the
+        # bucket dict always has at least one heap entry, and entries
+        # whose key left the bucket are skipped at pop time.  This
+        # keeps the canonical smallest-key pop order at O(log n) per
+        # operation instead of scanning the bucket.
+        self._heaps: List[List[DigramKey]] = [
+            [] for _ in range(self._top + 1)
+        ]
         self._highest = 0
+        #: Instrumentation: queue repositions (insert/move/evict) and
+        #: successful pops, read by :class:`repro.core.repair.GRePair`.
+        self.push_count = 0
+        self.pop_count = 0
 
     def file(self, olist: OccurrenceList) -> None:
         """Insert or reposition ``olist`` according to its length."""
@@ -197,11 +285,13 @@ class BucketQueue:
             desired = None
         if olist.bucket == desired:
             return
+        self.push_count += 1
         if olist.bucket is not None:
             self._buckets[olist.bucket].pop(olist.key, None)
         olist.bucket = desired
         if desired is not None:
             self._buckets[desired][olist.key] = None
+            heapq.heappush(self._heaps[desired], olist.key)
             if desired > self._highest:
                 self._highest = desired
 
@@ -210,21 +300,62 @@ class BucketQueue:
         if olist.bucket is not None:
             self._buckets[olist.bucket].pop(olist.key, None)
             olist.bucket = None
+            self.push_count += 1
+
+    def resize(self, num_edges: int,
+               table: Optional["OccurrenceTable"] = None) -> None:
+        """Grow the bucket range to match a larger edge count.
+
+        Streaming compression ingests edges after the queue exists; a
+        larger graph warrants a finer frequency resolution (top bucket
+        ``sqrt(n)``).  Queued digrams are re-filed into the new buckets
+        — by their true list length when ``table`` is supplied (lists
+        clamped into the old top bucket spread out again), else at their
+        previous level.  Shrinking is never needed (a coarse top bucket
+        stays correct).
+        """
+        top = max(2, math.isqrt(max(1, num_edges)))
+        if top <= self._top:
+            return
+        old_buckets = self._buckets
+        self._top = top
+        self._buckets = [{} for _ in range(top + 1)]
+        self._heaps = [[] for _ in range(top + 1)]
+        self._highest = 0
+        for level, bucket in enumerate(old_buckets):
+            for key in bucket:
+                dest = level
+                olist = table.get(key) if table is not None else None
+                if olist is not None:
+                    dest = min(max(len(olist), 2), top)
+                    olist.bucket = dest
+                self._buckets[dest][key] = None
+                heapq.heappush(self._heaps[dest], key)
+                if dest > self._highest:
+                    self._highest = dest
 
     def pop_most_frequent(self) -> Optional[DigramKey]:
         """Remove and return a digram from the highest non-empty bucket.
 
-        Within a bucket, insertion order decides (deterministic).  The
-        caller owns the popped list and must clear its ``bucket`` field
-        (or re-``file`` it) before touching the queue again.
+        Count ties are broken by the canonical (lexicographically
+        smallest) digram key — a content-based order, so engines with
+        different maintenance histories pop identically and stay
+        differentially comparable.  The caller owns the popped list and
+        must clear its ``bucket`` field (or re-``file`` it) before
+        touching the queue again.
         """
         level = min(self._highest, self._top)
         while level >= 2:
             bucket = self._buckets[level]
             if bucket:
-                key = next(iter(bucket))
+                heap = self._heaps[level]
+                while True:
+                    key = heapq.heappop(heap)
+                    if key in bucket:
+                        break
                 del bucket[key]
                 self._highest = level
+                self.pop_count += 1
                 return key
             level -= 1
         self._highest = 0

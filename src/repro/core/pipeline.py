@@ -17,7 +17,7 @@ from typing import Dict, Optional
 from repro.core.alphabet import Alphabet
 from repro.core.grammar import SLHRGrammar
 from repro.core.hypergraph import Hypergraph
-from repro.core.repair import GRePair
+from repro.core.repair import CompressionStats, GRePair
 
 
 @dataclass
@@ -25,7 +25,9 @@ class GRePairSettings:
     """Tunable parameters of a gRePair run.
 
     Defaults follow the paper's recommended configuration
-    (``maxRank = 4`` and the FP order, section IV-C).
+    (``maxRank = 4`` and the FP order, section IV-C) on the incremental
+    maintenance engine; ``engine="recount"`` selects the legacy
+    full-recount oracle (see :mod:`repro.core.repair`).
     """
 
     max_rank: int = 4
@@ -33,11 +35,13 @@ class GRePairSettings:
     seed: int = 0
     virtual_edges: bool = True
     prune: bool = True
+    engine: str = "incremental"
 
     def describe(self) -> str:
         """Short human-readable parameter summary."""
         return (f"maxRank={self.max_rank}, order={self.order}, "
-                f"virtual={self.virtual_edges}, prune={self.prune}")
+                f"virtual={self.virtual_edges}, prune={self.prune}, "
+                f"engine={self.engine}")
 
 
 @dataclass
@@ -48,7 +52,8 @@ class CompressionResult:
     original_size: int
     original_edges: int
     settings: GRePairSettings
-    stats: Dict[str, int] = field(default_factory=dict)
+    stats: Dict[str, object] = field(default_factory=dict)
+    stats_obj: Optional[CompressionStats] = None
 
     @property
     def grammar_size(self) -> int:
@@ -109,6 +114,7 @@ def compress(
         seed=settings.seed,
         virtual_edges=settings.virtual_edges,
         prune=settings.prune,
+        engine=settings.engine,
     )
     grammar = algorithm.run()
     if validate:
@@ -119,4 +125,5 @@ def compress(
         original_edges=original_edges,
         settings=settings,
         stats=algorithm.stats.as_dict(),
+        stats_obj=algorithm.stats,
     )

@@ -11,61 +11,150 @@ Given a start graph the algorithm repeatedly
    and adds the rule ``A -> digram``,
 4. updates occurrence lists around the replacement sites.
 
-Counting passes are re-run until no active digram remains: the paper's
-incremental updates are approximated by (a) pairing each new
-nonterminal edge with available neighbor edges immediately (bounded
-work per replacement) and (b) full re-counts, which restore any pairing
-the bounded updates missed.  Every replaced digram strictly decreases
-the number of edges of the start graph, so the loop terminates.
+Two engines implement step 4:
+
+``engine="incremental"`` (default)
+    One counting pass seeds the occurrence table; afterwards **no full
+    re-count pass is ever performed** (``stats.recount_passes == 0``).
+    While the queue drains, occurrence lists only shrink: replacing an
+    occurrence surgically releases every overlapping occurrence and
+    re-files the affected digram lists in place, and each fresh
+    nonterminal edge receives one bounded pairing per attachment node.
+    Every node whose pairing state changed — attachment nodes of
+    replaced occurrences, nodes of released or newly recorded partner
+    edges — is marked *dirty*.  When the queue runs dry the engine
+    *settles*: starting from the dirty set it releases every recorded
+    occurrence in the affected region (following the cascade of freed
+    pairing slots) and re-runs the canonical counting construction on
+    exactly those nodes, in ω order, against the per-node
+    :class:`~repro.core.occurrences.PairingIndex`.  Outside the
+    affected region the greedy counting construction is deterministic
+    and its inputs are unchanged, so the kept state coincides with what
+    a full pass would rebuild — the settle step realigns exactly like a
+    re-count pass while touching only the changed neighborhood.  Drain
+    and settle alternate until no active digram remains.
+
+    Externality drift is covered by the same mechanism: a recorded
+    occurrence's key can only change when a node's degree crosses the
+    :data:`~repro.core.digram.EXT_STABLE_DEGREE` range, degrees only
+    change at dirty nodes, and dirty regions are re-keyed from scratch
+    when settled.  Stale keys that a drain meets before the next settle
+    are caught by revalidation immediately before a replacement, so
+    replacements are always sound.
+
+``engine="recount"`` (legacy oracle)
+    The seed implementation: the same drain, but the realignment
+    between drains is a full counting pass over the whole graph,
+    repeated until no active digram remains.  Quadratic-ish on large
+    inputs, but an oracle for the incremental engine: the differential
+    suite (``tests/test_engine_differential.py``) checks that both
+    engines' grammars decompress identically and have near-identical
+    sizes.
+
+Every replaced digram strictly decreases the number of edges of the
+start graph, and a settle that surfaces no active digram ends the run,
+so both engines terminate.
 
 After the main loop, disconnected components are linked with *virtual
-edges* and the loop runs again — this is the step that gives version
-graphs their near-exponential compression (paper Fig. 13): chains of
-isomorphic components become digrams of nonterminal and virtual edges,
-which then pair hierarchically.  The virtual edges are deleted from the
+edges* and the algorithm restarts on the augmented graph (the paper's
+construction) — this is the step that gives version graphs their
+near-exponential compression (paper Fig. 13): chains of isomorphic
+components become digrams of nonterminal and virtual edges, which then
+pair hierarchically.  The added edges shift externality across the
+graph, so both engines seed this second phase with one counting pass of
+its own; within the phase the incremental engine again maintains the
+state purely by deltas (``recount_passes`` counts only *re*-counts
+within a phase and stays 0).  The virtual edges are deleted from the
 grammar afterwards.  Finally the grammar is pruned
 (:mod:`repro.core.pruning`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.alphabet import Alphabet, VIRTUAL_LABEL_NAME
 from repro.core.digram import (
     DigramKey,
     Occurrence,
     digram_key,
+    occurrence_nodes,
     removal_nodes,
     replacement_attachment,
     rule_graph,
 )
 from repro.core.grammar import SLHRGrammar
 from repro.core.hypergraph import Hypergraph
-from repro.core.occurrences import BucketQueue, OccurrenceTable
+from repro.core.occurrences import (
+    BucketQueue,
+    OccurrenceTable,
+    PairingIndex,
+)
 from repro.core.orders import node_order
 from repro.core.pruning import prune_grammar
 from repro.exceptions import GrammarError
 from repro.util.unionfind import UnionFind
 
+#: The available maintenance engines (see module docstring).
+ENGINES = ("incremental", "recount")
+
 #: Nodes with more incident edges than this are skipped by the bounded
-#: per-replacement update (full re-count passes cover them instead).
+#: per-replacement update (settle/re-count passes cover them instead).
 _UPDATE_DEGREE_CAP = 256
 
 
-class GRePairStats:
-    """Counters filled during a compression run (for reports/tests)."""
+class CompressionStats:
+    """Counters filled during a compression run (for reports/tests).
 
-    def __init__(self) -> None:
+    Attributes
+    ----------
+    engine:
+        Which maintenance engine produced these numbers.
+    passes:
+        Full counting passes over the whole node order.  The
+        incremental engine performs exactly one per phase — the seed of
+        the main loop, plus (following the paper, which restarts the
+        algorithm on the virtual-edge-augmented graph) one seed for the
+        virtual-edge phase; pure streaming ingestion needs none for the
+        main loop.
+    recount_passes:
+        Full counting passes re-run *within* a phase to repair
+        occurrence state after replacements — the quadratic-ish
+        component the incremental engine eliminates (always 0 there;
+        the recount engine re-counts after every drain).
+    settle_rounds:
+        Incremental settle boundaries (dirty-region realignments).
+    nodes_recounted:
+        Nodes whose pairing was re-derived during settles — the
+        incremental engine's substitute for whole-graph re-counts.
+    digrams_replaced / occurrences_replaced:
+        Rules introduced and occurrence replacements performed.
+    queue_pushes / queue_pops:
+        Bucket-queue repositions and successful pops.
+    virtual_edges_added / rules_pruned:
+        Virtual-edge pass and pruning phase counters.
+    """
+
+    def __init__(self, engine: str = "incremental") -> None:
+        self.engine = engine
         self.passes = 0
+        self.recount_passes = 0
+        self.settle_rounds = 0
+        self.nodes_recounted = 0
         self.digrams_replaced = 0
         self.occurrences_replaced = 0
+        self.queue_pushes = 0
+        self.queue_pops = 0
         self.virtual_edges_added = 0
         self.rules_pruned = 0
 
-    def as_dict(self) -> Dict[str, int]:
+    def as_dict(self) -> Dict[str, object]:
         """Plain-dict view used by the benchmark harness."""
         return dict(self.__dict__)
+
+
+#: Backwards-compatible alias (pre-incremental name).
+GRePairStats = CompressionStats
 
 
 class GRePair:
@@ -89,6 +178,9 @@ class GRePair:
         Enable the disconnected-components pass.
     prune:
         Enable the pruning phase.
+    engine:
+        Occurrence-maintenance engine: ``"incremental"`` (default; no
+        re-count passes) or ``"recount"`` (legacy full-recount oracle).
     """
 
     def __init__(
@@ -100,9 +192,14 @@ class GRePair:
         seed: int = 0,
         virtual_edges: bool = True,
         prune: bool = True,
+        engine: str = "incremental",
     ) -> None:
         if max_rank < 2:
             raise GrammarError(f"max_rank must be >= 2, got {max_rank}")
+        if engine not in ENGINES:
+            raise GrammarError(
+                f"unknown engine {engine!r}; expected one of {ENGINES}"
+            )
         self.graph = graph
         self.alphabet = alphabet
         self.max_rank = max_rank
@@ -110,32 +207,153 @@ class GRePair:
         self.seed = seed
         self.use_virtual_edges = virtual_edges
         self.use_pruning = prune
-        self.stats = GRePairStats()
+        self.engine = engine
+        self.stats = CompressionStats(engine)
         self._order: List[int] = []
+        self._position: Dict[int, int] = {}
         self._grammar: Optional[SLHRGrammar] = None
+        # Persistent incremental state (None under engine="recount").
+        self._table: Optional[OccurrenceTable] = None
+        self._queue: Optional[BucketQueue] = None
+        self._index: Optional[PairingIndex] = None
+        self._dirty: Dict[int, None] = {}
+        self._phase_counted = False
+        self._streaming = False
 
     # ------------------------------------------------------------------
-    # Public entry point
+    # Public entry points
     # ------------------------------------------------------------------
     def run(self) -> SLHRGrammar:
         """Execute gRePair and return the resulting SL-HR grammar."""
         if self._grammar is not None:
             raise GrammarError("GRePair instances are single-use")
+        self._begin()
+        self._set_order(node_order(self.graph, self.order_name,
+                                   self.seed))
+        if self.engine == "recount":
+            self._compress_to_fixpoint()
+        else:
+            self._count_all(self._table, self._queue)
+            self._drain_and_settle(self._table, self._queue)
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    # Streaming entry points (incremental engine only)
+    # ------------------------------------------------------------------
+    def begin_streaming(self) -> None:
+        """Initialize for chunked ingestion instead of :meth:`run`.
+
+        Any edges already present in the graph are seeded with a single
+        counting pass; edges ingested later are counted purely locally,
+        reusing the same table, queue and pairing index across chunks.
+        """
+        if self.engine == "recount":
+            raise GrammarError(
+                "streaming ingestion requires engine='incremental'"
+            )
+        if self._grammar is not None:
+            raise GrammarError("GRePair instances are single-use")
+        self._streaming = True
+        self._begin()
+        if self.graph.num_edges:
+            self._set_order(node_order(self.graph, self.order_name,
+                                       self.seed))
+            self._count_all(self._table, self._queue)
+
+    def ingest_edge(self, label: int, att: Sequence[int]) -> int:
+        """Add one edge (creating missing nodes) and count it locally.
+
+        Returns the new edge's ID.  The edge enters the pairing index,
+        its endpoints become dirty, and the next :meth:`drain` settles
+        the neighborhood — no counting pass over the graph.
+        """
+        if not self._streaming:
+            raise GrammarError("call begin_streaming() before ingesting")
+        graph = self.graph
+        for node in att:
+            if not graph.has_node(node):
+                graph.add_node(node)
+        edge_id = graph.add_edge(label, att)
+        self._index.add(edge_id, graph.edge(edge_id))
+        self._queue.resize(graph.num_edges, self._table)
+        for node in att:
+            self._dirty[node] = None
+        return edge_id
+
+    def drain(self) -> bool:
+        """Replace every currently active digram (between chunks)."""
+        if not self._streaming:
+            raise GrammarError("drain() is part of the streaming API")
+        return self._drain_and_settle(self._table, self._queue)
+
+    def finish_streaming(self) -> SLHRGrammar:
+        """Finalize the stream; returns the grammar.
+
+        The stream is closed, so node degrees are final and
+        internal-node digrams (deferred during ingestion) become safe:
+        the occurrence state is reseeded with one full-knowledge
+        counting pass — a new phase, not a re-count — and drained,
+        followed by the usual virtual-edge pass and pruning.
+        """
+        if not self._streaming:
+            raise GrammarError("begin_streaming() was never called")
+        self._drain_and_settle(self._table, self._queue)
+        self._streaming = False
+        for key in self._table.keys():
+            self._table.drop_list(key)
+        self._dirty = {}
+        self._phase_counted = False
+        self._set_order(node_order(self.graph, self.order_name,
+                                   self.seed))
+        self._count_all(self._table, self._queue)
+        self._drain_and_settle(self._table, self._queue)
+        return self._finish()
+
+    # ------------------------------------------------------------------
+    # Run scaffolding
+    # ------------------------------------------------------------------
+    def _begin(self) -> None:
         self._grammar = SLHRGrammar(self.alphabet, self.graph)
-        self._order = node_order(self.graph, self.order_name, self.seed)
-        self._compress_to_fixpoint()
+        if self.engine == "incremental":
+            self._index = PairingIndex.from_graph(self.graph)
+            self._table = OccurrenceTable()
+            self._queue = BucketQueue(self.graph.num_edges)
+
+    def _set_order(self, order: List[int]) -> None:
+        self._order = order
+        self._position = {node: idx for idx, node in enumerate(order)}
+
+    def _finish(self) -> SLHRGrammar:
         if self.use_virtual_edges:
             self._virtual_edge_pass()
         if self.use_pruning:
             self.stats.rules_pruned = prune_grammar(self._grammar)
+        if self._queue is not None:
+            self._retire_queue(self._queue)
         return self._grammar
+
+    def _retire_queue(self, queue: BucketQueue) -> None:
+        """Fold a queue's instrumentation into the run statistics."""
+        self.stats.queue_pushes += queue.push_count
+        self.stats.queue_pops += queue.pop_count
+        queue.push_count = 0
+        queue.pop_count = 0
 
     # ------------------------------------------------------------------
     # Counting (paper step 2)
     # ------------------------------------------------------------------
     def _count_all(self, table: OccurrenceTable,
                    queue: BucketQueue) -> None:
-        """One full counting pass over all nodes in ω order."""
+        """One full counting pass over all nodes in ω order.
+
+        The first pass of a phase seeds the occurrence state; any
+        further pass within the same phase is a *re-count* — the
+        incremental engine never performs one.
+        """
+        self.stats.passes += 1
+        if self._phase_counted:
+            self.stats.recount_passes += 1
+        self._phase_counted = True
         graph = self.graph
         for node in self._order:
             if graph.has_node(node):
@@ -150,28 +368,33 @@ class GRePair:
         paired with each other (zip) and within themselves (split in
         halves, the paper's ``Occ`` construction), skipping edges whose
         partner-label slot is already taken and pairs whose digram rank
-        exceeds ``max_rank``.
+        exceeds ``max_rank``.  The incremental engine reads the groups
+        from its pairing index; the recount engine derives them from
+        the incidence lists (same grouping, same order).
         """
         graph = self.graph
-        groups: Dict[Tuple[int, int], List[int]] = {}
-        for eid in graph.incident(node):
-            edge = graph.edge(eid)
-            groups.setdefault((edge.label, edge.att.index(node)),
-                              []).append(eid)
-        types = sorted(groups)
-        for i, type_a in enumerate(types):
+        if self._index is not None:
+            types = self._index.groups_at(node)
+        else:
+            groups: Dict[Tuple[int, int], List[int]] = {}
+            for eid in graph.incident(node):
+                edge = graph.edge(eid)
+                groups.setdefault((edge.label, edge.att.index(node)),
+                                  []).append(eid)
+            types = sorted(groups.items())
+        for i, (type_a, members_a) in enumerate(types):
             label_a = type_a[0]
-            for type_b in types[i:]:
+            for type_b, members_b in types[i:]:
                 label_b = type_b[0]
                 if type_a == type_b:
-                    members = [eid for eid in groups[type_a]
+                    members = [eid for eid in members_a
                                if table.can_pair(eid, label_a)]
                     half = len(members) // 2
                     pairs = list(zip(members[:half], members[half:]))
                 else:
-                    first = [eid for eid in groups[type_a]
+                    first = [eid for eid in members_a
                              if table.can_pair(eid, label_b)]
-                    second = [eid for eid in groups[type_b]
+                    second = [eid for eid in members_b
                               if table.can_pair(eid, label_a)]
                     pairs = list(zip(first, second))
                 for eid_a, eid_b in pairs:
@@ -179,7 +402,14 @@ class GRePair:
 
     def _try_record(self, eid_a: int, eid_b: int, table: OccurrenceTable,
                     queue: BucketQueue) -> bool:
-        """Record the pair as an occurrence if it forms a legal digram."""
+        """Record the pair as an occurrence if it forms a legal digram.
+
+        While a stream is still open, only fully-external digrams are
+        admissible: a replacement of an internal-node digram would
+        delete the node, but a later chunk may still reference its ID —
+        mid-stream, a node's degree is only a lower bound, so
+        internality cannot be decided yet (see :meth:`ingest_edge`).
+        """
         graph = self.graph
         if eid_a == eid_b:
             return False
@@ -191,29 +421,42 @@ class GRePair:
         key, occ, _ = digram_key(graph, eid_a, eid_b)
         if key is None or not 1 <= key.rank <= self.max_rank:
             return False
+        if self._streaming and not all(key.ext_flags):
+            return False
         olist = table.record(key, occ)
         queue.file(olist)
         return True
 
     # ------------------------------------------------------------------
-    # Replacement (paper steps 3-6)
+    # Replacement (paper steps 3-6), shared by both engines
     # ------------------------------------------------------------------
     def _compress_to_fixpoint(self) -> None:
-        """Alternate counting passes and replacements until quiescent."""
+        """Recount engine: alternate counting passes and replacements."""
         while True:
-            self.stats.passes += 1
             table = OccurrenceTable()
             queue = BucketQueue(self.graph.num_edges)
             self._count_all(table, queue)
-            if not self._drain_queue(table, queue):
+            progressed = self._drain_queue(table, queue)
+            self._retire_queue(queue)
+            if not progressed:
                 return
+
+    def _drain_and_settle(self, table: OccurrenceTable,
+                          queue: BucketQueue) -> bool:
+        """Incremental engine: alternate drains and dirty-set settles."""
+        progressed = False
+        while True:
+            progressed |= self._drain_queue(table, queue)
+            if not self._settle_dirty(table, queue):
+                return progressed
 
     def _drain_queue(self, table: OccurrenceTable,
                      queue: BucketQueue) -> bool:
         """Replace digrams until the queue empties.
 
         Returns True if at least one replacement happened (the caller
-        then re-counts and tries again).
+        then realigns — a full re-count for the recount engine, a
+        dirty-region settle for the incremental one — and tries again).
         """
         replaced_any = False
         while True:
@@ -226,9 +469,9 @@ class GRePair:
             olist.bucket = None
             valid = self._revalidate(key, table, queue)
             if len(valid) < 2:
-                # Not active: free its edges so future passes can
-                # re-pair them differently.
-                table.drop_list(key)
+                # Not active: free its edges so the next realignment
+                # can re-pair them differently.
+                self._drop_list(key, table)
                 continue
             nonterminal = self.alphabet.fresh_nonterminal(key.rank)
             self._grammar.add_rule(nonterminal, rule_graph(key))
@@ -238,7 +481,7 @@ class GRePair:
                                             table, queue):
                     self.stats.occurrences_replaced += 1
                     replaced_any = True
-            table.drop_list(key)
+            self._drop_list(key, table)
 
     def _revalidate(self, key: DigramKey, table: OccurrenceTable,
                     queue: BucketQueue) -> List[Occurrence]:
@@ -264,8 +507,10 @@ class GRePair:
                 valid.append(occ)
                 continue
             table.release(key, occ)
+            self._mark_occurrence_dirty(occ)
             if (current is not None
                     and 1 <= current.rank <= self.max_rank
+                    and (not self._streaming or all(current.ext_flags))
                     and table.can_pair(canonical.edge_a, current.label_b)
                     and table.can_pair(canonical.edge_b, current.label_a)):
                 refiled = table.record(current, canonical)
@@ -289,8 +534,10 @@ class GRePair:
                                                occ.edge_b)
         if current != key or canonical != occ:
             table.release(key, occ)
+            self._mark_occurrence_dirty(occ)
             if (current is not None
                     and 1 <= current.rank <= self.max_rank
+                    and (not self._streaming or all(current.ext_flags))
                     and table.can_pair(canonical.edge_a, current.label_b)
                     and table.can_pair(canonical.edge_b, current.label_a)):
                 queue.file(table.record(current, canonical))
@@ -300,16 +547,28 @@ class GRePair:
         # Invalidate every other occurrence using these edges (their
         # digram counts drop — paper's update step).
         for eid in occ.edges():
-            for affected in table.release_edge(eid):
-                if affected != key:
-                    stale = table.get(affected)
+            for affected_key, affected in table.occurrences_of_edge(eid):
+                table.release(affected_key, affected)
+                self._mark_occurrence_dirty(affected)
+                if affected_key != key:
+                    stale = table.get(affected_key)
                     if stale is not None:
                         queue.file(stale)
-        graph.remove_edge(occ.edge_a)
-        graph.remove_edge(occ.edge_b)
+        incremental = self._index is not None
+        if incremental:
+            for node in attachment:
+                self._dirty[node] = None
+        removed_a = graph.remove_edge(occ.edge_a)
+        removed_b = graph.remove_edge(occ.edge_b)
         for node in doomed_nodes:
             graph.remove_node(node)
+            if incremental:
+                self._dirty.pop(node, None)
         new_edge = graph.add_edge(nonterminal, attachment)
+        if incremental:
+            self._index.remove(occ.edge_a, removed_a)
+            self._index.remove(occ.edge_b, removed_b)
+            self._index.add(new_edge, graph.edge(new_edge))
         self._pair_new_edge(new_edge, table, queue)
         return True
 
@@ -320,10 +579,10 @@ class GRePair:
         For each attachment node (of moderate degree) the new edge is
         offered one pairing with the first compatible incident edge —
         the paper's "first edge in the respective list" selection.
-        Anything missed here is recovered by the next full counting
-        pass.
+        Anything missed here is recovered by the next realignment.
         """
         graph = self.graph
+        incremental = self._index is not None
         for node in graph.edge(new_edge).att:
             if graph.degree(node) > _UPDATE_DEGREE_CAP:
                 continue
@@ -331,7 +590,93 @@ class GRePair:
                 if other == new_edge:
                     continue
                 if self._try_record(new_edge, other, table, queue):
+                    if incremental:
+                        # The partner's slots changed: its other nodes
+                        # must realign at the next settle.
+                        for touched in graph.edge(other).att:
+                            self._dirty[touched] = None
                     break
+
+    # ------------------------------------------------------------------
+    # Incremental bookkeeping
+    # ------------------------------------------------------------------
+    def _mark_occurrence_dirty(self, occ: Occurrence) -> None:
+        """Dirty the (surviving) nodes of a released occurrence."""
+        if self._index is None:
+            return
+        graph = self.graph
+        for eid in occ.edges():
+            if graph.has_edge(eid):
+                for node in graph.edge(eid).att:
+                    self._dirty[node] = None
+
+    def _drop_list(self, key: DigramKey, table: OccurrenceTable) -> None:
+        """Drop a digram list, dirtying the nodes of freed edges."""
+        olist = table.get(key)
+        if olist is None:
+            return
+        if self._index is not None:
+            for occ in list(olist):
+                self._mark_occurrence_dirty(occ)
+        table.drop_list(key)
+
+    def _settle_dirty(self, table: OccurrenceTable,
+                      queue: BucketQueue) -> bool:
+        """Realign the dirty region; True if new active digrams emerged.
+
+        Starting from the dirty nodes, every recorded occurrence in the
+        affected region is released — freeing a slot changes the free
+        edge sets at the partner edge's other nodes, so the region
+        closes under that cascade — and the canonical counting
+        construction then re-runs on exactly the affected nodes in ω
+        order.  Outside the region the deterministic construction would
+        reproduce the kept state verbatim, which makes this boundary
+        behave like a full re-count pass at a fraction of the cost.
+        """
+        graph = self.graph
+        pending = [node for node in self._dirty if graph.has_node(node)]
+        self._dirty = {}
+        if not pending:
+            return False
+        self.stats.settle_rounds += 1
+        affected: Dict[int, None] = {}
+        emptied: Dict[DigramKey, None] = {}
+        while pending:
+            node = pending.pop()
+            if node in affected or not graph.has_node(node):
+                continue
+            affected[node] = None
+            for eid in graph.incident(node):
+                for key, occ in table.occurrences_of_edge(eid):
+                    table.release(key, occ)
+                    stale = table.get(key)
+                    if stale is not None:
+                        queue.file(stale)
+                        if not len(stale):
+                            emptied[key] = None
+                    for freed in occurrence_nodes(graph, occ):
+                        if freed not in affected:
+                            pending.append(freed)
+        for key in emptied:
+            olist = table.get(key)
+            if olist is not None and not len(olist):
+                table.drop_list(key)
+        for node in self._omega_sorted(affected):
+            if graph.has_node(node):
+                self.stats.nodes_recounted += 1
+                self._count_around(node, table, queue)
+        return bool(len(queue))
+
+    def _omega_sorted(self, nodes: Dict[int, None]) -> List[int]:
+        """Sort a node set by ω position (pass-consistent alignment).
+
+        Settles visit nodes in the same order a counting pass would, so
+        the greedy pairing construction stays aligned with the global
+        one.
+        """
+        position = self._position
+        fallback = len(position)
+        return sorted(nodes, key=lambda v: position.get(v, fallback))
 
     # ------------------------------------------------------------------
     # Virtual edges (paper's extra step after the main loop)
@@ -349,17 +694,34 @@ class GRePair:
         virtual = self.alphabet.ensure_terminal(VIRTUAL_LABEL_NAME, rank=2)
         # Chain component representatives in ω order so that isomorphic
         # components (adjacent under the FP order) become neighbors.
-        position = {node: idx for idx, node in enumerate(self._order)}
+        position = self._position
         representatives: Dict[object, int] = {}
         for node in sorted(graph.nodes(), key=lambda v: position[v]):
             root = components.find(node)
             if root not in representatives:
                 representatives[root] = node
         chain = list(representatives.values())
-        for left, right in zip(chain, chain[1:]):
-            graph.add_edge(virtual, (left, right))
-            self.stats.virtual_edges_added += 1
-        self._compress_to_fixpoint()
+        # The virtual edges change externality across the graph, so the
+        # paper restarts the algorithm on the augmented graph: this is a
+        # fresh phase with its own seed pass (not a re-count).
+        self._phase_counted = False
+        if self.engine == "incremental":
+            for left, right in zip(chain, chain[1:]):
+                eid = graph.add_edge(virtual, (left, right))
+                self._index.add(eid, graph.edge(eid))
+                self.stats.virtual_edges_added += 1
+            # Reseed the occurrence state for the new phase; afterwards
+            # the drain/settle loop maintains it incrementally again.
+            for key in self._table.keys():
+                self._table.drop_list(key)
+            self._dirty = {}
+            self._count_all(self._table, self._queue)
+            self._drain_and_settle(self._table, self._queue)
+        else:
+            for left, right in zip(chain, chain[1:]):
+                graph.add_edge(virtual, (left, right))
+                self.stats.virtual_edges_added += 1
+            self._compress_to_fixpoint()
         self._remove_virtual_edges(virtual)
 
     def _remove_virtual_edges(self, virtual: int) -> None:

@@ -1,22 +1,32 @@
-"""Streaming decompression: iterate val(G) without materializing it.
+"""Streaming compression and decompression.
 
-``derive`` builds the whole derived hypergraph in memory, which
-defeats the purpose when the grammar is exponentially smaller than the
-graph (Fig. 13).  :func:`iter_edges` walks the derivation with an
-explicit stack and yields terminal edges one at a time with their
-final node IDs — memory proportional to the grammar height times the
-maximal rule size, not to |val(G)|.
+Decompression: ``derive`` builds the whole derived hypergraph in
+memory, which defeats the purpose when the grammar is exponentially
+smaller than the graph (Fig. 13).  :func:`iter_edges` walks the
+derivation with an explicit stack and yields terminal edges one at a
+time with their final node IDs — memory proportional to the grammar
+height times the maximal rule size, not to |val(G)|.
 
 The numbering is identical to :func:`repro.core.derivation.derive` on
 a canonical grammar (tested), so streamed output can feed external
 tools (edge-list writers, bulk loaders) directly.
+
+Compression: :class:`StreamingCompressor` feeds edges to the
+incremental gRePair engine in chunks.  The engine's occurrence table,
+bucket queue and pairing index persist across chunks — each new edge
+is counted purely locally (its endpoints become dirty and are settled
+at the next drain), so compressing a stream never re-counts the edges
+of earlier chunks.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from typing import Dict, Iterable, Iterator, Optional, Sequence, Tuple
 
+from repro.core.alphabet import Alphabet
 from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.core.repair import CompressionStats, GRePair
 from repro.exceptions import GrammarError
 
 
@@ -71,3 +81,92 @@ def iter_edges(grammar: SLHRGrammar) -> Iterator[Tuple[int,
 def count_streamed_edges(grammar: SLHRGrammar) -> int:
     """Edge count via streaming (cross-check for tests)."""
     return sum(1 for _ in iter_edges(grammar))
+
+
+class StreamingCompressor:
+    """Chunked gRePair compression over an edge stream.
+
+    Wraps the incremental engine's streaming API: edges arrive as
+    ``(label, attachment)`` pairs (node IDs are created on demand), and
+    between chunks the engine drains every digram that became active.
+    The incremental state — occurrence table, bucket queue, pairing
+    index — is reused across chunks, so each chunk costs work
+    proportional to its own size and the digrams it activates
+    (``stats.recount_passes == 0`` always).
+
+    Mid-stream, only fully-external digrams are compressed: replacing
+    an internal-node digram would delete the node, and a later chunk
+    may still reference it — a node's degree is a lower bound until the
+    stream closes.  :meth:`finish` therefore seeds one full-knowledge
+    counting pass (plus the virtual-edge phase's seed) to pick up the
+    deferred internal-node compression.
+
+    Parameters mirror :class:`repro.core.repair.GRePair`; the alphabet
+    is copied, so the caller's instance is left untouched.
+
+    Example
+    -------
+    >>> compressor = StreamingCompressor(alphabet)
+    >>> for chunk in chunks:
+    ...     compressor.add_edges(chunk)
+    >>> grammar = compressor.finish()
+    """
+
+    def __init__(
+        self,
+        alphabet: Alphabet,
+        max_rank: int = 4,
+        order: str = "fp",
+        seed: int = 0,
+        virtual_edges: bool = True,
+        prune: bool = True,
+    ) -> None:
+        self._algorithm = GRePair(
+            Hypergraph(),
+            alphabet.copy(),
+            max_rank=max_rank,
+            order=order,
+            seed=seed,
+            virtual_edges=virtual_edges,
+            prune=prune,
+            engine="incremental",
+        )
+        self._algorithm.begin_streaming()
+        self._grammar: Optional[SLHRGrammar] = None
+        self.edges_ingested = 0
+
+    @property
+    def stats(self) -> CompressionStats:
+        """Live instrumentation counters of the underlying engine."""
+        return self._algorithm.stats
+
+    def add_edge(self, label: int, att: Sequence[int]) -> int:
+        """Ingest a single edge; returns its edge ID."""
+        if self._grammar is not None:
+            raise GrammarError("StreamingCompressor is already finished")
+        edge_id = self._algorithm.ingest_edge(label, att)
+        self.edges_ingested += 1
+        return edge_id
+
+    def add_edges(
+        self, edges: Iterable[Tuple[int, Sequence[int]]]
+    ) -> int:
+        """Ingest one chunk of ``(label, att)`` pairs, then drain.
+
+        Returns the number of edges ingested from this chunk.
+        """
+        count = 0
+        for label, att in edges:
+            self.add_edge(label, att)
+            count += 1
+        self._algorithm.drain()
+        return count
+
+    def finish(self) -> SLHRGrammar:
+        """Drain, run the virtual-edge pass and pruning; return grammar.
+
+        The compressor is single-use afterwards (like ``GRePair``).
+        """
+        if self._grammar is None:
+            self._grammar = self._algorithm.finish_streaming()
+        return self._grammar

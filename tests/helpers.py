@@ -12,13 +12,39 @@ from repro import Alphabet, Hypergraph
 
 
 def to_networkx(graph: Hypergraph) -> nx.MultiDiGraph:
-    """Rank-2 hypergraph -> labeled networkx multidigraph."""
+    """Rank-<=2 hypergraph -> labeled networkx multidigraph.
+
+    Rank-1 edges become self-loops; since attachment sequences are
+    repetition-free, a genuine rank-2 self-loop cannot exist, so the
+    encoding is injective and isomorphism checks stay exact.
+    """
     result = nx.MultiDiGraph()
     result.add_nodes_from(graph.nodes())
     for _, edge in graph.edges():
-        assert len(edge.att) == 2, "to_networkx needs rank-2 edges"
-        result.add_edge(edge.att[0], edge.att[1], label=edge.label)
+        assert len(edge.att) <= 2, "to_networkx needs rank-<=2 edges"
+        if len(edge.att) == 1:
+            result.add_edge(edge.att[0], edge.att[0], label=edge.label)
+        else:
+            result.add_edge(edge.att[0], edge.att[1], label=edge.label)
     return result
+
+
+def degree_label_fingerprint(graph: Hypergraph):
+    """Per-node structural signature multiset (iso-invariant).
+
+    Sound (equal for isomorphic graphs) but not complete — used where
+    exact isomorphism checks would be too slow.  Each node contributes
+    the sorted multisets of (label, position) pairs of its incident
+    edges.
+    """
+    profile = []
+    for node in graph.nodes():
+        signature = []
+        for eid in graph.incident(node):
+            edge = graph.edge(eid)
+            signature.append((edge.label, edge.att.index(node)))
+        profile.append(tuple(sorted(signature)))
+    return sorted(profile)
 
 
 def isomorphic(a: Hypergraph, b: Hypergraph) -> bool:

@@ -150,3 +150,73 @@ class TestRuleGraph:
         assert (sorted(e.label for _, e in derived.edges())
                 == sorted(e.label for _, e in original.edges()))
         assert derived.node_size == original.node_size
+
+
+class TestExternalityStability:
+    """The degree bound behind the incremental engine's drift repair.
+
+    ``EXT_STABLE_DEGREE`` claims: a non-host-external node of degree
+    > 3 is external in *every* occurrence it participates in, so degree
+    changes staying above the bound can never drift a recorded digram
+    key.  Verified by brute force over random graphs.
+    """
+
+    def test_high_degree_nodes_always_external(self):
+        import random
+
+        from repro.core.digram import EXT_STABLE_DEGREE, digram_key
+
+        rng = random.Random(99)
+        graph = Hypergraph()
+        nodes = [graph.add_node() for _ in range(12)]
+        for _ in range(60):
+            u, v = rng.choice(nodes), rng.choice(nodes)
+            if u != v:
+                graph.add_edge(rng.randint(1, 3), (u, v))
+        edge_ids = graph.edge_ids()
+        for _ in range(300):
+            a, b = rng.choice(edge_ids), rng.choice(edge_ids)
+            key, occ, local = digram_key(graph, a, b)
+            if key is None:
+                continue
+            for node, idx in local.items():
+                if graph.degree(node) > EXT_STABLE_DEGREE:
+                    assert key.ext_flags[idx]
+
+    def test_keys_stable_under_high_degree_changes(self):
+        """Degree changes staying above the bound never drift a key."""
+        import random
+
+        from repro.core.digram import EXT_STABLE_DEGREE, digram_key
+
+        rng = random.Random(7)
+        graph = Hypergraph()
+        nodes = [graph.add_node() for _ in range(8)]
+        # Dense core: every node ends up with degree well above the
+        # stability bound.
+        for u in nodes:
+            for v in nodes:
+                if u != v and rng.random() < 0.8:
+                    graph.add_edge(1, (u, v))
+        assert all(graph.degree(n) > EXT_STABLE_DEGREE + 1
+                   for n in nodes)
+        edge_ids = graph.edge_ids()
+        samples = []
+        for _ in range(60):
+            a, b = rng.choice(edge_ids), rng.choice(edge_ids)
+            key, occ, _ = digram_key(graph, a, b)
+            if key is not None:
+                samples.append((key, occ))
+        # Remove one edge per node (degrees stay > the bound) and
+        # check every sampled occurrence's key is unchanged.
+        for node in nodes:
+            for eid in graph.incident(node):
+                used = {e for _, occ in samples for e in occ.edges()}
+                if eid not in used:
+                    graph.remove_edge(eid)
+                    break
+        assert all(graph.degree(n) > EXT_STABLE_DEGREE for n in nodes)
+        for key, occ in samples:
+            current, canonical, _ = digram_key(graph, occ.edge_a,
+                                               occ.edge_b)
+            assert current == key and canonical == occ

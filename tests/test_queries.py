@@ -156,6 +156,66 @@ class TestComponents:
         assert queries.connected_components() == 4
 
 
+class TestEngineOracle:
+    """Query answers must match BFS ground truth under both engines.
+
+    The maintenance engine changes how the grammar is built, never what
+    it derives: for random (s, t) probes, grammar reachability has to
+    equal BFS on the decompressed graph whichever engine produced the
+    grammar, and the two engines' derived graphs must agree on global
+    counts.
+    """
+
+    ENGINES = ("incremental", "recount")
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("builder,probes", [
+        (lambda: random_simple_graph(31, num_nodes=35, num_edges=80), 150),
+        (lambda: copies_graph(12), 150),
+        (lambda: star_graph(50), 80),
+        (lambda: theta_graph(4), 40),
+    ])
+    def test_reachability_matches_bfs(self, engine, builder, probes):
+        graph, alphabet = builder()
+        queries, truth, _ = _queries_and_truth(
+            graph, alphabet, GRePairSettings(engine=engine))
+        rng = random.Random(4242)
+        nodes = list(truth.nodes())
+        for _ in range(probes):
+            source = rng.choice(nodes)
+            target = rng.choice(nodes)
+            expected = nx.has_path(truth, source, target)
+            assert queries.reachable(source, target) == expected, (
+                engine, source, target)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_neighborhoods_match_bfs_truth(self, engine):
+        graph, alphabet = random_simple_graph(32, num_nodes=30,
+                                              num_edges=70)
+        queries, truth, _ = _queries_and_truth(
+            graph, alphabet, GRePairSettings(engine=engine))
+        for node in truth.nodes():
+            assert queries.out_neighbors(node) == sorted(
+                truth.successors(node))
+            assert queries.in_neighbors(node) == sorted(
+                truth.predecessors(node))
+
+    def test_engines_agree_on_global_answers(self):
+        graph, alphabet = random_simple_graph(33, num_nodes=40,
+                                              num_edges=90)
+        answers = {}
+        for engine in self.ENGINES:
+            queries, truth, _ = _queries_and_truth(
+                graph, alphabet, GRePairSettings(engine=engine))
+            answers[engine] = (
+                queries.node_count(),
+                queries.edge_count(),
+                queries.connected_components(),
+                nx.number_connected_components(truth.to_undirected()),
+            )
+        assert answers["incremental"] == answers["recount"]
+
+
 class TestCounts:
     def test_node_and_edge_counts(self):
         graph, alphabet = copies_graph(24)

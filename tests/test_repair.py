@@ -208,6 +208,69 @@ class TestTermination:
         assert isomorphic(derive(result.grammar), graph)
 
 
+class TestEngines:
+    """Engine selection and the incremental engine's pass guarantees."""
+
+    def test_invalid_engine_rejected(self):
+        graph, alphabet = theta_graph()
+        with pytest.raises(GrammarError):
+            GRePair(graph, alphabet, engine="magic")
+
+    def test_default_engine_is_incremental(self):
+        graph, alphabet = theta_graph()
+        result = compress(graph, alphabet)
+        assert result.stats["engine"] == "incremental"
+
+    def test_recount_engine_selectable(self):
+        graph, alphabet = copies_graph(8)
+        result = compress(graph, alphabet,
+                          GRePairSettings(engine="recount"))
+        assert result.stats["engine"] == "recount"
+        assert isomorphic(derive(result.grammar), graph)
+
+    def test_incremental_never_recounts(self):
+        for builder in (theta_graph, lambda: copies_graph(16),
+                        lambda: star_graph(100)):
+            graph, alphabet = builder()
+            result = compress(graph, alphabet)
+            assert result.stats["recount_passes"] == 0
+            # At most one seed pass per phase (main + virtual).
+            assert result.stats["passes"] <= 2
+
+    def test_engines_produce_equivalent_grammars(self):
+        graph, alphabet = copies_graph(24)
+        incremental = compress(graph, alphabet)
+        recount = compress(graph, alphabet,
+                           GRePairSettings(engine="recount"))
+        assert incremental.grammar.size == recount.grammar.size
+        assert isomorphic(derive(incremental.grammar), graph)
+        assert isomorphic(derive(recount.grammar), graph)
+
+    def test_queue_instrumentation_recorded(self):
+        graph, alphabet = copies_graph(16)
+        result = compress(graph, alphabet)
+        assert result.stats["queue_pops"] > 0
+        assert result.stats["queue_pushes"] > 0
+        assert result.stats_obj.as_dict() == result.stats
+
+    def test_streaming_requires_incremental(self):
+        graph, alphabet = theta_graph()
+        algorithm = GRePair(graph.copy(), alphabet.copy(),
+                            engine="recount")
+        with pytest.raises(GrammarError):
+            algorithm.begin_streaming()
+
+    def test_streaming_guards(self):
+        graph, alphabet = theta_graph()
+        algorithm = GRePair(graph.copy(), alphabet.copy())
+        with pytest.raises(GrammarError):
+            algorithm.ingest_edge(1, (1, 2))
+        with pytest.raises(GrammarError):
+            algorithm.drain()
+        with pytest.raises(GrammarError):
+            algorithm.finish_streaming()
+
+
 class TestNodeOrderEffect:
     def test_orders_can_change_outcome(self):
         """Different ω may find different occurrence sets (Fig. 5)."""
