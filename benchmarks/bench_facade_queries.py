@@ -1,0 +1,99 @@
+"""Facade serving path — open a container + 1k mixed queries.
+
+The :class:`repro.api.CompressedGraph` redesign promises a
+serving-grade handle: open once, canonicalize at most once (lazily, on
+the first query), answer every subsequent query from the cached index.
+This module measures that open-plus-query path end to end and asserts
+the contract the regression gate (``scripts/check_bench_regression.py``)
+also enforces — the lazy index adds **zero** extra canonicalization
+passes over the single one the legacy per-``GrammarQueries`` path paid
+per construction.
+
+Run the smoke lane with ``pytest -m smoke benchmarks`` or the timed
+microbenchmark with ``pytest benchmarks/bench_facade_queries.py``.
+"""
+
+import random
+
+import pytest
+
+from repro import CompressedGraph
+from repro.bench import Report
+from repro.core.grammar import SLHRGrammar
+from repro.datasets import fig13_base_graph, identical_copies
+
+_SECTION = "Facade serving: open + 1k mixed queries"
+
+
+def _container_bytes():
+    graph, alphabet = identical_copies(fig13_base_graph(), 128)
+    handle = CompressedGraph.compress(graph, alphabet, validate=False)
+    return handle.to_bytes(include_names=False)
+
+
+def _mixed_requests(total_nodes, count=1000, seed=11):
+    """A serving-style mix: neighborhoods, reach, degrees, counts."""
+    rng = random.Random(seed)
+    kinds = ("out", "in", "neighborhood", "reach", "degree", "nodes",
+             "edges", "components")
+    requests = []
+    for _ in range(count):
+        kind = rng.choice(kinds)
+        if kind == "reach":
+            requests.append((kind, rng.randint(1, total_nodes),
+                             rng.randint(1, total_nodes)))
+        elif kind in ("out", "in", "neighborhood", "degree"):
+            requests.append((kind, rng.randint(1, total_nodes)))
+        else:
+            requests.append((kind,))
+    return requests
+
+
+@pytest.mark.smoke
+def test_facade_single_canonicalization_under_query_mix():
+    """Contract: one canonicalization per handle, however many queries."""
+    blob = _container_bytes()
+    served = CompressedGraph.from_bytes(blob)
+    assert served.canonicalizations == 0  # lazy until the first query
+    total_nodes = served.node_count()     # first query: the one build
+    assert served.canonicalizations == 1
+
+    calls = []
+    original = SLHRGrammar.canonicalize
+
+    def counting(self):
+        calls.append(1)
+        return original(self)
+
+    SLHRGrammar.canonicalize = counting
+    try:
+        served.batch(_mixed_requests(total_nodes, count=200))
+        for node in (1, 2, 3):
+            served.out(node)
+            served.in_(node)
+    finally:
+        SLHRGrammar.canonicalize = original
+    # The 200-query batch plus the follow-up loop re-used the cached
+    # index: zero further canonicalization passes.
+    assert calls == []
+    assert served.canonicalizations == 1
+
+
+def test_facade_open_and_1k_queries(benchmark):
+    """Timed: container -> handle -> 1000 mixed queries."""
+    blob = _container_bytes()
+    probe = CompressedGraph.from_bytes(blob)
+    requests = _mixed_requests(probe.node_count())
+
+    def run():
+        served = CompressedGraph.from_bytes(blob)
+        answers = served.batch(requests)
+        return served, answers
+
+    served, answers = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(answers) == len(requests)
+    assert served.canonicalizations == 1
+    Report.add(_SECTION,
+               f"{len(blob)} B container, {len(requests)} queries, "
+               f"{served.canonicalizations} canonicalization pass, "
+               f"|G|={served.grammar.size}")

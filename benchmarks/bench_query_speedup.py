@@ -15,11 +15,9 @@ is much smaller than the graph BFS walks, and query answers agree.
 import random
 from collections import deque
 
+from repro import CompressedGraph
 from repro.bench import Report
-from repro.core.pipeline import compress
-from repro.core.derivation import derive
 from repro.datasets import fig13_base_graph, identical_copies
-from repro.queries import GrammarQueries
 
 _SECTION = "Section V: reachability over the grammar"
 
@@ -40,9 +38,8 @@ def _bfs_reachable(adjacency, source, target):
 
 def test_query_speedup(benchmark):
     graph, alphabet = identical_copies(fig13_base_graph(), 512)
-    result = compress(graph, alphabet, validate=False)
-    queries = GrammarQueries(result.grammar)
-    val = derive(result.grammar.canonicalize())
+    handle = CompressedGraph.compress(graph, alphabet, validate=False)
+    val = handle.decompress()
     adjacency = {}
     for _, edge in val.edges():
         adjacency.setdefault(edge.att[0], []).append(edge.att[1])
@@ -51,14 +48,14 @@ def test_query_speedup(benchmark):
     pairs = [(rng.choice(nodes), rng.choice(nodes)) for _ in range(50)]
 
     def run():
-        return [queries.reachable(s, t) for s, t in pairs]
+        return [handle.reach(s, t) for s, t in pairs]
 
     answers = benchmark.pedantic(run, rounds=3, iterations=1)
     expected = [_bfs_reachable(adjacency, s, t) for s, t in pairs]
     assert answers == expected
-    ratio = val.total_size / result.grammar.size
+    ratio = val.total_size / handle.grammar.size
     Report.add(_SECTION,
                f"512 copies: |g|={val.total_size} vs "
-               f"|G|={result.grammar.size} -> query work bound "
+               f"|G|={handle.grammar.size} -> query work bound "
                f"{ratio:.0f}x smaller; 50/50 answers correct")
     assert ratio > 20

@@ -16,11 +16,8 @@ decompressing*:
 Run:  python examples/compressed_analytics.py
 """
 
-from repro.core.pipeline import compress
+from repro import CompressedGraph
 from repro.datasets.rdf import jamendo_graph
-from repro.encoding import encode_grammar
-from repro.queries import GrammarQueries
-from repro.queries.index import GrammarIndex
 from repro.queries.paths import LabelDFA, RegularPathQueries
 from repro.queries.traversal import bfs_distances, degree_histogram, \
     shortest_path
@@ -28,15 +25,13 @@ from repro.queries.traversal import bfs_distances, degree_histogram, \
 
 def main():
     graph, alphabet = jamendo_graph(artists=120, seed=3)
-    result = compress(graph, alphabet, validate=False)
-    blob = encode_grammar(result.grammar, include_names=False)
+    queries = CompressedGraph.compress(graph, alphabet, validate=False)
+    blob = queries.to_bytes(include_names=False)
     print(f"dataset: {graph.node_size} nodes, {graph.num_edges} "
           f"triples")
-    print(f"compressed to {blob.total_bytes} bytes "
-          f"({blob.bits_per_edge(graph.num_edges):.2f} bpe), "
-          f"{result.grammar.num_rules} rules\n")
-
-    queries = GrammarQueries(result.grammar)
+    print(f"compressed to {len(blob)} bytes "
+          f"({queries.bits_per_edge(graph.num_edges):.2f} bpe), "
+          f"{queries.grammar.num_rules} rules\n")
 
     # --- one-pass speed-up queries -----------------------------------
     print("speed-up queries (one pass over the grammar):")
@@ -64,7 +59,7 @@ def main():
     made = alphabet.by_name("foaf:made")
     track = alphabet.by_name("mo:track")
     dfa = LabelDFA.word([made, track])  # artist -made-> record -track->
-    rpq = RegularPathQueries(GrammarIndex(queries.grammar), dfa)
+    rpq = RegularPathQueries(queries.index, dfa)
     hits = 0
     probes = 0
     # Probe exactly the 2-hop chains the neighborhoods expose; the RPQ

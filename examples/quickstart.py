@@ -1,9 +1,9 @@
 #!/usr/bin/env python3
-"""Quickstart: compress a graph, inspect the grammar, query it.
+"""Quickstart: one handle for compress, persist, derive and query.
 
-Walks through the complete public API on the paper's own running
-example (Figure 1): a "theta graph" of three parallel a-b paths.
-gRePair discovers the repeated a-b digram, produces the grammar
+Walks through the public API on the paper's own running example
+(Figure 1): a "theta graph" of three parallel a-b paths.  gRePair
+discovers the repeated a-b digram, produces the grammar
 
     S = A A A        (three parallel nonterminal edges)
     A -> o -a-> o -b-> o    (endpoints external, middle internal)
@@ -11,19 +11,15 @@ gRePair discovers the repeated a-b digram, produces the grammar
 and the binary container stores S as per-label k2-trees plus the rule
 as a delta-coded edge list.
 
+The front door is :class:`repro.CompressedGraph` — a long-lived,
+thread-safe handle the way production stores expose one ``DB`` object.
+The older free functions (``compress``, ``GrammarQueries``, ``derive``)
+still work as compatibility shims delegating to the facade.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    Alphabet,
-    GRePairSettings,
-    Hypergraph,
-    StreamingCompressor,
-    compress,
-    derive,
-)
-from repro.encoding import decode_grammar, encode_grammar
-from repro.queries import GrammarQueries
+from repro import Alphabet, CompressedGraph, GRePairSettings, Hypergraph
 
 
 def build_theta_graph():
@@ -46,60 +42,78 @@ def main():
     print(f"input graph: {graph!r}")
 
     # ------------------------------------------------------------------
-    # 1. Compress.  Settings default to the paper's recommendation
-    #    (maxRank=4, FP node order, virtual edges, pruning).
+    # 1. Compress into a handle.  Settings default to the paper's
+    #    recommendation (maxRank=4, FP node order, virtual edges,
+    #    pruning); they validate eagerly, so typos fail right here.
     # ------------------------------------------------------------------
-    result = compress(graph, alphabet,
-                      GRePairSettings(order="natural"))
-    grammar = result.grammar
-    print(f"compressed:  {result.summary()}")
+    handle = CompressedGraph.compress(graph, alphabet,
+                                      GRePairSettings(order="natural"))
+    grammar = handle.grammar
+    print(f"compressed:  {handle.summary()}")
     for rule in grammar.rules():
         edges = [(alphabet.describe(e.label), e.att)
                  for _, e in rule.rhs.edges()]
         print(f"  rule N{rule.lhs} (rank {rule.rhs.rank}): {edges}")
 
     # ------------------------------------------------------------------
-    # 2. Serialize to the paper's binary format and restore.
+    # 2. Persist.  The handle serializes to the paper's binary format;
+    #    `sizes` breaks the container down by section, loaded or not.
     # ------------------------------------------------------------------
-    blob = encode_grammar(grammar)
-    print(f"container:   {blob.total_bytes} bytes, "
-          f"sections {blob.section_bytes}")
-    restored = decode_grammar(blob)
+    blob = handle.to_bytes()
+    print(f"container:   {len(blob)} bytes, sections {handle.sizes}")
+    restored = CompressedGraph.from_bytes(blob)
     print(f"restored:    {restored!r}")
 
     # ------------------------------------------------------------------
-    # 3. Decompress (derive) — node IDs are deterministic.
+    # 3. Decompress (derive) — node IDs are deterministic and match
+    #    the IDs the query family answers with.
     # ------------------------------------------------------------------
-    derived = derive(restored)
+    derived = restored.decompress()
     print(f"derived:     {derived!r} "
           f"(expected {graph.node_size} nodes, {graph.num_edges} edges)")
     assert derived.node_size == graph.node_size
     assert derived.num_edges == graph.num_edges
 
     # ------------------------------------------------------------------
-    # 4. Query without decompressing (paper section V).
+    # 4. Query without decompressing (paper section V).  The index
+    #    behind these is built lazily on first use and cached for the
+    #    handle's lifetime — exactly one canonicalization pass, even
+    #    under concurrent query threads.
     # ------------------------------------------------------------------
-    queries = GrammarQueries(restored)
-    print(f"node count (from grammar):  {queries.node_count()}")
-    print(f"edge count (from grammar):  {queries.edge_count()}")
-    print(f"components (from grammar):  "
-          f"{queries.connected_components()}")
-    print(f"out-neighbors of node 1:    {queries.out_neighbors(1)}")
-    print(f"reachable 1 -> 2?           {queries.reachable(1, 2)}")
-    print(f"reachable 2 -> 1?           {queries.reachable(2, 1)}")
+    print(f"node count (from grammar):  {restored.node_count()}")
+    print(f"edge count (from grammar):  {restored.edge_count()}")
+    print(f"components (from grammar):  {restored.components()}")
+    print(f"out-neighbors of node 1:    {restored.out(1)}")
+    print(f"reachable 1 -> 2?           {restored.reach(1, 2)}")
+    print(f"reachable 2 -> 1?           {restored.reach(2, 1)}")
+    print(f"shortest path 1 -> 2:       {restored.path(1, 2)}")
+    print(f"canonicalization passes:    {restored.canonicalizations}")
 
     # ------------------------------------------------------------------
-    # 5. Engines.  The default "incremental" engine maintains the
+    # 5. Batched queries: a serving loop hands the handle many queries
+    #    at once; all of them run against the single cached index.
+    # ------------------------------------------------------------------
+    answers = restored.batch([
+        ("reach", 1, 2),
+        ("out", 1),
+        ("degree", 1),
+        ("components",),
+        ("path", 1, 2),
+    ])
+    print(f"batch answers:              {answers}")
+
+    # ------------------------------------------------------------------
+    # 6. Engines.  The default "incremental" engine maintains the
     #    digram occurrence lists and the bucket priority queue purely
     #    by local deltas: after one initial counting pass it never
     #    re-counts the graph (stats["recount_passes"] == 0).  The
     #    legacy "recount" engine re-runs full counting passes between
     #    replacements and serves as a correctness/quality oracle.
     # ------------------------------------------------------------------
-    incremental = compress(graph, alphabet,
-                           GRePairSettings(engine="incremental"))
-    recount = compress(graph, alphabet,
-                       GRePairSettings(engine="recount"))
+    incremental = CompressedGraph.compress(
+        graph, alphabet, GRePairSettings(engine="incremental"))
+    recount = CompressedGraph.compress(
+        graph, alphabet, GRePairSettings(engine="recount"))
     print(f"incremental engine: |G|={incremental.grammar.size}, "
           f"passes={incremental.stats['passes']}, "
           f"re-counts={incremental.stats['recount_passes']}")
@@ -108,17 +122,19 @@ def main():
           f"re-counts={recount.stats['recount_passes']}")
 
     # ------------------------------------------------------------------
-    # 6. Streaming compression.  Edges can be fed in chunks; the
+    # 7. Streaming compression.  Edges can be fed in chunks; the
     #    incremental state is reused across chunks, so no chunk ever
     #    triggers a re-count of the accumulated graph.
     # ------------------------------------------------------------------
-    streamer = StreamingCompressor(alphabet, order="natural")
     chunk = [(edge.label, edge.att) for _, edge in graph.edges()]
-    streamer.add_edges(chunk[:len(chunk) // 2])
-    streamer.add_edges(chunk[len(chunk) // 2:])
-    streamed = streamer.finish()
-    print(f"streamed grammar:   |G|={streamed.size} "
-          f"(counting passes: {streamer.stats.passes})")
+    streamed = CompressedGraph.from_stream(
+        [chunk[:len(chunk) // 2], chunk[len(chunk) // 2:]],
+        alphabet,
+        GRePairSettings(order="natural"),
+    )
+    print(f"streamed grammar:   |G|={streamed.grammar.size} "
+          f"(counting passes: {streamed.stats['passes']})")
+    assert streamed.edge_count() == graph.num_edges
     print("quickstart OK")
 
 

@@ -15,12 +15,10 @@ the dictionary.
 Run:  python examples/rdf_compression.py
 """
 
+from repro import CompressedGraph
 from repro.baselines import K2Compressor
-from repro.core.pipeline import compress
 from repro.datasets.io import graph_from_triples
 from repro.datasets.rdf import types_graph
-from repro.encoding import encode_grammar
-from repro.queries import GrammarQueries
 
 
 def handcrafted_triples():
@@ -48,23 +46,20 @@ def small_example():
         handcrafted_triples())
     print(f"triples -> {graph.num_edges} edges over "
           f"{graph.node_size} resources, {len(alphabet)} predicates")
-    result = compress(graph, alphabet)
-    print(f"compressed: {result.summary()}")
+    handle = CompressedGraph.compress(graph, alphabet)
+    print(f"compressed: {handle.summary()}")
 
     # The grammar reproduces an isomorphic copy with deterministic node
     # IDs (paper section III-C2: "the grammar only produces an
     # isomorphic copy ... we can produce a mapping from the new node
     # IDs to the original ones").  Queries therefore run on val(G)
     # IDs; counts and structure are preserved exactly.
-    queries = GrammarQueries(result.grammar)
-    print(f"resources (from grammar):  {queries.node_count()} "
+    print(f"resources (from grammar):  {handle.node_count()} "
           f"(dictionary holds {len(dictionary)})")
-    print(f"triples   (from grammar):  {queries.edge_count()}")
-    print(f"connected components:      "
-          f"{queries.connected_components()}")
+    print(f"triples   (from grammar):  {handle.edge_count()}")
+    print(f"connected components:      {handle.components()}")
     sample = 1
-    print(f"out-neighbors of node {sample}: "
-          f"{queries.out_neighbors(sample)}")
+    print(f"out-neighbors of node {sample}: {handle.out(sample)}")
 
 
 def star_benchmark():
@@ -72,12 +67,11 @@ def star_benchmark():
     graph, alphabet = types_graph(instances=5000, classes=30, seed=1)
     print(f"graph: {graph.node_size} nodes, {graph.num_edges} "
           f"rdf:type edges")
-    result = compress(graph, alphabet)
-    ours = encode_grammar(result.grammar,
-                          include_names=False).total_bytes
+    handle = CompressedGraph.compress(graph, alphabet)
+    ours = len(handle.to_bytes(include_names=False))
     k2 = len(K2Compressor().compress(graph))
     print(f"gRePair: {ours:7d} bytes "
-          f"({8.0 * ours / graph.num_edges:5.2f} bpe)")
+          f"({handle.bits_per_edge(graph.num_edges):5.2f} bpe)")
     print(f"k2-tree: {k2:7d} bytes "
           f"({8.0 * k2 / graph.num_edges:5.2f} bpe)")
     print(f"-> gRePair is {k2 / ours:.0f}x smaller "

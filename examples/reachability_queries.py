@@ -15,10 +15,7 @@ import random
 import time
 from collections import deque
 
-from repro import derive
-from repro.core.pipeline import compress
-from repro.datasets import fig13_base_graph, identical_copies
-from repro.queries import GrammarQueries
+from repro import CompressedGraph
 
 
 def bfs_reachable(adjacency, source, target):
@@ -64,13 +61,13 @@ def chain_of_diamonds(units):
 def main():
     # A connected chain of 1024 diamonds: compresses like a string.
     graph, alphabet = chain_of_diamonds(1024)
-    result = compress(graph, alphabet, validate=False)
+    handle = CompressedGraph.compress(graph, alphabet, validate=False)
+    result = handle.result
     print(f"graph: {graph.num_edges} edges, |g| = {graph.total_size}")
     print(f"grammar: |G| = {result.grammar.size} "
           f"({result.size_ratio:.1%} of the graph)")
 
-    queries = GrammarQueries(result.grammar)
-    val = derive(result.grammar.canonicalize())
+    val = handle.decompress()
     adjacency = {}
     for _, edge in val.edges():
         adjacency.setdefault(edge.att[0], []).append(edge.att[1])
@@ -81,7 +78,7 @@ def main():
              for _ in range(500)]
 
     start = time.perf_counter()
-    grammar_answers = [queries.reachable(s, t) for s, t in pairs]
+    grammar_answers = [handle.reach(s, t) for s, t in pairs]
     grammar_time = time.perf_counter() - start
 
     start = time.perf_counter()
@@ -100,7 +97,7 @@ def main():
 
     # Component counting, another one-pass speed-up query:
     print(f"connected components (from grammar): "
-          f"{queries.connected_components()} (expected 1)")
+          f"{handle.components()} (expected 1)")
     print("reachability example OK")
 
 

@@ -17,22 +17,21 @@ scale:
 Run:  python examples/version_graphs.py
 """
 
+from repro import CompressedGraph, GRePairSettings
 from repro.baselines import K2Compressor
-from repro.core.pipeline import GRePairSettings, compress
 from repro.datasets.versions import (
     coauthorship_snapshots,
     disjoint_union,
     fig13_base_graph,
     identical_copies,
 )
-from repro.encoding import encode_grammar
 
 
 def grepair_size(graph, alphabet, **settings):
-    result = compress(graph, alphabet, GRePairSettings(**settings),
-                      validate=False)
-    return encode_grammar(result.grammar,
-                          include_names=False).total_bytes
+    handle = CompressedGraph.compress(graph, alphabet,
+                                      GRePairSettings(**settings),
+                                      validate=False)
+    return len(handle.to_bytes(include_names=False))
 
 
 def identical_copies_demo():

@@ -12,7 +12,12 @@ ratios for both engines over the shared smoke corpora
   (default 1%) relative to the baseline ratio,
 * its ratio must stay within 1% of the recount oracle's current ratio,
 * settle work (nodes re-counted) and queue operations may not blow up
-  past ``--work-slack`` (default 1.25x) of the baseline.
+  past ``--work-slack`` (default 1.25x) of the baseline,
+* the ``CompressedGraph`` facade's lazy index must canonicalize the
+  grammar **exactly once** per handle across a serialize -> open ->
+  mixed-query lifecycle — zero extra passes over the single pass the
+  legacy per-``GrammarQueries`` construction paid (checked absolutely,
+  not against the baseline file).
 
 Exit code 0 means no regression; 1 means at least one check failed;
 ``--update`` rewrites the baseline instead of checking.
@@ -33,10 +38,47 @@ from pathlib import Path
 _ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(_ROOT / "src"))
 
-from repro import GRePairSettings  # noqa: E402
+from repro import CompressedGraph, GRePairSettings  # noqa: E402
 from repro.bench import SMOKE_CORPORA, compression_stats  # noqa: E402
+from repro.core.grammar import SLHRGrammar  # noqa: E402
 
 BASELINE_PATH = _ROOT / "benchmarks" / "BENCH_baseline.json"
+
+
+def facade_lifecycle(grammar) -> dict:
+    """Serialize -> open -> mixed queries; count canonicalizations.
+
+    The legacy path (one ``GrammarQueries`` per grammar) canonicalized
+    exactly once per construction; the facade's lazy index must not
+    exceed that — one pass per handle lifetime, shared by every query.
+    """
+    blob = CompressedGraph.from_grammar(grammar).to_bytes(
+        include_names=False)
+    served = CompressedGraph.from_bytes(blob)
+
+    calls = []
+    original = SLHRGrammar.canonicalize
+
+    def counting(self):
+        calls.append(1)
+        return original(self)
+
+    SLHRGrammar.canonicalize = counting
+    try:
+        total = served.node_count()
+        sample = range(1, min(total, 20) + 1)
+        served.batch(
+            [("out", node) for node in sample]
+            + [("in", node) for node in sample]
+            + [("reach", 1, total), ("degree",), ("components",),
+               ("edges",)]
+        )
+    finally:
+        SLHRGrammar.canonicalize = original
+    return {
+        "canonicalizations": served.canonicalizations,
+        "canonicalize_calls": len(calls),
+    }
 
 
 def measure() -> dict:
@@ -57,6 +99,8 @@ def measure() -> dict:
                 "grammar_size": result.grammar.size,
                 "ratio": round(result.size_ratio, 6),
             }
+            if engine == "incremental":
+                entry["facade"] = facade_lifecycle(result.grammar)
         corpora[name] = entry
     return {"corpora": corpora}
 
@@ -95,6 +139,18 @@ def check(current: dict, baseline: dict, tolerance: float,
                 fail(name, f"{metric} blew up: {inc[metric]} > "
                            f"{allowed:.0f} "
                            f"(baseline {base_inc[metric]})")
+        # Facade gate (absolute, not baseline-relative): one lazy
+        # canonicalization per handle, zero extra under a query mix.
+        facade = entry.get("facade", {})
+        if facade.get("canonicalizations") != 1:
+            fail(name, f"facade canonicalized "
+                       f"{facade.get('canonicalizations')}x per handle "
+                       f"(expected exactly 1)")
+        if facade.get("canonicalize_calls") != 1:
+            fail(name, f"facade query mix triggered "
+                       f"{facade.get('canonicalize_calls')} "
+                       f"canonicalize calls (expected 1: the single "
+                       f"lazy index build)")
     return failures
 
 
@@ -126,10 +182,12 @@ def main(argv=None) -> int:
     failures = check(current, baseline, args.tolerance, args.work_slack)
     for name, entry in current["corpora"].items():
         inc = entry["incremental"]
+        facade = entry.get("facade", {})
         print(f"{name:14s} passes={inc['passes']} "
               f"recounts={inc['recount_passes']} "
               f"ratio={inc['ratio']:.4f} "
-              f"(oracle {entry['recount']['ratio']:.4f})")
+              f"(oracle {entry['recount']['ratio']:.4f}) "
+              f"facade-canon={facade.get('canonicalizations', '?')}")
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
         for failure in failures:

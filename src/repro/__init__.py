@@ -7,27 +7,38 @@ A faithful, self-contained reproduction of
 
 Public API highlights
 ---------------------
+``CompressedGraph``
+    The serving-grade front door: one long-lived handle unifying
+    compress (``CompressedGraph.compress`` / ``.from_stream``),
+    persistence (``.save`` / ``.open`` / ``.to_bytes`` /
+    ``.from_bytes``), derivation (``.decompress``) and the full
+    section-V query family (``reach``, ``out``, ``in_``,
+    ``neighborhood``, ``components``, ``degree``, ``path``, plus
+    ``batch`` for serving loops) over one lazily built, cached,
+    thread-safe index.
 ``Hypergraph`` / ``Alphabet``
     The directed edge-labeled hypergraph data model.
-``compress`` / ``GRePairSettings`` / ``CompressionResult``
-    Run the gRePair compressor and inspect the resulting SL-HR grammar.
+``GRePairSettings`` / ``CompressionResult``
+    Algorithm parameters (validated eagerly) and per-run statistics.
     ``GRePairSettings(engine=...)`` selects the occurrence-maintenance
     engine: ``"incremental"`` (default; no re-count passes) or
     ``"recount"`` (legacy full-recount oracle).
-``StreamingCompressor``
-    Chunked compression that reuses the incremental engine's state
-    across chunks.
-``derive``
-    Expand a grammar back into its (deterministically numbered) graph.
-``encode_grammar`` / ``decode_grammar``
-    The binary format: k2-tree start graph + delta-coded rules.
+
+Compatibility shims (predating the facade, delegating to it)
+------------------------------------------------------------
+``compress``
+    Run the compressor and return only the ``CompressionResult``.
 ``GrammarQueries``
-    Neighborhood, reachability and component queries evaluated directly
-    on the grammar (paper section V).
+    Per-grammar query object; each construction canonicalizes anew —
+    the facade's cached index supersedes it.
+``derive`` / ``StreamingCompressor`` / ``encode_grammar`` /
+``decode_grammar``
+    The underlying building blocks, still exported for direct use.
 
 See ``examples/quickstart.py`` for a tour.
 """
 
+from repro.api import CompressedGraph
 from repro.core import (
     ENGINES,
     Alphabet,
@@ -46,10 +57,11 @@ from repro.core import (
     node_order,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Alphabet",
+    "CompressedGraph",
     "CompressionResult",
     "CompressionStats",
     "ENGINES",

@@ -1,0 +1,528 @@
+"""The serving-grade front door: :class:`CompressedGraph`.
+
+The paper's central claim (conf_icde_ManethP16, gRePair) is that the
+grammar is not just a smaller file but a *queryable* representation.
+This module packages that claim as one long-lived handle — the way
+production stores expose a single ``DB``/``Reader`` object instead of a
+bag of free functions:
+
+* **compress** — :meth:`CompressedGraph.compress` runs the gRePair
+  pipeline; :meth:`CompressedGraph.from_stream` wraps the chunked
+  :class:`repro.core.streaming.StreamingCompressor`.
+* **persist** — :meth:`CompressedGraph.save` / :meth:`~CompressedGraph.to_bytes`
+  write the paper's binary container; :meth:`CompressedGraph.open` /
+  :meth:`~CompressedGraph.from_bytes` load one back.  :attr:`sizes`
+  reports per-section byte accounting either way.
+* **derive** — :meth:`CompressedGraph.decompress` expands ``val(G)``
+  with the deterministic node numbering the queries use.
+* **query** — the full section-V family (``reach``, ``out``, ``in_``,
+  ``neighborhood``, ``components``, ``degree``, ``path``) plus the
+  legacy ``GrammarQueries`` spellings, evaluated against one lazily
+  built, cached, **thread-safe** index: the grammar is canonicalized at
+  most once per handle lifetime (guarded by a lock), no matter how many
+  queries run or from how many threads.  :meth:`batch` answers many
+  queries against that single index build for serving workloads.
+
+The older entry points (:func:`repro.core.pipeline.compress`,
+:class:`repro.queries.GrammarQueries`, :func:`repro.core.derive`)
+remain as compatibility shims delegating to this facade.
+"""
+
+from __future__ import annotations
+
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.core.alphabet import Alphabet
+from repro.core.derivation import derive as _derive
+from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.core.pipeline import CompressionResult, GRePairSettings
+from repro.core.repair import CompressionStats, GRePair
+from repro.core.streaming import StreamingCompressor
+from repro.encoding.container import (
+    GrammarFile,
+    container_sections,
+    decode_grammar,
+    encode_grammar,
+)
+from repro.exceptions import GrammarError, QueryError
+from repro.queries.components import ComponentQueries
+from repro.queries.degrees import DegreeQueries
+from repro.queries.index import GrammarIndex
+from repro.queries.neighborhood import NeighborhoodQueries
+from repro.queries.reachability import ReachabilityQueries
+from repro.util.varint import read_uvarint
+
+__all__ = ["CompressedGraph"]
+
+
+class _QueryBundle:
+    """Everything the query family shares: one canonical grammar + index.
+
+    Built exactly once per handle (under the handle's lock).  The
+    sub-evaluators that need their own precomputation pass
+    (reachability skeletons, component summaries, degree summaries) are
+    attached lazily, also under the lock; after construction every
+    query is a pure read over immutable state, so concurrent use needs
+    no further synchronization.
+    """
+
+    __slots__ = ("grammar", "index", "neighborhood", "reachability",
+                 "degrees", "component_count", "edge_count")
+
+    def __init__(self, canonical: SLHRGrammar) -> None:
+        self.grammar = canonical
+        self.index = GrammarIndex(canonical)
+        self.neighborhood = NeighborhoodQueries(self.index)
+        self.reachability: Optional[ReachabilityQueries] = None
+        self.degrees: Optional[DegreeQueries] = None
+        self.component_count: Optional[int] = None
+        self.edge_count: Optional[int] = None
+
+
+class CompressedGraph:
+    """One grammar-compressed graph: compress, persist, derive, query.
+
+    Construct through the classmethods — :meth:`compress`,
+    :meth:`open`, :meth:`from_bytes`, :meth:`from_stream`,
+    :meth:`from_grammar` — not directly.  The handle is immutable and
+    safe to share between threads: the query index is built at most
+    once (double-checked under an internal lock), and
+    :attr:`canonicalizations` records how many canonicalization passes
+    the handle has performed (0 before the first query, 1 ever after —
+    the regression gate in ``scripts/check_bench_regression.py`` holds
+    this at "no more than one per lifetime").
+    """
+
+    def __init__(self, grammar: SLHRGrammar, *,
+                 result: Optional[CompressionResult] = None,
+                 container: Optional[GrammarFile] = None,
+                 container_key: Optional[Tuple[bool, int]] = None,
+                 stream_stats: Optional[CompressionStats] = None) -> None:
+        self._grammar = grammar
+        self._result = result
+        self._container = container
+        self._container_key = container_key
+        self._stream_stats = stream_stats
+        self._canonical: Optional[SLHRGrammar] = None
+        self._bundle: Optional[_QueryBundle] = None
+        self._lock = threading.RLock()
+        #: Canonicalization passes performed by this handle (<= 1).
+        self.canonicalizations = 0
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def compress(cls, graph: Hypergraph, alphabet: Alphabet,
+                 settings: Optional[GRePairSettings] = None,
+                 validate: bool = True) -> "CompressedGraph":
+        """Compress ``graph`` with gRePair and return the handle.
+
+        The input graph and alphabet are left untouched: compression
+        works on copies.  ``settings`` defaults to the paper's
+        recommendation (``maxRank=4``, FP order, incremental engine);
+        ``validate=False`` skips the post-run grammar validity check
+        (cheap; disable only in tight benchmark loops).
+        """
+        if settings is None:
+            settings = GRePairSettings()
+        original_size = graph.total_size
+        original_edges = graph.num_edges
+        algorithm = GRePair(
+            graph.copy(),
+            alphabet.copy(),
+            max_rank=settings.max_rank,
+            order=settings.order,
+            seed=settings.seed,
+            virtual_edges=settings.virtual_edges,
+            prune=settings.prune,
+            engine=settings.engine,
+        )
+        grammar = algorithm.run()
+        if validate:
+            grammar.validate()
+        result = CompressionResult(
+            grammar=grammar,
+            original_size=original_size,
+            original_edges=original_edges,
+            settings=settings,
+            stats=algorithm.stats.as_dict(),
+            stats_obj=algorithm.stats,
+        )
+        return cls(grammar, result=result)
+
+    @classmethod
+    def from_stream(
+        cls,
+        chunks: Iterable[Iterable[Tuple[int, Sequence[int]]]],
+        alphabet: Alphabet,
+        settings: Optional[GRePairSettings] = None,
+    ) -> "CompressedGraph":
+        """Compress an edge stream chunk by chunk.
+
+        ``chunks`` yields iterables of ``(label, attachment)`` pairs;
+        each chunk is ingested and drained before the next (see
+        :class:`repro.core.streaming.StreamingCompressor`).  Streaming
+        requires the incremental engine — ``settings.engine`` must be
+        left at its default.
+        """
+        if settings is None:
+            settings = GRePairSettings()
+        if settings.engine != "incremental":
+            raise GrammarError(
+                "streaming compression requires engine='incremental', "
+                f"got {settings.engine!r}"
+            )
+        compressor = StreamingCompressor(
+            alphabet,
+            max_rank=settings.max_rank,
+            order=settings.order,
+            seed=settings.seed,
+            virtual_edges=settings.virtual_edges,
+            prune=settings.prune,
+        )
+        for chunk in chunks:
+            compressor.add_edges(chunk)
+        grammar = compressor.finish()
+        return cls(grammar, stream_stats=compressor.stats)
+
+    @classmethod
+    def from_grammar(cls, grammar: SLHRGrammar) -> "CompressedGraph":
+        """Wrap an existing grammar (no copy is taken)."""
+        return cls(grammar)
+
+    @classmethod
+    def from_bytes(cls, buf: Union[bytes, bytearray, GrammarFile]
+                   ) -> "CompressedGraph":
+        """Load a handle from serialized container bytes."""
+        data = buf.data if isinstance(buf, GrammarFile) else bytes(buf)
+        grammar = decode_grammar(data)
+        container = GrammarFile(data=data,
+                                section_bytes=container_sections(data))
+        # The header records the k2-tree arity; remembering it lets
+        # to_bytes()/save() reuse the loaded bytes only when the
+        # requested parameters actually match the file's encoding.
+        k, _ = read_uvarint(data, 5)
+        return cls(grammar, container=container,
+                   container_key=(True, k))
+
+    @classmethod
+    def open(cls, path: Union[str, Path]) -> "CompressedGraph":
+        """Load a handle from a ``.grpr`` container file."""
+        return cls.from_bytes(Path(path).read_bytes())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def _ensure_container(self, include_names: bool = True,
+                          k: int = 2) -> GrammarFile:
+        key = (include_names, k)
+        with self._lock:
+            if self._container is not None and self._container_key == key:
+                return self._container
+            container = encode_grammar(self._grammar, k=k,
+                                       include_names=include_names)
+            self._container = container
+            self._container_key = key
+            return container
+
+    def to_bytes(self, include_names: bool = True, k: int = 2) -> bytes:
+        """Serialize to the paper's binary container format."""
+        return self._ensure_container(include_names, k).data
+
+    def save(self, path: Union[str, Path], include_names: bool = True,
+             k: int = 2) -> GrammarFile:
+        """Write the container to ``path``; returns the container."""
+        container = self._ensure_container(include_names, k)
+        container.write(path)
+        return container
+
+    def _current_container(self) -> GrammarFile:
+        """The existing container if any, else a default encoding."""
+        with self._lock:
+            container = self._container
+        if container is not None:
+            return container
+        return self._ensure_container()
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        """Per-section byte accounting of the serialized container.
+
+        Encodes lazily for in-memory handles; opened handles report the
+        sections parsed from the loaded file.
+        """
+        return dict(self._current_container().section_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the serialized container in bytes."""
+        return self._current_container().total_bytes
+
+    def bits_per_edge(self, num_edges: Optional[int] = None) -> float:
+        """bpe of the serialized container (the paper's size metric).
+
+        ``num_edges`` defaults to the derived terminal edge count;
+        benchmarks pass the original graph's edge count explicitly.
+        """
+        if num_edges is None:
+            num_edges = self.edge_count()
+        return self._current_container().bits_per_edge(num_edges)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def grammar(self) -> SLHRGrammar:
+        """The underlying SL-HR grammar (as produced or decoded)."""
+        return self._grammar
+
+    @property
+    def canonical_grammar(self) -> SLHRGrammar:
+        """The canonical grammar (lazy; shared with the query index).
+
+        Accessing this does *not* build the query index — derivation
+        only needs the canonical numbering.
+        """
+        canonical = self._canonical
+        if canonical is None:
+            with self._lock:
+                canonical = self._canonical
+                if canonical is None:
+                    canonical = self._grammar.canonicalize()
+                    self.canonicalizations += 1
+                    self._canonical = canonical
+        return canonical
+
+    @property
+    def index(self) -> GrammarIndex:
+        """The node-ID index (forces the lazy build)."""
+        return self._queries().index
+
+    @property
+    def result(self) -> Optional[CompressionResult]:
+        """The :class:`CompressionResult` when compressed in-process."""
+        return self._result
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Compression statistics, ``{}`` for opened handles."""
+        if self._result is not None:
+            return dict(self._result.stats)
+        if self._stream_stats is not None:
+            return self._stream_stats.as_dict()
+        return {}
+
+    def summary(self) -> str:
+        """One-line description of the handle."""
+        if self._result is not None:
+            return self._result.summary()
+        return (f"{self._grammar.num_rules} rules, "
+                f"|G|={self._grammar.size}, "
+                f"{self.node_count()} derived nodes")
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def decompress(self, max_edges: Optional[int] = None) -> Hypergraph:
+        """Expand ``val(G)`` with the query numbering.
+
+        The derived graph uses the canonical deterministic node IDs, so
+        its nodes are exactly the IDs the query family answers with.
+        """
+        return _derive(self.canonical_grammar, max_edges=max_edges)
+
+    # ------------------------------------------------------------------
+    # The lazy, cached, thread-safe query index
+    # ------------------------------------------------------------------
+    def _queries(self) -> _QueryBundle:
+        bundle = self._bundle
+        if bundle is None:
+            with self._lock:
+                bundle = self._bundle
+                if bundle is None:
+                    bundle = _QueryBundle(self.canonical_grammar)
+                    self._bundle = bundle
+        return bundle
+
+    @property
+    def index_built(self) -> bool:
+        """Whether the lazy query index exists yet (no side effects)."""
+        return self._bundle is not None
+
+    def _reachability(self) -> ReachabilityQueries:
+        bundle = self._queries()
+        if bundle.reachability is None:
+            with self._lock:
+                if bundle.reachability is None:
+                    bundle.reachability = ReachabilityQueries(bundle.index)
+        return bundle.reachability
+
+    def _degrees(self) -> DegreeQueries:
+        bundle = self._queries()
+        if bundle.degrees is None:
+            with self._lock:
+                if bundle.degrees is None:
+                    bundle.degrees = DegreeQueries(bundle.grammar)
+        return bundle.degrees
+
+    # -- neighborhood ---------------------------------------------------
+    def out_neighbors(self, node_id: int) -> List[int]:
+        """Sorted out-neighbor IDs of ``node_id`` (paper's ``N+``)."""
+        return self._queries().neighborhood.out_neighbors(node_id)
+
+    def in_neighbors(self, node_id: int) -> List[int]:
+        """Sorted in-neighbor IDs of ``node_id`` (paper's ``N-``)."""
+        return self._queries().neighborhood.in_neighbors(node_id)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Sorted undirected neighborhood ``N(v)``."""
+        return self._queries().neighborhood.neighbors(node_id)
+
+    # Short serving-style spellings.
+    def out(self, node_id: int) -> List[int]:
+        """Alias of :meth:`out_neighbors`."""
+        return self.out_neighbors(node_id)
+
+    def in_(self, node_id: int) -> List[int]:
+        """Alias of :meth:`in_neighbors` (``in`` is a keyword)."""
+        return self.in_neighbors(node_id)
+
+    def neighborhood(self, node_id: int) -> List[int]:
+        """Alias of :meth:`neighbors`."""
+        return self.neighbors(node_id)
+
+    # -- speed-up queries -----------------------------------------------
+    def reachable(self, source_id: int, target_id: int) -> bool:
+        """(s,t)-reachability in ``O(|G|)`` (Theorem 6)."""
+        return self._reachability().reachable(source_id, target_id)
+
+    def reach(self, source_id: int, target_id: int) -> bool:
+        """Alias of :meth:`reachable`."""
+        return self.reachable(source_id, target_id)
+
+    def connected_components(self) -> int:
+        """Number of connected components of ``val(G)`` (one pass)."""
+        bundle = self._queries()
+        if bundle.component_count is None:
+            with self._lock:
+                if bundle.component_count is None:
+                    bundle.component_count = ComponentQueries(
+                        bundle.grammar).connected_components()
+        return bundle.component_count
+
+    def components(self) -> int:
+        """Alias of :meth:`connected_components`."""
+        return self.connected_components()
+
+    def degrees(self) -> DegreeQueries:
+        """The degree-extrema evaluator (CMSO function, one pass)."""
+        return self._degrees()
+
+    def degree(self, node_id: Optional[int] = None,
+               direction: str = "out") -> Union[int, Dict[str, int]]:
+        """Degree information without decompressing.
+
+        With ``node_id``: the number of distinct ``out``/``in``/``any``
+        neighbors of that node.  Without: the true degree extrema of
+        ``val(G)`` (edge multiplicities included) as a dict with keys
+        ``max_out``/``min_out``/``max_in``/``min_in``/``max``/``min``.
+        """
+        if node_id is None:
+            extrema = self._degrees()
+            return {
+                "max_out": extrema.max_out_degree(),
+                "min_out": extrema.min_out_degree(),
+                "max_in": extrema.max_in_degree(),
+                "min_in": extrema.min_in_degree(),
+                "max": extrema.max_degree(),
+                "min": extrema.min_degree(),
+            }
+        if direction == "out":
+            return len(self.out_neighbors(node_id))
+        if direction == "in":
+            return len(self.in_neighbors(node_id))
+        if direction == "any":
+            return len(self.neighbors(node_id))
+        raise QueryError(f"unknown direction {direction!r}; "
+                         "expected 'out', 'in' or 'any'")
+
+    def path(self, source_id: int, target_id: int
+             ) -> Optional[List[int]]:
+        """A shortest directed path as node IDs, or ``None``."""
+        from repro.queries.traversal import shortest_path
+        return shortest_path(self, source_id, target_id)
+
+    def node_count(self) -> int:
+        """``|val(G)|_V`` without decompressing."""
+        return self._queries().index.total_nodes
+
+    def edge_count(self) -> int:
+        """Terminal edge count of ``val(G)`` without decompressing."""
+        bundle = self._queries()
+        if bundle.edge_count is None:
+            bundle.edge_count = bundle.grammar.derived_edge_count()
+        return bundle.edge_count
+
+    # ------------------------------------------------------------------
+    # Batched evaluation for serving workloads
+    # ------------------------------------------------------------------
+    _BATCH_KINDS = {
+        "reach": "reachable",
+        "reachable": "reachable",
+        "out": "out_neighbors",
+        "out_neighbors": "out_neighbors",
+        "in": "in_neighbors",
+        "in_": "in_neighbors",
+        "in_neighbors": "in_neighbors",
+        "neighborhood": "neighbors",
+        "neighbors": "neighbors",
+        "components": "connected_components",
+        "connected_components": "connected_components",
+        "degree": "degree",
+        "nodes": "node_count",
+        "node_count": "node_count",
+        "edges": "edge_count",
+        "edge_count": "edge_count",
+        "path": "path",
+    }
+
+    def batch(self, requests: Iterable[Sequence[Any]]) -> List[Any]:
+        """Evaluate many queries against one index build.
+
+        Each request is a ``(kind, *args)`` sequence, e.g.
+        ``("reach", 1, 9)``, ``("out", 4)``, ``("components",)``,
+        ``("degree", 4, "in")`` or ``("path", 1, 7)``.  Results come
+        back in request order.  The index (and every shared
+        precomputation a request needs) is built once for the whole
+        batch, which is the intended shape for serving loops.
+        """
+        self._queries()
+        results: List[Any] = []
+        for request in requests:
+            if not request:
+                raise QueryError("empty batch request")
+            kind, *args = request
+            method = self._BATCH_KINDS.get(kind)
+            if method is None:
+                raise QueryError(
+                    f"unknown batch query kind {kind!r}; expected one "
+                    f"of {sorted(set(self._BATCH_KINDS))}"
+                )
+            try:
+                results.append(getattr(self, method)(*args))
+            except TypeError as exc:
+                # Malformed requests surface as QueryError like every
+                # other bad query, so serving loops catch one type.
+                raise QueryError(
+                    f"bad arguments for batch query {kind!r}: {exc}"
+                ) from None
+        return results
+
+    def __repr__(self) -> str:
+        built = "built" if self.index_built else "lazy"
+        return (f"CompressedGraph(rules={self._grammar.num_rules}, "
+                f"|G|={self._grammar.size}, index={built})")

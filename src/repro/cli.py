@@ -1,18 +1,21 @@
 """Command-line interface: compress, decompress, inspect, query.
 
-A thin production-style front end over the library, so the compressor
-is usable without writing Python::
+A thin production-style front end over :class:`repro.api.CompressedGraph`,
+so the compressor is usable without writing Python::
 
     python -m repro.cli compress graph.tsv graph.grpr
     python -m repro.cli stats graph.grpr
     python -m repro.cli decompress graph.grpr roundtrip.tsv
     python -m repro.cli query graph.grpr reach 4 17
     python -m repro.cli query graph.grpr out 4
+    python -m repro.cli query graph.grpr path 4 17
     python -m repro.cli query graph.grpr components
 
 Graphs are read/written as edge lists (``source target [label]`` per
 line, ``#`` comments allowed); compressed grammars use the paper's
-binary container format.
+binary container format.  Every subcommand reports library errors
+(:class:`repro.exceptions.ReproError`) and I/O failures on stderr with
+exit code 2.
 """
 
 from __future__ import annotations
@@ -22,12 +25,10 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro import ENGINES, GRePairSettings, compress, derive
+from repro import ENGINES, CompressedGraph, GRePairSettings
 from repro.core.orders import NODE_ORDERS
 from repro.datasets.io import read_edge_list, write_edge_list
-from repro.encoding import GrammarFile, decode_grammar, encode_grammar
 from repro.exceptions import ReproError
-from repro.queries import GrammarQueries
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -58,6 +59,9 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="disable grammar pruning")
     comp.add_argument("--no-names", action="store_true",
                       help="drop label names from the output")
+    comp.add_argument("--no-validate", action="store_true",
+                      help="skip the post-run grammar validity check "
+                           "(for tight benchmark loops)")
 
     dec = sub.add_parser("decompress", help=".grpr -> edge list")
     dec.add_argument("input", type=Path)
@@ -69,10 +73,12 @@ def _build_parser() -> argparse.ArgumentParser:
     query = sub.add_parser("query", help="evaluate queries on a .grpr")
     query.add_argument("input", type=Path)
     query.add_argument("kind",
-                       choices=["reach", "out", "in", "components",
+                       choices=["reach", "out", "in", "neighborhood",
+                                "degree", "path", "components",
                                 "nodes", "edges"])
     query.add_argument("args", nargs="*", type=int,
-                       help="node IDs (reach: two; out/in: one)")
+                       help="node IDs (reach/path: two; "
+                            "out/in/neighborhood/degree: one)")
 
     return parser
 
@@ -87,71 +93,101 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         prune=not args.no_prune,
         engine=args.engine,
     )
-    result = compress(graph, alphabet, settings)
-    blob = encode_grammar(result.grammar,
-                          include_names=not args.no_names)
-    blob.write(args.output)
+    handle = CompressedGraph.compress(graph, alphabet, settings,
+                                      validate=not args.no_validate)
+    blob = handle.save(args.output,
+                       include_names=not args.no_names)
     bpe = blob.bits_per_edge(max(1, graph.num_edges))
     print(f"{args.input}: |V|={graph.node_size} |E|={graph.num_edges}")
-    print(f"grammar: {result.summary()}")
+    print(f"grammar: {handle.summary()}")
     print(f"output:  {blob.total_bytes} bytes ({bpe:.2f} bpe) "
           f"-> {args.output}")
     return 0
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    grammar = decode_grammar(GrammarFile.read(args.input))
-    graph = derive(grammar)
-    write_edge_list(graph, grammar.alphabet, args.output)
-    print(f"{args.input}: {grammar.num_rules} rules -> "
+    handle = CompressedGraph.open(args.input)
+    graph = handle.decompress()
+    write_edge_list(graph, handle.grammar.alphabet, args.output)
+    print(f"{args.input}: {handle.grammar.num_rules} rules -> "
           f"|V|={graph.node_size} |E|={graph.num_edges} "
           f"-> {args.output}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    data = GrammarFile.read(args.input)
-    grammar = decode_grammar(data)
-    queries = GrammarQueries(grammar)
-    print(f"container:      {data.total_bytes} bytes")
+    handle = CompressedGraph.open(args.input)
+    grammar = handle.grammar
+    sections = handle.sizes
+    print(f"container:      {handle.total_bytes} bytes")
+    if sections:
+        breakdown = ", ".join(f"{name}={size}"
+                              for name, size in sections.items())
+        print(f"sections:       {breakdown}")
     print(f"rules:          {grammar.num_rules}")
     print(f"grammar size:   |G| = {grammar.size}")
     print(f"grammar height: {grammar.height()}")
     print(f"start graph:    {grammar.start.node_size} nodes, "
           f"{grammar.start.num_edges} edges")
-    print(f"derived graph:  {queries.node_count()} nodes, "
-          f"{queries.edge_count()} edges")
-    edges = max(1, queries.edge_count())
-    print(f"bpe:            {8.0 * data.total_bytes / edges:.2f}")
+    print(f"derived graph:  {handle.node_count()} nodes, "
+          f"{handle.edge_count()} edges")
+    edges = max(1, handle.edge_count())
+    print(f"bpe:            {8.0 * handle.total_bytes / edges:.2f}")
     return 0
 
 
+def _require_arity(kind: str, args: List[int], arity: int) -> None:
+    if len(args) != arity:
+        noun = "node ID" if arity == 1 else "node IDs"
+        raise ReproError(f"{kind} needs exactly {arity} {noun}")
+
+
 def _cmd_query(args: argparse.Namespace) -> int:
-    grammar = decode_grammar(GrammarFile.read(args.input))
-    queries = GrammarQueries(grammar)
+    handle = CompressedGraph.open(args.input)
     kind = args.kind
     if kind == "reach":
-        if len(args.args) != 2:
-            raise ReproError("reach needs exactly two node IDs")
+        _require_arity(kind, args.args, 2)
         source, target = args.args
-        answer = queries.reachable(source, target)
+        answer = handle.reach(source, target)
         print(f"reach({source}, {target}) = {answer}")
         return 0 if answer else 1
-    if kind in ("out", "in"):
-        if len(args.args) != 1:
-            raise ReproError(f"{kind} needs exactly one node ID")
+    if kind == "path":
+        _require_arity(kind, args.args, 2)
+        source, target = args.args
+        path = handle.path(source, target)
+        if path is None:
+            print("none")
+            return 1
+        print(" ".join(map(str, path)))
+        return 0
+    if kind in ("out", "in", "neighborhood"):
+        _require_arity(kind, args.args, 1)
         node = args.args[0]
-        neighbors = (queries.out_neighbors(node) if kind == "out"
-                     else queries.in_neighbors(node))
+        neighbors = {"out": handle.out,
+                     "in": handle.in_,
+                     "neighborhood": handle.neighborhood}[kind](node)
         print(" ".join(map(str, neighbors)))
         return 0
+    if kind == "degree":
+        if not args.args:
+            # Extrema count every edge (true degrees, one grammar pass).
+            extrema = handle.degree()
+            for name in ("max_out", "min_out", "max_in", "min_in",
+                         "max", "min"):
+                print(f"{name}: {extrema[name]}")
+            return 0
+        _require_arity(kind, args.args, 1)
+        node = args.args[0]
+        print(f"out={handle.degree(node, 'out')} "
+              f"in={handle.degree(node, 'in')} (distinct neighbors)")
+        return 0
     if kind == "components":
-        print(queries.connected_components())
+        print(handle.components())
         return 0
     if kind == "nodes":
-        print(queries.node_count())
+        print(handle.node_count())
         return 0
-    print(queries.edge_count())
+    print(handle.edge_count())
     return 0
 
 
@@ -164,15 +200,17 @@ _COMMANDS = {
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
+    """Entry point; returns the process exit code.
+
+    Library errors (every :class:`ReproError` subclass) and I/O
+    failures print ``error: ...`` to stderr and exit with code 2,
+    uniformly across subcommands.
+    """
     parser = _build_parser()
     args = parser.parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
-        return 2
-    except FileNotFoundError as error:
+    except (ReproError, OSError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
 

@@ -1,12 +1,23 @@
-"""High-level compression entry point.
+"""High-level compression entry point (compatibility shim).
 
-:func:`compress` bundles the full gRePair pipeline used by examples,
-tests and benchmarks: run the algorithm with a settings object, verify
-the grammar, and collect summary statistics (sizes, compression ratio
-``|G| / |g|`` as reported in the paper's section IV-C, pass counts).
+The canonical front door is :class:`repro.api.CompressedGraph` — one
+long-lived handle unifying compress, persist, derive and query::
 
-The binary serialization lives in :mod:`repro.encoding`; this module is
-purely about producing the grammar.
+    from repro import CompressedGraph
+    handle = CompressedGraph.compress(graph, alphabet)
+    handle.save("graph.grpr")
+    handle.reach(1, 9)
+
+:func:`compress` predates the facade and is kept for compatibility: it
+delegates to :meth:`CompressedGraph.compress` and returns the
+:class:`CompressionResult` (sizes, compression ratio ``|G| / |g|`` as
+reported in the paper's section IV-C, pass counts) without the handle.
+New code should call the facade directly and keep the handle — it owns
+the lazily built query index and the serialized container.
+
+:class:`GRePairSettings` lives here and validates eagerly: a typo'd
+order or engine fails at construction, not deep inside a compression
+run.
 """
 
 from __future__ import annotations
@@ -17,7 +28,9 @@ from typing import Dict, Optional
 from repro.core.alphabet import Alphabet
 from repro.core.grammar import SLHRGrammar
 from repro.core.hypergraph import Hypergraph
-from repro.core.repair import CompressionStats, GRePair
+from repro.core.orders import NODE_ORDERS
+from repro.core.repair import ENGINES, CompressionStats
+from repro.exceptions import GrammarError, HypergraphError
 
 
 @dataclass
@@ -28,6 +41,10 @@ class GRePairSettings:
     (``maxRank = 4`` and the FP order, section IV-C) on the incremental
     maintenance engine; ``engine="recount"`` selects the legacy
     full-recount oracle (see :mod:`repro.core.repair`).
+
+    Misconfiguration fails eagerly at construction: unknown ``order``
+    or ``engine`` names and ``max_rank < 2`` raise immediately instead
+    of surfacing from deep inside :class:`repro.core.repair.GRePair`.
     """
 
     max_rank: int = 4
@@ -36,6 +53,19 @@ class GRePairSettings:
     virtual_edges: bool = True
     prune: bool = True
     engine: str = "incremental"
+
+    def __post_init__(self) -> None:
+        if self.max_rank < 2:
+            raise GrammarError(
+                f"max_rank must be >= 2, got {self.max_rank}")
+        if self.order not in NODE_ORDERS:
+            raise HypergraphError(
+                f"unknown node order {self.order!r}; choose from "
+                f"{sorted(NODE_ORDERS)}")
+        if self.engine not in ENGINES:
+            raise GrammarError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{ENGINES}")
 
     def describe(self) -> str:
         """Short human-readable parameter summary."""
@@ -46,7 +76,7 @@ class GRePairSettings:
 
 @dataclass
 class CompressionResult:
-    """Outcome of one :func:`compress` call."""
+    """Outcome of one compression run (see also ``CompressedGraph``)."""
 
     grammar: SLHRGrammar
     original_size: int
@@ -83,7 +113,11 @@ def compress(
     settings: Optional[GRePairSettings] = None,
     validate: bool = True,
 ) -> CompressionResult:
-    """Compress ``graph`` with gRePair.
+    """Compress ``graph`` with gRePair (compatibility shim).
+
+    Delegates to :meth:`repro.api.CompressedGraph.compress` and returns
+    only the :class:`CompressionResult`.  Prefer the facade: it keeps
+    the handle that owns persistence and the cached query index.
 
     The input graph and alphabet are left untouched: compression works
     on copies (the grammar's start graph is derived from the copy).
@@ -100,30 +134,6 @@ def compress(
         Run the grammar validity check afterwards (cheap; disable only
         in tight benchmark loops).
     """
-    if settings is None:
-        settings = GRePairSettings()
-    original_size = graph.total_size
-    original_edges = graph.num_edges
-    working = graph.copy()
-    working_alphabet = alphabet.copy()
-    algorithm = GRePair(
-        working,
-        working_alphabet,
-        max_rank=settings.max_rank,
-        order=settings.order,
-        seed=settings.seed,
-        virtual_edges=settings.virtual_edges,
-        prune=settings.prune,
-        engine=settings.engine,
-    )
-    grammar = algorithm.run()
-    if validate:
-        grammar.validate()
-    return CompressionResult(
-        grammar=grammar,
-        original_size=original_size,
-        original_edges=original_edges,
-        settings=settings,
-        stats=algorithm.stats.as_dict(),
-        stats_obj=algorithm.stats,
-    )
+    from repro.api import CompressedGraph
+    return CompressedGraph.compress(
+        graph, alphabet, settings, validate=validate).result

@@ -18,6 +18,7 @@ compressor (see :mod:`repro.baselines.k2baseline`).
 
 from repro.encoding.container import (
     GrammarFile,
+    container_sections,
     decode_grammar,
     encode_grammar,
 )
@@ -28,6 +29,7 @@ from repro.encoding.startgraph import decode_start_graph, encode_start_graph
 __all__ = [
     "GrammarFile",
     "K2Tree",
+    "container_sections",
     "decode_grammar",
     "decode_rules",
     "decode_start_graph",

@@ -63,8 +63,39 @@ class GrammarFile:
     def read(cls, path: Union[str, Path]) -> "GrammarFile":
         """Load a container previously written with :meth:`write`."""
         data = Path(path).read_bytes()
-        # Section sizes are re-derived during decoding; store total only.
-        return cls(data=data, section_bytes={})
+        return cls(data=data, section_bytes=container_sections(data))
+
+
+def container_sections(data: bytes) -> Dict[str, int]:
+    """Per-section byte sizes of a serialized container.
+
+    Parses only the length headers (no payload decoding), so loaded
+    containers report the same accounting as freshly encoded ones.
+    Returns ``{}`` for data that is not a well-formed container header
+    — full validation happens in :func:`decode_grammar`.
+    """
+    try:
+        if len(data) < 6 or data[:4] != _MAGIC or data[4] != _VERSION:
+            return {}
+        pos = 5
+        _, pos = read_uvarint(data, pos)  # k
+        alpha_len, pos = read_uvarint(data, pos)
+        pos += alpha_len
+        start_bits, pos = read_uvarint(data, pos)
+        start_bytes = (start_bits + 7) // 8
+        pos += start_bytes
+        rules_bits, pos = read_uvarint(data, pos)
+        rules_bytes = (rules_bits + 7) // 8
+        if pos + rules_bytes > len(data):
+            return {}
+        return {
+            "header": 5,
+            "alphabet": alpha_len,
+            "start": start_bytes,
+            "rules": rules_bytes,
+        }
+    except (EncodingError, IndexError, ValueError):
+        return {}
 
 
 def _encode_alphabet(alphabet: Alphabet, include_names: bool) -> bytes:

@@ -37,6 +37,17 @@ class TestCompress:
         assert code == 0
         assert "bpe" in capsys.readouterr().out
 
+    def test_no_validate(self, tmp_path, edge_list, capsys):
+        out = tmp_path / "novalidate.grpr"
+        code = main(["compress", str(edge_list), str(out),
+                     "--no-validate"])
+        assert code == 0
+        assert out.exists()
+        # Same container either way: validation is a check, not a step.
+        checked = tmp_path / "checked.grpr"
+        assert main(["compress", str(edge_list), str(checked)]) == 0
+        assert out.read_bytes() == checked.read_bytes()
+
     def test_missing_input(self, tmp_path, capsys):
         code = main(["compress", str(tmp_path / "nope.tsv"),
                      str(tmp_path / "out.grpr")])
@@ -92,3 +103,50 @@ class TestQuery:
     def test_bad_arity(self, compressed, capsys):
         assert main(["query", str(compressed), "reach", "1"]) == 2
         assert "error" in capsys.readouterr().err
+
+    def test_path(self, compressed, capsys):
+        assert main(["query", str(compressed), "path", "1", "6"]) == 0
+        hops = capsys.readouterr().out.split()
+        assert hops[0] == "1" and hops[-1] == "6"
+        assert main(["query", str(compressed), "path", "6", "1"]) == 1
+        assert capsys.readouterr().out.strip() == "none"
+
+    def test_degree(self, compressed, capsys):
+        assert main(["query", str(compressed), "degree", "1"]) == 0
+        assert "out=3" in capsys.readouterr().out
+        assert main(["query", str(compressed), "degree"]) == 0
+        out = capsys.readouterr().out
+        assert "max_out:" in out and "min_in:" in out
+
+    def test_neighborhood(self, compressed, capsys):
+        assert main(["query", str(compressed), "neighborhood",
+                     "2"]) == 0
+        # Node 2: three middles point in, one tail edge points out.
+        assert len(capsys.readouterr().out.split()) == 4
+
+
+class TestErrorConsistency:
+    """Every subcommand: ReproError/IO -> stderr + exit code 2."""
+
+    def test_query_out_of_range_node(self, compressed, capsys):
+        assert main(["query", str(compressed), "out", "999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_on_garbage(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.grpr"
+        bogus.write_bytes(b"definitely not a container")
+        for command in (["stats", str(bogus)],
+                        ["decompress", str(bogus),
+                         str(tmp_path / "out.tsv")],
+                        ["query", str(bogus), "components"]):
+            assert main(command) == 2
+            assert "error" in capsys.readouterr().err
+
+    def test_missing_container(self, tmp_path, capsys):
+        missing = str(tmp_path / "missing.grpr")
+        for command in (["stats", missing],
+                        ["decompress", missing,
+                         str(tmp_path / "out.tsv")],
+                        ["query", missing, "nodes"]):
+            assert main(command) == 2
+            assert "error" in capsys.readouterr().err
