@@ -1,0 +1,133 @@
+"""Sharded serving scaling: 1/2/4/8 shards, sequential vs parallel batch.
+
+The :class:`repro.ShardedCompressedGraph` promise is twofold:
+
+* sharding must not change answers (the differential suite in
+  ``tests/test_sharding.py`` holds that line), and
+* the *planned* batch path — ``batch(..., parallel=True)``, which
+  deduplicates the request mix, ships per-shard groups through each
+  shard's own ``batch()`` and answers reach queries from per-source
+  BFS closures with batch-scoped neighborhood memoization — must beat
+  request-at-a-time evaluation on a serving-shaped workload.
+
+The workload is deliberately skewed (a hot set of nodes receives most
+traffic, as serving traffic does) and the handles run with
+``cache_size=0``: the LRU would hand the sequential path the same
+dedup for free, and this module measures the *evaluation* paths, not
+the cache.  ``scripts/check_bench_regression.py`` gates on the same
+measurement: parallel throughput must be at least 1.5x sequential at
+4 shards.
+
+Run the smoke lane with ``pytest -m smoke benchmarks`` or the timed
+sweep with ``pytest benchmarks/bench_sharded_scaling.py``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import ShardedCompressedGraph
+from repro.bench import Report, SMOKE_CORPORA
+
+_SECTION = "Sharded serving: sequential vs parallel batch()"
+
+#: The gate corpus and the acceptance threshold at 4 shards.
+GATE_CORPUS = "communication"
+GATE_SHARDS = 4
+GATE_SPEEDUP = 1.5
+
+_SHARD_SWEEP = (1, 2, 4, 8)
+
+
+def serving_workload(total_nodes, count=1000, seed=11, hot=24):
+    """A skewed serving mix: hot-set neighborhoods, degrees, reach."""
+    rng = random.Random(seed)
+    hot_nodes = [rng.randint(1, total_nodes) for _ in range(hot)]
+    requests = []
+    for _ in range(count):
+        kind = rng.choice(("out", "out", "in", "neighborhood",
+                           "degree", "reach"))
+        if kind == "reach":
+            requests.append((kind, rng.choice(hot_nodes),
+                             rng.choice(hot_nodes)))
+        else:
+            requests.append((kind, rng.choice(hot_nodes)))
+    return requests
+
+
+def build_handle(corpus=GATE_CORPUS, shards=GATE_SHARDS):
+    """An uncached sharded handle over one smoke corpus."""
+    graph, alphabet = SMOKE_CORPORA[corpus]()
+    return ShardedCompressedGraph.compress(
+        graph, alphabet, shards=shards, cache_size=0, validate=False)
+
+
+def measure_speedup(handle, requests, rounds=3):
+    """Best-of-N sequential vs parallel wall time for one batch."""
+    handle.batch(requests[:10])  # build every index outside the timing
+    sequential = parallel = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        expected = handle.batch(requests)
+        elapsed = time.perf_counter() - start
+        sequential = elapsed if sequential is None \
+            else min(sequential, elapsed)
+        start = time.perf_counter()
+        planned = handle.batch(requests, parallel=True)
+        elapsed = time.perf_counter() - start
+        parallel = elapsed if parallel is None \
+            else min(parallel, elapsed)
+        assert planned == expected
+    return sequential, parallel
+
+
+@pytest.mark.smoke
+def test_parallel_batch_beats_sequential_at_gate_point():
+    """Acceptance gate: >= 1.5x throughput at 4 shards."""
+    handle = build_handle()
+    requests = serving_workload(handle.node_count())
+    sequential, parallel = measure_speedup(handle, requests)
+    speedup = sequential / parallel
+    Report.add(_SECTION,
+               f"{GATE_CORPUS}, {GATE_SHARDS} shards, "
+               f"{len(requests)} requests: seq {sequential * 1e3:.1f} ms, "
+               f"par {parallel * 1e3:.1f} ms ({speedup:.2f}x)")
+    assert speedup >= GATE_SPEEDUP, (
+        f"parallel batch is only {speedup:.2f}x sequential "
+        f"(gate: {GATE_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.smoke
+def test_parallel_answers_identical_across_shard_counts():
+    """The planned path is an optimization, never a semantic change."""
+    for shards in _SHARD_SWEEP:
+        handle = build_handle(shards=shards)
+        requests = serving_workload(handle.node_count(), count=300,
+                                    seed=23)
+        assert (handle.batch(requests, parallel=True)
+                == handle.batch(requests))
+
+
+@pytest.mark.parametrize("shards", _SHARD_SWEEP)
+def test_sharded_scaling_sweep(benchmark, shards):
+    """Timed sweep: the full 1/2/4/8-shard table for the report."""
+    handle = build_handle(shards=shards)
+    requests = serving_workload(handle.node_count())
+    handle.batch(requests[:10])
+
+    def run():
+        return handle.batch(requests, parallel=True)
+
+    answers = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(answers) == len(requests)
+    sequential, parallel = measure_speedup(handle, requests, rounds=2)
+    throughput = len(requests) / parallel
+    Report.add(_SECTION,
+               f"{shards} shard(s): {len(requests)} requests, "
+               f"seq {sequential * 1e3:7.1f} ms, "
+               f"par {parallel * 1e3:7.1f} ms, "
+               f"{throughput:9.0f} q/s planned, "
+               f"speedup {sequential / parallel:5.2f}x, "
+               f"boundary={handle.boundary_edge_count}")

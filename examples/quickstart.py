@@ -19,7 +19,13 @@ still work as compatibility shims delegating to the facade.
 Run:  python examples/quickstart.py
 """
 
-from repro import Alphabet, CompressedGraph, GRePairSettings, Hypergraph
+from repro import (
+    Alphabet,
+    CompressedGraph,
+    GRePairSettings,
+    Hypergraph,
+    ShardedCompressedGraph,
+)
 
 
 def build_theta_graph():
@@ -135,6 +141,45 @@ def main():
     print(f"streamed grammar:   |G|={streamed.grammar.size} "
           f"(counting passes: {streamed.stats['passes']})")
     assert streamed.edge_count() == graph.num_edges
+
+    # ------------------------------------------------------------------
+    # 8. The query-result LRU.  Every handle memoizes answers keyed by
+    #    the batch wire format; hits/misses sit next to the
+    #    canonicalization counter for serving dashboards.
+    # ------------------------------------------------------------------
+    restored.out(1)                      # repeat of step 4: a hit
+    info = restored.cache_info
+    print(f"query cache:        {info['hits']} hits / "
+          f"{info['misses']} misses (capacity {info['capacity']})")
+
+    # ------------------------------------------------------------------
+    # 9. Sharded serving.  A graph too large for one grammar is
+    #    partitioned across per-shard grammars behind the same API;
+    #    queries route to the owning shard and merge across the
+    #    boundary summary.  parallel=True plans a batch: dedupe, group
+    #    per shard, fan out across threads.
+    # ------------------------------------------------------------------
+    sharded = ShardedCompressedGraph.compress(graph, alphabet,
+                                              shards=2)
+    print(f"sharded:            {sharded.summary()}")
+    assert sharded.node_count() == graph.node_size
+    assert sharded.edge_count() == graph.num_edges
+    assert sharded.components() == restored.components()
+    assert sharded.degree() == restored.degree()
+    answers = sharded.batch(
+        [("out", node) for node in range(1, sharded.node_count() + 1)]
+        + [("components",), ("degree",)],
+        parallel=True,
+    )
+    print(f"sharded batch:      {len(answers)} answers "
+          f"(parallel plan over {sharded.num_shards} shards)")
+
+    # Sharded persistence: one multi-shard container, same open() shape.
+    sharded_blob = sharded.to_bytes()
+    served = ShardedCompressedGraph.from_bytes(sharded_blob)
+    assert served.components() == sharded.components()
+    print(f"sharded container:  {len(sharded_blob)} bytes "
+          f"({len(served.sizes)} sections)")
     print("quickstart OK")
 
 

@@ -17,7 +17,12 @@ ratios for both engines over the shared smoke corpora
   grammar **exactly once** per handle across a serialize -> open ->
   mixed-query lifecycle — zero extra passes over the single pass the
   legacy per-``GrammarQueries`` construction paid (checked absolutely,
-  not against the baseline file).
+  not against the baseline file),
+* the sharded serving path: on the gate corpus at 4 shards,
+  ``ShardedCompressedGraph`` must answer the differential probe batch
+  identically to the sequential path, with parallel ``batch()``
+  throughput at least 1.5x sequential (absolute check, shared with
+  ``benchmarks/bench_sharded_scaling.py``).
 
 Exit code 0 means no regression; 1 means at least one check failed;
 ``--update`` rewrites the baseline instead of checking.
@@ -81,6 +86,36 @@ def facade_lifecycle(grammar) -> dict:
     }
 
 
+def sharded_gate() -> dict:
+    """Differential + throughput probe of the sharded serving path.
+
+    Reuses the exact workload and measurement of
+    ``benchmarks/bench_sharded_scaling.py``; checked absolutely (a
+    parallel path slower than 1.5x sequential at the gate point is a
+    regression regardless of any baseline).
+    """
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+    from bench_sharded_scaling import (  # noqa: E402
+        GATE_SHARDS,
+        GATE_SPEEDUP,
+        build_handle,
+        measure_speedup,
+        serving_workload,
+    )
+    handle = build_handle()
+    requests = serving_workload(handle.node_count())
+    sequential, parallel = measure_speedup(handle, requests)
+    return {
+        "shards": GATE_SHARDS,
+        "requests": len(requests),
+        "sequential_ms": round(sequential * 1e3, 2),
+        "parallel_ms": round(parallel * 1e3, 2),
+        "speedup": round(sequential / parallel, 3),
+        "required_speedup": GATE_SPEEDUP,
+        "boundary_edges": handle.boundary_edge_count,
+    }
+
+
 def measure() -> dict:
     """Run both engines over every smoke corpus; collect the metrics."""
     corpora = {}
@@ -102,7 +137,7 @@ def measure() -> dict:
             if engine == "incremental":
                 entry["facade"] = facade_lifecycle(result.grammar)
         corpora[name] = entry
-    return {"corpora": corpora}
+    return {"corpora": corpora, "sharded": sharded_gate()}
 
 
 def check(current: dict, baseline: dict, tolerance: float,
@@ -151,6 +186,15 @@ def check(current: dict, baseline: dict, tolerance: float,
                        f"{facade.get('canonicalize_calls')} "
                        f"canonicalize calls (expected 1: the single "
                        f"lazy index build)")
+    # Sharded serving gate (absolute): the planned batch path must
+    # keep its algorithmic edge over request-at-a-time evaluation.
+    sharded = current.get("sharded", {})
+    speedup = sharded.get("speedup", 0.0)
+    required = sharded.get("required_speedup", 1.5)
+    if speedup < required:
+        fail("sharded-gate",
+             f"parallel batch() is only {speedup:.2f}x sequential at "
+             f"{sharded.get('shards')} shards (gate: {required}x)")
     return failures
 
 
@@ -188,6 +232,13 @@ def main(argv=None) -> int:
               f"ratio={inc['ratio']:.4f} "
               f"(oracle {entry['recount']['ratio']:.4f}) "
               f"facade-canon={facade.get('canonicalizations', '?')}")
+    sharded = current.get("sharded", {})
+    if sharded:
+        print(f"{'sharded-gate':14s} shards={sharded['shards']} "
+              f"seq={sharded['sequential_ms']}ms "
+              f"par={sharded['parallel_ms']}ms "
+              f"speedup={sharded['speedup']:.2f}x "
+              f"(gate {sharded['required_speedup']}x)")
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
         for failure in failures:

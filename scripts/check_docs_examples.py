@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Doc-sync check: execute every fenced ``python`` block in the docs.
+
+Documentation that drifts from the code is worse than no
+documentation, so this script *runs* the docs: every fenced
+
+    ```python
+    ...
+    ```
+
+block in ``docs/*.md`` (plus ``README.md``) is executed, top to
+bottom.  Blocks within one file share a namespace — later examples may
+build on earlier ones, exactly as a reader would run them.  Any
+exception fails the check with the offending file, block number and
+traceback.
+
+Usage::
+
+    python scripts/check_docs_examples.py            # all docs
+    python scripts/check_docs_examples.py docs/api.md  # one file
+
+Exit code 0 when every block runs cleanly, 1 otherwise.  Wired into
+the test suite as ``tests/test_docs_examples.py`` so ``pytest`` gates
+on doc freshness.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "src"))
+
+_FENCE = re.compile(r"^```python[ \t]*$(.*?)^```[ \t]*$",
+                    re.MULTILINE | re.DOTALL)
+
+
+def default_documents() -> List[Path]:
+    """Every document the check covers, in a stable order."""
+    documents = sorted((_ROOT / "docs").glob("*.md"))
+    readme = _ROOT / "README.md"
+    if readme.exists():
+        documents.append(readme)
+    return documents
+
+
+def python_blocks(text: str) -> List[str]:
+    """The fenced ``python`` blocks of one markdown document."""
+    return [match.group(1).strip("\n")
+            for match in _FENCE.finditer(text)]
+
+
+def _display(path: Path) -> str:
+    """Repo-relative rendering when possible, absolute otherwise."""
+    try:
+        return str(path.relative_to(_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def run_document(path: Path) -> Tuple[int, List[str]]:
+    """Execute one document's blocks; returns (count, failures)."""
+    blocks = python_blocks(path.read_text(encoding="utf-8"))
+    namespace: dict = {"__name__": f"docs:{path.name}"}
+    failures: List[str] = []
+    for number, block in enumerate(blocks, start=1):
+        label = f"{_display(path)} block {number}"
+        try:
+            code = compile(block, label, "exec")
+            exec(code, namespace)  # noqa: S102 - the point of the check
+        except Exception:
+            failures.append(
+                f"{label} failed:\n{traceback.format_exc()}")
+            # Later blocks build on this one's namespace; running them
+            # would only bury the root cause under cascade failures.
+            skipped = len(blocks) - number
+            if skipped:
+                failures.append(
+                    f"{_display(path)}: skipped {skipped} later "
+                    "block(s) that depend on the failed one")
+            break
+    return len(blocks), failures
+
+
+def main(argv: Iterable[str] = ()) -> int:
+    arguments = list(argv)
+    documents = ([Path(arg).resolve() for arg in arguments]
+                 if arguments else default_documents())
+    total_blocks = 0
+    all_failures: List[str] = []
+    for path in documents:
+        if not path.exists():
+            all_failures.append(f"{path}: no such document")
+            continue
+        count, failures = run_document(path)
+        total_blocks += count
+        status = "OK" if not failures else "FAIL"
+        print(f"{_display(path)}: {count} python block(s) {status}")
+        all_failures.extend(failures)
+    if all_failures:
+        print(f"\n{len(all_failures)} failing block(s):",
+              file=sys.stderr)
+        for failure in all_failures:
+            print(f"\n{failure}", file=sys.stderr)
+        return 1
+    print(f"\nall {total_blocks} fenced python blocks executed cleanly")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

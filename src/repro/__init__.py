@@ -14,8 +14,17 @@ Public API highlights
     ``.from_bytes``), derivation (``.decompress``) and the full
     section-V query family (``reach``, ``out``, ``in_``,
     ``neighborhood``, ``components``, ``degree``, ``path``, plus
-    ``batch`` for serving loops) over one lazily built, cached,
-    thread-safe index.
+    ``batch`` for serving loops — ``batch(..., parallel=True)`` plans
+    and fans a batch out) over one lazily built, cached, thread-safe
+    index, fronted by a per-handle query-result LRU
+    (``handle.cache_info``).
+``ShardedCompressedGraph``
+    The same interface over ``k`` per-shard grammars for graphs too
+    large for one compression run: pluggable partitioners (``hash``,
+    ``connectivity``), per-node queries routed to the owning shard,
+    cross-shard queries merged through a boundary-edge summary, and a
+    multi-shard container format (``open_compressed`` dispatches on
+    the file magic).
 ``Hypergraph`` / ``Alphabet``
     The directed edge-labeled hypergraph data model.
 ``GRePairSettings`` / ``CompressionResult``
@@ -39,6 +48,7 @@ See ``examples/quickstart.py`` for a tour.
 """
 
 from repro.api import CompressedGraph
+from repro.sharding import ShardedCompressedGraph, open_compressed
 from repro.core import (
     ENGINES,
     Alphabet,
@@ -57,7 +67,7 @@ from repro.core import (
     node_order,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Alphabet",
@@ -71,10 +81,12 @@ __all__ = [
     "Hypergraph",
     "Rule",
     "SLHRGrammar",
+    "ShardedCompressedGraph",
     "StreamingCompressor",
     "compress",
     "derive",
     "fp_equivalence_classes",
     "node_order",
+    "open_compressed",
     "__version__",
 ]

@@ -21,7 +21,19 @@ bag of free functions:
   built, cached, **thread-safe** index: the grammar is canonicalized at
   most once per handle lifetime (guarded by a lock), no matter how many
   queries run or from how many threads.  :meth:`batch` answers many
-  queries against that single index build for serving workloads.
+  queries against that single index build for serving workloads;
+  ``batch(..., parallel=True)`` plans the batch first (deduplicates
+  repeated requests and fans the unique ones out across a thread
+  pool).
+* **cache** — every per-node/per-pair query consults a per-handle LRU
+  (:class:`repro.queries.cache.QueryCache`) keyed by the same query
+  tuples ``batch()`` uses; :attr:`cache_info` exposes ``hits`` /
+  ``misses`` counters next to :attr:`canonicalizations`.
+
+For graphs too large for one grammar, the same interface is served by
+:class:`repro.sharding.ShardedCompressedGraph`, which partitions the
+input across per-shard ``CompressedGraph`` handles and routes/merges
+queries.
 
 The older entry points (:func:`repro.core.pipeline.compress`,
 :class:`repro.queries.GrammarQueries`, :func:`repro.core.derive`)
@@ -48,6 +60,7 @@ from repro.encoding.container import (
     encode_grammar,
 )
 from repro.exceptions import GrammarError, QueryError
+from repro.queries.cache import QueryCache
 from repro.queries.components import ComponentQueries
 from repro.queries.degrees import DegreeQueries
 from repro.queries.index import GrammarIndex
@@ -55,7 +68,11 @@ from repro.queries.neighborhood import NeighborhoodQueries
 from repro.queries.reachability import ReachabilityQueries
 from repro.util.varint import read_uvarint
 
-__all__ = ["CompressedGraph"]
+__all__ = ["CompressedGraph", "DEFAULT_CACHE_SIZE"]
+
+#: Default per-handle query-result LRU capacity (``cache_size=0``
+#: disables caching for a handle).
+DEFAULT_CACHE_SIZE = 1024
 
 
 class _QueryBundle:
@@ -100,7 +117,8 @@ class CompressedGraph:
                  result: Optional[CompressionResult] = None,
                  container: Optional[GrammarFile] = None,
                  container_key: Optional[Tuple[bool, int]] = None,
-                 stream_stats: Optional[CompressionStats] = None) -> None:
+                 stream_stats: Optional[CompressionStats] = None,
+                 cache_size: int = DEFAULT_CACHE_SIZE) -> None:
         self._grammar = grammar
         self._result = result
         self._container = container
@@ -111,6 +129,8 @@ class CompressedGraph:
         self._lock = threading.RLock()
         #: Canonicalization passes performed by this handle (<= 1).
         self.canonicalizations = 0
+        #: Per-handle query-result LRU (see :mod:`repro.queries.cache`).
+        self._cache = QueryCache(cache_size)
 
     # ------------------------------------------------------------------
     # Constructors
@@ -118,14 +138,17 @@ class CompressedGraph:
     @classmethod
     def compress(cls, graph: Hypergraph, alphabet: Alphabet,
                  settings: Optional[GRePairSettings] = None,
-                 validate: bool = True) -> "CompressedGraph":
+                 validate: bool = True,
+                 cache_size: int = DEFAULT_CACHE_SIZE
+                 ) -> "CompressedGraph":
         """Compress ``graph`` with gRePair and return the handle.
 
         The input graph and alphabet are left untouched: compression
         works on copies.  ``settings`` defaults to the paper's
         recommendation (``maxRank=4``, FP order, incremental engine);
         ``validate=False`` skips the post-run grammar validity check
-        (cheap; disable only in tight benchmark loops).
+        (cheap; disable only in tight benchmark loops).  ``cache_size``
+        caps the handle's query-result LRU (0 disables it).
         """
         if settings is None:
             settings = GRePairSettings()
@@ -152,7 +175,7 @@ class CompressedGraph:
             stats=algorithm.stats.as_dict(),
             stats_obj=algorithm.stats,
         )
-        return cls(grammar, result=result)
+        return cls(grammar, result=result, cache_size=cache_size)
 
     @classmethod
     def from_stream(
@@ -160,6 +183,7 @@ class CompressedGraph:
         chunks: Iterable[Iterable[Tuple[int, Sequence[int]]]],
         alphabet: Alphabet,
         settings: Optional[GRePairSettings] = None,
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> "CompressedGraph":
         """Compress an edge stream chunk by chunk.
 
@@ -187,15 +211,19 @@ class CompressedGraph:
         for chunk in chunks:
             compressor.add_edges(chunk)
         grammar = compressor.finish()
-        return cls(grammar, stream_stats=compressor.stats)
+        return cls(grammar, stream_stats=compressor.stats,
+                   cache_size=cache_size)
 
     @classmethod
-    def from_grammar(cls, grammar: SLHRGrammar) -> "CompressedGraph":
+    def from_grammar(cls, grammar: SLHRGrammar,
+                     cache_size: int = DEFAULT_CACHE_SIZE
+                     ) -> "CompressedGraph":
         """Wrap an existing grammar (no copy is taken)."""
-        return cls(grammar)
+        return cls(grammar, cache_size=cache_size)
 
     @classmethod
-    def from_bytes(cls, buf: Union[bytes, bytearray, GrammarFile]
+    def from_bytes(cls, buf: Union[bytes, bytearray, GrammarFile],
+                   cache_size: int = DEFAULT_CACHE_SIZE
                    ) -> "CompressedGraph":
         """Load a handle from serialized container bytes."""
         data = buf.data if isinstance(buf, GrammarFile) else bytes(buf)
@@ -207,12 +235,14 @@ class CompressedGraph:
         # requested parameters actually match the file's encoding.
         k, _ = read_uvarint(data, 5)
         return cls(grammar, container=container,
-                   container_key=(True, k))
+                   container_key=(True, k), cache_size=cache_size)
 
     @classmethod
-    def open(cls, path: Union[str, Path]) -> "CompressedGraph":
+    def open(cls, path: Union[str, Path],
+             cache_size: int = DEFAULT_CACHE_SIZE) -> "CompressedGraph":
         """Load a handle from a ``.grpr`` container file."""
-        return cls.from_bytes(Path(path).read_bytes())
+        return cls.from_bytes(Path(path).read_bytes(),
+                              cache_size=cache_size)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -279,6 +309,11 @@ class CompressedGraph:
     def grammar(self) -> SLHRGrammar:
         """The underlying SL-HR grammar (as produced or decoded)."""
         return self._grammar
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The grammar's alphabet (terminals + minted nonterminals)."""
+        return self._grammar.alphabet
 
     @property
     def canonical_grammar(self) -> SLHRGrammar:
@@ -372,15 +407,21 @@ class CompressedGraph:
     # -- neighborhood ---------------------------------------------------
     def out_neighbors(self, node_id: int) -> List[int]:
         """Sorted out-neighbor IDs of ``node_id`` (paper's ``N+``)."""
-        return self._queries().neighborhood.out_neighbors(node_id)
+        return self._cache.get_or_compute(
+            ("out", node_id),
+            lambda: self._queries().neighborhood.out_neighbors(node_id))
 
     def in_neighbors(self, node_id: int) -> List[int]:
         """Sorted in-neighbor IDs of ``node_id`` (paper's ``N-``)."""
-        return self._queries().neighborhood.in_neighbors(node_id)
+        return self._cache.get_or_compute(
+            ("in", node_id),
+            lambda: self._queries().neighborhood.in_neighbors(node_id))
 
     def neighbors(self, node_id: int) -> List[int]:
         """Sorted undirected neighborhood ``N(v)``."""
-        return self._queries().neighborhood.neighbors(node_id)
+        return self._cache.get_or_compute(
+            ("neighborhood", node_id),
+            lambda: self._queries().neighborhood.neighbors(node_id))
 
     # Short serving-style spellings.
     def out(self, node_id: int) -> List[int]:
@@ -398,7 +439,9 @@ class CompressedGraph:
     # -- speed-up queries -----------------------------------------------
     def reachable(self, source_id: int, target_id: int) -> bool:
         """(s,t)-reachability in ``O(|G|)`` (Theorem 6)."""
-        return self._reachability().reachable(source_id, target_id)
+        return self._cache.get_or_compute(
+            ("reach", source_id, target_id),
+            lambda: self._reachability().reachable(source_id, target_id))
 
     def reach(self, source_id: int, target_id: int) -> bool:
         """Alias of :meth:`reachable`."""
@@ -454,7 +497,9 @@ class CompressedGraph:
              ) -> Optional[List[int]]:
         """A shortest directed path as node IDs, or ``None``."""
         from repro.queries.traversal import shortest_path
-        return shortest_path(self, source_id, target_id)
+        return self._cache.get_or_compute(
+            ("path", source_id, target_id),
+            lambda: shortest_path(self, source_id, target_id))
 
     def node_count(self) -> int:
         """``|val(G)|_V`` without decompressing."""
@@ -490,7 +535,9 @@ class CompressedGraph:
         "path": "path",
     }
 
-    def batch(self, requests: Iterable[Sequence[Any]]) -> List[Any]:
+    def batch(self, requests: Iterable[Sequence[Any]],
+              parallel: bool = False,
+              max_workers: Optional[int] = None) -> List[Any]:
         """Evaluate many queries against one index build.
 
         Each request is a ``(kind, *args)`` sequence, e.g.
@@ -499,30 +546,155 @@ class CompressedGraph:
         back in request order.  The index (and every shared
         precomputation a request needs) is built once for the whole
         batch, which is the intended shape for serving loops.
+
+        ``parallel=True`` selects the *planned* execution path: the
+        batch is deduplicated (serving traffic is skewed — identical
+        requests are the common case) and the unique requests are
+        fanned out across a thread pool.  The index is immutable after
+        its one lazy build, so the fan-out needs no locking beyond the
+        handle's own.  Answers are identical to the sequential path,
+        in request order.
         """
         self._queries()
-        results: List[Any] = []
-        for request in requests:
-            if not request:
-                raise QueryError("empty batch request")
-            kind, *args = request
-            method = self._BATCH_KINDS.get(kind)
-            if method is None:
-                raise QueryError(
-                    f"unknown batch query kind {kind!r}; expected one "
-                    f"of {sorted(set(self._BATCH_KINDS))}"
-                )
-            try:
-                results.append(getattr(self, method)(*args))
-            except TypeError as exc:
-                # Malformed requests surface as QueryError like every
-                # other bad query, so serving loops catch one type.
-                raise QueryError(
-                    f"bad arguments for batch query {kind!r}: {exc}"
-                ) from None
-        return results
+        plan = _normalize_requests(self, requests)
+        if not parallel:
+            return [_call_query(self, method, args, kind)
+                    for kind, method, args in plan]
+        return _run_planned(self, plan, max_workers)
 
     def __repr__(self) -> str:
         built = "built" if self.index_built else "lazy"
         return (f"CompressedGraph(rules={self._grammar.num_rules}, "
                 f"|G|={self._grammar.size}, index={built})")
+
+    # ------------------------------------------------------------------
+    # Cache introspection
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> QueryCache:
+        """The handle's query-result LRU."""
+        return self._cache
+
+    @property
+    def cache_info(self) -> Dict[str, Any]:
+        """LRU counters: capacity, size, hits, misses, evictions."""
+        return self._cache.info()
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from the result LRU."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries that fell through to grammar evaluation."""
+        return self._cache.misses
+
+
+# ----------------------------------------------------------------------
+# Batch planning shared by CompressedGraph and ShardedCompressedGraph
+# ----------------------------------------------------------------------
+def _normalize_requests(handle: Any, requests: Iterable[Sequence[Any]]
+                        ) -> List[Tuple[Any, str, Tuple[Any, ...]]]:
+    """Validate a batch into ``(kind, method_name, args)`` triples."""
+    plan: List[Tuple[Any, str, Tuple[Any, ...]]] = []
+    for request in requests:
+        if not request:
+            raise QueryError("empty batch request")
+        kind, *args = request
+        method = handle._BATCH_KINDS.get(kind)
+        if method is None:
+            raise QueryError(
+                f"unknown batch query kind {kind!r}; expected one "
+                f"of {sorted(set(handle._BATCH_KINDS))}"
+            )
+        plan.append((kind, method, tuple(args)))
+    return plan
+
+
+def _call_query(handle: Any, method: str, args: Tuple[Any, ...],
+                kind: Any) -> Any:
+    """One dispatched query; malformed arguments become QueryError."""
+    try:
+        return getattr(handle, method)(*args)
+    except TypeError as exc:
+        # Malformed requests surface as QueryError like every other
+        # bad query, so serving loops catch one type.
+        raise QueryError(
+            f"bad arguments for batch query {kind!r}: {exc}"
+        ) from None
+
+
+#: A deduplicated batch job: (result position, kind, method, args).
+_PlannedJob = Tuple[int, Any, str, Tuple[Any, ...]]
+
+
+def _dedup_plan(plan: List[Tuple[Any, str, Tuple[Any, ...]]]
+                ) -> Tuple[List[_PlannedJob], List[Tuple[int, int]]]:
+    """Split a normalized batch into unique jobs plus duplicates.
+
+    Returns ``(jobs, duplicates)`` where each duplicate is a
+    ``(position, original position)`` pair.  Requests with unhashable
+    arguments cannot be dedup keys; they stay as their own jobs, so
+    they fail through :func:`_call_query` with the same ``QueryError``
+    the sequential path raises.
+    """
+    jobs: List[_PlannedJob] = []
+    duplicates: List[Tuple[int, int]] = []
+    first_index: Dict[Tuple[str, Tuple[Any, ...]], int] = {}
+    for position, (kind, method, args) in enumerate(plan):
+        key = (method, args)
+        try:
+            original = first_index.get(key)
+        except TypeError:
+            jobs.append((position, kind, method, args))
+            continue
+        if original is None:
+            first_index[key] = position
+            jobs.append((position, kind, method, args))
+        else:
+            duplicates.append((position, original))
+    return jobs, duplicates
+
+
+def _finish_planned(results: List[Any],
+                    duplicates: List[Tuple[int, int]]) -> List[Any]:
+    """Fan unique answers out to their duplicate positions."""
+    for position, original in duplicates:
+        results[position] = QueryCache._copy_out(results[original])
+    return results
+
+
+def _run_chunked(handle: Any, jobs: List[_PlannedJob],
+                 results: List[Any], workers: int) -> None:
+    """Evaluate jobs into ``results`` across at most ``workers`` threads.
+
+    One pool task per chunk, not per request: thread dispatch is pure
+    overhead for sub-millisecond queries.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    def run_chunk(chunk: List[_PlannedJob]) -> None:
+        for position, kind, method, args in chunk:
+            results[position] = _call_query(handle, method, args, kind)
+
+    workers = min(workers, len(jobs))
+    if workers <= 1:
+        run_chunk(jobs)
+        return
+    chunks = [jobs[i::workers] for i in range(workers)]
+    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
+        for _ in pool.map(run_chunk, chunks):
+            pass
+
+
+def _run_planned(handle: Any,
+                 plan: List[Tuple[Any, str, Tuple[Any, ...]]],
+                 max_workers: Optional[int]) -> List[Any]:
+    """Deduplicated, thread-fanned evaluation of a normalized batch."""
+    jobs, duplicates = _dedup_plan(plan)
+    results: List[Any] = [None] * len(plan)
+    if jobs:
+        _run_chunked(handle, jobs, results,
+                     max_workers or min(8, len(jobs)))
+    return _finish_planned(results, duplicates)

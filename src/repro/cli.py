@@ -1,21 +1,26 @@
 """Command-line interface: compress, decompress, inspect, query.
 
-A thin production-style front end over :class:`repro.api.CompressedGraph`,
-so the compressor is usable without writing Python::
+A thin production-style front end over
+:class:`repro.api.CompressedGraph` and
+:class:`repro.sharding.ShardedCompressedGraph`, so the compressor is
+usable without writing Python::
 
     python -m repro.cli compress graph.tsv graph.grpr
+    python -m repro.cli compress graph.tsv graph.grps --shards 4 --parallel
     python -m repro.cli stats graph.grpr
     python -m repro.cli decompress graph.grpr roundtrip.tsv
     python -m repro.cli query graph.grpr reach 4 17
-    python -m repro.cli query graph.grpr out 4
+    python -m repro.cli query graph.grps out 4
     python -m repro.cli query graph.grpr path 4 17
     python -m repro.cli query graph.grpr components
 
 Graphs are read/written as edge lists (``source target [label]`` per
 line, ``#`` comments allowed); compressed grammars use the paper's
-binary container format.  Every subcommand reports library errors
-(:class:`repro.exceptions.ReproError`) and I/O failures on stderr with
-exit code 2.
+binary container format — single-grammar ("GRPR") or multi-shard
+("GRPS"), selected at compression time with ``--shards`` and
+auto-detected everywhere else.  Every subcommand reports library
+errors (:class:`repro.exceptions.ReproError`) and I/O failures on
+stderr with exit code 2.
 """
 
 from __future__ import annotations
@@ -25,10 +30,17 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro import ENGINES, CompressedGraph, GRePairSettings
+from repro import (
+    ENGINES,
+    CompressedGraph,
+    GRePairSettings,
+    ShardedCompressedGraph,
+    open_compressed,
+)
 from repro.core.orders import NODE_ORDERS
 from repro.datasets.io import read_edge_list, write_edge_list
 from repro.exceptions import ReproError
+from repro.sharding import PARTITIONERS
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -62,6 +74,16 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--no-validate", action="store_true",
                       help="skip the post-run grammar validity check "
                            "(for tight benchmark loops)")
+    comp.add_argument("--shards", type=int, default=1,
+                      help="partition across N per-shard grammars "
+                           "(writes a multi-shard container; default 1)")
+    comp.add_argument("--partitioner", choices=sorted(PARTITIONERS),
+                      default="hash",
+                      help="node-to-shard assignment (default: hash; "
+                           "connectivity keeps components together)")
+    comp.add_argument("--parallel", action="store_true",
+                      help="compress shards on a thread pool "
+                           "(only meaningful with --shards > 1)")
 
     dec = sub.add_parser("decompress", help=".grpr -> edge list")
     dec.add_argument("input", type=Path)
@@ -93,8 +115,19 @@ def _cmd_compress(args: argparse.Namespace) -> int:
         prune=not args.no_prune,
         engine=args.engine,
     )
-    handle = CompressedGraph.compress(graph, alphabet, settings,
-                                      validate=not args.no_validate)
+    if args.shards < 1:
+        raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    if args.shards > 1:
+        handle = ShardedCompressedGraph.compress(
+            graph, alphabet, settings,
+            shards=args.shards,
+            partitioner=args.partitioner,
+            parallel=args.parallel,
+            validate=not args.no_validate,
+        )
+    else:
+        handle = CompressedGraph.compress(graph, alphabet, settings,
+                                          validate=not args.no_validate)
     blob = handle.save(args.output,
                        include_names=not args.no_names)
     bpe = blob.bits_per_edge(max(1, graph.num_edges))
@@ -106,33 +139,45 @@ def _cmd_compress(args: argparse.Namespace) -> int:
 
 
 def _cmd_decompress(args: argparse.Namespace) -> int:
-    handle = CompressedGraph.open(args.input)
+    handle = open_compressed(args.input)
     graph = handle.decompress()
-    write_edge_list(graph, handle.grammar.alphabet, args.output)
-    print(f"{args.input}: {handle.grammar.num_rules} rules -> "
+    write_edge_list(graph, handle.alphabet, args.output)
+    print(f"{args.input}: {handle.summary()} -> "
           f"|V|={graph.node_size} |E|={graph.num_edges} "
           f"-> {args.output}")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
-    handle = CompressedGraph.open(args.input)
-    grammar = handle.grammar
+    handle = open_compressed(args.input)
     sections = handle.sizes
     print(f"container:      {handle.total_bytes} bytes")
     if sections:
         breakdown = ", ".join(f"{name}={size}"
                               for name, size in sections.items())
         print(f"sections:       {breakdown}")
-    print(f"rules:          {grammar.num_rules}")
-    print(f"grammar size:   |G| = {grammar.size}")
-    print(f"grammar height: {grammar.height()}")
-    print(f"start graph:    {grammar.start.node_size} nodes, "
-          f"{grammar.start.num_edges} edges")
+    if isinstance(handle, ShardedCompressedGraph):
+        print(f"shards:         {handle.num_shards}")
+        print(f"boundary edges: {handle.boundary_edge_count}")
+        for index, shard in enumerate(handle.shards):
+            grammar = shard.grammar
+            print(f"shard {index}:        {grammar.num_rules} rules, "
+                  f"|G|={grammar.size}, "
+                  f"{shard.node_count()} derived nodes")
+    else:
+        grammar = handle.grammar
+        print(f"rules:          {grammar.num_rules}")
+        print(f"grammar size:   |G| = {grammar.size}")
+        print(f"grammar height: {grammar.height()}")
+        print(f"start graph:    {grammar.start.node_size} nodes, "
+              f"{grammar.start.num_edges} edges")
     print(f"derived graph:  {handle.node_count()} nodes, "
           f"{handle.edge_count()} edges")
     edges = max(1, handle.edge_count())
     print(f"bpe:            {8.0 * handle.total_bytes / edges:.2f}")
+    cache = handle.cache_info
+    print(f"query cache:    capacity={cache['capacity']} "
+          f"hits={cache['hits']} misses={cache['misses']}")
     return 0
 
 
@@ -143,7 +188,7 @@ def _require_arity(kind: str, args: List[int], arity: int) -> None:
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    handle = CompressedGraph.open(args.input)
+    handle = open_compressed(args.input)
     kind = args.kind
     if kind == "reach":
         _require_arity(kind, args.args, 2)

@@ -18,9 +18,14 @@ compressor (see :mod:`repro.baselines.k2baseline`).
 
 from repro.encoding.container import (
     GrammarFile,
+    ShardedFile,
     container_sections,
     decode_grammar,
+    decode_sharded_container,
     encode_grammar,
+    encode_sharded_container,
+    is_sharded_container,
+    sharded_container_sections,
 )
 from repro.encoding.k2tree import K2Tree
 from repro.encoding.rules import decode_rules, encode_rules
@@ -29,11 +34,16 @@ from repro.encoding.startgraph import decode_start_graph, encode_start_graph
 __all__ = [
     "GrammarFile",
     "K2Tree",
+    "ShardedFile",
     "container_sections",
     "decode_grammar",
     "decode_rules",
+    "decode_sharded_container",
     "decode_start_graph",
     "encode_grammar",
     "encode_rules",
+    "encode_sharded_container",
     "encode_start_graph",
+    "is_sharded_container",
+    "sharded_container_sections",
 ]

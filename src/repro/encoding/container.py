@@ -17,13 +17,32 @@ optional UTF-8 name, so a decoded grammar is fully self-describing
 sizes (the paper reports that the start-graph k2-trees dominate the
 output; :attr:`GrammarFile.section_bytes` lets benchmarks verify that)
 and converts to/from ``bytes`` and files.
+
+Multi-shard framing
+-------------------
+:class:`repro.sharding.ShardedCompressedGraph` persists one grammar per
+shard plus a routing summary.  The framing lives here so every
+container kind shares one magic-dispatch and one size-accounting
+convention::
+
+    magic   "GRPS"                     4 bytes
+    version 0x01                       1 byte
+    shards  varint                     number of shard grammars
+    [meta section]       varint length + payload (routing summary,
+                         encoded by repro.sharding)
+    per shard: varint length + a complete "GRPR" container
+
+:func:`sharded_container_sections` reports ``meta`` plus the existing
+per-section accounting of every embedded shard container under
+``shard<i>/<section>`` keys, so benchmarks keep the same size
+breakdown they have for single grammars.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 from repro.core.alphabet import Alphabet
 from repro.core.grammar import SLHRGrammar
@@ -34,6 +53,7 @@ from repro.encoding.rules import decode_rules, encode_rules
 from repro.encoding.startgraph import decode_start_graph, encode_start_graph
 
 _MAGIC = b"GRPR"
+_SHARDED_MAGIC = b"GRPS"
 _VERSION = 1
 
 
@@ -255,3 +275,135 @@ def decode_grammar(source: Union[GrammarFile, bytes]) -> SLHRGrammar:
     decode_rules(rules_reader, alphabet, grammar)
     grammar.validate()
     return grammar
+
+
+# ----------------------------------------------------------------------
+# Multi-shard container framing
+# ----------------------------------------------------------------------
+@dataclass
+class ShardedFile:
+    """A serialized multi-shard container plus size accounting.
+
+    Mirrors :class:`GrammarFile` for the sharded format: the
+    ``section_bytes`` breakdown nests every shard's own sections under
+    ``shard<i>/<section>`` keys next to the framing's ``meta`` entry.
+    """
+
+    data: bytes
+    section_bytes: Dict[str, int]
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the complete container in bytes."""
+        return len(self.data)
+
+    def bits_per_edge(self, num_edges: int) -> float:
+        """bpe against a given original edge count (paper's metric)."""
+        if num_edges <= 0:
+            raise EncodingError("num_edges must be positive for bpe")
+        return 8.0 * self.total_bytes / num_edges
+
+    def write(self, path: Union[str, Path]) -> None:
+        """Write the container to ``path``."""
+        Path(path).write_bytes(self.data)
+
+    @classmethod
+    def read(cls, path: Union[str, Path]) -> "ShardedFile":
+        """Load a container previously written with :meth:`write`."""
+        data = Path(path).read_bytes()
+        return cls(data=data,
+                   section_bytes=sharded_container_sections(data))
+
+
+def is_sharded_container(data: bytes) -> bool:
+    """True when ``data`` frames a multi-shard ("GRPS") container."""
+    return len(data) >= 5 and data[:4] == _SHARDED_MAGIC
+
+
+def encode_sharded_container(meta: bytes,
+                             shard_blobs: Sequence[bytes]
+                             ) -> ShardedFile:
+    """Frame a routing summary plus per-shard "GRPR" blobs.
+
+    The framing is agnostic to the meta payload (built and consumed by
+    :mod:`repro.sharding`); every shard blob must be a complete
+    single-grammar container so the per-shard section accounting can be
+    reused as-is.
+    """
+    if not shard_blobs:
+        raise EncodingError("a sharded container needs >= 1 shard")
+    sections: Dict[str, int] = {"header": 5, "meta": len(meta)}
+    out = bytearray()
+    out.extend(_SHARDED_MAGIC)
+    out.append(_VERSION)
+    write_uvarint(out, len(shard_blobs))
+    write_uvarint(out, len(meta))
+    out.extend(meta)
+    for index, blob in enumerate(shard_blobs):
+        if blob[:4] != _MAGIC:
+            raise EncodingError(
+                f"shard {index} is not a grammar container (bad magic)"
+            )
+        write_uvarint(out, len(blob))
+        out.extend(blob)
+        for section, size in container_sections(blob).items():
+            sections[f"shard{index}/{section}"] = size
+    return ShardedFile(data=bytes(out), section_bytes=sections)
+
+
+def decode_sharded_container(data: bytes) -> Tuple[bytes, List[bytes]]:
+    """Split a "GRPS" container into ``(meta, [shard blobs])``.
+
+    Only the framing is validated here; the shard blobs are decoded by
+    :func:`decode_grammar` and the meta payload by
+    :mod:`repro.sharding`.
+    """
+    if len(data) < 6:
+        raise EncodingError("sharded container too short")
+    if data[:4] != _SHARDED_MAGIC:
+        raise EncodingError("not a sharded container (bad magic)")
+    if data[4] != _VERSION:
+        raise EncodingError(
+            f"unsupported sharded container version {data[4]}")
+    try:
+        pos = 5
+        num_shards, pos = read_uvarint(data, pos)
+        if num_shards < 1:
+            raise EncodingError(
+                "a sharded container needs >= 1 shard")
+        meta_len, pos = read_uvarint(data, pos)
+        if pos + meta_len > len(data):
+            raise EncodingError("truncated sharded meta section")
+        meta = bytes(data[pos:pos + meta_len])
+        pos += meta_len
+        blobs: List[bytes] = []
+        for _ in range(num_shards):
+            blob_len, pos = read_uvarint(data, pos)
+            if pos + blob_len > len(data):
+                raise EncodingError("truncated shard blob")
+            blobs.append(bytes(data[pos:pos + blob_len]))
+            pos += blob_len
+    except (IndexError, ValueError) as exc:
+        raise EncodingError(f"corrupt sharded container: {exc}") \
+            from None
+    if pos != len(data):
+        raise EncodingError(
+            f"{len(data) - pos} trailing bytes after the last shard")
+    return meta, blobs
+
+
+def sharded_container_sections(data: bytes) -> Dict[str, int]:
+    """Per-section byte sizes of a serialized sharded container.
+
+    ``{}`` for data that is not a well-formed "GRPS" container,
+    matching the :func:`container_sections` convention.
+    """
+    try:
+        meta, blobs = decode_sharded_container(data)
+    except EncodingError:
+        return {}
+    sections: Dict[str, int] = {"header": 5, "meta": len(meta)}
+    for index, blob in enumerate(blobs):
+        for section, size in container_sections(blob).items():
+            sections[f"shard{index}/{section}"] = size
+    return sections

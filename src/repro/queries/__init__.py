@@ -21,6 +21,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.grammar import SLHRGrammar
+from repro.queries.cache import QueryCache
 from repro.queries.components import ComponentQueries
 from repro.queries.degrees import DegreeQueries
 from repro.queries.index import GrammarIndex, GRepresentation
@@ -34,6 +35,7 @@ __all__ = [
     "GrammarIndex",
     "GrammarQueries",
     "NeighborhoodQueries",
+    "QueryCache",
     "ReachabilityQueries",
 ]
 

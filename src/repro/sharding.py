@@ -1,0 +1,1292 @@
+"""Partitioned serving: :class:`ShardedCompressedGraph`.
+
+One grammar per graph stops scaling when the graph outgrows a single
+compression run (or a single machine's build budget).  This module
+keeps the :class:`repro.api.CompressedGraph` serving interface but
+spreads the graph over ``k`` independent per-shard grammars:
+
+* **partition** — a pluggable partitioner assigns every node to a
+  shard (:func:`hash_partition` by default; ``"connectivity"`` keeps
+  whole connected components together, which eliminates boundary
+  edges whenever the graph has enough components).
+* **pin the boundary** — edges whose attachment spans two shards
+  cannot live inside any shard grammar; they are kept verbatim in a
+  *boundary summary*.  Their endpoints are marked **external** in the
+  shard subgraphs before compression: gRePair never folds an external
+  node into a rule (see :func:`repro.core.digram.occurrence_key`), so
+  every boundary node provably survives in its shard's start graph
+  with its original ID.  That survival is what makes boundary
+  structures translatable into the canonical per-shard query numbering
+  — the one piece of node identity compression otherwise erases.
+* **compress shards independently** — optionally fanned out over a
+  thread pool (``parallel=True``); each shard becomes a full
+  ``CompressedGraph`` handle.
+* **serve** — the global ID space is shard-major: shard ``i`` owns the
+  contiguous ID block ``base_i + 1 .. base_i + n_i`` where the local
+  IDs are the shard's own canonical ``val`` numbering.  Per-node
+  queries (``out`` / ``in_`` / ``neighborhood`` / ``degree``) route to
+  the owning shard and merge that node's boundary edges; ``reach``
+  chains per-shard reachability through boundary hops; ``components``
+  combines per-shard counts with a union-find over the boundary
+  summary built at partition time; ``path`` runs BFS over the merged
+  neighborhoods.  A differential suite asserts every answer equals the
+  unsharded handle's.
+* **persist** — :meth:`save` / :meth:`open` use the multi-shard
+  container framing of :mod:`repro.encoding.container` ("GRPS"): one
+  routing-summary meta section plus one complete "GRPR" container per
+  shard, with the existing per-section size accounting kept per shard.
+* **cache + batch** — the same per-handle query-result LRU as the
+  unsharded facade, and ``batch(..., parallel=True)`` plans a batch by
+  deduplicating it, grouping shard-local requests per shard (each
+  group ships through the shard handle's own ``batch()`` — the wire
+  format), and fanning the groups out across threads.
+
+:func:`open_compressed` dispatches on the container magic and returns
+whichever handle type a file holds.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from collections import deque
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.api import (
+    DEFAULT_CACHE_SIZE,
+    CompressedGraph,
+    _call_query,
+    _dedup_plan,
+    _finish_planned,
+    _normalize_requests,
+)
+from repro.core.alphabet import Alphabet
+from repro.core.grammar import SLHRGrammar
+from repro.core.hypergraph import Hypergraph
+from repro.core.pipeline import GRePairSettings
+from repro.encoding.container import (
+    ShardedFile,
+    decode_sharded_container,
+    encode_sharded_container,
+    is_sharded_container,
+    sharded_container_sections,
+)
+from repro.exceptions import EncodingError, GrammarError, QueryError
+from repro.queries.cache import QueryCache
+from repro.util.unionfind import UnionFind
+from repro.util.varint import read_uvarint, write_uvarint
+
+__all__ = [
+    "PARTITIONERS",
+    "ShardedCompressedGraph",
+    "connectivity_partition",
+    "hash_partition",
+    "open_compressed",
+]
+
+_META_VERSION = 1
+#: Knuth's multiplicative constant — a stable spread for consecutive
+#: node IDs, independent of PYTHONHASHSEED.
+_HASH_MIX = 2654435761
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+def hash_partition(graph: Hypergraph, shards: int) -> Dict[int, int]:
+    """Assign each node by a stable multiplicative hash of its ID.
+
+    The default partitioner: balanced, stateless and deterministic
+    across processes (no reliance on ``hash()``), at the price of
+    cutting edges indiscriminately.
+    """
+    return {node: ((node * _HASH_MIX) & 0xFFFFFFFF) % shards
+            for node in graph.nodes()}
+
+
+def connectivity_partition(graph: Hypergraph, shards: int
+                           ) -> Dict[int, int]:
+    """Keep connected components together; bin-pack them onto shards.
+
+    Components (undirected, any edge rank) are sorted largest first
+    and greedily placed on the currently lightest shard, so a graph
+    with at least ``shards`` components yields **zero** boundary
+    edges.  A component larger than the ideal shard is kept whole —
+    splitting it would manufacture boundary edges, which is exactly
+    what this partitioner exists to avoid.
+    """
+    components = UnionFind(graph.nodes())
+    for _, edge in graph.edges():
+        anchor = edge.att[0]
+        for node in edge.att[1:]:
+            components.union(anchor, node)
+    members: Dict[int, List[int]] = {}
+    for node in graph.nodes():
+        members.setdefault(components.find(node), []).append(node)
+    loads = [0] * shards
+    assign: Dict[int, int] = {}
+    ordered = sorted(members.values(),
+                     key=lambda nodes: (-len(nodes), min(nodes)))
+    for nodes in ordered:
+        target = loads.index(min(loads))
+        loads[target] += len(nodes)
+        for node in nodes:
+            assign[node] = target
+    return assign
+
+
+#: name -> partitioner; the CLI and :meth:`ShardedCompressedGraph.compress`
+#: accept either a name from here or any callable with this signature.
+PARTITIONERS: Dict[str, Callable[[Hypergraph, int], Dict[int, int]]] = {
+    "hash": hash_partition,
+    "connectivity": connectivity_partition,
+}
+
+
+# ----------------------------------------------------------------------
+# Partition plan (original-ID space; consumed by the build)
+# ----------------------------------------------------------------------
+class _PartitionPlan:
+    """Everything the build needs, still in input-graph node IDs."""
+
+    __slots__ = ("shards", "assign", "subgraphs", "boundary_edges",
+                 "boundary_nodes", "blocks", "extrema", "degree_error",
+                 "simple")
+
+    def __init__(self, shards: int, assign: Dict[int, int],
+                 subgraphs: List[Hypergraph],
+                 boundary_edges: List[Tuple[int, Tuple[int, ...]]],
+                 boundary_nodes: List[List[int]],
+                 blocks: List[List[Tuple[int, ...]]],
+                 extrema: Optional[Dict[str, int]],
+                 degree_error: Optional[str],
+                 simple: bool) -> None:
+        self.shards = shards
+        self.assign = assign
+        self.subgraphs = subgraphs
+        self.boundary_edges = boundary_edges
+        self.boundary_nodes = boundary_nodes
+        self.blocks = blocks
+        self.extrema = extrema
+        self.degree_error = degree_error
+        self.simple = simple
+
+
+def _degree_extrema(graph: Hypergraph
+                    ) -> Tuple[Optional[Dict[str, int]], Optional[str]]:
+    """True degree extrema of the input, matching ``DegreeQueries``.
+
+    Computed in one pass at partition time; the per-shard grammars
+    cannot answer this alone because boundary edges contribute to
+    boundary nodes' degrees.  Mirrors
+    :class:`repro.queries.degrees.DegreeQueries` exactly: rank-2
+    multiplicity counting, and the same errors for hyperedges and
+    empty graphs (raised lazily from :meth:`ShardedCompressedGraph.degree`).
+    """
+    if graph.node_size == 0:
+        return None, "degree extrema undefined: empty graph"
+    out: Dict[int, int] = {node: 0 for node in graph.nodes()}
+    into: Dict[int, int] = {node: 0 for node in graph.nodes()}
+    for _, edge in graph.edges():
+        if len(edge.att) != 2:
+            return None, (
+                "degree queries require a simple derived graph; found "
+                f"a terminal edge of rank {len(edge.att)}"
+            )
+        out[edge.att[0]] += 1
+        into[edge.att[1]] += 1
+    totals = {node: out[node] + into[node] for node in out}
+    return {
+        "max_out": max(out.values()),
+        "min_out": min(out.values()),
+        "max_in": max(into.values()),
+        "min_in": min(into.values()),
+        "max": max(totals.values()),
+        "min": min(totals.values()),
+    }, None
+
+
+def _partition(graph: Hypergraph, assign: Dict[int, int],
+               shards: int) -> _PartitionPlan:
+    """Split ``graph`` into shard subgraphs + the boundary summary."""
+    subgraphs = [Hypergraph() for _ in range(shards)]
+    for node in sorted(graph.nodes()):
+        subgraphs[assign[node]].add_node(node)
+    boundary_edges: List[Tuple[int, Tuple[int, ...]]] = []
+    boundary_sets: List[Set[int]] = [set() for _ in range(shards)]
+    intra_unions: List[UnionFind] = [UnionFind(g.nodes())
+                                     for g in subgraphs]
+    for _, edge in graph.edges():
+        owners = {assign[node] for node in edge.att}
+        if len(owners) == 1:
+            owner = next(iter(owners))
+            subgraphs[owner].add_edge(edge.label, edge.att)
+            anchor = edge.att[0]
+            for node in edge.att[1:]:
+                intra_unions[owner].union(anchor, node)
+        else:
+            boundary_edges.append((edge.label, edge.att))
+            for node in edge.att:
+                boundary_sets[assign[node]].add(node)
+    boundary_nodes = [sorted(nodes) for nodes in boundary_sets]
+    # Pin the boundary: external nodes are never folded into rules, so
+    # these nodes keep their IDs in the shard start graphs.
+    for subgraph, pinned in zip(subgraphs, boundary_nodes):
+        subgraph.set_external(pinned)
+    # Within-shard connectivity classes of the boundary nodes — the
+    # partition-time summary that lets components() merge shard counts
+    # without ever decompressing.
+    blocks: List[List[Tuple[int, ...]]] = []
+    for shard, pinned in enumerate(boundary_nodes):
+        by_root: Dict[int, List[int]] = {}
+        for node in pinned:
+            by_root.setdefault(intra_unions[shard].find(node),
+                               []).append(node)
+        blocks.append([tuple(group) for group in
+                       sorted(by_root.values())])
+    extrema, degree_error = _degree_extrema(graph)
+    simple = all(len(edge.att) == 2 for _, edge in graph.edges())
+    return _PartitionPlan(shards, assign, subgraphs, boundary_edges,
+                          boundary_nodes, blocks, extrema, degree_error,
+                          simple)
+
+
+def _terminal_order(alphabet: Alphabet) -> Dict[int, int]:
+    """Label -> 1-based terminal position (the compact container ID).
+
+    ``encode_grammar`` compacts every shard alphabet the same way —
+    terminals first, in iteration order — so this single mapping
+    translates boundary-edge labels into the ID space every *loaded*
+    shard grammar uses.
+    """
+    return {label: position for position, label in
+            enumerate(alphabet.terminals(), start=1)}
+
+
+def _compress_shard(subgraph: Hypergraph, alphabet: Alphabet,
+                    settings: GRePairSettings, validate: bool,
+                    cache_size: int) -> CompressedGraph:
+    """Compress one pinned shard subgraph into its own handle.
+
+    The pin (the subgraph's ``ext`` sequence) only exists to steer the
+    compressor; it is stripped from the resulting start graph before
+    the handle is created, restoring an ordinary rank-0 grammar.
+    """
+    if subgraph.num_edges == 0:
+        # gRePair has nothing to do; wrap the trivial grammar directly
+        # (also covers shards that received no nodes at all).  Original
+        # node IDs are kept so the boundary locator works unchanged.
+        start = Hypergraph()
+        for node in sorted(subgraph.nodes()):
+            start.add_node(node)
+        return CompressedGraph.from_grammar(
+            SLHRGrammar(alphabet.copy(), start), cache_size=cache_size)
+    handle = CompressedGraph.compress(subgraph, alphabet, settings,
+                                      validate=validate,
+                                      cache_size=cache_size)
+    handle.grammar.start.set_external(())
+    return handle
+
+
+# ----------------------------------------------------------------------
+# The sharded serving handle
+# ----------------------------------------------------------------------
+class ShardedCompressedGraph:
+    """k per-shard grammars behind one ``CompressedGraph``-shaped API.
+
+    Construct through :meth:`compress`, :meth:`open` or
+    :meth:`from_bytes`.  Global node IDs are shard-major: shard ``i``
+    owns ``bases[i] + 1 .. bases[i] + n_i``, local IDs being the
+    shard's canonical ``val`` numbering (the same numbering an
+    unsharded handle would use for that shard alone).  The handle is
+    immutable after construction and safe to share between threads;
+    every per-shard index builds lazily, at most once.
+    """
+
+    _BATCH_KINDS = CompressedGraph._BATCH_KINDS
+
+    def __init__(self, shards: List[CompressedGraph],
+                 alphabet: Alphabet,
+                 boundary_edges: List[Tuple[int, Tuple[int, ...]]],
+                 blocks: List[List[Tuple[int, ...]]],
+                 extrema: Optional[Dict[str, int]],
+                 degree_error: Optional[str],
+                 shard_nodes: List[int],
+                 simple: bool = True,
+                 partitioner: str = "hash",
+                 cache_size: int = DEFAULT_CACHE_SIZE,
+                 container: Optional[ShardedFile] = None,
+                 container_key: Optional[Tuple[bool, int]] = None
+                 ) -> None:
+        """Internal: boundary structures must already be in global IDs.
+
+        Use the classmethod constructors.
+        """
+        self._shards = shards
+        self._alphabet = alphabet
+        self._boundary_edges = boundary_edges
+        self._blocks = blocks
+        self._extrema = extrema
+        self._degree_error = degree_error
+        self._partitioner = partitioner
+        self._cache = QueryCache(cache_size)
+        self._lock = threading.RLock()
+        self._container = container
+        self._container_key = container_key
+        self._bases: List[int] = []
+        base = 0
+        for count in shard_nodes:
+            self._bases.append(base)
+            base += count
+        self._total_nodes = base
+        self._shard_nodes = list(shard_nodes)
+        self._component_count: Optional[int] = None
+        #: True iff every edge of the full graph has rank 2; mirrors
+        #: the unsharded handle, whose reach raises on any hyperedge.
+        self._simple = simple
+        # Merged-neighborhood summaries of the boundary, global IDs.
+        b_out: Dict[int, Set[int]] = {}
+        b_in: Dict[int, Set[int]] = {}
+        b_any: Dict[int, Set[int]] = {}
+        for label, att in boundary_edges:
+            if len(att) == 2:
+                source, target = att
+                b_out.setdefault(source, set()).add(target)
+                b_in.setdefault(target, set()).add(source)
+            for node in att:
+                others = b_any.setdefault(node, set())
+                others.update(other for other in att if other != node)
+        self._b_out = {node: sorted(v) for node, v in b_out.items()}
+        self._b_in = {node: sorted(v) for node, v in b_in.items()}
+        self._b_any = {node: sorted(v) for node, v in b_any.items()}
+        #: Global IDs of every node incident with a boundary edge.
+        self._boundary_incident: Set[int] = set(b_any)
+        #: Shards at least one boundary edge touches; only these can be
+        #: left or re-entered, so reach inside any other shard is local.
+        self._boundary_shards: Set[int] = {
+            self._owner(node) for node in self._boundary_incident}
+        # Outgoing boundary "exits" per shard, for cross-shard reach.
+        exits: List[List[int]] = [[] for _ in shards]
+        for node in sorted(self._b_out):
+            exits[self._owner(node)].append(node)
+        self._exits = exits
+        self._total_exits = sum(len(shard_exits)
+                                for shard_exits in exits)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def compress(cls, graph: Hypergraph, alphabet: Alphabet,
+                 settings: Optional[GRePairSettings] = None,
+                 shards: int = 4,
+                 partitioner: Union[str, Callable[[Hypergraph, int],
+                                                  Dict[int, int]]] = "hash",
+                 parallel: bool = False,
+                 max_workers: Optional[int] = None,
+                 validate: bool = True,
+                 cache_size: int = DEFAULT_CACHE_SIZE
+                 ) -> "ShardedCompressedGraph":
+        """Partition ``graph``, compress every shard, build the handle.
+
+        ``partitioner`` is a name from :data:`PARTITIONERS` or any
+        ``(graph, shards) -> {node: shard}`` callable covering every
+        node with values in ``range(shards)``.  ``parallel=True`` runs
+        the per-shard compressions on a thread pool (they are
+        independent by construction).
+        """
+        if shards < 1:
+            raise GrammarError(f"shards must be >= 1, got {shards}")
+        if settings is None:
+            settings = GRePairSettings()
+        if callable(partitioner):
+            partition_fn = partitioner
+            partitioner_name = getattr(partitioner, "__name__", "custom")
+        else:
+            partition_fn = PARTITIONERS.get(partitioner)
+            if partition_fn is None:
+                raise GrammarError(
+                    f"unknown partitioner {partitioner!r}; expected one "
+                    f"of {sorted(PARTITIONERS)} or a callable"
+                )
+            partitioner_name = partitioner
+        assign = partition_fn(graph, shards)
+        missing = [node for node in graph.nodes() if node not in assign]
+        if missing:
+            raise GrammarError(
+                f"partitioner left {len(missing)} nodes unassigned "
+                f"(first: {missing[:3]})"
+            )
+        bad = {shard for shard in assign.values()
+               if not 0 <= shard < shards}
+        if bad:
+            raise GrammarError(
+                f"partitioner produced out-of-range shards {sorted(bad)}")
+        plan = _partition(graph, assign, shards)
+
+        def build(index: int) -> CompressedGraph:
+            return _compress_shard(plan.subgraphs[index], alphabet,
+                                   settings, validate, cache_size)
+
+        if parallel and shards > 1:
+            from concurrent.futures import ThreadPoolExecutor
+            workers = max_workers or min(8, shards)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                handles = list(pool.map(build, range(shards)))
+        else:
+            handles = [build(index) for index in range(shards)]
+
+        # Translate the boundary summary into the shard-major global ID
+        # space.  Boundary nodes survive in the shard start graphs (the
+        # pin guarantees it), and canonicalization numbers start nodes
+        # 1..m in ascending original-ID order — so a boundary node's
+        # local ID is its rank among the surviving start nodes.
+        locators: List[Dict[int, int]] = []
+        shard_nodes: List[int] = []
+        for index, handle in enumerate(handles):
+            survivors = sorted(handle.grammar.start.nodes())
+            locator = {original: position for position, original in
+                       enumerate(survivors, start=1)}
+            for pinned in plan.boundary_nodes[index]:
+                if pinned not in locator:  # pragma: no cover - guarded
+                    raise GrammarError(
+                        f"boundary node {pinned} was folded into a rule "
+                        f"of shard {index}; the external pin failed"
+                    )
+            locators.append(locator)
+            count = handle.node_count()
+            if count != plan.subgraphs[index].node_size:
+                raise GrammarError(
+                    f"shard {index} derives {count} nodes but was "
+                    f"assigned {plan.subgraphs[index].node_size}"
+                )
+            shard_nodes.append(count)
+        bases = [0] * shards
+        for index in range(1, shards):
+            bases[index] = bases[index - 1] + shard_nodes[index - 1]
+
+        def to_global(node: int) -> int:
+            shard = assign[node]
+            return bases[shard] + locators[shard][node]
+
+        boundary_edges = [
+            (label, tuple(to_global(node) for node in att))
+            for label, att in plan.boundary_edges
+        ]
+        blocks = [
+            [tuple(sorted(to_global(node) for node in block))
+             for block in shard_blocks]
+            for shard_blocks in plan.blocks
+        ]
+        reference = alphabet.copy()
+        return cls(handles, reference, boundary_edges, blocks,
+                   plan.extrema, plan.degree_error, shard_nodes,
+                   simple=plan.simple, partitioner=partitioner_name,
+                   cache_size=cache_size)
+
+    @classmethod
+    def from_bytes(cls, buf: Union[bytes, bytearray, ShardedFile],
+                   cache_size: int = DEFAULT_CACHE_SIZE
+                   ) -> "ShardedCompressedGraph":
+        """Load a handle from serialized "GRPS" container bytes."""
+        data = buf.data if isinstance(buf, ShardedFile) else bytes(buf)
+        meta, blobs = decode_sharded_container(data)
+        shards = [CompressedGraph.from_bytes(blob, cache_size=cache_size)
+                  for blob in blobs]
+        (shard_nodes, boundary_edges, blocks, extrema, degree_error,
+         simple, partitioner) = _decode_meta(meta, len(blobs))
+        if len(shard_nodes) != len(shards):
+            raise EncodingError(
+                f"meta lists {len(shard_nodes)} shards, container "
+                f"holds {len(shards)}"
+            )
+        # Every shard was compressed from a copy of one input alphabet,
+        # so their terminal lists agree up to pass-minted extras (the
+        # virtual-edge label) appended at the end.  Boundary labels
+        # only reference the shared prefix; verify exactly that.
+        def signature(handle: CompressedGraph
+                      ) -> List[Tuple[int, Optional[str]]]:
+            terminal_alphabet = handle.grammar.alphabet
+            return [(terminal_alphabet.rank(label),
+                     terminal_alphabet.name(label))
+                    for label in terminal_alphabet.terminals()]
+
+        reference_signature = signature(shards[0])
+        for index, shard in enumerate(shards[1:], start=1):
+            shard_signature = signature(shard)
+            common = min(len(reference_signature), len(shard_signature))
+            if shard_signature[:common] != reference_signature[:common]:
+                raise EncodingError(
+                    f"shard {index} terminal alphabet differs from "
+                    "shard 0; the container was not produced by one "
+                    "build"
+                )
+        reference = shards[0].grammar.alphabet
+        container = ShardedFile(
+            data=data, section_bytes=sharded_container_sections(data))
+        # Like CompressedGraph.from_bytes: remember the k the file was
+        # encoded with so save()/to_bytes() reuse the loaded bytes only
+        # when the requested parameters match.
+        k, _ = read_uvarint(blobs[0], 5)
+        return cls(shards, reference, boundary_edges, blocks, extrema,
+                   degree_error, shard_nodes, simple=simple,
+                   partitioner=partitioner, cache_size=cache_size,
+                   container=container, container_key=(True, k))
+
+    @classmethod
+    def open(cls, path: Union[str, Path],
+             cache_size: int = DEFAULT_CACHE_SIZE
+             ) -> "ShardedCompressedGraph":
+        """Load a handle from a ``.grps`` container file."""
+        return cls.from_bytes(Path(path).read_bytes(),
+                              cache_size=cache_size)
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def to_container(self, include_names: bool = True,
+                     k: int = 2) -> ShardedFile:
+        """Serialize to the multi-shard container format.
+
+        Cached per parameter set: loaded handles keep reporting the
+        file they came from, and repeated ``sizes``/``total_bytes``
+        accesses do not re-encode every shard.
+        """
+        key = (include_names, k)
+        with self._lock:
+            if self._container is not None and self._container_key == key:
+                return self._container
+        order = _terminal_order(self._alphabet)
+        boundary_edges = [
+            (order[label], att) for label, att in self._boundary_edges
+        ]
+        meta = _encode_meta(self._shard_nodes, boundary_edges,
+                            self._blocks, self._extrema,
+                            self._degree_error, self._simple,
+                            self._partitioner)
+        blobs = [shard.to_bytes(include_names=include_names, k=k)
+                 for shard in self._shards]
+        container = encode_sharded_container(meta, blobs)
+        with self._lock:
+            self._container = container
+            self._container_key = key
+        return container
+
+    def _current_container(self) -> ShardedFile:
+        """The existing container if any, else a default encoding."""
+        with self._lock:
+            container = self._container
+        if container is not None:
+            return container
+        return self.to_container()
+
+    def to_bytes(self, include_names: bool = True, k: int = 2) -> bytes:
+        """Serialize to "GRPS" container bytes."""
+        return self.to_container(include_names, k).data
+
+    def save(self, path: Union[str, Path], include_names: bool = True,
+             k: int = 2) -> ShardedFile:
+        """Write the container to ``path``; returns the container."""
+        container = self.to_container(include_names, k)
+        container.write(path)
+        return container
+
+    @property
+    def sizes(self) -> Dict[str, int]:
+        """Per-section bytes: ``meta`` plus ``shard<i>/<section>``.
+
+        Loaded handles report the sections parsed from the loaded
+        file, exactly like :attr:`CompressedGraph.sizes`.
+        """
+        return dict(self._current_container().section_bytes)
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the serialized container in bytes."""
+        return self._current_container().total_bytes
+
+    def bits_per_edge(self, num_edges: Optional[int] = None) -> float:
+        """bpe of the serialized container (the paper's size metric)."""
+        if num_edges is None:
+            num_edges = self.edge_count()
+        return self._current_container().bits_per_edge(num_edges)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        """Number of per-shard grammars."""
+        return len(self._shards)
+
+    @property
+    def shards(self) -> List[CompressedGraph]:
+        """The per-shard handles (shared, not copies)."""
+        return list(self._shards)
+
+    @property
+    def alphabet(self) -> Alphabet:
+        """The terminal alphabet shared by every shard."""
+        return self._alphabet
+
+    @property
+    def boundary_edge_count(self) -> int:
+        """Edges of the input that cross shards (kept uncompressed)."""
+        return len(self._boundary_edges)
+
+    @property
+    def canonicalizations(self) -> int:
+        """Total canonicalization passes across all shard handles."""
+        return sum(shard.canonicalizations for shard in self._shards)
+
+    @property
+    def index_built(self) -> bool:
+        """Whether every shard's lazy query index exists."""
+        return all(shard.index_built for shard in self._shards)
+
+    @property
+    def cache(self) -> QueryCache:
+        """The handle's query-result LRU."""
+        return self._cache
+
+    @property
+    def cache_info(self) -> Dict[str, Any]:
+        """LRU counters: capacity, size, hits, misses, evictions."""
+        return self._cache.info()
+
+    @property
+    def cache_hits(self) -> int:
+        """Queries answered from the result LRU."""
+        return self._cache.hits
+
+    @property
+    def cache_misses(self) -> int:
+        """Queries that fell through to evaluation."""
+        return self._cache.misses
+
+    @property
+    def stats(self) -> Dict[str, object]:
+        """Aggregate build statistics over the shards."""
+        per_shard = [shard.stats for shard in self._shards]
+        return {
+            "shards": len(self._shards),
+            "partitioner": self._partitioner,
+            "boundary_edges": len(self._boundary_edges),
+            "shard_nodes": list(self._shard_nodes),
+            "shard_grammar_sizes": [shard.grammar.size
+                                    for shard in self._shards],
+            "per_shard": per_shard,
+        }
+
+    def summary(self) -> str:
+        """One-line description of the handle."""
+        total_rules = sum(shard.grammar.num_rules
+                          for shard in self._shards)
+        total_size = sum(shard.grammar.size for shard in self._shards)
+        return (f"{len(self._shards)} shards "
+                f"({self._partitioner}), {total_rules} rules, "
+                f"sum|G|={total_size}, "
+                f"{len(self._boundary_edges)} boundary edges, "
+                f"{self._total_nodes} nodes")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _owner(self, node_id: int) -> int:
+        """Shard index owning a global node ID."""
+        if not 1 <= node_id <= self._total_nodes:
+            raise QueryError(
+                f"node ID {node_id} out of range 1..{self._total_nodes}"
+            )
+        return bisect_right(self._bases, node_id - 1) - 1
+
+    def _local(self, node_id: int, shard: int) -> int:
+        return node_id - self._bases[shard]
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def decompress(self, max_edges: Optional[int] = None) -> Hypergraph:
+        """Expand the full graph with the global (shard-major) numbering.
+
+        The union of the per-shard ``val`` graphs, offset by the shard
+        bases, plus the boundary edges — exactly the ID space every
+        query answers in.
+        """
+        merged = Hypergraph()
+        for node in range(1, self._total_nodes + 1):
+            merged.add_node(node)
+        remaining = max_edges
+        for shard_index, shard in enumerate(self._shards):
+            base = self._bases[shard_index]
+            val = shard.decompress(max_edges=remaining)
+            for _, edge in val.edges():
+                merged.add_edge(edge.label,
+                                tuple(node + base for node in edge.att))
+            if remaining is not None:
+                remaining -= val.num_edges
+                if remaining <= 0:
+                    return merged
+        for label, att in self._boundary_edges:
+            merged.add_edge(label, att)
+            if remaining is not None:
+                remaining -= 1
+                if remaining <= 0:
+                    break
+        return merged
+
+    # ------------------------------------------------------------------
+    # Neighborhood queries (route to the owner, merge the boundary)
+    # ------------------------------------------------------------------
+    def _merged_neighbors(self, node_id: int, direction: str
+                          ) -> List[int]:
+        shard = self._owner(node_id)
+        local = self._local(node_id, shard)
+        base = self._bases[shard]
+        handle = self._shards[shard]
+        if direction == "out":
+            inner = handle.out_neighbors(local)
+            extra = self._b_out.get(node_id)
+        elif direction == "in":
+            inner = handle.in_neighbors(local)
+            extra = self._b_in.get(node_id)
+        else:
+            inner = handle.neighbors(local)
+            extra = self._b_any.get(node_id)
+        result = [node + base for node in inner]
+        if extra:
+            merged = set(result)
+            merged.update(extra)
+            return sorted(merged)
+        return result
+
+    def out_neighbors(self, node_id: int) -> List[int]:
+        """Sorted out-neighbor IDs of ``node_id`` (paper's ``N+``)."""
+        return self._cache.get_or_compute(
+            ("out", node_id),
+            lambda: self._merged_neighbors(node_id, "out"))
+
+    def in_neighbors(self, node_id: int) -> List[int]:
+        """Sorted in-neighbor IDs of ``node_id`` (paper's ``N-``)."""
+        return self._cache.get_or_compute(
+            ("in", node_id),
+            lambda: self._merged_neighbors(node_id, "in"))
+
+    def neighbors(self, node_id: int) -> List[int]:
+        """Sorted undirected neighborhood ``N(v)``."""
+        return self._cache.get_or_compute(
+            ("neighborhood", node_id),
+            lambda: self._merged_neighbors(node_id, "any"))
+
+    def out(self, node_id: int) -> List[int]:
+        """Alias of :meth:`out_neighbors`."""
+        return self.out_neighbors(node_id)
+
+    def in_(self, node_id: int) -> List[int]:
+        """Alias of :meth:`in_neighbors` (``in`` is a keyword)."""
+        return self.in_neighbors(node_id)
+
+    def neighborhood(self, node_id: int) -> List[int]:
+        """Alias of :meth:`neighbors`."""
+        return self.neighbors(node_id)
+
+    # ------------------------------------------------------------------
+    # Speed-up queries (merge per-shard summaries)
+    # ------------------------------------------------------------------
+    def reachable(self, source_id: int, target_id: int) -> bool:
+        """(s,t)-reachability across shards.
+
+        Three regimes, picked per query:
+
+        * both endpoints in one shard that no boundary edge touches —
+          the owning shard's Theorem-6 query verbatim (``O(|G_i|)``);
+        * a *sparse* boundary (``exits^2 <= |val|``) — boundary
+          chaining: alternate per-shard ``O(|G_i|)`` reachability with
+          boundary hops, so the cost scales with the grammar and the
+          boundary, never with ``val``;
+        * a *dense* boundary — the boundary summary rivals the graph
+          itself, so chaining would quadratically repeat per-shard
+          queries; fall back to BFS over the merged (LRU-backed)
+          neighborhoods, the paper's any-algorithm-on-Prop.-4 route.
+        """
+        return self._cache.get_or_compute(
+            ("reach", source_id, target_id),
+            lambda: self._reach_uncached(source_id, target_id))
+
+    def _reach_uncached(self, source_id: int, target_id: int) -> bool:
+        if not self._simple:
+            raise QueryError(
+                "reachability requires a simple derived graph; found "
+                "a terminal hyperedge"
+            )
+        source_shard = self._owner(source_id)
+        target_shard = self._owner(target_id)
+        if (source_shard == target_shard
+                and self._shards[source_shard].reachable(
+                    self._local(source_id, source_shard),
+                    self._local(target_id, source_shard))):
+            return True
+        if source_shard not in self._boundary_shards:
+            return False  # the source's shard cannot be left
+        if self._total_exits * self._total_exits <= self._total_nodes:
+            # The same-shard target check above already ran for the
+            # source itself; don't pay that O(|G_i|) query twice.
+            checked = ({source_id} if source_shard == target_shard
+                       else set())
+            return self._reach_by_chaining(source_id, target_shard,
+                                           self._local(target_id,
+                                                       target_shard),
+                                           checked)
+        return self._reach_by_bfs(source_id, target_id)
+
+    def _reach_by_chaining(self, source_id: int, target_shard: int,
+                           target_local: int,
+                           already_checked: Set[int]) -> bool:
+        """Boundary chaining: per-shard reach + boundary hops."""
+        seen: Set[int] = {source_id}
+        frontier = [source_id]
+        while frontier:
+            node = frontier.pop()
+            shard = self._owner(node)
+            handle = self._shards[shard]
+            local = self._local(node, shard)
+            if (shard == target_shard
+                    and node not in already_checked
+                    and handle.reachable(local, target_local)):
+                return True
+            for exit_node in self._exits[shard]:
+                exit_local = self._local(exit_node, shard)
+                if not handle.reachable(local, exit_local):
+                    continue
+                for entered in self._b_out[exit_node]:
+                    if entered not in seen:
+                        seen.add(entered)
+                        frontier.append(entered)
+        return False
+
+    def _reach_by_bfs(self, source_id: int, target_id: int) -> bool:
+        """Plain BFS over the merged neighborhoods (dense boundary)."""
+        seen: Set[int] = {source_id}
+        frontier = deque([source_id])
+        while frontier:
+            node = frontier.popleft()
+            if node == target_id:
+                return True
+            for succ in self.out_neighbors(node):
+                if succ not in seen:
+                    seen.add(succ)
+                    frontier.append(succ)
+        return False
+
+    def reach(self, source_id: int, target_id: int) -> bool:
+        """Alias of :meth:`reachable`."""
+        return self.reachable(source_id, target_id)
+
+    def connected_components(self) -> int:
+        """Components of the full graph from per-shard counts.
+
+        Per-shard grammar counts (the paper's one-pass CMSO function)
+        are merged with the partition-time boundary summary: every
+        within-shard connectivity class of boundary nodes is one
+        component of the disjoint union, and a union-find over those
+        classes under the boundary edges counts exactly how many
+        merges the boundary performs.
+        """
+        with self._lock:
+            if self._component_count is not None:
+                return self._component_count
+        shard_total = sum(shard.connected_components()
+                          for shard in self._shards)
+        roots: Dict[int, int] = {}
+        for shard_blocks in self._blocks:
+            for block in shard_blocks:
+                anchor = block[0]
+                for node in block:
+                    roots[node] = anchor
+        merge = UnionFind(set(roots.values()))
+        before = merge.set_count
+        for _, att in self._boundary_edges:
+            anchor = roots[att[0]]
+            for node in att[1:]:
+                merge.union(anchor, roots[node])
+        count = shard_total - (before - merge.set_count)
+        with self._lock:
+            self._component_count = count
+        return count
+
+    def components(self) -> int:
+        """Alias of :meth:`connected_components`."""
+        return self.connected_components()
+
+    def degree(self, node_id: Optional[int] = None,
+               direction: str = "out") -> Union[int, Dict[str, int]]:
+        """Degree information without decompressing.
+
+        Same contract as :meth:`CompressedGraph.degree`: per-node
+        counts are distinct neighbors (boundary edges merged in); the
+        no-argument form returns the true multiplicity-counting
+        extrema, precomputed over the whole input at partition time
+        (boundary edges contribute to boundary nodes' degrees, so no
+        single shard could answer this).
+        """
+        if node_id is None:
+            if self._extrema is None:
+                raise QueryError(self._degree_error
+                                 or "degree extrema unavailable")
+            return dict(self._extrema)
+        if direction == "out":
+            return len(self.out_neighbors(node_id))
+        if direction == "in":
+            return len(self.in_neighbors(node_id))
+        if direction == "any":
+            return len(self.neighbors(node_id))
+        raise QueryError(f"unknown direction {direction!r}; "
+                         "expected 'out', 'in' or 'any'")
+
+    def degrees(self) -> Dict[str, int]:
+        """The degree extrema dict (sharded form of the evaluator)."""
+        result = self.degree()
+        assert isinstance(result, dict)
+        return result
+
+    def path(self, source_id: int, target_id: int
+             ) -> Optional[List[int]]:
+        """A shortest directed path as global node IDs, or ``None``."""
+        from repro.queries.traversal import shortest_path
+        return self._cache.get_or_compute(
+            ("path", source_id, target_id),
+            lambda: shortest_path(self, source_id, target_id))
+
+    def node_count(self) -> int:
+        """``|val|_V`` of the full graph (sum of shard counts)."""
+        return self._total_nodes
+
+    def edge_count(self) -> int:
+        """Terminal edges of the full graph (shards + boundary)."""
+        return (sum(shard.edge_count() for shard in self._shards)
+                + len(self._boundary_edges))
+
+    # ------------------------------------------------------------------
+    # Batched evaluation
+    # ------------------------------------------------------------------
+    def batch(self, requests: Iterable[Sequence[Any]],
+              parallel: bool = False,
+              max_workers: Optional[int] = None) -> List[Any]:
+        """Evaluate many queries; results come back in request order.
+
+        Same wire format as :meth:`CompressedGraph.batch`.  The
+        sequential path routes request by request.  ``parallel=True``
+        plans the batch: it deduplicates repeated requests, groups
+        every shard-local request per owning shard — each group is
+        shipped through that shard handle's own ``batch()`` and
+        translated back in one pass — and fans the groups plus the
+        remaining cross-shard requests out across a thread pool.
+        """
+        plan = _normalize_requests(self, requests)
+        if not parallel:
+            return [_call_query(self, method, args, kind)
+                    for kind, method, args in plan]
+        return self._run_planned(plan, max_workers)
+
+    # Methods a shard can answer alone for a non-boundary node, and the
+    # local batch kind each translates to.
+    _LOCAL_KINDS = {
+        "out_neighbors": "out",
+        "in_neighbors": "in",
+        "neighbors": "neighborhood",
+        "degree": "degree",
+    }
+    #: Answers that are lists of local node IDs (need the +base shift).
+    _OFFSET_RESULTS = {"out", "in", "neighborhood"}
+
+    def _route_local(self, method: str, args: Tuple[Any, ...]
+                     ) -> Optional[Tuple[int, Tuple[Any, ...], str]]:
+        """``(shard, local_request, local_kind)`` when one shard can
+        answer exactly, else ``None``."""
+        local_kind = self._LOCAL_KINDS.get(method)
+        if local_kind is not None:
+            if not args or not isinstance(args[0], int):
+                return None
+            node = args[0]
+            if not 1 <= node <= self._total_nodes:
+                return None  # let the sequential call raise QueryError
+            if node in self._boundary_incident:
+                return None
+            shard = self._owner(node)
+            local = self._local(node, shard)
+            return shard, (local_kind, local, *args[1:]), local_kind
+        if method == "reachable" and len(args) == 2 \
+                and all(isinstance(arg, int) for arg in args):
+            source, target = args
+            if not (1 <= source <= self._total_nodes
+                    and 1 <= target <= self._total_nodes):
+                return None
+            shard = self._owner(source)
+            # A shard that no boundary edge touches can never be left
+            # or re-entered, so its local answer is the global one.
+            if (shard == self._owner(target)
+                    and shard not in self._boundary_shards):
+                return (shard,
+                        ("reach", self._local(source, shard),
+                         self._local(target, shard)),
+                        "reach")
+        return None
+
+    def _run_planned(self, plan, max_workers: Optional[int]
+                     ) -> List[Any]:
+        from concurrent.futures import ThreadPoolExecutor
+
+        unique, duplicates = _dedup_plan(plan)
+        results: List[Any] = [None] * len(plan)
+        if not unique:
+            return _finish_planned(results, duplicates)
+
+        # Classify the unique jobs: shard-routable, batchable reach,
+        # everything else.
+        shard_groups: Dict[int, List[Tuple[int, Tuple[Any, ...],
+                                           str]]] = {}
+        reach_pairs: List[Tuple[int, int, int]] = []
+        general: List[Tuple[int, Any, str, Tuple[Any, ...]]] = []
+        for position, kind, method, args in unique:
+            routed = self._route_local(method, args)
+            if routed is not None:
+                shard, local_request, local_kind = routed
+                shard_groups.setdefault(shard, []).append(
+                    (position, local_request, local_kind))
+                continue
+            if (method == "reachable" and self._simple
+                    and len(args) == 2
+                    and all(isinstance(arg, int)
+                            and 1 <= arg <= self._total_nodes
+                            for arg in args)):
+                reach_pairs.append((position, args[0], args[1]))
+                continue
+            general.append((position, kind, method, args))
+
+        def run_group(shard: int,
+                      items: List[Tuple[int, Tuple[Any, ...], str]]
+                      ) -> None:
+            base = self._bases[shard]
+            answers = self._shards[shard].batch(
+                [request for _, request, _ in items])
+            for (position, _, local_kind), answer in zip(items, answers):
+                if local_kind in self._OFFSET_RESULTS:
+                    answer = [node + base for node in answer]
+                results[position] = answer
+
+        def run_general(chunk: List[Tuple[int, Any, str,
+                                          Tuple[Any, ...]]]) -> None:
+            for position, kind, method, args in chunk:
+                results[position] = _call_query(self, method, args,
+                                                kind)
+
+        def run_reach(pairs: List[Tuple[int, int, int]]) -> None:
+            """All reach answers from per-source BFS closures.
+
+            One traversal per distinct source answers every target
+            asked of that source, and the neighborhood expansions are
+            memoized across the whole batch — the planned path's main
+            advantage over request-at-a-time evaluation.
+            """
+            adjacency: Dict[int, List[int]] = {}
+
+            def successors(node: int) -> List[int]:
+                known = adjacency.get(node)
+                if known is None:
+                    known = adjacency[node] = self.out_neighbors(node)
+                return known
+
+            by_source: Dict[int, List[Tuple[int, int]]] = {}
+            for position, source, target in pairs:
+                by_source.setdefault(source, []).append(
+                    (position, target))
+            for source, wanted in by_source.items():
+                targets = {target for _, target in wanted}
+                seen = {source}
+                missing = set(targets) - seen
+                frontier = deque([source])
+                while frontier and missing:
+                    node = frontier.popleft()
+                    for succ in successors(node):
+                        if succ not in seen:
+                            seen.add(succ)
+                            missing.discard(succ)
+                            frontier.append(succ)
+                for position, target in wanted:
+                    results[position] = target in seen
+
+        jobs: List[Callable[[], None]] = []
+        for shard, items in sorted(shard_groups.items()):
+            jobs.append(lambda shard=shard, items=items:
+                        run_group(shard, items))
+        if reach_pairs:
+            jobs.append(lambda: run_reach(reach_pairs))
+        if general:
+            # Bundle the leftovers: one pool task per chunk, not per
+            # request (thread dispatch would dwarf small queries).
+            splits = min(len(general), max(1, (max_workers or 4)))
+            for index in range(splits):
+                chunk = general[index::splits]
+                jobs.append(lambda chunk=chunk: run_general(chunk))
+
+        workers = max_workers or min(8, len(jobs))
+        if workers <= 1 or len(jobs) == 1:
+            for job in jobs:
+                job()
+        else:
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for _ in pool.map(lambda job: job(), jobs):
+                    pass
+        return _finish_planned(results, duplicates)
+
+    def __repr__(self) -> str:
+        built = "built" if self.index_built else "lazy"
+        return (f"ShardedCompressedGraph(shards={len(self._shards)}, "
+                f"nodes={self._total_nodes}, "
+                f"boundary={len(self._boundary_edges)}, index={built})")
+
+
+# ----------------------------------------------------------------------
+# Meta section codec (the routing summary inside the "GRPS" container)
+# ----------------------------------------------------------------------
+def _encode_meta(shard_nodes: List[int],
+                 boundary_edges: List[Tuple[int, Tuple[int, ...]]],
+                 blocks: List[List[Tuple[int, ...]]],
+                 extrema: Optional[Dict[str, int]],
+                 degree_error: Optional[str],
+                 simple: bool,
+                 partitioner: str) -> bytes:
+    out = bytearray()
+    write_uvarint(out, _META_VERSION)
+    name = partitioner.encode("utf-8")
+    write_uvarint(out, len(name))
+    out.extend(name)
+    out.append(1 if simple else 0)
+    write_uvarint(out, len(shard_nodes))
+    for count in shard_nodes:
+        write_uvarint(out, count)
+    if extrema is not None:
+        out.append(1)
+        for field in ("max_out", "min_out", "max_in", "min_in",
+                      "max", "min"):
+            write_uvarint(out, extrema[field])
+    else:
+        out.append(0)
+        message = (degree_error or "").encode("utf-8")
+        write_uvarint(out, len(message))
+        out.extend(message)
+    write_uvarint(out, len(boundary_edges))
+    for label, att in boundary_edges:
+        write_uvarint(out, label)
+        write_uvarint(out, len(att))
+        for node in att:
+            write_uvarint(out, node)
+    write_uvarint(out, len(blocks))
+    for shard_blocks in blocks:
+        write_uvarint(out, len(shard_blocks))
+        for block in shard_blocks:
+            write_uvarint(out, len(block))
+            for node in block:
+                write_uvarint(out, node)
+    return bytes(out)
+
+
+def _decode_meta(data: bytes, num_shards: int):
+    try:
+        pos = 0
+        version, pos = read_uvarint(data, pos)
+        if version != _META_VERSION:
+            raise EncodingError(
+                f"unsupported sharded meta version {version}")
+        name_len, pos = read_uvarint(data, pos)
+        partitioner = data[pos:pos + name_len].decode("utf-8")
+        pos += name_len
+        simple = bool(data[pos])
+        pos += 1
+        count, pos = read_uvarint(data, pos)
+        shard_nodes: List[int] = []
+        for _ in range(count):
+            nodes, pos = read_uvarint(data, pos)
+            shard_nodes.append(nodes)
+        extrema: Optional[Dict[str, int]] = None
+        degree_error: Optional[str] = None
+        flag = data[pos]
+        pos += 1
+        if flag:
+            values = []
+            for _ in range(6):
+                value, pos = read_uvarint(data, pos)
+                values.append(value)
+            extrema = dict(zip(("max_out", "min_out", "max_in",
+                                "min_in", "max", "min"), values))
+        else:
+            msg_len, pos = read_uvarint(data, pos)
+            degree_error = (data[pos:pos + msg_len].decode("utf-8")
+                            or None)
+            pos += msg_len
+        edge_count, pos = read_uvarint(data, pos)
+        boundary_edges: List[Tuple[int, Tuple[int, ...]]] = []
+        for _ in range(edge_count):
+            label, pos = read_uvarint(data, pos)
+            rank, pos = read_uvarint(data, pos)
+            att = []
+            for _ in range(rank):
+                node, pos = read_uvarint(data, pos)
+                att.append(node)
+            boundary_edges.append((label, tuple(att)))
+        block_shards, pos = read_uvarint(data, pos)
+        if block_shards != num_shards:
+            raise EncodingError(
+                f"meta blocks cover {block_shards} shards, expected "
+                f"{num_shards}"
+            )
+        blocks: List[List[Tuple[int, ...]]] = []
+        for _ in range(block_shards):
+            shard_count, pos = read_uvarint(data, pos)
+            shard_blocks = []
+            for _ in range(shard_count):
+                size, pos = read_uvarint(data, pos)
+                block = []
+                for _ in range(size):
+                    node, pos = read_uvarint(data, pos)
+                    block.append(node)
+                shard_blocks.append(tuple(block))
+            blocks.append(shard_blocks)
+        if pos != len(data):
+            raise EncodingError(
+                f"{len(data) - pos} trailing bytes in sharded meta")
+    except (IndexError, ValueError) as exc:
+        raise EncodingError(f"corrupt sharded meta: {exc}") from None
+    return (shard_nodes, boundary_edges, blocks, extrema, degree_error,
+            simple, partitioner)
+
+
+# ----------------------------------------------------------------------
+# Container dispatch
+# ----------------------------------------------------------------------
+def open_compressed(path: Union[str, Path],
+                    cache_size: int = DEFAULT_CACHE_SIZE
+                    ) -> Union[CompressedGraph, ShardedCompressedGraph]:
+    """Open a container of either kind, dispatching on its magic.
+
+    "GRPS" files yield a :class:`ShardedCompressedGraph`, "GRPR" files
+    a :class:`CompressedGraph`; both expose the same query surface, so
+    callers (the CLI among them) need not care which they got.
+    """
+    data = Path(path).read_bytes()
+    if is_sharded_container(data):
+        return ShardedCompressedGraph.from_bytes(data,
+                                                 cache_size=cache_size)
+    return CompressedGraph.from_bytes(data, cache_size=cache_size)

@@ -125,6 +125,85 @@ class TestQuery:
         assert len(capsys.readouterr().out.split()) == 4
 
 
+@pytest.fixture
+def sharded(tmp_path, edge_list):
+    out = tmp_path / "graph.grps"
+    assert main(["compress", str(edge_list), str(out),
+                 "--shards", "3"]) == 0
+    return out
+
+
+class TestSharded:
+    def test_creates_sharded_container(self, sharded):
+        assert sharded.read_bytes()[:4] == b"GRPS"
+
+    def test_parallel_build_identical_output(self, tmp_path, edge_list,
+                                             sharded):
+        out = tmp_path / "parallel.grps"
+        assert main(["compress", str(edge_list), str(out),
+                     "--shards", "3", "--parallel"]) == 0
+        assert out.read_bytes() == sharded.read_bytes()
+
+    def test_connectivity_partitioner(self, tmp_path, edge_list,
+                                      capsys):
+        out = tmp_path / "conn.grps"
+        assert main(["compress", str(edge_list), str(out),
+                     "--shards", "2", "--partitioner",
+                     "connectivity"]) == 0
+        # One connected component -> it stays whole on one shard.
+        assert main(["stats", str(out)]) == 0
+        assert "boundary edges: 0" in capsys.readouterr().out
+
+    def test_shards_zero_rejected(self, tmp_path, edge_list, capsys):
+        assert main(["compress", str(edge_list),
+                     str(tmp_path / "x.grps"), "--shards", "0"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_stats_shows_shards_and_cache(self, sharded, capsys):
+        assert main(["stats", str(sharded)]) == 0
+        out = capsys.readouterr().out
+        assert "shards:         3" in out
+        assert "boundary edges:" in out
+        assert "shard 0:" in out
+        assert "query cache:" in out
+
+    def test_stats_shows_cache_for_single_too(self, compressed,
+                                              capsys):
+        assert main(["stats", str(compressed)]) == 0
+        assert "query cache:" in capsys.readouterr().out
+
+    def test_queries_route_through_sharded_container(self, sharded,
+                                                     capsys):
+        assert main(["query", str(sharded), "components"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+        assert main(["query", str(sharded), "nodes"]) == 0
+        assert capsys.readouterr().out.strip() == "6"
+        assert main(["query", str(sharded), "edges"]) == 0
+        assert capsys.readouterr().out.strip() == "7"
+        assert main(["query", str(sharded), "degree"]) == 0
+        out = capsys.readouterr().out
+        assert "max_out:" in out and "min_in:" in out
+
+    def test_decompress_sharded_roundtrip(self, tmp_path, edge_list,
+                                          sharded, capsys):
+        out = tmp_path / "roundtrip.tsv"
+        assert main(["decompress", str(sharded), str(out)]) == 0
+        original = {tuple(line.split()) for line in
+                    edge_list.read_text().splitlines()
+                    if line and not line.startswith("#")}
+        restored = {tuple(line.split()) for line in
+                    out.read_text().splitlines() if line}
+        assert len(original) == len(restored)
+        assert sorted(e[2] for e in original) == \
+            sorted(e[2] for e in restored)
+
+    def test_sharded_reach_exit_codes(self, sharded):
+        # Some source reaches some target; exit codes mirror answers.
+        codes = {main(["query", str(sharded), "reach", "1", str(t)])
+                 for t in range(1, 7)}
+        assert codes <= {0, 1} and 0 in codes
+
+
 class TestErrorConsistency:
     """Every subcommand: ReproError/IO -> stderr + exit code 2."""
 

@@ -1,0 +1,66 @@
+"""Doc-sync gate: every fenced python block in the docs must run.
+
+Delegates to ``scripts/check_docs_examples.py`` (the CI entry point)
+and also unit-tests its block extraction, so a silently-matching-
+nothing regex cannot fake a green check.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(_ROOT / "scripts"))
+
+import check_docs_examples  # noqa: E402
+
+
+class TestBlockExtraction:
+    def test_finds_python_blocks(self):
+        text = ("prose\n```python\nx = 1\n```\nmore\n"
+                "```bash\necho hi\n```\n"
+                "```python\ny = x + 1\n```\n")
+        blocks = check_docs_examples.python_blocks(text)
+        assert blocks == ["x = 1", "y = x + 1"]
+
+    def test_ignores_unterminated_fence(self):
+        assert check_docs_examples.python_blocks(
+            "```python\nx = 1\n") == []
+
+    def test_docs_actually_contain_blocks(self):
+        """The regex must match the real docs, not just the fixture."""
+        documents = check_docs_examples.default_documents()
+        assert len(documents) >= 4  # index, api, architecture, queries
+        total = sum(len(check_docs_examples.python_blocks(
+            path.read_text(encoding="utf-8"))) for path in documents)
+        assert total >= 10
+
+
+class TestExecution:
+    def test_failing_block_reported(self, tmp_path):
+        bad = tmp_path / "bad.md"
+        bad.write_text("```python\nraise ValueError('boom')\n```\n")
+        count, failures = check_docs_examples.run_document(bad)
+        assert count == 1
+        assert len(failures) == 1
+        assert "boom" in failures[0]
+
+    def test_blocks_share_a_namespace(self, tmp_path):
+        doc = tmp_path / "doc.md"
+        doc.write_text("```python\nvalue = 41\n```\n"
+                       "```python\nassert value + 1 == 42\n```\n")
+        count, failures = check_docs_examples.run_document(doc)
+        assert count == 2 and not failures
+
+    def test_missing_document_fails(self, capsys):
+        assert check_docs_examples.main(["/nonexistent/doc.md"]) == 1
+
+
+def test_all_docs_execute_cleanly(capsys):
+    """The acceptance gate: the real docs, end to end."""
+    assert check_docs_examples.main() == 0
+    out = capsys.readouterr().out
+    assert "executed cleanly" in out

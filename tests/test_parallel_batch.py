@@ -1,0 +1,190 @@
+"""``batch(..., parallel=True)``: planned execution on both handles.
+
+The parallel path must be a pure optimization: identical answers, in
+request order, for every workload — including error behavior on
+malformed requests.  Thread-safety of the underlying index is also
+exercised directly (many threads, one handle).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro import CompressedGraph, ShardedCompressedGraph
+from repro.bench.corpora import SMOKE_CORPORA
+from repro.exceptions import QueryError
+
+from helpers import theta_graph
+
+
+def _mixed(total, count, seed, hot=20):
+    """A skewed serving mix with plenty of duplicates."""
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        kind = rng.choice(["out", "in", "neighborhood", "reach",
+                           "degree", "path", "components", "nodes"])
+        if kind in ("reach", "path"):
+            requests.append((kind, rng.randint(1, min(total, hot)),
+                             rng.randint(1, total)))
+        elif kind in ("out", "in", "neighborhood", "degree"):
+            requests.append((kind, rng.randint(1, min(total, hot * 2))))
+        else:
+            requests.append((kind,))
+    return requests
+
+
+class TestParallelEqualsSequential:
+    @pytest.mark.parametrize("corpus", ["er-random", "version-copies"])
+    def test_unsharded(self, corpus):
+        graph, alphabet = SMOKE_CORPORA[corpus]()
+        handle = CompressedGraph.compress(graph, alphabet,
+                                          validate=False)
+        requests = _mixed(handle.node_count(), 300, seed=3)
+        assert (handle.batch(requests, parallel=True)
+                == handle.batch(requests))
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded(self, shards):
+        graph, alphabet = SMOKE_CORPORA["communication"]()
+        handle = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=shards, validate=False)
+        requests = _mixed(handle.node_count(), 300, seed=5)
+        assert (handle.batch(requests, parallel=True)
+                == handle.batch(requests))
+
+    def test_sharded_uncached_handles_agree(self):
+        """No LRU in the way: the planned path itself is correct."""
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        handle = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=4, cache_size=0, validate=False)
+        requests = _mixed(handle.node_count(), 200, seed=7)
+        assert (handle.batch(requests, parallel=True)
+                == handle.batch(requests))
+
+    def test_empty_batch(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        assert handle.batch([], parallel=True) == []
+
+    def test_single_request(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        assert handle.batch([("components",)], parallel=True) \
+            == [handle.components()]
+
+    def test_max_workers_one(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        requests = [("out", 1), ("out", 1), ("reach", 1, 2)]
+        assert (handle.batch(requests, parallel=True, max_workers=1)
+                == handle.batch(requests))
+
+    def test_duplicate_lists_are_independent(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        first, second = handle.batch([("out", 1), ("out", 1)],
+                                     parallel=True)
+        first.append(99)
+        assert 99 not in second
+
+
+class TestParallelErrors:
+    def test_unknown_kind(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        with pytest.raises(QueryError, match="unknown batch query"):
+            handle.batch([("sideways", 1)], parallel=True)
+
+    def test_empty_request(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        with pytest.raises(QueryError, match="empty batch request"):
+            handle.batch([()], parallel=True)
+
+    def test_bad_arity_surfaces_as_query_error(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        with pytest.raises(QueryError, match="bad arguments"):
+            handle.batch([("reach", 1)], parallel=True)
+        sharded_graph, sharded_alphabet = SMOKE_CORPORA["er-random"]()
+        sharded = ShardedCompressedGraph.compress(
+            sharded_graph, sharded_alphabet, shards=2, validate=False)
+        with pytest.raises(QueryError, match="bad arguments"):
+            sharded.batch([("reach", 1)], parallel=True)
+
+    def test_out_of_range_node_raises(self):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=2, validate=False)
+        with pytest.raises(QueryError, match="out of range"):
+            sharded.batch([("out", sharded.node_count() + 5)],
+                          parallel=True)
+
+    def test_unhashable_args_raise_query_error(self):
+        """Parallel dedup must not leak TypeError for list arguments."""
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        with pytest.raises(QueryError):
+            handle.batch([("out", [1])], parallel=True)
+        sharded_graph, sharded_alphabet = SMOKE_CORPORA["er-random"]()
+        sharded = ShardedCompressedGraph.compress(
+            sharded_graph, sharded_alphabet, shards=2, validate=False)
+        with pytest.raises(QueryError):
+            sharded.batch([("reach", [1], 2)], parallel=True)
+
+
+class TestThreadSafety:
+    def test_many_threads_one_unsharded_handle(self):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        handle = CompressedGraph.compress(graph, alphabet,
+                                          validate=False)
+        total = handle.node_count()
+        expected = {node: handle.out(node)
+                    for node in range(1, min(total, 25) + 1)}
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for _ in range(50):
+                node = rng.randint(1, min(total, 25))
+                if handle.out(node) != expected[node]:
+                    errors.append(node)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert handle.canonicalizations == 1
+
+    def test_many_threads_one_sharded_handle(self):
+        graph, alphabet = SMOKE_CORPORA["communication"]()
+        handle = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=4, validate=False)
+        total = handle.node_count()
+        expected = handle.batch([("out", node) for node in
+                                 range(1, min(total, 25) + 1)])
+        errors = []
+
+        def worker(seed):
+            rng = random.Random(seed)
+            for _ in range(30):
+                node = rng.randint(1, min(total, 25))
+                if handle.out(node) != expected[node - 1]:
+                    errors.append(node)
+
+        threads = [threading.Thread(target=worker, args=(seed,))
+                   for seed in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # One lazy canonicalization per shard, however many threads.
+        assert handle.canonicalizations == handle.num_shards

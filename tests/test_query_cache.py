@@ -1,0 +1,214 @@
+"""The per-handle query-result LRU: counters, eviction, equivalence.
+
+Covers the satellite contract: hit/miss counters, eviction at
+capacity, and — the property that actually matters for serving —
+cached answers identical to uncached ones under a randomized mixed
+workload, on both handle types.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CompressedGraph, ShardedCompressedGraph
+from repro.bench.corpora import SMOKE_CORPORA
+from repro.queries.cache import QueryCache
+
+from helpers import random_simple_graph, theta_graph
+
+
+# ----------------------------------------------------------------------
+# The LRU itself
+# ----------------------------------------------------------------------
+class TestQueryCacheUnit:
+    def test_miss_then_hit(self):
+        cache = QueryCache(capacity=4)
+        hit, _ = cache.lookup(("out", 1))
+        assert not hit
+        cache.store(("out", 1), [2, 3])
+        hit, value = cache.lookup(("out", 1))
+        assert hit and value == [2, 3]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_eviction_at_capacity(self):
+        cache = QueryCache(capacity=2)
+        cache.store(("out", 1), [1])
+        cache.store(("out", 2), [2])
+        cache.store(("out", 3), [3])
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        hit, _ = cache.lookup(("out", 1))  # oldest entry evicted
+        assert not hit
+        hit, _ = cache.lookup(("out", 3))
+        assert hit
+
+    def test_lru_order_refreshes_on_hit(self):
+        cache = QueryCache(capacity=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.lookup("a")          # "a" becomes most recent
+        cache.store("c", 3)        # evicts "b"
+        assert cache.peek("a")[0]
+        assert not cache.peek("b")[0]
+        assert cache.peek("c")[0]
+
+    def test_zero_capacity_disables(self):
+        cache = QueryCache(capacity=0)
+        cache.store("a", 1)
+        assert len(cache) == 0
+        hit, _ = cache.lookup("a")
+        assert not hit
+        assert cache.misses == 1
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            QueryCache(capacity=-1)
+
+    def test_cached_none_is_a_hit(self):
+        """path() legitimately answers None; it must still cache."""
+        cache = QueryCache(capacity=4)
+        cache.store(("path", 1, 9), None)
+        hit, value = cache.lookup(("path", 1, 9))
+        assert hit and value is None
+
+    def test_copy_out_shields_lists(self):
+        cache = QueryCache(capacity=4)
+        cache.store("k", [1, 2])
+        _, first = cache.lookup("k")
+        first.append(99)
+        _, second = cache.lookup("k")
+        assert second == [1, 2]
+
+    def test_get_or_compute_counts_once(self):
+        cache = QueryCache(capacity=4)
+        calls = []
+        value = cache.get_or_compute("k", lambda: calls.append(1) or 7)
+        assert value == 7
+        value = cache.get_or_compute("k", lambda: calls.append(1) or 8)
+        assert value == 7
+        assert calls == [1]
+
+    def test_info_and_hit_rate(self):
+        cache = QueryCache(capacity=8)
+        assert cache.hit_rate is None
+        cache.get_or_compute("k", lambda: 1)
+        cache.get_or_compute("k", lambda: 1)
+        info = cache.info()
+        assert info["hits"] == 1 and info["misses"] == 1
+        assert info["hit_rate"] == 0.5
+        assert info["capacity"] == 8 and info["size"] == 1
+
+    def test_clear_keeps_counters(self):
+        cache = QueryCache(capacity=4)
+        cache.get_or_compute("k", lambda: 1)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.misses == 1
+
+
+# ----------------------------------------------------------------------
+# Cache wiring on the handles
+# ----------------------------------------------------------------------
+class TestHandleCacheCounters:
+    def test_repeat_query_hits(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        assert handle.cache_hits == 0 and handle.cache_misses == 0
+        first = handle.out(1)
+        assert handle.cache_misses == 1
+        second = handle.out(1)
+        assert handle.cache_hits == 1
+        assert first == second
+
+    def test_batch_and_single_share_entries(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        handle.batch([("reach", 1, 2)])
+        assert handle.cache_misses == 1
+        assert handle.reach(1, 2) is True
+        assert handle.cache_hits == 1
+
+    def test_cache_size_zero_disables(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet,
+                                          cache_size=0)
+        handle.out(1)
+        handle.out(1)
+        assert handle.cache_hits == 0
+        assert handle.cache_misses == 2
+
+    def test_sharded_handle_counts_too(self):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        handle = ShardedCompressedGraph.compress(graph, alphabet,
+                                                 shards=2,
+                                                 validate=False)
+        handle.out(1)
+        handle.out(1)
+        assert handle.cache_hits == 1
+        info = handle.cache_info
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_eviction_under_small_capacity(self):
+        graph, alphabet = random_simple_graph(seed=5)
+        handle = CompressedGraph.compress(graph, alphabet,
+                                          cache_size=4)
+        for node in range(1, 11):
+            handle.out(node)
+        assert handle.cache_info["size"] == 4
+        assert handle.cache_info["evictions"] == 6
+
+    def test_mutating_an_answer_does_not_poison(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        answer = handle.out(1)
+        answer.clear()
+        assert handle.out(1) != []
+
+
+# ----------------------------------------------------------------------
+# The equivalence property: cached == uncached, randomized mix
+# ----------------------------------------------------------------------
+def _mixed_requests(total, count, seed):
+    rng = random.Random(seed)
+    requests = []
+    for _ in range(count):
+        kind = rng.choice(["out", "in", "neighborhood", "reach",
+                           "degree", "path", "components", "nodes",
+                           "edges"])
+        if kind in ("reach", "path"):
+            # Skewed towards a hot set so the cache actually hits.
+            requests.append((kind, rng.randint(1, min(total, 20)),
+                             rng.randint(1, total)))
+        elif kind in ("out", "in", "neighborhood", "degree"):
+            requests.append((kind, rng.randint(1, min(total, 30))))
+        else:
+            requests.append((kind,))
+    return requests
+
+
+class TestCachedUncachedEquivalence:
+    @pytest.mark.parametrize("corpus", ["er-random", "version-copies"])
+    def test_unsharded(self, corpus):
+        graph, alphabet = SMOKE_CORPORA[corpus]()
+        cached = CompressedGraph.compress(graph, alphabet,
+                                          cache_size=64,
+                                          validate=False)
+        uncached = CompressedGraph.compress(graph, alphabet,
+                                            cache_size=0,
+                                            validate=False)
+        requests = _mixed_requests(cached.node_count(), 400, seed=29)
+        assert cached.batch(requests) == uncached.batch(requests)
+        assert cached.cache_hits > 0          # the mix really repeats
+        assert cached.cache_info["evictions"] > 0   # capacity binds
+
+    def test_sharded(self):
+        graph, alphabet = SMOKE_CORPORA["communication"]()
+        cached = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=4, cache_size=64, validate=False)
+        uncached = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=4, cache_size=0, validate=False)
+        requests = _mixed_requests(cached.node_count(), 300, seed=31)
+        assert cached.batch(requests) == uncached.batch(requests)
+        assert cached.cache_hits > 0
