@@ -1,0 +1,154 @@
+"""Socket serving: router + shard processes vs in-process evaluation.
+
+The deployment claim of the serving subsystem is that a compressed
+graph is cheap enough to *serve*: a router process plus one forked
+process per shard, speaking the wire codec of
+:mod:`repro.serving.codec`, answering the full §V family.  This
+module measures that claim end to end on the gate corpus:
+
+* build a 2-shard container, serve it (`repro.serving.serve`), and
+  push 1k mixed queries through one client connection — batched, the
+  shape `GraphClient.batch` ships — against the same workload run
+  through the in-process inline path;
+* the gate (shared with ``scripts/check_bench_regression.py``):
+  socket throughput must stay above :data:`GATE_SOCKET_QPS` — an
+  absolute floor, deliberately far below the in-process number,
+  because the point of the socket path is process isolation and
+  multi-machine reach, not beating shared memory; a floor failure
+  means the router is broken or serializing pathologically, not that
+  sockets are slower than function calls (they always are);
+* answers must be **identical** to the inline path, batch for batch.
+
+Run the smoke lane with ``pytest -m smoke benchmarks`` or the timed
+sweep with ``pytest benchmarks/bench_serving.py``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import ShardedCompressedGraph
+from repro.bench import Report, SMOKE_CORPORA
+from repro.serving import serve
+
+_SECTION = "Socket serving: router + shard processes vs in-process"
+
+#: The gate corpus, shard count and absolute throughput floor.
+GATE_CORPUS = "communication"
+GATE_SHARDS = 2
+GATE_SOCKET_QPS = 150.0
+#: Queries per measured batch (the regression gate's request count).
+GATE_REQUESTS = 1000
+
+
+def serving_workload(total_nodes, count=GATE_REQUESTS, seed=17,
+                     hot=24):
+    """A skewed serving mix: hot-set neighborhoods, degrees, reach."""
+    rng = random.Random(seed)
+    hot_nodes = [rng.randint(1, total_nodes) for _ in range(hot)]
+    requests = []
+    for _ in range(count):
+        kind = rng.choice(("out", "out", "in", "neighborhood",
+                           "degree", "reach"))
+        if kind == "reach":
+            requests.append((kind, rng.choice(hot_nodes),
+                             rng.choice(hot_nodes)))
+        else:
+            requests.append((kind, rng.choice(hot_nodes)))
+    return requests
+
+
+def build_container(corpus=GATE_CORPUS, shards=GATE_SHARDS):
+    """The served bytes plus the in-process reference handle."""
+    graph, alphabet = SMOKE_CORPORA[corpus]()
+    handle = ShardedCompressedGraph.compress(
+        graph, alphabet, shards=shards, cache_size=0, validate=False)
+    return handle, handle.to_bytes()
+
+
+def measure_serving(handle, blob, requests, rounds=3):
+    """Best-of-N wall time: inline batch vs one-client socket batch.
+
+    The server runs with ``cache_size=0`` like the handle: this
+    measures the evaluation and transport paths, not the LRU.
+    Returns ``(inline_seconds, socket_seconds, socket_answers)``.
+    """
+    inline = None
+    expected = handle.batch(requests)
+    for _ in range(rounds):
+        start = time.perf_counter()
+        answers = handle.batch(requests)
+        elapsed = time.perf_counter() - start
+        assert answers == expected
+        inline = elapsed if inline is None else min(inline, elapsed)
+    socket_time = None
+    with serve(blob, cache_size=0) as server:
+        with server.connect() as client:
+            client.batch(requests[:10])  # warm every shard process
+            for _ in range(rounds):
+                start = time.perf_counter()
+                answers = client.batch(requests)
+                elapsed = time.perf_counter() - start
+                assert answers == expected
+                socket_time = (elapsed if socket_time is None
+                               else min(socket_time, elapsed))
+    return inline, socket_time, expected
+
+
+@pytest.mark.smoke
+def test_socket_serving_meets_throughput_floor():
+    """Acceptance gate: a served 2-shard graph answers 1k mixed
+    queries end to end above the absolute throughput floor, with
+    answers identical to the inline path."""
+    handle, blob = build_container()
+    requests = serving_workload(handle.node_count())
+    inline, socket_time, _ = measure_serving(handle, blob, requests)
+    qps = len(requests) / socket_time
+    Report.add(_SECTION,
+               f"{GATE_CORPUS}, {GATE_SHARDS} shards, "
+               f"{len(requests)} requests: inline "
+               f"{inline * 1e3:.1f} ms "
+               f"({len(requests) / inline:.0f} q/s), socket "
+               f"{socket_time * 1e3:.1f} ms ({qps:.0f} q/s)")
+    assert qps >= GATE_SOCKET_QPS, (
+        f"socket serving reached only {qps:.0f} q/s "
+        f"(floor: {GATE_SOCKET_QPS:.0f} q/s)"
+    )
+
+
+@pytest.mark.smoke
+def test_served_answers_identical_across_codecs():
+    """Both wire codecs, same answers as the in-process handle."""
+    handle, blob = build_container()
+    requests = serving_workload(handle.node_count(), count=200,
+                                seed=23)
+    expected = handle.batch(requests)
+    for codec in ("json", "binary"):
+        with serve(blob, codec=codec, cache_size=0) as server:
+            with server.connect() as client:
+                assert client.batch(requests) == expected
+
+
+@pytest.mark.parametrize("shards", (1, 2, 4))
+def test_serving_sweep(benchmark, shards):
+    """Timed sweep: socket throughput by shard count for the report."""
+    handle, blob = build_container(shards=shards)
+    requests = serving_workload(handle.node_count())
+    expected = handle.batch(requests)
+    with serve(blob, cache_size=0) as server:
+        with server.connect() as client:
+            client.batch(requests[:10])
+
+            def run():
+                return client.batch(requests)
+
+            answers = benchmark.pedantic(run, rounds=3, iterations=1)
+            assert answers == expected
+            start = time.perf_counter()
+            client.batch(requests)
+            elapsed = time.perf_counter() - start
+    Report.add(_SECTION,
+               f"{shards} shard(s): {len(requests)} requests over one "
+               f"connection, {len(requests) / elapsed:8.0f} q/s, "
+               f"boundary={handle.boundary_edge_count}")

@@ -22,7 +22,11 @@ ratios for both engines over the shared smoke corpora
   ``ShardedCompressedGraph`` must answer the differential probe batch
   identically to the sequential path, with parallel ``batch()``
   throughput at least 1.5x sequential (absolute check, shared with
-  ``benchmarks/bench_sharded_scaling.py``).
+  ``benchmarks/bench_sharded_scaling.py``),
+* the socket serving path: a router plus 2 forked shard processes
+  must answer 1k mixed queries end to end, identically to the
+  in-process path, above the absolute throughput floor (shared with
+  ``benchmarks/bench_serving.py``).
 
 Exit code 0 means no regression; 1 means at least one check failed;
 ``--update`` rewrites the baseline instead of checking.
@@ -116,6 +120,35 @@ def sharded_gate() -> dict:
     }
 
 
+def serving_gate() -> dict:
+    """Throughput + differential probe of the socket serving path.
+
+    Reuses the exact workload and measurement of
+    ``benchmarks/bench_serving.py`` (answers are asserted identical
+    to the in-process path inside ``measure_serving``); checked
+    absolutely against the module's throughput floor.
+    """
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+    from bench_serving import (  # noqa: E402
+        GATE_SHARDS,
+        GATE_SOCKET_QPS,
+        build_container,
+        measure_serving,
+        serving_workload,
+    )
+    handle, blob = build_container()
+    requests = serving_workload(handle.node_count())
+    inline, socket_time, _ = measure_serving(handle, blob, requests)
+    return {
+        "shards": GATE_SHARDS,
+        "requests": len(requests),
+        "inline_ms": round(inline * 1e3, 2),
+        "socket_ms": round(socket_time * 1e3, 2),
+        "socket_qps": round(len(requests) / socket_time, 1),
+        "required_qps": GATE_SOCKET_QPS,
+    }
+
+
 def measure() -> dict:
     """Run both engines over every smoke corpus; collect the metrics."""
     corpora = {}
@@ -137,7 +170,8 @@ def measure() -> dict:
             if engine == "incremental":
                 entry["facade"] = facade_lifecycle(result.grammar)
         corpora[name] = entry
-    return {"corpora": corpora, "sharded": sharded_gate()}
+    return {"corpora": corpora, "sharded": sharded_gate(),
+            "serving": serving_gate()}
 
 
 def check(current: dict, baseline: dict, tolerance: float,
@@ -195,6 +229,15 @@ def check(current: dict, baseline: dict, tolerance: float,
         fail("sharded-gate",
              f"parallel batch() is only {speedup:.2f}x sequential at "
              f"{sharded.get('shards')} shards (gate: {required}x)")
+    # Socket serving gate (absolute): the router + shard processes
+    # must clear the end-to-end throughput floor.
+    serving = current.get("serving", {})
+    qps = serving.get("socket_qps", 0.0)
+    floor = serving.get("required_qps", 150.0)
+    if qps < floor:
+        fail("serving-gate",
+             f"socket serving reached only {qps:.0f} q/s at "
+             f"{serving.get('shards')} shards (floor: {floor:.0f})")
     return failures
 
 
@@ -239,6 +282,13 @@ def main(argv=None) -> int:
               f"par={sharded['parallel_ms']}ms "
               f"speedup={sharded['speedup']:.2f}x "
               f"(gate {sharded['required_speedup']}x)")
+    serving = current.get("serving", {})
+    if serving:
+        print(f"{'serving-gate':14s} shards={serving['shards']} "
+              f"inline={serving['inline_ms']}ms "
+              f"socket={serving['socket_ms']}ms "
+              f"qps={serving['socket_qps']:.0f} "
+              f"(floor {serving['required_qps']:.0f})")
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
         for failure in failures:

@@ -21,10 +21,18 @@ Public API highlights
 ``ShardedCompressedGraph``
     The same interface over ``k`` per-shard grammars for graphs too
     large for one compression run: pluggable partitioners (``hash``,
-    ``connectivity``), per-node queries routed to the owning shard,
-    cross-shard queries merged through a boundary-edge summary, and a
-    multi-shard container format (``open_compressed`` dispatches on
-    the file magic).
+    ``connectivity``), shard builds fanned out over threads or forked
+    processes (``parallel="thread"|"process"``), per-node queries
+    routed to the owning shard, cross-shard queries merged through a
+    boundary-edge summary, and a multi-shard container format
+    (``open_compressed`` dispatches on the file magic).
+``repro.serving`` (``serve`` / ``connect`` / the executors)
+    The typed query protocol: ``QueryRequest``/``QueryResult`` with
+    per-request errors (``handle.execute(...)``), pluggable executors
+    (``InlineExecutor``, ``ThreadExecutor``, ``ProcessExecutor``,
+    ``SocketExecutor``), and the socket deployment — ``serve()`` runs
+    one process per shard behind a router speaking a framed
+    JSON-or-binary wire codec; ``connect()`` is the client.
 ``Hypergraph`` / ``Alphabet``
     The directed edge-labeled hypergraph data model.
 ``GRePairSettings`` / ``CompressionResult``
@@ -49,6 +57,19 @@ See ``examples/quickstart.py`` for a tour.
 
 from repro.api import CompressedGraph
 from repro.sharding import ShardedCompressedGraph, open_compressed
+from repro.serving import (
+    GraphClient,
+    GraphServer,
+    InlineExecutor,
+    ProcessExecutor,
+    QueryKind,
+    QueryRequest,
+    QueryResult,
+    SocketExecutor,
+    ThreadExecutor,
+    connect,
+    serve,
+)
 from repro.core import (
     ENGINES,
     Alphabet,
@@ -67,7 +88,7 @@ from repro.core import (
     node_order,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "Alphabet",
@@ -78,15 +99,26 @@ __all__ = [
     "Edge",
     "GRePair",
     "GRePairSettings",
+    "GraphClient",
+    "GraphServer",
     "Hypergraph",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "QueryKind",
+    "QueryRequest",
+    "QueryResult",
     "Rule",
     "SLHRGrammar",
     "ShardedCompressedGraph",
+    "SocketExecutor",
     "StreamingCompressor",
+    "ThreadExecutor",
     "compress",
+    "connect",
     "derive",
     "fp_equivalence_classes",
     "node_order",
     "open_compressed",
+    "serve",
     "__version__",
 ]

@@ -20,11 +20,19 @@ bag of free functions:
   legacy ``GrammarQueries`` spellings, evaluated against one lazily
   built, cached, **thread-safe** index: the grammar is canonicalized at
   most once per handle lifetime (guarded by a lock), no matter how many
-  queries run or from how many threads.  :meth:`batch` answers many
-  queries against that single index build for serving workloads;
+  queries run or from how many threads.
+* **serve** — the handle is a :class:`repro.serving.GraphService`:
+  :meth:`execute` takes typed :class:`~repro.serving.QueryRequest`
+  batches and returns per-request
+  :class:`~repro.serving.QueryResult` answers (one bad request errors
+  alone instead of aborting the batch) behind a pluggable
+  :class:`~repro.serving.Executor` — inline, thread pool, forked
+  process pool, or a socket round-trip to :func:`repro.serving.serve`.
+  :meth:`batch` stays the legacy thin adapter over the same machinery:
+  plain values, request order, first error raised;
   ``batch(..., parallel=True)`` plans the batch first (deduplicates
-  repeated requests and fans the unique ones out across a thread
-  pool).
+  repeated requests, pre-filters the LRU and fans the unique misses
+  out across a thread pool).
 * **cache** — every per-node/per-pair query consults a per-handle LRU
   (:class:`repro.queries.cache.QueryCache`) keyed by the same query
   tuples ``batch()`` uses; :attr:`cache_info` exposes ``hits`` /
@@ -66,6 +74,13 @@ from repro.queries.degrees import DegreeQueries
 from repro.queries.index import GrammarIndex
 from repro.queries.neighborhood import NeighborhoodQueries
 from repro.queries.reachability import ReachabilityQueries
+from repro.serving.executors import Executor, InlineExecutor, ThreadExecutor
+from repro.serving.protocol import (
+    KIND_ALIASES,
+    KIND_METHODS,
+    GraphService,
+    QueryKind,
+)
 from repro.util.varint import read_uvarint
 
 __all__ = ["CompressedGraph", "DEFAULT_CACHE_SIZE"]
@@ -99,7 +114,7 @@ class _QueryBundle:
         self.edge_count: Optional[int] = None
 
 
-class CompressedGraph:
+class CompressedGraph(GraphService):
     """One grammar-compressed graph: compress, persist, derive, query.
 
     Construct through the classmethods — :meth:`compress`,
@@ -515,29 +530,58 @@ class CompressedGraph:
     # ------------------------------------------------------------------
     # Batched evaluation for serving workloads
     # ------------------------------------------------------------------
-    _BATCH_KINDS = {
-        "reach": "reachable",
-        "reachable": "reachable",
-        "out": "out_neighbors",
-        "out_neighbors": "out_neighbors",
-        "in": "in_neighbors",
-        "in_": "in_neighbors",
-        "in_neighbors": "in_neighbors",
-        "neighborhood": "neighbors",
-        "neighbors": "neighbors",
-        "components": "connected_components",
-        "connected_components": "connected_components",
-        "degree": "degree",
-        "nodes": "node_count",
-        "node_count": "node_count",
-        "edges": "edge_count",
-        "edge_count": "edge_count",
-        "path": "path",
-    }
+    #: Legacy spelling -> method map (kept for introspection; the
+    #: typed protocol in :mod:`repro.serving.protocol` is canonical).
+    _BATCH_KINDS = {alias: KIND_METHODS[kind]
+                    for alias, kind in KIND_ALIASES.items()}
+
+    def _uncached_query(self, kind: QueryKind,
+                        args: Tuple[Any, ...]) -> Any:
+        """Evaluate one typed request *bypassing* the result LRU.
+
+        The planned executors pre-filter the cache and bulk-insert
+        the misses afterwards; consulting the LRU again per job would
+        double-count every lookup.  Non-cacheable kinds route through
+        their public methods (their memoization lives on the bundle,
+        not the LRU).
+        """
+        if kind is QueryKind.OUT:
+            return self._queries().neighborhood.out_neighbors(*args)
+        if kind is QueryKind.IN:
+            return self._queries().neighborhood.in_neighbors(*args)
+        if kind is QueryKind.NEIGHBORHOOD:
+            return self._queries().neighborhood.neighbors(*args)
+        if kind is QueryKind.REACH:
+            return self._reachability().reachable(*args)
+        if kind is QueryKind.PATH:
+            from repro.queries.traversal import shortest_path
+            return shortest_path(self, *args)
+        return getattr(self, KIND_METHODS[kind])(*args)
+
+    def warm(self) -> "CompressedGraph":
+        """Force every lazy structure now (index, evaluators, counts).
+
+        Serving paths call this before forking workers or accepting
+        traffic, so the one canonicalization pass and the per-family
+        precomputations happen once, in the parent, instead of once
+        per worker.  Query-level errors (e.g. degree extrema on a
+        non-simple graph) stay lazy — they belong to the queries that
+        trigger them.
+        """
+        self._queries()
+        self._reachability()
+        self.edge_count()
+        for build in (self._degrees, self.connected_components):
+            try:
+                build()
+            except QueryError:
+                pass
+        return self
 
     def batch(self, requests: Iterable[Sequence[Any]],
               parallel: bool = False,
-              max_workers: Optional[int] = None) -> List[Any]:
+              max_workers: Optional[int] = None,
+              executor: Optional[Executor] = None) -> List[Any]:
         """Evaluate many queries against one index build.
 
         Each request is a ``(kind, *args)`` sequence, e.g.
@@ -549,18 +593,20 @@ class CompressedGraph:
 
         ``parallel=True`` selects the *planned* execution path: the
         batch is deduplicated (serving traffic is skewed — identical
-        requests are the common case) and the unique requests are
-        fanned out across a thread pool.  The index is immutable after
-        its one lazy build, so the fan-out needs no locking beyond the
-        handle's own.  Answers are identical to the sequential path,
-        in request order.
+        requests are the common case), pre-filtered against the
+        result LRU, and the unique misses are fanned out across a
+        thread pool.  ``executor`` overrides the strategy entirely
+        (any :class:`repro.serving.Executor`).  Answers are identical
+        whichever path runs, in request order; the first failing
+        request raises its :class:`QueryError` — the typed
+        :meth:`execute` surface is the one with per-request errors.
         """
+        if executor is None:
+            executor = (ThreadExecutor(max_workers) if parallel
+                        else InlineExecutor())
         self._queries()
-        plan = _normalize_requests(self, requests)
-        if not parallel:
-            return [_call_query(self, method, args, kind)
-                    for kind, method, args in plan]
-        return _run_planned(self, plan, max_workers)
+        results = executor.run(self, list(requests), strict=True)
+        return [result.unwrap() for result in results]
 
     def __repr__(self) -> str:
         built = "built" if self.index_built else "lazy"
@@ -589,112 +635,3 @@ class CompressedGraph:
     def cache_misses(self) -> int:
         """Queries that fell through to grammar evaluation."""
         return self._cache.misses
-
-
-# ----------------------------------------------------------------------
-# Batch planning shared by CompressedGraph and ShardedCompressedGraph
-# ----------------------------------------------------------------------
-def _normalize_requests(handle: Any, requests: Iterable[Sequence[Any]]
-                        ) -> List[Tuple[Any, str, Tuple[Any, ...]]]:
-    """Validate a batch into ``(kind, method_name, args)`` triples."""
-    plan: List[Tuple[Any, str, Tuple[Any, ...]]] = []
-    for request in requests:
-        if not request:
-            raise QueryError("empty batch request")
-        kind, *args = request
-        method = handle._BATCH_KINDS.get(kind)
-        if method is None:
-            raise QueryError(
-                f"unknown batch query kind {kind!r}; expected one "
-                f"of {sorted(set(handle._BATCH_KINDS))}"
-            )
-        plan.append((kind, method, tuple(args)))
-    return plan
-
-
-def _call_query(handle: Any, method: str, args: Tuple[Any, ...],
-                kind: Any) -> Any:
-    """One dispatched query; malformed arguments become QueryError."""
-    try:
-        return getattr(handle, method)(*args)
-    except TypeError as exc:
-        # Malformed requests surface as QueryError like every other
-        # bad query, so serving loops catch one type.
-        raise QueryError(
-            f"bad arguments for batch query {kind!r}: {exc}"
-        ) from None
-
-
-#: A deduplicated batch job: (result position, kind, method, args).
-_PlannedJob = Tuple[int, Any, str, Tuple[Any, ...]]
-
-
-def _dedup_plan(plan: List[Tuple[Any, str, Tuple[Any, ...]]]
-                ) -> Tuple[List[_PlannedJob], List[Tuple[int, int]]]:
-    """Split a normalized batch into unique jobs plus duplicates.
-
-    Returns ``(jobs, duplicates)`` where each duplicate is a
-    ``(position, original position)`` pair.  Requests with unhashable
-    arguments cannot be dedup keys; they stay as their own jobs, so
-    they fail through :func:`_call_query` with the same ``QueryError``
-    the sequential path raises.
-    """
-    jobs: List[_PlannedJob] = []
-    duplicates: List[Tuple[int, int]] = []
-    first_index: Dict[Tuple[str, Tuple[Any, ...]], int] = {}
-    for position, (kind, method, args) in enumerate(plan):
-        key = (method, args)
-        try:
-            original = first_index.get(key)
-        except TypeError:
-            jobs.append((position, kind, method, args))
-            continue
-        if original is None:
-            first_index[key] = position
-            jobs.append((position, kind, method, args))
-        else:
-            duplicates.append((position, original))
-    return jobs, duplicates
-
-
-def _finish_planned(results: List[Any],
-                    duplicates: List[Tuple[int, int]]) -> List[Any]:
-    """Fan unique answers out to their duplicate positions."""
-    for position, original in duplicates:
-        results[position] = QueryCache._copy_out(results[original])
-    return results
-
-
-def _run_chunked(handle: Any, jobs: List[_PlannedJob],
-                 results: List[Any], workers: int) -> None:
-    """Evaluate jobs into ``results`` across at most ``workers`` threads.
-
-    One pool task per chunk, not per request: thread dispatch is pure
-    overhead for sub-millisecond queries.
-    """
-    from concurrent.futures import ThreadPoolExecutor
-
-    def run_chunk(chunk: List[_PlannedJob]) -> None:
-        for position, kind, method, args in chunk:
-            results[position] = _call_query(handle, method, args, kind)
-
-    workers = min(workers, len(jobs))
-    if workers <= 1:
-        run_chunk(jobs)
-        return
-    chunks = [jobs[i::workers] for i in range(workers)]
-    with ThreadPoolExecutor(max_workers=len(chunks)) as pool:
-        for _ in pool.map(run_chunk, chunks):
-            pass
-
-
-def _run_planned(handle: Any,
-                 plan: List[Tuple[Any, str, Tuple[Any, ...]]],
-                 max_workers: Optional[int]) -> List[Any]:
-    """Deduplicated, thread-fanned evaluation of a normalized batch."""
-    jobs, duplicates = _dedup_plan(plan)
-    results: List[Any] = [None] * len(plan)
-    if jobs:
-        _run_chunked(handle, jobs, results,
-                     max_workers or min(8, len(jobs)))
-    return _finish_planned(results, duplicates)

@@ -1,4 +1,4 @@
-"""Command-line interface: compress, decompress, inspect, query.
+"""Command-line interface: compress, inspect, query — and serve.
 
 A thin production-style front end over
 :class:`repro.api.CompressedGraph` and
@@ -7,12 +7,22 @@ usable without writing Python::
 
     python -m repro.cli compress graph.tsv graph.grpr
     python -m repro.cli compress graph.tsv graph.grps --shards 4 --parallel
+    python -m repro.cli compress graph.tsv graph.grps --shards 4 \
+        --parallel process
     python -m repro.cli stats graph.grpr
     python -m repro.cli decompress graph.grpr roundtrip.tsv
     python -m repro.cli query graph.grpr reach 4 17
     python -m repro.cli query graph.grps out 4
-    python -m repro.cli query graph.grpr path 4 17
-    python -m repro.cli query graph.grpr components
+    python -m repro.cli serve graph.grps --address 127.0.0.1:8437
+    python -m repro.cli connect 127.0.0.1:8437 reach 4 17
+    python -m repro.cli connect 127.0.0.1:8437 --info
+
+``serve`` starts the socket deployment of
+:mod:`repro.serving.router` — one forked process per shard plus a
+router multiplexing planned batches — and blocks until interrupted;
+``connect`` runs the same query surface as ``query`` against a
+running server, printing identical output (so scripts can switch
+between a local file and a served endpoint by swapping one word).
 
 Graphs are read/written as edge lists (``source target [label]`` per
 line, ``#`` comments allowed); compressed grammars use the paper's
@@ -28,7 +38,7 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import Any, Callable, List, Optional
 
 from repro import (
     ENGINES,
@@ -81,9 +91,13 @@ def _build_parser() -> argparse.ArgumentParser:
                       default="hash",
                       help="node-to-shard assignment (default: hash; "
                            "connectivity keeps components together)")
-    comp.add_argument("--parallel", action="store_true",
-                      help="compress shards on a thread pool "
-                           "(only meaningful with --shards > 1)")
+    comp.add_argument("--parallel", nargs="?", const="thread",
+                      choices=["thread", "process"], default=None,
+                      help="compress shards concurrently: 'thread' "
+                           "(the default when the flag is given bare) "
+                           "or 'process' (forked workers, one "
+                           "compression per core; only meaningful "
+                           "with --shards > 1)")
 
     dec = sub.add_parser("decompress", help=".grpr -> edge list")
     dec.add_argument("input", type=Path)
@@ -101,6 +115,44 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("args", nargs="*", type=int,
                        help="node IDs (reach/path: two; "
                             "out/in/neighborhood/degree: one)")
+
+    srv = sub.add_parser("serve",
+                         help="serve a container on a socket "
+                              "(one process per shard + a router)")
+    srv.add_argument("input", type=Path)
+    srv.add_argument("--address", default="127.0.0.1:0",
+                     help="endpoint to bind: 'host:port' (port 0 "
+                          "picks a free one) or 'unix:/path' "
+                          "(default: 127.0.0.1:0)")
+    srv.add_argument("--codec", choices=["json", "binary"],
+                     default="json",
+                     help="wire codec for shard links and replies "
+                          "(default: json)")
+    srv.add_argument("--cache-size", type=int, default=None,
+                     help="router-side query-result LRU capacity "
+                          "(default: the library default)")
+    srv.add_argument("--ready-file", type=Path, default=None,
+                     help="write the bound endpoint to this file "
+                          "once serving (for scripts and tests)")
+
+    conn = sub.add_parser("connect",
+                          help="run a query against a served graph")
+    conn.add_argument("endpoint",
+                      help="a serve endpoint: 'host:port' or "
+                           "'unix:/path'")
+    conn.add_argument("kind", nargs="?",
+                      choices=["reach", "out", "in", "neighborhood",
+                               "degree", "path", "components",
+                               "nodes", "edges"])
+    conn.add_argument("args", nargs="*", type=int,
+                      help="node IDs (reach/path: two; "
+                           "out/in/neighborhood/degree: one)")
+    conn.add_argument("--info", action="store_true",
+                      help="print the server's self-description "
+                           "instead of querying")
+    conn.add_argument("--codec", choices=["json", "binary"],
+                      default="json",
+                      help="wire codec (default: json)")
 
     return parser
 
@@ -187,53 +239,104 @@ def _require_arity(kind: str, args: List[int], arity: int) -> None:
         raise ReproError(f"{kind} needs exactly {arity} {noun}")
 
 
-def _cmd_query(args: argparse.Namespace) -> int:
-    handle = open_compressed(args.input)
-    kind = args.kind
+def _run_query(ask: Callable[..., Any], kind: str,
+               args: List[int]) -> int:
+    """Evaluate and print one query through any query surface.
+
+    ``ask(kind, *args)`` answers a single request — a local handle or
+    a :class:`repro.serving.GraphClient` — so ``query`` (file) and
+    ``connect`` (socket) print byte-identical output for the same
+    graph.
+    """
     if kind == "reach":
-        _require_arity(kind, args.args, 2)
-        source, target = args.args
-        answer = handle.reach(source, target)
+        _require_arity(kind, args, 2)
+        source, target = args
+        answer = ask("reach", source, target)
         print(f"reach({source}, {target}) = {answer}")
         return 0 if answer else 1
     if kind == "path":
-        _require_arity(kind, args.args, 2)
-        source, target = args.args
-        path = handle.path(source, target)
+        _require_arity(kind, args, 2)
+        path = ask("path", *args)
         if path is None:
             print("none")
             return 1
         print(" ".join(map(str, path)))
         return 0
     if kind in ("out", "in", "neighborhood"):
-        _require_arity(kind, args.args, 1)
-        node = args.args[0]
-        neighbors = {"out": handle.out,
-                     "in": handle.in_,
-                     "neighborhood": handle.neighborhood}[kind](node)
-        print(" ".join(map(str, neighbors)))
+        _require_arity(kind, args, 1)
+        print(" ".join(map(str, ask(kind, args[0]))))
         return 0
     if kind == "degree":
-        if not args.args:
+        if not args:
             # Extrema count every edge (true degrees, one grammar pass).
-            extrema = handle.degree()
+            extrema = ask("degree")
             for name in ("max_out", "min_out", "max_in", "min_in",
                          "max", "min"):
                 print(f"{name}: {extrema[name]}")
             return 0
-        _require_arity(kind, args.args, 1)
-        node = args.args[0]
-        print(f"out={handle.degree(node, 'out')} "
-              f"in={handle.degree(node, 'in')} (distinct neighbors)")
+        _require_arity(kind, args, 1)
+        node = args[0]
+        print(f"out={ask('degree', node, 'out')} "
+              f"in={ask('degree', node, 'in')} (distinct neighbors)")
         return 0
     if kind == "components":
-        print(handle.components())
+        print(ask("components"))
         return 0
     if kind == "nodes":
-        print(handle.node_count())
+        print(ask("nodes"))
         return 0
-    print(handle.edge_count())
+    print(ask("edges"))
     return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    handle = open_compressed(args.input)
+
+    def ask(kind: str, *query_args: Any) -> Any:
+        return handle.execute([(kind, *query_args)])[0].unwrap()
+
+    return _run_query(ask, args.kind, args.args)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serving import serve
+
+    server = serve(args.input, address=args.address, codec=args.codec,
+                   cache_size=args.cache_size)
+    # SIGTERM must tear the shard processes down like Ctrl-C does.
+    def _terminate(*_: Any) -> None:
+        raise SystemExit(0)
+
+    signal.signal(signal.SIGTERM, _terminate)
+    try:
+        print(f"serving {args.input} ({server.num_shards} shard"
+              f"{'s' if server.num_shards != 1 else ''}) "
+              f"at {server.endpoint}", flush=True)
+        if args.ready_file is not None:
+            args.ready_file.write_text(server.endpoint + "\n")
+        try:
+            while True:
+                signal.pause()
+        except (KeyboardInterrupt, SystemExit):
+            pass
+        return 0
+    finally:
+        server.close()
+
+
+def _cmd_connect(args: argparse.Namespace) -> int:
+    from repro.serving import connect
+    with connect(args.endpoint, codec=args.codec) as client:
+        if args.info:
+            for key, value in sorted(client.info().items()):
+                print(f"{key}: {value}")
+            return 0
+        if args.kind is None:
+            raise ReproError("connect needs a query kind "
+                             "(or --info)")
+        return _run_query(client.query, args.kind, args.args)
 
 
 _COMMANDS = {
@@ -241,6 +344,8 @@ _COMMANDS = {
     "decompress": _cmd_decompress,
     "stats": _cmd_stats,
     "query": _cmd_query,
+    "serve": _cmd_serve,
+    "connect": _cmd_connect,
 }
 
 

@@ -1,0 +1,80 @@
+"""The serving subsystem: typed queries, executors, socket transport.
+
+Layering (each module only reaches down):
+
+``protocol``
+    :class:`QueryRequest` / :class:`QueryResult`, the
+    :class:`QueryKind` vocabulary, the batch planner
+    (:func:`plan_batch`) and the :class:`GraphService` mixin that
+    gives every handle ``execute()`` with per-request errors.
+``codec``
+    The wire format: framed JSON or compact binary messages,
+    value-exact for every §V answer.
+``executors``
+    :class:`InlineExecutor` / :class:`ThreadExecutor` /
+    :class:`ProcessExecutor` / :class:`SocketExecutor` — where and
+    how a planned batch runs; plus :func:`fork_map`, the
+    process-pool primitive shard builds reuse.
+``router``
+    :func:`serve` / :func:`connect`: one process per shard, a router
+    multiplexing planned batches over sockets, and the client.
+
+:class:`repro.api.CompressedGraph` and
+:class:`repro.sharding.ShardedCompressedGraph` are the two in-process
+:class:`GraphService` implementations; ``serve()`` lifts either onto
+sockets without changing a single answer.
+"""
+
+from repro.serving.codec import WireError
+from repro.serving.executors import (
+    EXECUTORS,
+    Executor,
+    InlineExecutor,
+    ProcessExecutor,
+    SocketExecutor,
+    ThreadExecutor,
+    fork_map,
+    make_executor,
+)
+from repro.serving.protocol import (
+    CACHEABLE_KINDS,
+    BatchPlan,
+    GraphService,
+    QueryKind,
+    QueryRequest,
+    QueryResult,
+    normalize_request,
+    plan_batch,
+)
+from repro.serving.router import (
+    GraphClient,
+    GraphServer,
+    RemoteShard,
+    connect,
+    serve,
+)
+
+__all__ = [
+    "BatchPlan",
+    "CACHEABLE_KINDS",
+    "EXECUTORS",
+    "Executor",
+    "GraphClient",
+    "GraphServer",
+    "GraphService",
+    "InlineExecutor",
+    "ProcessExecutor",
+    "QueryKind",
+    "QueryRequest",
+    "QueryResult",
+    "RemoteShard",
+    "SocketExecutor",
+    "ThreadExecutor",
+    "WireError",
+    "connect",
+    "fork_map",
+    "make_executor",
+    "normalize_request",
+    "plan_batch",
+    "serve",
+]

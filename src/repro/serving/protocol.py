@@ -1,0 +1,345 @@
+"""The typed query protocol: requests, results, plans, the service.
+
+Before this module existed, queries traveled as ad-hoc tuples —
+``("reach", 1, 9)`` — with three structural gaps that blocked every
+serving follow-on named in the ROADMAP:
+
+* **no request identity** — a batch answer was only interpretable by
+  its list position, so answers could not cross a process or socket
+  boundary where reordering and multiplexing happen;
+* **no error channel** — the first malformed request aborted the whole
+  batch mid-way with an exception, which is the wrong failure shape
+  for a server answering many independent clients;
+* **no plan/execute seam** — deduplication, cache pre-filtering and
+  fan-out were welded into each handle's ``batch()``, so there was
+  nowhere to slot a process pool or a socket router.
+
+This module supplies the three missing pieces:
+
+:class:`QueryRequest` / :class:`QueryResult`
+    One §V query with a stable identity (``id``), a canonical
+    :class:`QueryKind` and positional ``args``; one answer carrying
+    either a ``value`` or a per-request ``error`` string.  Both are
+    plain dataclasses with a wire form (see :mod:`repro.serving.codec`).
+:func:`plan_batch` / :class:`BatchPlan`
+    The planner: normalizes a request mix, deduplicates repeated
+    requests, and — when handed the handle's query-result LRU —
+    **pre-filters cache hits** so only genuinely unanswered work
+    reaches an executor, and **bulk-inserts the misses** afterwards
+    (see :func:`repro.serving.executors.finish_plan`).  Planning is
+    pure bookkeeping; *executing* a plan is an
+    :class:`repro.serving.executors.Executor`'s job.
+:class:`GraphService`
+    The mixin both serving handles (and the socket client) share:
+    ``execute(requests) -> List[QueryResult]`` with per-request error
+    semantics, behind a pluggable executor.  ``batch()`` on the
+    handles is a thin adapter over it that unwraps values and raises
+    the first error — the historical surface, unchanged.
+
+The canonical kind strings are exactly the tuples the query-result
+LRU keys on (``("out", 4)``, ``("reach", 1, 9)``…), so a cached
+single-shot query also pre-filters a planned batch and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from repro.exceptions import QueryError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.queries.cache import QueryCache
+    from repro.serving.executors import Executor
+
+__all__ = [
+    "BatchPlan",
+    "CACHEABLE_KINDS",
+    "GraphService",
+    "KIND_ALIASES",
+    "KIND_METHODS",
+    "QueryKind",
+    "QueryRequest",
+    "QueryResult",
+    "normalize_request",
+    "plan_batch",
+]
+
+
+class QueryKind(str, Enum):
+    """Canonical names of the §V query family.
+
+    The values double as the wire spelling and as the first element
+    of the LRU cache key, so every layer — single-shot methods,
+    ``batch()``, executors, the socket protocol — speaks one
+    vocabulary.
+    """
+
+    REACH = "reach"
+    OUT = "out"
+    IN = "in"
+    NEIGHBORHOOD = "neighborhood"
+    DEGREE = "degree"
+    PATH = "path"
+    COMPONENTS = "components"
+    NODES = "nodes"
+    EDGES = "edges"
+
+
+#: canonical kind -> public method name on the serving handles.
+KIND_METHODS: Dict[QueryKind, str] = {
+    QueryKind.REACH: "reachable",
+    QueryKind.OUT: "out_neighbors",
+    QueryKind.IN: "in_neighbors",
+    QueryKind.NEIGHBORHOOD: "neighbors",
+    QueryKind.DEGREE: "degree",
+    QueryKind.PATH: "path",
+    QueryKind.COMPONENTS: "connected_components",
+    QueryKind.NODES: "node_count",
+    QueryKind.EDGES: "edge_count",
+}
+
+#: Every accepted spelling (the legacy ``batch()`` wire format kept
+#: every method alias; the typed protocol accepts them all).
+KIND_ALIASES: Dict[str, QueryKind] = {
+    "reach": QueryKind.REACH,
+    "reachable": QueryKind.REACH,
+    "out": QueryKind.OUT,
+    "out_neighbors": QueryKind.OUT,
+    "in": QueryKind.IN,
+    "in_": QueryKind.IN,
+    "in_neighbors": QueryKind.IN,
+    "neighborhood": QueryKind.NEIGHBORHOOD,
+    "neighbors": QueryKind.NEIGHBORHOOD,
+    "degree": QueryKind.DEGREE,
+    "path": QueryKind.PATH,
+    "components": QueryKind.COMPONENTS,
+    "connected_components": QueryKind.COMPONENTS,
+    "nodes": QueryKind.NODES,
+    "node_count": QueryKind.NODES,
+    "edges": QueryKind.EDGES,
+    "edge_count": QueryKind.EDGES,
+}
+
+#: Kinds whose answers the handles' LRU caches (same key tuples); the
+#: planner only pre-filters/bulk-inserts these.
+CACHEABLE_KINDS = frozenset({
+    QueryKind.REACH,
+    QueryKind.OUT,
+    QueryKind.IN,
+    QueryKind.NEIGHBORHOOD,
+    QueryKind.PATH,
+})
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One typed query: canonical kind, positional args, identity.
+
+    ``id`` is the request's identity within one batch — executors and
+    the socket protocol route answers back by it, so results survive
+    reordering, deduplication and multiplexing.  The planner assigns
+    list positions when the caller does not.
+    """
+
+    kind: QueryKind
+    args: Tuple[Any, ...] = ()
+    id: Optional[int] = None
+
+    @property
+    def key(self) -> Tuple[Any, ...]:
+        """The LRU cache key this request shares with single-shot calls."""
+        return (self.kind.value, *self.args)
+
+    def with_id(self, request_id: int) -> "QueryRequest":
+        """A copy carrying ``request_id`` (requests are immutable)."""
+        return QueryRequest(self.kind, self.args, request_id)
+
+    def __repr__(self) -> str:
+        args = ", ".join(repr(arg) for arg in self.args)
+        return f"QueryRequest({self.kind.value}({args}), id={self.id})"
+
+
+@dataclass
+class QueryResult:
+    """One answer: a ``value`` or a per-request ``error`` — never both.
+
+    The error channel is what lets a batch keep going past a bad
+    request: the failing request gets its error string, every other
+    request still gets its answer.
+    """
+
+    id: Optional[int] = None
+    value: Any = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether this result carries a value."""
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, or raise the error as a :class:`QueryError`."""
+        if self.error is not None:
+            raise QueryError(self.error)
+        return self.value
+
+
+def normalize_request(request: Union[QueryRequest, Sequence[Any]],
+                      request_id: Optional[int] = None) -> QueryRequest:
+    """Accept a :class:`QueryRequest` or a legacy ``(kind, *args)`` tuple.
+
+    Raises :class:`QueryError` for an empty request or an unknown
+    kind — the same messages the legacy ``batch()`` raised, so strict
+    callers keep their historical behavior.
+    """
+    if isinstance(request, QueryRequest):
+        if request_id is not None and request.id != request_id:
+            return request.with_id(request_id)
+        return request
+    if isinstance(request, str):
+        # A bare string would iterate as characters; reject it whole.
+        request = (request,)
+    if not request:
+        raise QueryError("empty batch request")
+    kind_name, *args = request
+    kind = KIND_ALIASES.get(kind_name)
+    if kind is None:
+        raise QueryError(
+            f"unknown batch query kind {kind_name!r}; expected one "
+            f"of {sorted(KIND_ALIASES)}"
+        )
+    return QueryRequest(kind, tuple(args), request_id)
+
+
+@dataclass
+class BatchPlan:
+    """A planned batch: what to execute, what is already answered.
+
+    ``requests`` is the full normalized mix (``id`` = list position;
+    positions of malformed requests hold ``None``); ``jobs`` is the
+    subset an executor must actually evaluate.  Everything else is
+    settled at planning time: ``duplicates`` repeat another position's
+    answer, ``cached`` positions were answered by the handle's LRU
+    pre-filter, ``invalid`` positions carry normalization errors.
+    ``cache`` is where :func:`~repro.serving.executors.finish_plan`
+    bulk-inserts the cacheable misses after execution.
+    """
+
+    requests: List[Optional[QueryRequest]]
+    jobs: List[QueryRequest]
+    duplicates: List[Tuple[int, int]] = field(default_factory=list)
+    cached: List[Tuple[int, Any]] = field(default_factory=list)
+    invalid: List[Tuple[int, str]] = field(default_factory=list)
+    cache: Optional["QueryCache"] = None
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+
+def plan_batch(requests: Iterable[Union[QueryRequest, Sequence[Any]]],
+               cache: Optional["QueryCache"] = None,
+               dedup: bool = True,
+               strict: bool = False) -> BatchPlan:
+    """Normalize, deduplicate and cache-pre-filter a request mix.
+
+    ``dedup=True`` collapses repeated requests (serving traffic is
+    skewed; identical requests are the common case): only the first
+    occurrence becomes a job, later ones are recorded as duplicates.
+    Requests with unhashable arguments cannot be dedup or cache keys;
+    they stay as their own jobs and fail (or not) at evaluation time,
+    exactly like the sequential path.
+
+    ``cache`` enables cache-aware planning: each unique cacheable
+    request is looked up **once** (counting one hit or miss on the
+    handle's ``cache_info``), hits never reach an executor, and the
+    plan remembers the cache so executed misses are bulk-inserted.
+
+    ``strict=True`` raises the first normalization error (legacy
+    ``batch()`` behavior); otherwise malformed requests become
+    per-request errors and the rest of the batch proceeds.
+    """
+    normalized: List[Optional[QueryRequest]] = []
+    jobs: List[QueryRequest] = []
+    duplicates: List[Tuple[int, int]] = []
+    cached: List[Tuple[int, Any]] = []
+    invalid: List[Tuple[int, str]] = []
+    first_index: Dict[Tuple[Any, ...], int] = {}
+    cached_values: Dict[Tuple[Any, ...], Any] = {}
+    for position, raw in enumerate(requests):
+        try:
+            request = normalize_request(raw, position)
+        except QueryError as exc:
+            if strict:
+                raise
+            normalized.append(None)
+            invalid.append((position, str(exc)))
+            continue
+        normalized.append(request)
+        key = request.key
+        try:
+            hash(key)
+        except TypeError:
+            jobs.append(request)  # unhashable: evaluate as-is
+            continue
+        if dedup:
+            original = first_index.get(key)
+            if original is not None:
+                duplicates.append((position, original))
+                continue
+            first_index[key] = position
+        if key in cached_values:
+            # A duplicate that dedup was asked not to collapse, or a
+            # second lookup of a key the pre-filter already answered.
+            cached.append((position, cached_values[key]))
+            continue
+        if cache is not None and request.kind in CACHEABLE_KINDS:
+            hit, value = cache.lookup(key)
+            if hit:
+                cached.append((position, value))
+                cached_values[key] = value
+                continue
+        jobs.append(request)
+    return BatchPlan(requests=normalized, jobs=jobs,
+                     duplicates=duplicates, cached=cached,
+                     invalid=invalid, cache=cache)
+
+
+class GraphService:
+    """Mixin: the typed execution surface shared by every handle.
+
+    A concrete service provides the §V query methods named in
+    :data:`KIND_METHODS` (plus, optionally, the executor hooks
+    ``_uncached_query`` / ``_fanout_jobs`` / ``warm`` and a ``cache``
+    property).  In return it gains :meth:`execute` — typed requests
+    in, typed results out, per-request errors, pluggable executor —
+    which is the one entry point every executor, the socket router
+    and the wire protocol call.
+    """
+
+    def execute(self, requests: Iterable[Union[QueryRequest,
+                                               Sequence[Any]]],
+                executor: Optional["Executor"] = None
+                ) -> List[QueryResult]:
+        """Answer ``requests``; one :class:`QueryResult` per request.
+
+        Unlike :meth:`batch`, a bad request never aborts the batch:
+        its result carries ``error`` and every other request is still
+        answered.  ``executor`` defaults to
+        :class:`repro.serving.executors.InlineExecutor` — today's
+        sequential path.
+        """
+        from repro.serving.executors import InlineExecutor
+        runner = executor if executor is not None else InlineExecutor()
+        return runner.run(self, list(requests), strict=False)

@@ -1,0 +1,553 @@
+"""Socket serving: shard server processes, the router, the client.
+
+The deployment shape the paper's query family implies — grammars are
+small, queries are ``O(|G|)``, so a compressed graph can sit resident
+in memory and *answer traffic* — becomes concrete here:
+
+:class:`GraphServer` (``serve()``)
+    Serves a ``.grpr``/``.grps`` container on a socket endpoint.  For
+    a sharded container it forks **one process per shard** (each
+    decodes only its own shard's bytes, warms its index and serves
+    its local §V family on a loopback socket) plus a **router** in
+    the calling process: a proxy-backed
+    :class:`~repro.sharding.ShardedCompressedGraph` whose "shard
+    handles" are :class:`RemoteShard` socket clients.  Incoming
+    batches are planned once (dedup + router-side LRU pre-filter) and
+    the per-shard groups are multiplexed over the shard links in
+    parallel; cross-shard queries run the exact routed/merged
+    algorithms the in-process handle uses, so answers are
+    bit-identical to local evaluation.
+:class:`GraphClient` (``connect()``)
+    The wire-codec client: typed ``execute()``, legacy-shaped
+    ``batch()``, single-shot ``query()``, ``info()``/``ping()``.
+:class:`RemoteShard`
+    A shard-shaped proxy speaking the same wire protocol; the sharded
+    handle cannot tell it from a local :class:`CompressedGraph`.
+
+Endpoints are ``"host:port"`` (TCP, loopback by default) or
+``"unix:/path"``.  Both frames and payloads come from
+:mod:`repro.serving.codec`; one process per shard means shard builds,
+crashes and restarts are isolated, and the router process never holds
+a single decoded grammar.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.exceptions import QueryError, ReproError
+from repro.serving.codec import (
+    FrameError,
+    WireError,
+    bind_socket,
+    connect_socket,
+    recv_message,
+    requests_to_wire,
+    results_from_wire,
+    results_to_wire,
+    send_message,
+    wire_to_requests,
+)
+from repro.serving.executors import (
+    Executor,
+    InlineExecutor,
+    ThreadExecutor,
+    _fork_context,
+)
+from repro.serving.protocol import QueryRequest, QueryResult
+
+__all__ = [
+    "GraphClient",
+    "GraphServer",
+    "RemoteShard",
+    "connect",
+    "serve",
+]
+
+_ACCEPT_POLL_SECONDS = 0.2
+_STARTUP_TIMEOUT_SECONDS = 60.0
+
+
+# ----------------------------------------------------------------------
+# The connection loop every server (shard or router) runs
+# ----------------------------------------------------------------------
+def _serve_connection(service: Any, conn: socket.socket,
+                      executor: Executor, codec: str,
+                      info: Dict[str, Any]) -> None:
+    """Answer one client until it disconnects.
+
+    ``batch`` messages run through ``service.execute`` with the
+    server's executor; request ids are echoed back on the results, so
+    the client can correlate answers however the server reordered the
+    work.  Protocol-level failures (undecodable frames) answer with an
+    ``error`` message instead of killing the connection.
+    """
+    try:
+        while True:
+            try:
+                message = recv_message(conn)
+            except FrameError:
+                return  # stream desynchronized: only closing is safe
+            except WireError as exc:
+                # The payload was fully consumed before the decode
+                # failed — the stream is intact, tell the peer.
+                send_message(conn, {"op": "error", "message": str(exc)},
+                             codec)
+                continue
+            if message is None:
+                return
+            op = message.get("op")
+            if op == "ping":
+                send_message(conn, {"op": "pong"}, codec)
+            elif op == "info":
+                send_message(conn, {"op": "info_reply", **info}, codec)
+            elif op == "batch":
+                try:
+                    pairs = wire_to_requests(
+                        message.get("requests", []))
+                except WireError as exc:
+                    send_message(conn,
+                                 {"op": "error", "message": str(exc)},
+                                 codec)
+                    continue
+                # service.execute lets proxies forward whole batches
+                # (RemoteShard ships them as one frame); in-process
+                # services delegate right back to the executor.
+                results = service.execute(
+                    [request for _, request in pairs],
+                    executor=executor)
+                for (client_id, _), result in zip(pairs, results):
+                    result.id = client_id
+                send_message(conn, {"op": "results",
+                                    "results": results_to_wire(results)},
+                             codec)
+            else:
+                send_message(conn, {"op": "error",
+                                    "message": f"unknown op {op!r}"},
+                             codec)
+    except (ConnectionError, BrokenPipeError, OSError):
+        return  # peer vanished; nothing to clean up but the socket
+    finally:
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+def _accept_loop(listener: socket.socket, service: Any,
+                 executor: Executor, codec: str, info: Dict[str, Any],
+                 stop: threading.Event) -> None:
+    try:
+        listener.settimeout(_ACCEPT_POLL_SECONDS)
+    except OSError:
+        return  # closed before the loop even started: shutdown race
+    while not stop.is_set():
+        try:
+            conn, _ = listener.accept()
+        except socket.timeout:
+            continue
+        except OSError:
+            return  # listener closed under us: shutdown
+        worker = threading.Thread(
+            target=_serve_connection,
+            args=(service, conn, executor, codec, info),
+            daemon=True)
+        worker.start()
+    listener.close()
+
+
+# ----------------------------------------------------------------------
+# Shard server child process
+# ----------------------------------------------------------------------
+def _shard_process_main(blob: bytes, conn: Any, codec: str,
+                        cache_size: Optional[int]) -> None:
+    """Decode one shard, warm it, serve it forever on a loopback port."""
+    from repro.api import DEFAULT_CACHE_SIZE, CompressedGraph
+
+    handle = CompressedGraph.from_bytes(
+        blob, cache_size=(DEFAULT_CACHE_SIZE if cache_size is None
+                          else cache_size))
+    handle.warm()
+    listener, endpoint = bind_socket("127.0.0.1:0")
+    conn.send(endpoint)
+    conn.close()
+    info = {
+        "type": "shard",
+        "nodes": handle.node_count(),
+        "edges": handle.edge_count(),
+    }
+    stop = threading.Event()  # never set: the parent terminates us
+    _accept_loop(listener, handle, InlineExecutor(), codec, info, stop)
+
+
+# ----------------------------------------------------------------------
+# Socket proxies
+# ----------------------------------------------------------------------
+class _WireConnection:
+    """One lock-guarded request/response socket conversation."""
+
+    def __init__(self, address: Union[str, tuple], codec: str,
+                 timeout: Optional[float]) -> None:
+        self._address = address
+        self._codec = codec
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+
+    def _socket(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = connect_socket(self._address, self._timeout)
+        return self._sock
+
+    def round_trip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        with self._lock:
+            sock = self._socket()
+            send_message(sock, message, self._codec)
+            try:
+                reply = recv_message(sock)
+            except FrameError:
+                # Desynchronized stream: drop the connection so the
+                # next call starts clean, then surface the failure.
+                sock.close()
+                self._sock = None
+                raise
+        if reply is None:
+            raise WireError(f"server at {self._address!r} closed the "
+                            f"connection")
+        if reply.get("op") == "error":
+            raise WireError(reply.get("message", "server error"))
+        return reply
+
+    def close(self) -> None:
+        with self._lock:
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                finally:
+                    self._sock = None
+
+
+class GraphClient:
+    """Client for a served graph: typed, legacy and one-shot surfaces."""
+
+    def __init__(self, address: Union[str, tuple], codec: str = "json",
+                 timeout: Optional[float] = None) -> None:
+        self._conn = _WireConnection(address, codec, timeout)
+        self.address = address
+
+    # -- typed ---------------------------------------------------------
+    def execute(self, requests: Sequence[Union[QueryRequest,
+                                               Sequence[Any]]]
+                ) -> List[QueryResult]:
+        """Ship a batch; one :class:`QueryResult` per request, in order.
+
+        Per-request error semantics hold across the wire: a malformed
+        or failing request errors alone, everything else is answered.
+        """
+        wire = requests_to_wire(requests)
+        if not wire:
+            return []
+        reply = self._conn.round_trip({"op": "batch",
+                                       "requests": wire})
+        if reply.get("op") != "results":
+            raise WireError(f"expected results, got "
+                            f"{reply.get('op')!r}")
+        by_id = {result.id: result
+                 for result in results_from_wire(
+                     reply.get("results", []))}
+        results: List[QueryResult] = []
+        for position, entry in enumerate(wire):
+            result = by_id.get(entry["id"])
+            if result is None:
+                result = QueryResult(id=entry["id"],
+                                     error="server returned no answer "
+                                           "for this request")
+            results.append(result)
+        return results
+
+    # -- legacy-shaped -------------------------------------------------
+    def batch(self, requests: Sequence[Sequence[Any]]) -> List[Any]:
+        """Values in request order; raises the first error (legacy)."""
+        return [result.unwrap() for result in self.execute(requests)]
+
+    def query(self, kind: str, *args: Any) -> Any:
+        """One query, unwrapped."""
+        return self.execute([(kind, *args)])[0].unwrap()
+
+    # -- control -------------------------------------------------------
+    def info(self) -> Dict[str, Any]:
+        """The server's self-description (type, shards, sizes)."""
+        reply = self._conn.round_trip({"op": "info"})
+        return {key: value for key, value in reply.items()
+                if key != "op"}
+
+    def ping(self) -> bool:
+        """Liveness probe."""
+        return self._conn.round_trip({"op": "ping"}).get("op") == "pong"
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "GraphClient":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class RemoteShard:
+    """A shard handle living in another process, spoken to by socket.
+
+    Duck-types the slice of :class:`repro.api.CompressedGraph` the
+    sharded routing layer touches — ``batch``/``execute``, the
+    neighborhood family, ``reachable``, ``degree``,
+    ``connected_components``, the counts — by shipping each call to
+    its shard server.  The answers come from the same grammar code
+    the local handle would run, which is why router-served answers
+    are bit-identical to in-process ones.
+    """
+
+    def __init__(self, address: Union[str, tuple], codec: str = "json",
+                 timeout: Optional[float] = None) -> None:
+        self._client = GraphClient(address, codec=codec,
+                                   timeout=timeout)
+        self.address = address
+
+    # -- the wire format ----------------------------------------------
+    def execute(self, requests: Sequence[Union[QueryRequest,
+                                               Sequence[Any]]],
+                executor: Optional[Executor] = None
+                ) -> List[QueryResult]:
+        return self._client.execute(requests)
+
+    def batch(self, requests: Sequence[Sequence[Any]],
+              parallel: bool = False,
+              max_workers: Optional[int] = None) -> List[Any]:
+        return self._client.batch(requests)
+
+    def _single(self, kind: str, *args: Any) -> Any:
+        return self._client.query(kind, *args)
+
+    # -- the method surface the sharded router calls -------------------
+    def out_neighbors(self, node_id: int) -> List[int]:
+        return self._single("out", node_id)
+
+    def in_neighbors(self, node_id: int) -> List[int]:
+        return self._single("in", node_id)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return self._single("neighborhood", node_id)
+
+    def reachable(self, source_id: int, target_id: int) -> bool:
+        return self._single("reach", source_id, target_id)
+
+    def degree(self, node_id: Optional[int] = None,
+               direction: str = "out") -> Any:
+        if node_id is None:
+            return self._single("degree")
+        return self._single("degree", node_id, direction)
+
+    def connected_components(self) -> int:
+        return self._single("components")
+
+    def path(self, source_id: int, target_id: int
+             ) -> Optional[List[int]]:
+        return self._single("path", source_id, target_id)
+
+    def node_count(self) -> int:
+        return self._single("nodes")
+
+    def edge_count(self) -> int:
+        return self._single("edges")
+
+    # -- inert introspection (the router owns no shard state) ----------
+    @property
+    def canonicalizations(self) -> int:
+        return 0
+
+    @property
+    def index_built(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        self._client.close()
+
+
+# ----------------------------------------------------------------------
+# The server
+# ----------------------------------------------------------------------
+class GraphServer:
+    """Serve a compressed container: shard processes + a router.
+
+    ``start()`` is idempotent-safe to pair with ``close()`` (also a
+    context manager).  The ``endpoint`` attribute is the canonical
+    client address — with ``port=0`` the OS picks one, so tests and
+    benchmarks never race over a fixed port.
+    """
+
+    def __init__(self, path: Union[str, Path, bytes],
+                 address: str = "127.0.0.1:0",
+                 codec: str = "json",
+                 cache_size: Optional[int] = None) -> None:
+        self._data = (bytes(path) if isinstance(path, (bytes, bytearray))
+                      else Path(path).read_bytes())
+        self._address = address
+        self._codec = codec
+        self._cache_size = cache_size
+        self._processes: List[Any] = []
+        self._proxies: List[RemoteShard] = []
+        self._listener: Optional[socket.socket] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self.endpoint: Optional[str] = None
+        self.num_shards = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> "GraphServer":
+        """Fork the shard servers, build the router, begin accepting.
+
+        Idempotent: a started server (``serve()`` returns one) is not
+        started again by ``with server:``.
+        """
+        if self._listener is not None:
+            return self
+        from repro.api import DEFAULT_CACHE_SIZE
+        from repro.encoding.container import (
+            decode_sharded_container,
+            is_sharded_container,
+        )
+
+        context = _fork_context()
+        if context is None:  # pragma: no cover - non-POSIX
+            raise ReproError("socket serving requires a platform with "
+                             "fork (POSIX)")
+        cache_size = (DEFAULT_CACHE_SIZE if self._cache_size is None
+                      else self._cache_size)
+        if is_sharded_container(self._data):
+            from repro.sharding import ShardedCompressedGraph, _decode_meta
+            meta, blobs = decode_sharded_container(self._data)
+            (shard_nodes, boundary_edges, blocks, extrema,
+             degree_error, simple, partitioner) = _decode_meta(
+                meta, len(blobs))
+            shard_endpoints = self._spawn_shards(context, blobs)
+            self._proxies = [RemoteShard(endpoint, codec=self._codec)
+                             for endpoint in shard_endpoints]
+            service: Any = ShardedCompressedGraph(
+                list(self._proxies), None, boundary_edges, blocks,
+                extrema, degree_error, shard_nodes, simple=simple,
+                partitioner=partitioner, cache_size=cache_size)
+            executor: Executor = ThreadExecutor()
+            self.num_shards = len(blobs)
+            info = {
+                "type": "sharded",
+                "shards": len(blobs),
+                "nodes": sum(shard_nodes),
+                "boundary_edges": len(boundary_edges),
+                "partitioner": partitioner,
+            }
+        else:
+            shard_endpoints = self._spawn_shards(context, [self._data])
+            proxy = RemoteShard(shard_endpoints[0], codec=self._codec)
+            self._proxies = [proxy]
+            service = proxy
+            executor = InlineExecutor()
+            self.num_shards = 1
+            info = {"type": "single", "shards": 1,
+                    **{key: value
+                       for key, value in proxy._client.info().items()
+                       if key in ("nodes", "edges")}}
+        self._listener, self.endpoint = bind_socket(self._address)
+        self._thread = threading.Thread(
+            target=_accept_loop,
+            args=(self._listener, service, executor, self._codec, info,
+                  self._stop),
+            daemon=True)
+        self._thread.start()
+        return self
+
+    def _spawn_shards(self, context: Any, blobs: Iterable[bytes]
+                      ) -> List[str]:
+        endpoints: List[str] = []
+        for blob in blobs:
+            parent_conn, child_conn = context.Pipe(duplex=False)
+            process = context.Process(
+                target=_shard_process_main,
+                args=(blob, child_conn, self._codec, self._cache_size),
+                daemon=True)
+            process.start()
+            child_conn.close()
+            self._processes.append(process)
+            if not parent_conn.poll(_STARTUP_TIMEOUT_SECONDS):
+                self.close()
+                raise ReproError("shard server failed to start within "
+                                 f"{_STARTUP_TIMEOUT_SECONDS:.0f}s")
+            endpoints.append(parent_conn.recv())
+            parent_conn.close()
+        return endpoints
+
+    # ------------------------------------------------------------------
+    def connect(self, timeout: Optional[float] = None) -> GraphClient:
+        """A client for this server's public endpoint."""
+        if self.endpoint is None:
+            raise ReproError("server is not started")
+        return GraphClient(self.endpoint, codec=self._codec,
+                           timeout=timeout)
+
+    def close(self) -> None:
+        """Stop accepting, drop shard links, terminate shard processes."""
+        self._stop.set()
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None
+        for proxy in self._proxies:
+            proxy.close()
+        self._proxies = []
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+            process.join(timeout=5.0)
+        self._processes = []
+        # Unix-domain endpoints leave a filesystem entry behind.
+        if self.endpoint and self.endpoint.startswith("unix:"):
+            try:
+                os.unlink(self.endpoint[len("unix:"):])
+            except OSError:
+                pass
+
+    def __enter__(self) -> "GraphServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+# ----------------------------------------------------------------------
+# Module-level conveniences (the documented entry points)
+# ----------------------------------------------------------------------
+def serve(path: Union[str, Path, bytes], address: str = "127.0.0.1:0",
+          codec: str = "json",
+          cache_size: Optional[int] = None) -> GraphServer:
+    """Start serving a container; returns the running server.
+
+    ``serve(...)`` / ``with serve(...) as server`` — the server
+    accepts in a background thread, shard processes run until
+    :meth:`GraphServer.close`.
+    """
+    return GraphServer(path, address=address, codec=codec,
+                       cache_size=cache_size).start()
+
+
+def connect(address: Union[str, tuple], codec: str = "json",
+            timeout: Optional[float] = None) -> GraphClient:
+    """Connect to a :func:`serve` endpoint."""
+    return GraphClient(address, codec=codec, timeout=timeout)

@@ -19,8 +19,10 @@ spreads the graph over ``k`` independent per-shard grammars:
   structures translatable into the canonical per-shard query numbering
   — the one piece of node identity compression otherwise erases.
 * **compress shards independently** — optionally fanned out over a
-  thread pool (``parallel=True``); each shard becomes a full
-  ``CompressedGraph`` handle.
+  thread pool (``parallel="thread"``) or forked worker processes
+  (``parallel="process"``, one compression per core — gRePair is pure
+  Python, so only processes sidestep the GIL); each shard becomes a
+  full ``CompressedGraph`` handle.
 * **serve** — the global ID space is shard-major: shard ``i`` owns the
   contiguous ID block ``base_i + 1 .. base_i + n_i`` where the local
   IDs are the shard's own canonical ``val`` numbering.  Per-node
@@ -36,10 +38,16 @@ spreads the graph over ``k`` independent per-shard grammars:
   routing-summary meta section plus one complete "GRPR" container per
   shard, with the existing per-section size accounting kept per shard.
 * **cache + batch** — the same per-handle query-result LRU as the
-  unsharded facade, and ``batch(..., parallel=True)`` plans a batch by
-  deduplicating it, grouping shard-local requests per shard (each
+  unsharded facade, and ``batch(..., parallel=True)`` plans a batch
+  (via :func:`repro.serving.plan_batch`): deduplicates it,
+  pre-filters the LRU, groups shard-local requests per shard (each
   group ships through the shard handle's own ``batch()`` — the wire
-  format), and fanning the groups out across threads.
+  format), and fans the groups out across threads.  The handle is a
+  :class:`repro.serving.GraphService`, so the typed ``execute()``
+  surface, every executor, and :func:`repro.serving.serve` (one
+  socket-served process per shard behind a router, with
+  :class:`repro.serving.router.RemoteShard` proxies standing in for
+  the local shard handles) all apply unchanged.
 
 :func:`open_compressed` dispatches on the container magic and returns
 whichever handle type a file holds.
@@ -64,14 +72,7 @@ from typing import (
     Union,
 )
 
-from repro.api import (
-    DEFAULT_CACHE_SIZE,
-    CompressedGraph,
-    _call_query,
-    _dedup_plan,
-    _finish_planned,
-    _normalize_requests,
-)
+from repro.api import DEFAULT_CACHE_SIZE, CompressedGraph
 from repro.core.alphabet import Alphabet
 from repro.core.grammar import SLHRGrammar
 from repro.core.hypergraph import Hypergraph
@@ -85,6 +86,19 @@ from repro.encoding.container import (
 )
 from repro.exceptions import EncodingError, GrammarError, QueryError
 from repro.queries.cache import QueryCache
+from repro.serving.executors import (
+    Executor,
+    InlineExecutor,
+    ThreadExecutor,
+    evaluate_request,
+    fork_map,
+)
+from repro.serving.protocol import (
+    GraphService,
+    QueryKind,
+    QueryRequest,
+    QueryResult,
+)
 from repro.util.unionfind import UnionFind
 from repro.util.varint import read_uvarint, write_uvarint
 
@@ -303,7 +317,7 @@ def _compress_shard(subgraph: Hypergraph, alphabet: Alphabet,
 # ----------------------------------------------------------------------
 # The sharded serving handle
 # ----------------------------------------------------------------------
-class ShardedCompressedGraph:
+class ShardedCompressedGraph(GraphService):
     """k per-shard grammars behind one ``CompressedGraph``-shaped API.
 
     Construct through :meth:`compress`, :meth:`open` or
@@ -394,7 +408,7 @@ class ShardedCompressedGraph:
                  shards: int = 4,
                  partitioner: Union[str, Callable[[Hypergraph, int],
                                                   Dict[int, int]]] = "hash",
-                 parallel: bool = False,
+                 parallel: Union[bool, str] = False,
                  max_workers: Optional[int] = None,
                  validate: bool = True,
                  cache_size: int = DEFAULT_CACHE_SIZE
@@ -403,9 +417,13 @@ class ShardedCompressedGraph:
 
         ``partitioner`` is a name from :data:`PARTITIONERS` or any
         ``(graph, shards) -> {node: shard}`` callable covering every
-        node with values in ``range(shards)``.  ``parallel=True`` runs
-        the per-shard compressions on a thread pool (they are
-        independent by construction).
+        node with values in ``range(shards)``.  The per-shard
+        compressions are independent by construction; ``parallel``
+        picks where they run: ``False`` sequentially, ``True`` or
+        ``"thread"`` on a thread pool, ``"process"`` on **forked
+        worker processes** (one compression per core — the thread
+        pool is GIL-bound, so CPU-heavy builds only scale this way;
+        each worker ships its finished grammar back to the parent).
         """
         if shards < 1:
             raise GrammarError(f"shards must be >= 1, got {shards}")
@@ -440,7 +458,28 @@ class ShardedCompressedGraph:
             return _compress_shard(plan.subgraphs[index], alphabet,
                                    settings, validate, cache_size)
 
-        if parallel and shards > 1:
+        mode = {False: None, True: "thread"}.get(parallel, parallel)
+        if mode not in (None, "thread", "process"):
+            raise GrammarError(
+                f"unknown parallel mode {parallel!r}; expected False, "
+                "True, 'thread' or 'process'"
+            )
+        if mode == "process" and shards > 1:
+            # Fork workers: each compresses its shards and ships the
+            # finished grammar (+ result metadata) back over a pipe;
+            # locks and handles never cross the process boundary.
+            def build_payload(index: int):
+                handle = build(index)
+                return handle._grammar, handle.result
+
+            payloads = fork_map(
+                [lambda index=index: build_payload(index)
+                 for index in range(shards)],
+                max_workers=max_workers)
+            handles = [CompressedGraph(grammar, result=result,
+                                       cache_size=cache_size)
+                       for grammar, result in payloads]
+        elif mode == "thread" and shards > 1:
             from concurrent.futures import ThreadPoolExecutor
             workers = max_workers or min(8, shards)
             with ThreadPoolExecutor(max_workers=workers) as pool:
@@ -983,51 +1022,96 @@ class ShardedCompressedGraph:
     # ------------------------------------------------------------------
     def batch(self, requests: Iterable[Sequence[Any]],
               parallel: bool = False,
-              max_workers: Optional[int] = None) -> List[Any]:
+              max_workers: Optional[int] = None,
+              executor: Optional[Executor] = None) -> List[Any]:
         """Evaluate many queries; results come back in request order.
 
         Same wire format as :meth:`CompressedGraph.batch`.  The
         sequential path routes request by request.  ``parallel=True``
-        plans the batch: it deduplicates repeated requests, groups
-        every shard-local request per owning shard — each group is
-        shipped through that shard handle's own ``batch()`` and
-        translated back in one pass — and fans the groups plus the
-        remaining cross-shard requests out across a thread pool.
+        plans the batch: it deduplicates repeated requests,
+        pre-filters the handle's result LRU (hot requests never reach
+        a shard), groups every remaining shard-local request per
+        owning shard — each group is shipped through that shard
+        handle's own ``batch()`` and translated back in one pass —
+        and fans the groups plus the remaining cross-shard requests
+        out across a thread pool, bulk-inserting the answers back
+        into the LRU.  ``executor`` overrides the strategy entirely;
+        the typed :meth:`execute` surface is the one with per-request
+        errors.
         """
-        plan = _normalize_requests(self, requests)
-        if not parallel:
-            return [_call_query(self, method, args, kind)
-                    for kind, method, args in plan]
-        return self._run_planned(plan, max_workers)
+        if executor is None:
+            executor = (ThreadExecutor(max_workers) if parallel
+                        else InlineExecutor())
+        results = executor.run(self, list(requests), strict=True)
+        return [result.unwrap() for result in results]
 
-    # Methods a shard can answer alone for a non-boundary node, and the
+    def _uncached_query(self, kind: QueryKind,
+                        args: Tuple[Any, ...]) -> Any:
+        """One typed request, bypassing the result LRU (see
+        :meth:`CompressedGraph._uncached_query`)."""
+        if kind is QueryKind.OUT:
+            if len(args) != 1:
+                raise TypeError(f"out() takes 1 argument "
+                                f"({len(args)} given)")
+            return self._merged_neighbors(args[0], "out")
+        if kind is QueryKind.IN:
+            if len(args) != 1:
+                raise TypeError(f"in() takes 1 argument "
+                                f"({len(args)} given)")
+            return self._merged_neighbors(args[0], "in")
+        if kind is QueryKind.NEIGHBORHOOD:
+            if len(args) != 1:
+                raise TypeError(f"neighborhood() takes 1 argument "
+                                f"({len(args)} given)")
+            return self._merged_neighbors(args[0], "any")
+        if kind is QueryKind.REACH:
+            return self._reach_uncached(*args)
+        if kind is QueryKind.PATH:
+            from repro.queries.traversal import shortest_path
+            return shortest_path(self, *args)
+        from repro.serving.protocol import KIND_METHODS
+        return getattr(self, KIND_METHODS[kind])(*args)
+
+    def warm(self) -> "ShardedCompressedGraph":
+        """Force every shard's lazy structures (see
+        :meth:`CompressedGraph.warm`); degree extrema and the
+        component merge are already partition-time artifacts."""
+        for shard in self._shards:
+            warm = getattr(shard, "warm", None)
+            if warm is not None:
+                warm()
+        self.connected_components()
+        self.edge_count()
+        return self
+
+    # Kinds a shard can answer alone for a non-boundary node, and the
     # local batch kind each translates to.
     _LOCAL_KINDS = {
-        "out_neighbors": "out",
-        "in_neighbors": "in",
-        "neighbors": "neighborhood",
-        "degree": "degree",
+        QueryKind.OUT: "out",
+        QueryKind.IN: "in",
+        QueryKind.NEIGHBORHOOD: "neighborhood",
+        QueryKind.DEGREE: "degree",
     }
     #: Answers that are lists of local node IDs (need the +base shift).
     _OFFSET_RESULTS = {"out", "in", "neighborhood"}
 
-    def _route_local(self, method: str, args: Tuple[Any, ...]
+    def _route_local(self, kind: QueryKind, args: Tuple[Any, ...]
                      ) -> Optional[Tuple[int, Tuple[Any, ...], str]]:
         """``(shard, local_request, local_kind)`` when one shard can
         answer exactly, else ``None``."""
-        local_kind = self._LOCAL_KINDS.get(method)
+        local_kind = self._LOCAL_KINDS.get(kind)
         if local_kind is not None:
             if not args or not isinstance(args[0], int):
                 return None
             node = args[0]
             if not 1 <= node <= self._total_nodes:
-                return None  # let the sequential call raise QueryError
+                return None  # let the general path raise QueryError
             if node in self._boundary_incident:
                 return None
             shard = self._owner(node)
             local = self._local(node, shard)
             return shard, (local_kind, local, *args[1:]), local_kind
-        if method == "reachable" and len(args) == 2 \
+        if kind is QueryKind.REACH and len(args) == 2 \
                 and all(isinstance(arg, int) for arg in args):
             source, target = args
             if not (1 <= source <= self._total_nodes
@@ -1044,53 +1128,68 @@ class ShardedCompressedGraph:
                         "reach")
         return None
 
-    def _run_planned(self, plan, max_workers: Optional[int]
-                     ) -> List[Any]:
+    def _fanout_jobs(self, jobs: List[QueryRequest],
+                     emit: Callable[[int, QueryResult], None],
+                     max_workers: Optional[int]) -> None:
+        """The sharded planned path, executor-shaped.
+
+        Called by :class:`repro.serving.ThreadExecutor` with the
+        already deduplicated, cache-filtered jobs.  Classifies them —
+        shard-routable (shipped through the owning shard's own
+        ``batch()``, the wire format), batchable reach (answered from
+        per-source BFS closures with batch-scoped memoization),
+        everything else (chunked across threads) — and fans the
+        groups out across a thread pool.
+        """
         from concurrent.futures import ThreadPoolExecutor
 
-        unique, duplicates = _dedup_plan(plan)
-        results: List[Any] = [None] * len(plan)
-        if not unique:
-            return _finish_planned(results, duplicates)
-
-        # Classify the unique jobs: shard-routable, batchable reach,
-        # everything else.
-        shard_groups: Dict[int, List[Tuple[int, Tuple[Any, ...],
-                                           str]]] = {}
+        shard_groups: Dict[int, List[Tuple[QueryRequest,
+                                           Tuple[Any, ...], str]]] = {}
         reach_pairs: List[Tuple[int, int, int]] = []
-        general: List[Tuple[int, Any, str, Tuple[Any, ...]]] = []
-        for position, kind, method, args in unique:
-            routed = self._route_local(method, args)
+        general: List[QueryRequest] = []
+        for request in jobs:
+            routed = self._route_local(request.kind, request.args)
             if routed is not None:
                 shard, local_request, local_kind = routed
                 shard_groups.setdefault(shard, []).append(
-                    (position, local_request, local_kind))
+                    (request, local_request, local_kind))
                 continue
-            if (method == "reachable" and self._simple
+            args = request.args
+            if (request.kind is QueryKind.REACH and self._simple
                     and len(args) == 2
                     and all(isinstance(arg, int)
                             and 1 <= arg <= self._total_nodes
                             for arg in args)):
-                reach_pairs.append((position, args[0], args[1]))
+                reach_pairs.append((request.id, args[0], args[1]))
                 continue
-            general.append((position, kind, method, args))
+            general.append(request)
 
         def run_group(shard: int,
-                      items: List[Tuple[int, Tuple[Any, ...], str]]
-                      ) -> None:
+                      items: List[Tuple[QueryRequest, Tuple[Any, ...],
+                                        str]]) -> None:
             base = self._bases[shard]
-            answers = self._shards[shard].batch(
-                [request for _, request, _ in items])
-            for (position, _, local_kind), answer in zip(items, answers):
+            try:
+                answers = self._shards[shard].batch(
+                    [local for _, local, _ in items])
+            except QueryError:
+                # A malformed routed request (e.g. a bad degree
+                # direction) poisons the grouped call; answer the
+                # group request by request so the error stays
+                # per-request.
+                for request, _, _ in items:
+                    emit(request.id, evaluate_request(self, request,
+                                                      uncached=True))
+                return
+            for (request, _, local_kind), answer in zip(items, answers):
                 if local_kind in self._OFFSET_RESULTS:
                     answer = [node + base for node in answer]
-                results[position] = answer
+                emit(request.id, QueryResult(id=request.id,
+                                             value=answer))
 
-        def run_general(chunk: List[Tuple[int, Any, str,
-                                          Tuple[Any, ...]]]) -> None:
-            for position, kind, method, args in chunk:
-                results[position] = _call_query(self, method, args,
-                                                kind)
+        def run_general(chunk: List[QueryRequest]) -> None:
+            for request in chunk:
+                emit(request.id, evaluate_request(self, request,
+                                                  uncached=True))
 
         def run_reach(pairs: List[Tuple[int, int, int]]) -> None:
             """All reach answers from per-source BFS closures.
@@ -1125,31 +1224,31 @@ class ShardedCompressedGraph:
                             missing.discard(succ)
                             frontier.append(succ)
                 for position, target in wanted:
-                    results[position] = target in seen
+                    emit(position, QueryResult(id=position,
+                                               value=target in seen))
 
-        jobs: List[Callable[[], None]] = []
+        tasks: List[Callable[[], None]] = []
         for shard, items in sorted(shard_groups.items()):
-            jobs.append(lambda shard=shard, items=items:
-                        run_group(shard, items))
+            tasks.append(lambda shard=shard, items=items:
+                         run_group(shard, items))
         if reach_pairs:
-            jobs.append(lambda: run_reach(reach_pairs))
+            tasks.append(lambda: run_reach(reach_pairs))
         if general:
             # Bundle the leftovers: one pool task per chunk, not per
             # request (thread dispatch would dwarf small queries).
             splits = min(len(general), max(1, (max_workers or 4)))
             for index in range(splits):
                 chunk = general[index::splits]
-                jobs.append(lambda chunk=chunk: run_general(chunk))
+                tasks.append(lambda chunk=chunk: run_general(chunk))
 
-        workers = max_workers or min(8, len(jobs))
-        if workers <= 1 or len(jobs) == 1:
-            for job in jobs:
-                job()
+        workers = max_workers or min(8, max(len(tasks), 1))
+        if workers <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                task()
         else:
             with ThreadPoolExecutor(max_workers=workers) as pool:
-                for _ in pool.map(lambda job: job(), jobs):
+                for _ in pool.map(lambda task: task(), tasks):
                     pass
-        return _finish_planned(results, duplicates)
 
     def __repr__(self) -> str:
         built = "built" if self.index_built else "lazy"

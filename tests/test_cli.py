@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import main
@@ -229,3 +231,76 @@ class TestErrorConsistency:
                         ["query", missing, "nodes"]):
             assert main(command) == 2
             assert "error" in capsys.readouterr().err
+
+
+class TestServeAndConnect:
+    """The socket deployment through the CLI surface."""
+
+    @pytest.fixture
+    def server(self, sharded):
+        from repro.serving import serve
+
+        with serve(sharded) as running:
+            yield running
+
+    def test_connect_matches_query_output(self, sharded, server,
+                                          capsys):
+        """`query FILE ...` and `connect ENDPOINT ...` must print
+        byte-identical answers for the same graph."""
+        for request in (["components"], ["nodes"], ["edges"],
+                        ["degree"], ["degree", "2"], ["out", "1"],
+                        ["in", "2"], ["neighborhood", "2"],
+                        ["reach", "1", "2"], ["path", "1", "2"]):
+            local_code = main(["query", str(sharded)] + request)
+            local_out = capsys.readouterr().out
+            remote_code = main(["connect", server.endpoint] + request)
+            remote_out = capsys.readouterr().out
+            assert remote_code == local_code, request
+            assert remote_out == local_out, request
+
+    def test_connect_info(self, server, capsys):
+        assert main(["connect", server.endpoint, "--info"]) == 0
+        out = capsys.readouterr().out
+        assert "type: sharded" in out
+        assert "shards: 3" in out
+
+    def test_connect_without_kind_errors(self, server, capsys):
+        assert main(["connect", server.endpoint]) == 2
+        assert "query kind" in capsys.readouterr().err
+
+    def test_connect_refused(self, capsys):
+        assert main(["connect", "127.0.0.1:1", "nodes"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_connect_out_of_range_node(self, server, capsys):
+        assert main(["connect", server.endpoint, "out", "999"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_serve_subcommand_end_to_end(self, sharded, tmp_path):
+        """The real thing: `repro serve` in a child process, queried
+        through `repro connect`, shut down with SIGTERM."""
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        ready = tmp_path / "endpoint"
+        env = dict(os.environ)
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve", str(sharded),
+             "--ready-file", str(ready)],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
+        try:
+            deadline = time.time() + 60
+            while not ready.exists() and time.time() < deadline:
+                assert process.poll() is None, \
+                    process.stderr.read().decode()
+                time.sleep(0.05)
+            endpoint = ready.read_text().strip()
+            assert main(["connect", endpoint, "nodes"]) == 0
+        finally:
+            process.send_signal(signal.SIGTERM)
+            process.wait(timeout=30)

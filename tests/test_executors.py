@@ -1,0 +1,299 @@
+"""Executor conformance: four strategies, one set of answers.
+
+The acceptance bar for the serving redesign: every executor —
+Inline (sequential), Thread (planned fan-out), Process (forked
+workers), Socket (a served endpoint behind the wire codec) — must
+answer the full §V query family **bit-identically** on both handle
+types.  The differential suite runs Process and Socket against Inline
+on *every* smoke corpus for the unsharded handle, and on a corpus
+sample at 2 and 4 shards for the sharded one; a fast ``smoke``-marked
+lane covers one corpus per axis for tier-1 speed.
+
+Also covered: ``fork_map`` (the primitive behind process-parallel
+shard builds), process-parallel ``ShardedCompressedGraph.compress``,
+error-channel conformance across process/socket boundaries, and
+executor construction by name.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import CompressedGraph, ShardedCompressedGraph
+from repro.bench.corpora import SMOKE_CORPORA
+from repro.exceptions import QueryError
+from repro.serving import (
+    GraphServer,
+    InlineExecutor,
+    ProcessExecutor,
+    SocketExecutor,
+    ThreadExecutor,
+    fork_map,
+    make_executor,
+)
+
+CORPORA = list(SMOKE_CORPORA)
+SHARDED_CORPORA = ["er-random", "communication", "rdf-types"]
+
+
+def serving_workload(total_nodes, count=70, seed=13):
+    """A mixed request stream covering the full §V family."""
+    rng = random.Random(seed)
+    requests = [("degree",), ("components",), ("nodes",), ("edges",)]
+    for _ in range(count):
+        kind = rng.choice(["out", "in", "neighborhood", "reach",
+                           "degree", "path"])
+        if kind in ("reach", "path"):
+            requests.append((kind, rng.randint(1, min(total_nodes, 25)),
+                             rng.randint(1, total_nodes)))
+        else:
+            requests.append((kind,
+                             rng.randint(1, min(total_nodes, 50))))
+    return requests
+
+
+def assert_identical(reference, candidate):
+    """Value *and* type equality, element by element (bit-identical)."""
+    assert len(reference) == len(candidate)
+    for expected, actual in zip(reference, candidate):
+        assert actual == expected
+        assert type(actual) is type(expected)
+
+
+# ----------------------------------------------------------------------
+# Shared, lazily built handles and servers (compression dominates the
+# suite's cost; every executor axis reuses one build per corpus)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def unsharded(request):
+    handles = {}
+
+    def build(corpus):
+        if corpus not in handles:
+            graph, alphabet = SMOKE_CORPORA[corpus]()
+            handles[corpus] = CompressedGraph.compress(
+                graph, alphabet, validate=False)
+        return handles[corpus]
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def sharded(request):
+    handles = {}
+
+    def build(corpus, shards):
+        key = (corpus, shards)
+        if key not in handles:
+            graph, alphabet = SMOKE_CORPORA[corpus]()
+            handles[key] = ShardedCompressedGraph.compress(
+                graph, alphabet, shards=shards, validate=False)
+        return handles[key]
+
+    return build
+
+
+@pytest.fixture(scope="module")
+def served(request, unsharded, sharded):
+    """Socket servers over the same grammars, one per handle key."""
+    servers = {}
+
+    def start(corpus, shards=None):
+        key = (corpus, shards)
+        if key not in servers:
+            handle = (unsharded(corpus) if shards is None
+                      else sharded(corpus, shards))
+            server = GraphServer(handle.to_bytes()).start()
+            servers[key] = server
+        return servers[key]
+
+    yield start
+    for server in servers.values():
+        server.close()
+
+
+def run_through(executor, handle, requests):
+    try:
+        results = handle.execute(requests, executor=executor)
+    finally:
+        executor.close()
+    errors = [result for result in results if not result.ok]
+    assert not errors, f"unexpected errors: {errors[:3]}"
+    return [result.value for result in results]
+
+
+# ----------------------------------------------------------------------
+# The differential: Process and Socket vs Inline, every smoke corpus
+# ----------------------------------------------------------------------
+class TestUnshardedConformance:
+    @pytest.mark.parametrize("corpus", CORPORA)
+    def test_every_corpus_every_executor(self, corpus, unsharded,
+                                         served):
+        handle = unsharded(corpus)
+        requests = serving_workload(handle.node_count())
+        reference = run_through(InlineExecutor(), handle, requests)
+        assert_identical(reference, run_through(
+            ThreadExecutor(max_workers=4), handle, requests))
+        assert_identical(reference, run_through(
+            ProcessExecutor(max_workers=2), handle, requests))
+        server = served(corpus)
+        assert_identical(reference, run_through(
+            SocketExecutor(server.endpoint), handle, requests))
+
+    @pytest.mark.smoke
+    def test_smoke_lane(self, unsharded, served):
+        handle = unsharded("er-random")
+        requests = serving_workload(handle.node_count(), count=30)
+        reference = run_through(InlineExecutor(), handle, requests)
+        server = served("er-random")
+        for executor in (ThreadExecutor(), ProcessExecutor(),
+                         SocketExecutor(server.endpoint)):
+            assert_identical(reference,
+                             run_through(executor, handle, requests))
+
+
+class TestShardedConformance:
+    @pytest.mark.parametrize("corpus,shards",
+                             [(corpus, 2) for corpus in SHARDED_CORPORA]
+                             + [("communication", 4)])
+    def test_executors_agree(self, corpus, shards, sharded, served):
+        handle = sharded(corpus, shards)
+        requests = serving_workload(handle.node_count())
+        reference = run_through(InlineExecutor(), handle, requests)
+        assert_identical(reference, run_through(
+            ThreadExecutor(max_workers=4), handle, requests))
+        assert_identical(reference, run_through(
+            ProcessExecutor(max_workers=2), handle, requests))
+        server = served(corpus, shards)
+        assert_identical(reference, run_through(
+            SocketExecutor(server.endpoint), handle, requests))
+
+    def test_served_router_equals_in_process_router(self, sharded,
+                                                    served):
+        """A second client-facing path: `GraphClient.batch` against
+        the router (which plans + multiplexes to shard processes)
+        must equal the in-process sharded handle verbatim."""
+        handle = sharded("er-random", 2)
+        requests = serving_workload(handle.node_count(), count=40)
+        truth = handle.batch(requests)
+        server = served("er-random", 2)
+        with server.connect() as client:
+            assert_identical(truth, client.batch(requests))
+
+
+# ----------------------------------------------------------------------
+# Error-channel conformance across process/socket boundaries
+# ----------------------------------------------------------------------
+class TestRemoteErrorChannel:
+    def test_process_executor_preserves_errors(self, unsharded):
+        handle = unsharded("er-random")
+        total = handle.node_count()
+        requests = [("out", 1), ("out", total + 9), ("nodes",)]
+        inline = handle.execute(requests)
+        forked = handle.execute(requests,
+                                executor=ProcessExecutor(max_workers=2))
+        assert [r.ok for r in forked] == [r.ok for r in inline]
+        assert forked[1].error == inline[1].error
+        assert forked[0].value == inline[0].value
+
+    def test_socket_executor_preserves_errors(self, unsharded, served):
+        handle = unsharded("er-random")
+        server = served("er-random")
+        total = handle.node_count()
+        executor = SocketExecutor(server.endpoint)
+        try:
+            results = handle.execute(
+                [("out", total + 9), ("bogus",), ("nodes",)],
+                executor=executor)
+        finally:
+            executor.close()
+        assert "out of range" in results[0].error
+        assert "unknown batch query" in results[1].error
+        assert results[2].value == total
+
+    def test_batch_adapter_raises_through_any_executor(self, unsharded):
+        handle = unsharded("er-random")
+        with pytest.raises(QueryError, match="unknown batch query"):
+            handle.batch([("bogus",)],
+                         executor=ProcessExecutor(max_workers=2))
+
+
+# ----------------------------------------------------------------------
+# fork_map and process-parallel shard builds
+# ----------------------------------------------------------------------
+class TestForkMap:
+    def test_results_in_order(self):
+        assert fork_map([lambda i=i: i * i for i in range(10)],
+                        max_workers=3) == [i * i for i in range(10)]
+
+    def test_failure_propagates_with_its_original_type(self):
+        def boom():
+            raise ValueError("broken task")
+
+        with pytest.raises(ValueError, match="broken task"):
+            fork_map([lambda: 1, boom, lambda: 3], max_workers=2)
+
+    def test_library_errors_survive_the_fork(self):
+        """`parallel=\"process\"` builds must keep the error contract
+        of the thread path: a GrammarError stays a GrammarError (the
+        CLI's ReproError -> exit-2 handling depends on it)."""
+        from repro.exceptions import GrammarError
+
+        def fail_like_a_build():
+            raise GrammarError("shard went sideways")
+
+        with pytest.raises(GrammarError, match="went sideways"):
+            fork_map([fail_like_a_build, lambda: 2], max_workers=2)
+
+    def test_single_task_runs_inline(self):
+        assert fork_map([lambda: 41]) == [41]
+
+
+class TestProcessParallelBuild:
+    @pytest.mark.parametrize("partitioner", ["hash", "connectivity"])
+    def test_identical_to_sequential(self, partitioner):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        sequential = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=3, partitioner=partitioner,
+            validate=False)
+        forked = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=3, partitioner=partitioner,
+            parallel="process", validate=False)
+        assert forked.to_bytes() == sequential.to_bytes()
+        requests = serving_workload(sequential.node_count(), count=30)
+        assert forked.batch(requests) == sequential.batch(requests)
+
+    def test_build_stats_survive_the_fork(self):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        forked = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=2, parallel="process",
+            validate=False)
+        per_shard = forked.stats["per_shard"]
+        assert len(per_shard) == 2
+        assert all(shard_stats for shard_stats in per_shard)
+
+    def test_unknown_mode_rejected(self):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        with pytest.raises(Exception, match="parallel mode"):
+            ShardedCompressedGraph.compress(graph, alphabet, shards=2,
+                                            parallel="quantum")
+
+
+# ----------------------------------------------------------------------
+# Construction by name
+# ----------------------------------------------------------------------
+class TestMakeExecutor:
+    def test_by_name(self):
+        assert isinstance(make_executor("inline"), InlineExecutor)
+        assert isinstance(make_executor("thread", max_workers=2),
+                          ThreadExecutor)
+        assert isinstance(make_executor("process"), ProcessExecutor)
+        assert isinstance(make_executor("socket",
+                                        address="127.0.0.1:1"),
+                          SocketExecutor)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(QueryError, match="unknown executor"):
+            make_executor("carrier-pigeon")

@@ -1,0 +1,194 @@
+"""The socket deployment: GraphServer, GraphClient, RemoteShard.
+
+Executor-level conformance lives in ``test_executors.py``; this file
+covers the deployment surface itself — lifecycle, liveness, info,
+codecs, unix-domain endpoints, concurrent clients, and the router's
+LRU sitting in front of the shard processes.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro import CompressedGraph, ShardedCompressedGraph
+from repro.bench.corpora import SMOKE_CORPORA
+from repro.exceptions import QueryError
+from repro.serving import GraphServer, connect, serve
+
+from helpers import theta_graph
+
+
+@pytest.fixture(scope="module")
+def sharded_bytes():
+    graph, alphabet = SMOKE_CORPORA["er-random"]()
+    handle = ShardedCompressedGraph.compress(graph, alphabet, shards=2,
+                                             validate=False)
+    return handle, handle.to_bytes()
+
+
+@pytest.fixture(scope="module")
+def server(sharded_bytes):
+    _, blob = sharded_bytes
+    with GraphServer(blob).start() as running:
+        yield running
+
+
+class TestLifecycle:
+    def test_start_is_idempotent(self, sharded_bytes):
+        _, blob = sharded_bytes
+        running = serve(blob)
+        endpoint = running.endpoint
+        try:
+            with running:  # __enter__ must not re-start
+                assert running.endpoint == endpoint
+        finally:
+            running.close()
+
+    def test_serve_from_file(self, tmp_path):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        path = tmp_path / "g.grpr"
+        handle.save(path)
+        with serve(path) as running:
+            assert running.num_shards == 1
+            with running.connect() as client:
+                assert client.query("nodes") == handle.node_count()
+
+    def test_shard_processes_die_with_close(self, sharded_bytes):
+        _, blob = sharded_bytes
+        running = serve(blob)
+        processes = list(running._processes)
+        assert all(process.is_alive() for process in processes)
+        running.close()
+        assert all(not process.is_alive() for process in processes)
+
+    def test_unix_endpoint(self, tmp_path, sharded_bytes):
+        _, blob = sharded_bytes
+        address = f"unix:{tmp_path}/graph.sock"
+        with serve(blob, address=address) as running:
+            assert running.endpoint == address
+            with connect(address) as client:
+                assert client.ping()
+        assert not (tmp_path / "graph.sock").exists()  # cleaned up
+
+
+class TestClient:
+    def test_ping_and_info(self, server, sharded_bytes):
+        handle, _ = sharded_bytes
+        with server.connect() as client:
+            assert client.ping()
+            info = client.info()
+            assert info["type"] == "sharded"
+            assert info["shards"] == 2
+            assert info["nodes"] == handle.node_count()
+
+    def test_query_matches_local(self, server, sharded_bytes):
+        handle, _ = sharded_bytes
+        with server.connect() as client:
+            assert client.query("out", 1) == handle.out(1)
+            assert client.query("degree") == handle.degree()
+            assert client.query("path", 1, 1) == handle.path(1, 1)
+
+    def test_batch_raises_first_error_like_the_handles(self, server):
+        with server.connect() as client:
+            with pytest.raises(QueryError, match="unknown batch query"):
+                client.batch([("nope", 1)])
+
+    def test_empty_batch(self, server):
+        with server.connect() as client:
+            assert client.batch([]) == []
+            assert client.execute([]) == []
+
+    def test_binary_codec_client(self, sharded_bytes):
+        handle, blob = sharded_bytes
+        with serve(blob, codec="binary") as running:
+            with running.connect() as client:
+                requests = [("out", node) for node in range(1, 12)]
+                assert client.batch(requests) == \
+                    handle.batch(requests)
+
+    def test_many_concurrent_clients(self, server, sharded_bytes):
+        handle, _ = sharded_bytes
+        expected = handle.batch([("out", node)
+                                 for node in range(1, 21)])
+        failures = []
+
+        def worker():
+            try:
+                with server.connect() as client:
+                    got = client.batch([("out", node)
+                                        for node in range(1, 21)])
+                    if got != expected:
+                        failures.append(got)
+            except Exception as exc:  # pragma: no cover - surfaced below
+                failures.append(exc)
+
+        threads = [threading.Thread(target=worker) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures
+
+
+class TestProtocolRobustness:
+    def test_oversized_frame_closes_the_connection(self, server):
+        """A length header past the frame limit desynchronizes the
+        stream; the server must drop that connection (not loop
+        misparsing payload bytes) and keep serving new ones."""
+        import socket as socket_module
+        import struct
+
+        from repro.serving.codec import parse_address
+
+        _, target = parse_address(server.endpoint)
+        raw = socket_module.create_connection(target, timeout=5)
+        try:
+            raw.sendall(struct.pack("!I", 2 ** 31) + b"XXXX")
+            raw.settimeout(5)
+            # The server drops the connection (FIN, or RST when our
+            # unread payload bytes are still in its receive buffer).
+            try:
+                assert raw.recv(4096) == b""
+            except ConnectionResetError:
+                pass
+        finally:
+            raw.close()
+        with server.connect() as client:  # the server itself survives
+            assert client.ping()
+
+    def test_undecodable_payload_keeps_the_connection(self, server):
+        """A bad payload of a well-framed message is recoverable: the
+        server answers with an error message and the same connection
+        keeps working."""
+        import socket as socket_module
+        import struct
+
+        from repro.serving.codec import parse_address, recv_message
+
+        _, target = parse_address(server.endpoint)
+        raw = socket_module.create_connection(target, timeout=5)
+        try:
+            payload = b"\x00not a known tag"
+            raw.sendall(struct.pack("!I", len(payload)) + payload)
+            reply = recv_message(raw)
+            assert reply["op"] == "error"
+        finally:
+            raw.close()
+
+
+class TestRouterCache:
+    def test_router_lru_absorbs_hot_traffic(self, sharded_bytes):
+        """Repeated remote batches are answered by the router's LRU
+        without another shard round trip (the cache-aware planner in
+        front of RemoteShard links)."""
+        _, blob = sharded_bytes
+        with serve(blob) as running:
+            with running.connect() as client:
+                requests = [("out", node) for node in range(1, 9)]
+                first = client.batch(requests)
+                assert client.batch(requests) == first
+                assert client.batch(list(reversed(requests))) == \
+                    list(reversed(first))

@@ -1,0 +1,390 @@
+"""The typed query protocol: requests, planning, codec, error channel.
+
+Covers the serving substrate in isolation from sockets and processes:
+
+* request normalization (typed objects, legacy tuples, every alias);
+* the planner — dedup, unhashable arguments, cache pre-filtering and
+  bulk insertion (the cache-aware-planning satellite, asserted via
+  ``cache_info`` counters on both handle types);
+* the wire codec — JSON and binary round trips for every value shape
+  the §V family produces, framing over a real socket pair, and
+  corruption handling;
+* the per-request error channel — the regression suite for the old
+  abort-the-batch-on-first-error behavior.
+"""
+
+from __future__ import annotations
+
+import socket
+
+import pytest
+
+from repro import CompressedGraph, ShardedCompressedGraph
+from repro.bench.corpora import SMOKE_CORPORA
+from repro.exceptions import QueryError
+from repro.queries.cache import QueryCache
+from repro.serving import (
+    QueryKind,
+    QueryRequest,
+    QueryResult,
+    WireError,
+    normalize_request,
+    plan_batch,
+)
+from repro.serving.codec import (
+    decode_message,
+    encode_message,
+    recv_message,
+    requests_to_wire,
+    results_from_wire,
+    results_to_wire,
+    send_message,
+    wire_to_requests,
+)
+
+from helpers import theta_graph
+
+
+# ----------------------------------------------------------------------
+# Normalization
+# ----------------------------------------------------------------------
+class TestNormalize:
+    def test_legacy_tuple(self):
+        request = normalize_request(("reach", 1, 9), 4)
+        assert request.kind is QueryKind.REACH
+        assert request.args == (1, 9)
+        assert request.id == 4
+        assert request.key == ("reach", 1, 9)
+
+    @pytest.mark.parametrize("alias,kind", [
+        ("out", QueryKind.OUT), ("out_neighbors", QueryKind.OUT),
+        ("in", QueryKind.IN), ("in_", QueryKind.IN),
+        ("neighbors", QueryKind.NEIGHBORHOOD),
+        ("connected_components", QueryKind.COMPONENTS),
+        ("node_count", QueryKind.NODES),
+        ("edge_count", QueryKind.EDGES),
+    ])
+    def test_every_alias(self, alias, kind):
+        assert normalize_request((alias, 1)).kind is kind
+
+    def test_typed_request_passes_through(self):
+        request = QueryRequest(QueryKind.OUT, (3,), id=7)
+        assert normalize_request(request) is request
+        assert normalize_request(request, 2).id == 2
+
+    def test_empty_raises(self):
+        with pytest.raises(QueryError, match="empty batch request"):
+            normalize_request(())
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(QueryError, match="unknown batch query"):
+            normalize_request(("frobnicate", 1))
+
+    def test_bare_string_is_one_kind_not_characters(self):
+        assert normalize_request("components").kind \
+            is QueryKind.COMPONENTS
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+class TestPlanBatch:
+    def test_dedup_collapses_repeats(self):
+        plan = plan_batch([("out", 1), ("out", 1), ("out", 2)])
+        assert [job.id for job in plan.jobs] == [0, 2]
+        assert plan.duplicates == [(1, 0)]
+
+    def test_no_dedup_keeps_everything(self):
+        plan = plan_batch([("out", 1), ("out", 1)], dedup=False)
+        assert [job.id for job in plan.jobs] == [0, 1]
+        assert plan.duplicates == []
+
+    def test_unhashable_args_stay_jobs(self):
+        plan = plan_batch([("out", [1]), ("out", [1])])
+        assert len(plan.jobs) == 2
+        assert plan.duplicates == []
+
+    def test_nonstrict_collects_invalid(self):
+        plan = plan_batch([("out", 1), ("bogus",), ()])
+        assert len(plan.jobs) == 1
+        assert [position for position, _ in plan.invalid] == [1, 2]
+
+    def test_strict_raises(self):
+        with pytest.raises(QueryError, match="unknown batch query"):
+            plan_batch([("bogus",)], strict=True)
+
+    def test_cache_prefilter_counts_and_skips(self):
+        cache = QueryCache(16)
+        cache.store(("out", 1), [2, 3])
+        plan = plan_batch([("out", 1), ("out", 2), ("components",)],
+                          cache=cache)
+        # The hit never becomes a job; components is not cacheable.
+        assert [job.key for job in plan.jobs] == [("out", 2),
+                                                  ("components",)]
+        assert plan.cached == [(0, [2, 3])]
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_duplicate_of_cached_position(self):
+        cache = QueryCache(16)
+        cache.store(("out", 1), [9])
+        plan = plan_batch([("out", 1), ("out", 1)], cache=cache)
+        assert plan.jobs == []
+        assert plan.cached == [(0, [9])]
+        assert plan.duplicates == [(1, 0)]
+
+
+# ----------------------------------------------------------------------
+# Cache-aware planned execution on the real handles (satellite)
+# ----------------------------------------------------------------------
+class TestCacheAwarePlanning:
+    def test_sharded_parallel_batch_uses_the_handle_lru(self):
+        """The ROADMAP gap: grouped shard requests bypassed the LRU.
+
+        First planned batch: every unique cacheable request is one
+        LRU miss, then a bulk insert.  Second identical batch: pure
+        hits — no request reaches a shard handle at all.
+        """
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        handle = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=2, validate=False)
+        requests = [("out", 1), ("out", 2), ("in", 3),
+                    ("neighborhood", 4)] * 25
+        first = handle.batch(requests, parallel=True)
+        info = handle.cache_info
+        assert info["misses"] == 4
+        assert info["hits"] == 0
+        shard_load = [shard.cache_info["misses"] +
+                      shard.cache_info["hits"]
+                      for shard in handle.shards]
+        second = handle.batch(requests, parallel=True)
+        assert second == first
+        info = handle.cache_info
+        assert info["hits"] == 4
+        assert info["misses"] == 4
+        # The second batch was answered entirely from the router-side
+        # LRU: shard handles saw no additional traffic.
+        assert [shard.cache_info["misses"] + shard.cache_info["hits"]
+                for shard in handle.shards] == shard_load
+
+    def test_unsharded_parallel_batch_prefilters_too(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        requests = [("out", 1), ("out", 2), ("reach", 1, 2)] * 10
+        first = handle.batch(requests, parallel=True)
+        assert handle.cache_misses == 3 and handle.cache_hits == 0
+        assert handle.batch(requests, parallel=True) == first
+        assert handle.cache_hits == 3 and handle.cache_misses == 3
+
+    def test_single_shot_then_planned_batch_hits(self):
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        single = handle.out(1)
+        assert handle.batch([("out", 1)], parallel=True) == [single]
+        assert handle.cache_hits == 1
+
+    def test_mutating_a_planned_answer_does_not_poison_the_lru(self):
+        """The bulk insert must store its own copy: callers may
+        mutate what they receive (the LRU's documented contract)."""
+        graph, alphabet = theta_graph()
+        handle = CompressedGraph.compress(graph, alphabet)
+        (answer,) = handle.batch([("out", 1)], parallel=True)
+        expected = list(answer)
+        answer.append(999)
+        assert handle.out(1) == expected
+        assert handle.batch([("out", 1)], parallel=True) == [expected]
+
+
+# ----------------------------------------------------------------------
+# Per-request error semantics (regression: no more batch aborts)
+# ----------------------------------------------------------------------
+class TestErrorChannel:
+    @pytest.fixture
+    def handle(self):
+        graph, alphabet = theta_graph()
+        return CompressedGraph.compress(graph, alphabet)
+
+    @pytest.fixture
+    def sharded(self):
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        return ShardedCompressedGraph.compress(graph, alphabet,
+                                               shards=2,
+                                               validate=False)
+
+    def test_bad_request_no_longer_aborts_the_batch(self, handle):
+        """The regression this protocol exists to fix: one unknown
+        node id used to kill every request after it."""
+        total = handle.node_count()
+        results = handle.execute([
+            ("out", 1),
+            ("out", total + 999),       # unknown node id
+            ("components",),            # must still be answered
+            ("reach", 1, 2),
+        ])
+        assert results[0].ok and results[0].value == handle.out(1)
+        assert not results[1].ok
+        assert "out of range" in results[1].error or \
+            "unknown node" in results[1].error
+        assert results[2].ok and results[2].value == handle.components()
+        assert results[3].ok
+
+    def test_malformed_requests_error_individually(self, handle):
+        results = handle.execute([
+            ("frobnicate", 1),   # unknown kind
+            (),                  # empty
+            ("reach", 1),        # bad arity
+            ("nodes",),          # fine
+        ])
+        assert [result.ok for result in results] == [False, False,
+                                                     False, True]
+        assert "unknown batch query" in results[0].error
+        assert "empty batch request" in results[1].error
+        assert "bad arguments" in results[2].error
+        assert results[3].value == handle.node_count()
+
+    def test_sharded_error_channel(self, sharded):
+        total = sharded.node_count()
+        results = sharded.execute([
+            ("out", total + 5),
+            ("degree", 1, "sideways"),
+            ("edges",),
+        ])
+        assert not results[0].ok and "out of range" in results[0].error
+        assert not results[1].ok and "direction" in results[1].error
+        assert results[2].ok and results[2].value == \
+            sharded.edge_count()
+
+    def test_unwrap_raises_query_error(self):
+        result = QueryResult(id=0, error="boom")
+        with pytest.raises(QueryError, match="boom"):
+            result.unwrap()
+        assert QueryResult(id=0, value=41).unwrap() == 41
+
+    def test_legacy_batch_still_raises_first_error(self, handle):
+        with pytest.raises(QueryError, match="out of range|unknown"):
+            handle.batch([("out", handle.node_count() + 9),
+                          ("components",)])
+
+
+# ----------------------------------------------------------------------
+# Wire codec
+# ----------------------------------------------------------------------
+_VALUE_SHAPES = [
+    True,                      # reach
+    False,
+    [2, 3, 5, 8],              # neighborhoods
+    [],
+    None,                      # path miss
+    [1, 4, 9],                 # path hit
+    7,                         # counts / degrees
+    0,
+    {"max_out": 3, "min_out": 0, "max_in": 2,
+     "min_in": 0, "max": 4, "min": 1},    # degree extrema
+]
+
+
+class TestCodec:
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_batch_roundtrip(self, codec):
+        requests = [QueryRequest(QueryKind.REACH, (1, 9), id=0),
+                    QueryRequest(QueryKind.DEGREE, (4, "in"), id=1),
+                    QueryRequest(QueryKind.COMPONENTS, (), id=2)]
+        message = {"op": "batch",
+                   "requests": requests_to_wire(requests)}
+        decoded = decode_message(encode_message(message, codec))
+        pairs = wire_to_requests(decoded["requests"])
+        assert pairs == [(0, ("reach", 1, 9)),
+                         (1, ("degree", 4, "in")),
+                         (2, ("components",))]
+
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    @pytest.mark.parametrize("value", _VALUE_SHAPES,
+                             ids=lambda v: repr(v)[:20])
+    def test_value_shapes_survive_exactly(self, codec, value):
+        message = {"op": "results",
+                   "results": results_to_wire(
+                       [QueryResult(id=3, value=value)])}
+        decoded = decode_message(encode_message(message, codec))
+        (result,) = results_from_wire(decoded["results"])
+        assert result.id == 3 and result.error is None
+        assert result.value == value
+        assert type(result.value) is type(value)
+
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_error_results_roundtrip(self, codec):
+        message = {"op": "results",
+                   "results": results_to_wire(
+                       [QueryResult(id=1, error="node 9 out of range")])}
+        decoded = decode_message(encode_message(message, codec))
+        (result,) = results_from_wire(decoded["results"])
+        assert not result.ok
+        assert result.error == "node 9 out of range"
+
+    @pytest.mark.parametrize("codec", ["json", "binary"])
+    def test_control_messages(self, codec):
+        for op in ("ping", "pong", "info", "shutdown"):
+            assert decode_message(
+                encode_message({"op": op}, codec)) == {"op": op}
+
+    def test_binary_negative_ints(self):
+        message = {"op": "results",
+                   "results": results_to_wire(
+                       [QueryResult(id=0, value=[-1, 0, -(2 ** 40)])])}
+        decoded = decode_message(encode_message(message, "binary"))
+        (result,) = results_from_wire(decoded["results"])
+        assert result.value == [-1, 0, -(2 ** 40)]
+
+    def test_binary_64_bit_boundary_ints_are_exact(self):
+        """The zigzag must be exact across the full encodable range
+        (the C-style `>> 63` idiom corrupts the negative edge)."""
+        extremes = [-(2 ** 63), -(2 ** 62) - 1, 2 ** 63 - 1]
+        message = {"op": "results",
+                   "results": results_to_wire(
+                       [QueryResult(id=0, value=extremes)])}
+        decoded = decode_message(encode_message(message, "binary"))
+        (result,) = results_from_wire(decoded["results"])
+        assert result.value == extremes
+
+    def test_binary_rejects_out_of_range_ints_at_encode_time(self):
+        """Beyond 64 bits the varint layer cannot decode; the codec
+        must refuse loudly instead of emitting undecodable bytes."""
+        message = {"op": "results",
+                   "results": results_to_wire(
+                       [QueryResult(id=0, value=2 ** 100)])}
+        with pytest.raises(WireError, match="64-bit range"):
+            encode_message(message, "binary")
+
+    def test_framing_over_a_real_socket(self):
+        left, right = socket.socketpair()
+        try:
+            for codec in ("json", "binary"):
+                message = {"op": "results",
+                           "results": results_to_wire(
+                               [QueryResult(id=0, value=[1, 2])])}
+                send_message(left, message, codec)
+                received = recv_message(right)
+                assert received["op"] == "results"
+                assert results_from_wire(
+                    received["results"])[0].value == [1, 2]
+            left.close()
+            assert recv_message(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(WireError, match="unknown frame tag"):
+            decode_message(b"\x00garbage")
+
+    def test_corrupt_binary_rejected(self):
+        good = encode_message({"op": "results",
+                               "results": [{"id": 1, "value": [1, 2]}]},
+                              "binary")
+        with pytest.raises(WireError):
+            decode_message(good[:len(good) // 2])
+
+    def test_corrupt_json_rejected(self):
+        with pytest.raises(WireError, match="bad JSON"):
+            decode_message(b"J{nope")
+
+    def test_unknown_codec_rejected(self):
+        with pytest.raises(WireError, match="unknown codec"):
+            encode_message({"op": "ping"}, "msgpack")
