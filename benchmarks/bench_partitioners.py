@@ -1,0 +1,196 @@
+"""Partitioner quality and cross-shard reach regimes, head to head.
+
+Two claims of the partition layer are measured on a **single
+component** corpus — the case ROADMAP called out, where ``hash``
+shreds the edges and ``connectivity`` cannot split at all:
+
+* **edge cut** — the BFS-region-growing and label-propagation
+  partitioners must produce strictly fewer boundary edges than the
+  ``hash`` baseline at the gate shard count (with balance kept);
+* **cross-shard reach** — on the edge-cut partition, closure-backed
+  reach (one in-shard batch per endpoint shard + O(1) closure hops)
+  must beat boundary chaining on the same query set.  The closure's
+  one-time build is measured and reported as a break-even query
+  count (it amortizes across a serving handle's lifetime — and is
+  skipped entirely when the container persists the closure).
+
+``scripts/check_bench_regression.py`` gates on both via
+:func:`partitioner_gate`.  Run the smoke lane with
+``pytest -m smoke benchmarks`` or the timed sweep with
+``pytest benchmarks/bench_partitioners.py``.
+"""
+
+import random
+import time
+
+import pytest
+
+from repro import ShardedCompressedGraph
+from repro.bench import Report, SMOKE_CORPORA
+from repro.partition import PARTITIONERS, cut_statistics
+
+_SECTION = "Partitioners: edge cut and cross-shard reach regimes"
+
+#: The gate corpus (single component: 347 nodes, 419 edges, one blob
+#: no connectivity partitioner can split) and shard count.
+GATE_CORPUS = "rdf-identica"
+GATE_SHARDS = 4
+#: Partitioners compared by the cut table.
+GATE_PARTITIONERS = ("hash", "bfs", "label")
+#: Cross-shard reach queries per timed strategy.
+GATE_REACH_QUERIES = 120
+
+
+def cut_table(corpus=GATE_CORPUS, shards=GATE_SHARDS):
+    """name -> cut statistics of each gate partitioner's assignment."""
+    graph, _ = SMOKE_CORPORA[corpus]()
+    return {name: cut_statistics(graph,
+                                 PARTITIONERS[name](graph, shards),
+                                 shards)
+            for name in GATE_PARTITIONERS}
+
+
+def build_handle(partitioner, corpus=GATE_CORPUS, shards=GATE_SHARDS):
+    """An uncached sharded handle over the gate corpus."""
+    graph, alphabet = SMOKE_CORPORA[corpus]()
+    return ShardedCompressedGraph.compress(
+        graph, alphabet, shards=shards, partitioner=partitioner,
+        cache_size=0, validate=False)
+
+
+def cross_shard_pairs(handle, count=GATE_REACH_QUERIES, seed=13):
+    """Distinct (source, target) pairs whose endpoints span shards."""
+    total = handle.node_count()
+    rng = random.Random(seed)
+    pairs = []
+    seen = set()
+    while len(pairs) < count:
+        source = rng.randint(1, total)
+        target = rng.randint(1, total)
+        if handle._owner(source) == handle._owner(target):
+            continue
+        if (source, target) in seen:
+            continue
+        seen.add((source, target))
+        pairs.append((source, target))
+    return pairs
+
+
+def measure_reach(handle, pairs, strategy, rounds=3):
+    """Best-of-N wall time for one pinned reach strategy."""
+    requests = [("reach", source, target) for source, target in pairs]
+    handle.planner.force = strategy
+    try:
+        best = None
+        expected = handle.batch(requests)
+        for _ in range(rounds):
+            start = time.perf_counter()
+            answers = handle.batch(requests)
+            elapsed = time.perf_counter() - start
+            assert answers == expected
+            best = elapsed if best is None else min(best, elapsed)
+    finally:
+        handle.planner.force = None
+    return best, expected
+
+
+def measure_regimes(handle, pairs):
+    """(closure_seconds, build_seconds, chaining_seconds); answers
+    asserted identical between the regimes."""
+    start = time.perf_counter()
+    handle.warm_closure()
+    build = time.perf_counter() - start
+    closure_time, closure_answers = measure_reach(handle, pairs,
+                                                  "closure")
+    chaining_time, chaining_answers = measure_reach(handle, pairs,
+                                                    "chaining")
+    assert closure_answers == chaining_answers
+    return closure_time, build, chaining_time
+
+
+def partitioner_gate():
+    """The measurement ``check_bench_regression.py`` gates on."""
+    cuts = cut_table()
+    handle = build_handle("bfs")
+    pairs = cross_shard_pairs(handle)
+    closure_time, build, chaining_time = measure_regimes(handle, pairs)
+    per_query_gap = (chaining_time - closure_time) / len(pairs)
+    return {
+        "corpus": GATE_CORPUS,
+        "shards": GATE_SHARDS,
+        "cut": {name: stats["boundary_edges"]
+                for name, stats in cuts.items()},
+        "balance": {name: round(stats["balance"], 3)
+                    for name, stats in cuts.items()},
+        "reach_queries": len(pairs),
+        "closure_ms": round(closure_time * 1e3, 2),
+        "closure_build_ms": round(build * 1e3, 2),
+        "chaining_ms": round(chaining_time * 1e3, 2),
+        "speedup": round(chaining_time / closure_time, 2),
+        "break_even_queries": (round(build / per_query_gap)
+                               if per_query_gap > 0 else None),
+    }
+
+
+@pytest.mark.smoke
+def test_edge_cut_partitioners_beat_hash():
+    """Acceptance gate: strictly fewer boundary edges than hash, with
+    balance intact, on a single-component corpus."""
+    cuts = cut_table()
+    for name in ("bfs", "label"):
+        assert cuts[name]["boundary_edges"] < \
+            cuts["hash"]["boundary_edges"], (
+            f"{name} cut {cuts[name]['boundary_edges']} >= hash "
+            f"{cuts['hash']['boundary_edges']}"
+        )
+        assert cuts[name]["balance"] <= 1.5
+    Report.add(_SECTION,
+               f"{GATE_CORPUS}, {GATE_SHARDS} shards: "
+               + ", ".join(f"{name} cut={stats['boundary_edges']} "
+                           f"(balance {stats['balance']:.2f})"
+                           for name, stats in cuts.items()))
+
+
+@pytest.mark.smoke
+def test_closure_reach_beats_chaining():
+    """Acceptance gate: closure-backed cross-shard reach beats
+    boundary chaining on the edge-cut partition."""
+    handle = build_handle("bfs")
+    pairs = cross_shard_pairs(handle)
+    closure_time, build, chaining_time = measure_regimes(handle, pairs)
+    gap = (chaining_time - closure_time) / len(pairs)
+    break_even = round(build / gap) if gap > 0 else None
+    Report.add(_SECTION,
+               f"{GATE_CORPUS}, {GATE_SHARDS} shards (bfs), "
+               f"{len(pairs)} cross-shard reach: closure "
+               f"{closure_time * 1e3:.1f} ms (one-time build "
+               f"{build * 1e3:.0f} ms, break-even ~{break_even} "
+               f"queries), chaining {chaining_time * 1e3:.1f} ms "
+               f"({chaining_time / closure_time:.1f}x)")
+    assert closure_time < chaining_time, (
+        f"closure ({closure_time * 1e3:.1f} ms) did not beat chaining "
+        f"({chaining_time * 1e3:.1f} ms) over {len(pairs)} queries"
+    )
+
+
+@pytest.mark.parametrize("partitioner", sorted(GATE_PARTITIONERS))
+def test_partitioner_sweep(benchmark, partitioner):
+    """Timed sweep: per-partitioner cut + default-plan reach latency."""
+    handle = build_handle(partitioner)
+    pairs = cross_shard_pairs(handle, count=60, seed=29)
+    requests = [("reach", source, target) for source, target in pairs]
+    handle.batch(requests[:5])  # build indexes outside the timing
+
+    def run():
+        return handle.batch(requests)
+
+    answers = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert len(answers) == len(requests)
+    plan = handle.planner.plan(0, GATE_SHARDS - 1,
+                               closure_built=handle.closure_built)
+    stats = handle.partition_stats
+    Report.add(_SECTION,
+               f"{partitioner:6s}: cut={stats['boundary_edges']:4.0f} "
+               f"ratio={stats['cut_ratio']:.3f} "
+               f"balance={stats['balance']:.2f} "
+               f"default-plan={plan.strategy}")

@@ -26,7 +26,12 @@ ratios for both engines over the shared smoke corpora
 * the socket serving path: a router plus 2 forked shard processes
   must answer 1k mixed queries end to end, identically to the
   in-process path, above the absolute throughput floor (shared with
-  ``benchmarks/bench_serving.py``).
+  ``benchmarks/bench_serving.py``),
+* the partition layer: on the single-component gate corpus at 4
+  shards, the edge-cut partitioners (``bfs`` / ``label``) must cut
+  strictly fewer edges than ``hash``, and closure-backed cross-shard
+  reach must beat boundary chaining on the same query set (shared
+  with ``benchmarks/bench_partitioners.py``).
 
 Exit code 0 means no regression; 1 means at least one check failed;
 ``--update`` rewrites the baseline instead of checking.
@@ -149,6 +154,19 @@ def serving_gate() -> dict:
     }
 
 
+def partition_gate() -> dict:
+    """Edge-cut + reach-regime probe of the partition layer.
+
+    Reuses the exact measurement of
+    ``benchmarks/bench_partitioners.py``; checked absolutely (a hash
+    cut that beats the edge-cut partitioners, or chaining that beats
+    the closure, is a regression regardless of any baseline).
+    """
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+    from bench_partitioners import partitioner_gate  # noqa: E402
+    return partitioner_gate()
+
+
 def measure() -> dict:
     """Run both engines over every smoke corpus; collect the metrics."""
     corpora = {}
@@ -171,7 +189,7 @@ def measure() -> dict:
                 entry["facade"] = facade_lifecycle(result.grammar)
         corpora[name] = entry
     return {"corpora": corpora, "sharded": sharded_gate(),
-            "serving": serving_gate()}
+            "serving": serving_gate(), "partition": partition_gate()}
 
 
 def check(current: dict, baseline: dict, tolerance: float,
@@ -238,6 +256,23 @@ def check(current: dict, baseline: dict, tolerance: float,
         fail("serving-gate",
              f"socket serving reached only {qps:.0f} q/s at "
              f"{serving.get('shards')} shards (floor: {floor:.0f})")
+    # Partition gate (absolute): the edge-cut partitioners must cut
+    # strictly fewer edges than hash, and closure-backed cross-shard
+    # reach must beat boundary chaining.
+    partition = current.get("partition", {})
+    cut = partition.get("cut", {})
+    for name in ("bfs", "label"):
+        if name in cut and cut[name] >= cut.get("hash", 0):
+            fail("partition-gate",
+                 f"{name} partitioner cut {cut[name]} edges, not "
+                 f"strictly fewer than hash ({cut.get('hash')})")
+    closure_ms = partition.get("closure_ms", 0.0)
+    chaining_ms = partition.get("chaining_ms", 0.0)
+    if closure_ms >= chaining_ms:
+        fail("partition-gate",
+             f"closure-backed reach ({closure_ms:.1f} ms) did not "
+             f"beat chaining ({chaining_ms:.1f} ms) over "
+             f"{partition.get('reach_queries')} cross-shard queries")
     return failures
 
 
@@ -289,6 +324,17 @@ def main(argv=None) -> int:
               f"socket={serving['socket_ms']}ms "
               f"qps={serving['socket_qps']:.0f} "
               f"(floor {serving['required_qps']:.0f})")
+    partition = current.get("partition", {})
+    if partition:
+        cut = partition.get("cut", {})
+        print(f"{'partition-gate':14s} "
+              + " ".join(f"{name}-cut={cut[name]}"
+                         for name in sorted(cut))
+              + f" closure={partition['closure_ms']}ms"
+              f" (+{partition['closure_build_ms']}ms build,"
+              f" break-even ~{partition['break_even_queries']} q)"
+              f" chaining={partition['chaining_ms']}ms"
+              f" ({partition['speedup']}x)")
     if failures:
         print("\nREGRESSIONS:", file=sys.stderr)
         for failure in failures:

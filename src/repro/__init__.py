@@ -21,11 +21,14 @@ Public API highlights
 ``ShardedCompressedGraph``
     The same interface over ``k`` per-shard grammars for graphs too
     large for one compression run: pluggable partitioners (``hash``,
-    ``connectivity``), shard builds fanned out over threads or forked
-    processes (``parallel="thread"|"process"``), per-node queries
-    routed to the owning shard, cross-shard queries merged through a
-    boundary-edge summary, and a multi-shard container format
-    (``open_compressed`` dispatches on the file magic).
+    ``connectivity``, and the edge-cut minimizing ``bfs`` / ``label``
+    from :mod:`repro.partition`), shard builds fanned out over
+    threads or forked processes (``parallel="thread"|"process"``),
+    per-node queries routed to the owning shard, cross-shard ``reach``
+    planned per query (boundary transitive closure / batched chaining
+    / merged BFS, chosen by a cost model) and a multi-shard container
+    format that persists a warmed closure (``open_compressed``
+    dispatches on the file magic).
 ``repro.serving`` (``serve`` / ``connect`` / the executors)
     The typed query protocol: ``QueryRequest``/``QueryResult`` with
     per-request errors (``handle.execute(...)``), pluggable executors
@@ -88,7 +91,7 @@ from repro.core import (
     node_order,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "Alphabet",

@@ -90,7 +90,14 @@ def _build_parser() -> argparse.ArgumentParser:
     comp.add_argument("--partitioner", choices=sorted(PARTITIONERS),
                       default="hash",
                       help="node-to-shard assignment (default: hash; "
-                           "connectivity keeps components together)")
+                           "connectivity keeps components together; "
+                           "bfs/label minimize the edge cut so even a "
+                           "single component splits cleanly)")
+    comp.add_argument("--closure", action="store_true",
+                      help="build the boundary transitive closure and "
+                           "persist it in the container, so servers "
+                           "answer cross-shard reach without a warm-up "
+                           "rebuild (needs --shards > 1)")
     comp.add_argument("--parallel", nargs="?", const="thread",
                       choices=["thread", "process"], default=None,
                       help="compress shards concurrently: 'thread' "
@@ -169,6 +176,17 @@ def _cmd_compress(args: argparse.Namespace) -> int:
     )
     if args.shards < 1:
         raise ReproError(f"--shards must be >= 1, got {args.shards}")
+    if args.closure and args.shards <= 1:
+        raise ReproError("--closure needs --shards > 1 (a single "
+                         "grammar has no boundary to close)")
+    if args.closure and any(len(edge.att) != 2
+                            for _, edge in graph.edges()):
+        # Fail before paying the compression: reach (and hence the
+        # closure) is only defined on simple graphs.
+        raise ReproError("--closure requires a simple graph "
+                         "(rank-2 edges only); the input has a "
+                         "hyperedge")
+    save_kwargs = {"include_names": not args.no_names}
     if args.shards > 1:
         handle = ShardedCompressedGraph.compress(
             graph, alphabet, settings,
@@ -177,11 +195,12 @@ def _cmd_compress(args: argparse.Namespace) -> int:
             parallel=args.parallel,
             validate=not args.no_validate,
         )
+        if args.closure:
+            save_kwargs["include_closure"] = True
     else:
         handle = CompressedGraph.compress(graph, alphabet, settings,
                                           validate=not args.no_validate)
-    blob = handle.save(args.output,
-                       include_names=not args.no_names)
+    blob = handle.save(args.output, **save_kwargs)
     bpe = blob.bits_per_edge(max(1, graph.num_edges))
     print(f"{args.input}: |V|={graph.node_size} |E|={graph.num_edges}")
     print(f"grammar: {handle.summary()}")
@@ -209,8 +228,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                               for name, size in sections.items())
         print(f"sections:       {breakdown}")
     if isinstance(handle, ShardedCompressedGraph):
+        partition = handle.partition_stats
         print(f"shards:         {handle.num_shards}")
+        print(f"partitioner:    {handle.stats['partitioner']}")
         print(f"boundary edges: {handle.boundary_edge_count}")
+        print(f"cut ratio:      {partition['cut_ratio']:.3f}")
+        print(f"shard balance:  {partition['balance']:.2f}")
+        print(f"closure:        "
+              f"{'persisted' if handle.closure_persisted else 'absent'}")
         for index, shard in enumerate(handle.shards):
             grammar = shard.grammar
             print(f"shard {index}:        {grammar.num_rules} rules, "

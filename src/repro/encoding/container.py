@@ -31,18 +31,29 @@ convention::
     [meta section]       varint length + payload (routing summary,
                          encoded by repro.sharding)
     per shard: varint length + a complete "GRPR" container
+    [closure section]    optional: tag 'C' + varint length + payload
+                         (boundary transitive closure, encoded by
+                         repro.partition.boundary)
 
-:func:`sharded_container_sections` reports ``meta`` plus the existing
-per-section accounting of every embedded shard container under
-``shard<i>/<section>`` keys, so benchmarks keep the same size
-breakdown they have for single grammars.
+The closure section is optional and tagged: old files (which end
+exactly at the last shard blob) keep decoding, while an *unknown* tag
+is rejected as corruption — adding a new trailer section therefore
+goes hand in hand with teaching this decoder its tag (readers predating
+a section cannot open files that carry it).  A persisted closure lets
+a cold-started server answer cross-shard reachability without
+re-probing the shards.
+
+:func:`sharded_container_sections` reports ``meta`` (plus ``closure``
+when present) next to the existing per-section accounting of every
+embedded shard container under ``shard<i>/<section>`` keys, so
+benchmarks keep the same size breakdown they have for single grammars.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.alphabet import Alphabet
 from repro.core.grammar import SLHRGrammar
@@ -320,15 +331,22 @@ def is_sharded_container(data: bytes) -> bool:
     return len(data) >= 5 and data[:4] == _SHARDED_MAGIC
 
 
+#: Trailer-section tag: the boundary transitive closure.
+_CLOSURE_TAG = 0x43  # 'C'
+
+
 def encode_sharded_container(meta: bytes,
-                             shard_blobs: Sequence[bytes]
+                             shard_blobs: Sequence[bytes],
+                             closure: Optional[bytes] = None
                              ) -> ShardedFile:
     """Frame a routing summary plus per-shard "GRPR" blobs.
 
     The framing is agnostic to the meta payload (built and consumed by
     :mod:`repro.sharding`); every shard blob must be a complete
     single-grammar container so the per-shard section accounting can be
-    reused as-is.
+    reused as-is.  ``closure`` (an encoded
+    :class:`repro.partition.boundary.BoundaryClosure`) is written as a
+    tagged trailer section when given.
     """
     if not shard_blobs:
         raise EncodingError("a sharded container needs >= 1 shard")
@@ -348,15 +366,24 @@ def encode_sharded_container(meta: bytes,
         out.extend(blob)
         for section, size in container_sections(blob).items():
             sections[f"shard{index}/{section}"] = size
+    if closure is not None:
+        out.append(_CLOSURE_TAG)
+        write_uvarint(out, len(closure))
+        out.extend(closure)
+        sections["closure"] = len(closure)
     return ShardedFile(data=bytes(out), section_bytes=sections)
 
 
-def decode_sharded_container(data: bytes) -> Tuple[bytes, List[bytes]]:
-    """Split a "GRPS" container into ``(meta, [shard blobs])``.
+def decode_sharded_container(data: bytes
+                             ) -> Tuple[bytes, List[bytes],
+                                        Optional[bytes]]:
+    """Split a "GRPS" container into ``(meta, [shard blobs], closure)``.
 
-    Only the framing is validated here; the shard blobs are decoded by
-    :func:`decode_grammar` and the meta payload by
-    :mod:`repro.sharding`.
+    ``closure`` is ``None`` when the file carries no closure trailer
+    (every pre-closure container).  Only the framing is validated
+    here; the shard blobs are decoded by :func:`decode_grammar`, the
+    meta payload by :mod:`repro.sharding` and the closure payload by
+    :mod:`repro.partition.boundary`.
     """
     if len(data) < 6:
         raise EncodingError("sharded container too short")
@@ -383,13 +410,26 @@ def decode_sharded_container(data: bytes) -> Tuple[bytes, List[bytes]]:
                 raise EncodingError("truncated shard blob")
             blobs.append(bytes(data[pos:pos + blob_len]))
             pos += blob_len
+        closure: Optional[bytes] = None
+        if pos < len(data):
+            tag = data[pos]
+            pos += 1
+            if tag != _CLOSURE_TAG:
+                raise EncodingError(
+                    f"unknown trailing section tag {tag:#04x} after "
+                    "the last shard")
+            closure_len, pos = read_uvarint(data, pos)
+            if pos + closure_len > len(data):
+                raise EncodingError("truncated closure section")
+            closure = bytes(data[pos:pos + closure_len])
+            pos += closure_len
     except (IndexError, ValueError) as exc:
         raise EncodingError(f"corrupt sharded container: {exc}") \
             from None
     if pos != len(data):
         raise EncodingError(
-            f"{len(data) - pos} trailing bytes after the last shard")
-    return meta, blobs
+            f"{len(data) - pos} trailing bytes after the last section")
+    return meta, blobs, closure
 
 
 def sharded_container_sections(data: bytes) -> Dict[str, int]:
@@ -399,11 +439,13 @@ def sharded_container_sections(data: bytes) -> Dict[str, int]:
     matching the :func:`container_sections` convention.
     """
     try:
-        meta, blobs = decode_sharded_container(data)
+        meta, blobs, closure = decode_sharded_container(data)
     except EncodingError:
         return {}
     sections: Dict[str, int] = {"header": 5, "meta": len(meta)}
     for index, blob in enumerate(blobs):
         for section, size in container_sections(blob).items():
             sections[f"shard{index}/{section}"] = size
+    if closure is not None:
+        sections["closure"] = len(closure)
     return sections

@@ -1,0 +1,266 @@
+"""Boundary topology: the pinned cross-shard summary and its closure.
+
+When a partitioner cuts an edge, that edge cannot live inside any
+shard grammar; it survives verbatim in the *boundary summary*, with
+its endpoints pinned external so gRePair provably keeps their
+identity.  This module owns everything built on that summary:
+
+:class:`BoundaryGraph`
+    The summary itself, in the shard-major global ID space: the raw
+    boundary edges, the merged neighborhood maps (``out``/``into``/
+    ``undirected``), the per-shard *exit* (has an outgoing boundary
+    edge) and *entry* (has an incoming one) lists, the within-shard
+    connectivity blocks ``components()`` merges, and which shards the
+    boundary touches at all.
+:class:`BoundaryClosure`
+    The transitive closure of the *boundary graph* — the directed
+    graph over boundary nodes whose edges are (a) the boundary edges
+    themselves and (b) in-shard reachability between two boundary
+    nodes of the same shard (one Theorem-6 probe each, shipped as a
+    single ``batch()`` per shard).  Any cross-shard path decomposes
+    as: an in-shard prefix to the first exit, a walk through this
+    graph, and an in-shard suffix from the last entry — so with the
+    closure in hand, every cross-shard ``reach`` costs one in-shard
+    batch per endpoint shard plus O(1) closure lookups, instead of
+    per-hop chaining.
+
+    Rows are integer bitmasks over the sorted boundary-node list,
+    and the byte encoding is canonical (sorted, delta-coded IDs +
+    fixed-width little-endian rows), so a closure loaded from the
+    "GRPS" container is byte-identical to a rebuilt one.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import EncodingError
+from repro.util.varint import read_uvarint, write_uvarint
+
+__all__ = ["BoundaryClosure", "BoundaryGraph"]
+
+
+def _bits(mask: int) -> Iterable[int]:
+    """Indices of the set bits of ``mask``, ascending."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+class BoundaryGraph:
+    """The cross-shard boundary summary, in global (shard-major) IDs.
+
+    Immutable after construction; every map is sorted so downstream
+    consumers (query merges, the closure builder, the codec) are
+    deterministic.
+    """
+
+    __slots__ = ("edges", "blocks", "out", "into", "undirected",
+                 "incident", "touched", "exits", "entries", "members",
+                 "total_exits", "total_entries", "_bases")
+
+    def __init__(self, edges: List[Tuple[int, Tuple[int, ...]]],
+                 blocks: List[List[Tuple[int, ...]]],
+                 bases: Sequence[int]) -> None:
+        self.edges = edges
+        self.blocks = blocks
+        self._bases = list(bases)
+        shard_count = len(self._bases)
+        b_out: Dict[int, set] = {}
+        b_in: Dict[int, set] = {}
+        b_any: Dict[int, set] = {}
+        for label, att in edges:
+            if len(att) == 2:
+                source, target = att
+                b_out.setdefault(source, set()).add(target)
+                b_in.setdefault(target, set()).add(source)
+            for node in att:
+                others = b_any.setdefault(node, set())
+                others.update(other for other in att if other != node)
+        #: node -> sorted boundary successors / predecessors / any.
+        self.out = {node: sorted(v) for node, v in b_out.items()}
+        self.into = {node: sorted(v) for node, v in b_in.items()}
+        self.undirected = {node: sorted(v) for node, v in b_any.items()}
+        #: Global IDs of every node incident with a boundary edge.
+        self.incident = set(b_any)
+        #: Shards at least one boundary edge touches; only these can
+        #: be left or re-entered.
+        self.touched = {self.owner(node) for node in self.incident}
+        exits: List[List[int]] = [[] for _ in range(shard_count)]
+        for node in sorted(self.out):
+            exits[self.owner(node)].append(node)
+        entries: List[List[int]] = [[] for _ in range(shard_count)]
+        for node in sorted(self.into):
+            entries[self.owner(node)].append(node)
+        members: List[List[int]] = [[] for _ in range(shard_count)]
+        for node in sorted(self.incident):
+            members[self.owner(node)].append(node)
+        #: Per-shard sorted boundary-node lists: sources of boundary
+        #: edges (exits), targets (entries), and all incident nodes.
+        self.exits = exits
+        self.entries = entries
+        self.members = members
+        self.total_exits = sum(len(shard) for shard in exits)
+        self.total_entries = sum(len(shard) for shard in entries)
+
+    def owner(self, node: int) -> int:
+        """Shard index owning a global node ID (no range checks)."""
+        return bisect_right(self._bases, node - 1) - 1
+
+    @property
+    def edge_count(self) -> int:
+        """Number of boundary edges (the partition's cut size)."""
+        return len(self.edges)
+
+    def closure_pairs(self) -> int:
+        """In-shard reach probes a closure build costs (ordered pairs)."""
+        return sum(len(nodes) * (len(nodes) - 1)
+                   for nodes in self.members)
+
+
+class BoundaryClosure:
+    """Transitive closure over the boundary nodes, as bitmask rows.
+
+    ``rows[i]`` has bit ``j`` set iff boundary node ``nodes[j]`` is
+    reachable from ``nodes[i]`` through at least one boundary-graph
+    edge (the relation is *not* reflexive; callers add the source
+    themselves where identity matters).
+    """
+
+    __slots__ = ("nodes", "rows", "_index")
+
+    def __init__(self, nodes: List[int], rows: List[int]) -> None:
+        self.nodes = nodes
+        self.rows = rows
+        self._index = {node: position
+                       for position, node in enumerate(nodes)}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, boundary: BoundaryGraph, shards: Sequence[Any],
+              bases: Sequence[int]) -> "BoundaryClosure":
+        """Probe the shards and close the boundary graph.
+
+        One ``shard.batch()`` per shard covers every ordered pair of
+        that shard's boundary nodes (the in-shard edges); the boundary
+        edges themselves need no probes.  Works identically over local
+        :class:`repro.api.CompressedGraph` handles and socket-proxy
+        shards — ``batch`` is the wire format.
+        """
+        nodes = sorted(boundary.incident)
+        index = {node: position for position, node in enumerate(nodes)}
+        adjacency = [0] * len(nodes)
+        for source, targets in boundary.out.items():
+            row = index[source]
+            for target in targets:
+                adjacency[row] |= 1 << index[target]
+        for shard, members in enumerate(boundary.members):
+            pairs = [(a, b) for a in members for b in members if a != b]
+            if not pairs:
+                continue
+            base = bases[shard]
+            answers = shards[shard].batch(
+                [("reach", a - base, b - base) for a, b in pairs])
+            for (a, b), reachable in zip(pairs, answers):
+                if reachable:
+                    adjacency[index[a]] |= 1 << index[b]
+        rows: List[int] = []
+        for start in range(len(nodes)):
+            seen = 0
+            frontier = adjacency[start]
+            while frontier:
+                seen |= frontier
+                step = 0
+                for bit in _bits(frontier):
+                    step |= adjacency[bit]
+                frontier = step & ~seen
+            rows.append(seen)
+        return cls(nodes, rows)
+
+    # ------------------------------------------------------------------
+    # Lookups (global node IDs in, global node IDs out)
+    # ------------------------------------------------------------------
+    def row_mask(self, node: int) -> int:
+        """Bitmask of boundary nodes reachable from ``node``."""
+        return self.rows[self._index[node]]
+
+    def bit(self, node: int) -> int:
+        """The single-bit mask of one boundary node."""
+        return 1 << self._index[node]
+
+    def mask_of(self, nodes: Iterable[int]) -> int:
+        """The union mask of several boundary nodes."""
+        mask = 0
+        for node in nodes:
+            mask |= 1 << self._index[node]
+        return mask
+
+    def nodes_in(self, mask: int) -> List[int]:
+        """The boundary nodes a mask selects, ascending."""
+        return [self.nodes[bit] for bit in _bits(mask)]
+
+    def reaches(self, source: int, target: int) -> bool:
+        """Whether ``target`` is closure-reachable from ``source``."""
+        return bool(self.rows[self._index[source]]
+                    & (1 << self._index[target]))
+
+    # ------------------------------------------------------------------
+    # Codec (the optional "GRPS" closure section)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Canonical encoding: delta-coded IDs + fixed-width rows."""
+        out = bytearray()
+        write_uvarint(out, len(self.nodes))
+        previous = 0
+        for node in self.nodes:
+            write_uvarint(out, node - previous)
+            previous = node
+        row_bytes = (len(self.nodes) + 7) // 8
+        for row in self.rows:
+            out.extend(row.to_bytes(row_bytes, "little"))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "BoundaryClosure":
+        """Decode a closure section; validates the exact length."""
+        try:
+            count, pos = read_uvarint(data, 0)
+            nodes: List[int] = []
+            previous = 0
+            for _ in range(count):
+                delta, pos = read_uvarint(data, pos)
+                previous += delta
+                nodes.append(previous)
+            row_bytes = (count + 7) // 8
+            rows: List[int] = []
+            for _ in range(count):
+                if pos + row_bytes > len(data):
+                    raise EncodingError("truncated closure row")
+                row = int.from_bytes(data[pos:pos + row_bytes],
+                                     "little")
+                if row >> count:
+                    raise EncodingError(
+                        "closure row has bits beyond the node count")
+                rows.append(row)
+                pos += row_bytes
+        except (EncodingError, IndexError, ValueError) as exc:
+            raise EncodingError(f"corrupt closure section: {exc}") \
+                from None
+        if pos != len(data):
+            raise EncodingError(
+                f"{len(data) - pos} trailing bytes in closure section")
+        return cls(nodes, rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, BoundaryClosure)
+                and self.nodes == other.nodes
+                and self.rows == other.rows)
+
+    def __repr__(self) -> str:
+        reachable = sum(row.bit_count() for row in self.rows)
+        return (f"BoundaryClosure(nodes={len(self.nodes)}, "
+                f"pairs={reachable})")

@@ -1,0 +1,126 @@
+"""The partition plan: shard subgraphs + boundary summary for a build.
+
+``build_plan`` consumes a partitioner's assignment (input-graph node
+IDs) and produces everything shard compression needs: the per-shard
+subgraphs with their boundary nodes *pinned* external, the boundary
+edge list, the within-shard connectivity classes of the boundary
+nodes (the partition-time summary ``components()`` merges), and the
+true degree extrema of the whole input.  (Cut statistics live in
+:func:`repro.partition.partitioners.cut_statistics` for raw
+assignments and ``ShardedCompressedGraph.partition_stats`` for built
+handles — the plan does not duplicate them.)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.hypergraph import Hypergraph
+from repro.util.unionfind import UnionFind
+
+__all__ = ["PartitionPlan", "build_plan"]
+
+
+class PartitionPlan:
+    """Everything the build needs, still in input-graph node IDs."""
+
+    __slots__ = ("shards", "assign", "subgraphs", "boundary_edges",
+                 "boundary_nodes", "blocks", "extrema", "degree_error",
+                 "simple")
+
+    def __init__(self, shards: int, assign: Dict[int, int],
+                 subgraphs: List[Hypergraph],
+                 boundary_edges: List[Tuple[int, Tuple[int, ...]]],
+                 boundary_nodes: List[List[int]],
+                 blocks: List[List[Tuple[int, ...]]],
+                 extrema: Optional[Dict[str, int]],
+                 degree_error: Optional[str],
+                 simple: bool) -> None:
+        self.shards = shards
+        self.assign = assign
+        self.subgraphs = subgraphs
+        self.boundary_edges = boundary_edges
+        self.boundary_nodes = boundary_nodes
+        self.blocks = blocks
+        self.extrema = extrema
+        self.degree_error = degree_error
+        self.simple = simple
+
+
+def _degree_extrema(graph: Hypergraph
+                    ) -> Tuple[Optional[Dict[str, int]], Optional[str]]:
+    """True degree extrema of the input, matching ``DegreeQueries``.
+
+    Computed in one pass at partition time; the per-shard grammars
+    cannot answer this alone because boundary edges contribute to
+    boundary nodes' degrees.  Mirrors
+    :class:`repro.queries.degrees.DegreeQueries` exactly: rank-2
+    multiplicity counting, and the same errors for hyperedges and
+    empty graphs (raised lazily from the sharded handle's ``degree``).
+    """
+    if graph.node_size == 0:
+        return None, "degree extrema undefined: empty graph"
+    out: Dict[int, int] = {node: 0 for node in graph.nodes()}
+    into: Dict[int, int] = {node: 0 for node in graph.nodes()}
+    for _, edge in graph.edges():
+        if len(edge.att) != 2:
+            return None, (
+                "degree queries require a simple derived graph; found "
+                f"a terminal edge of rank {len(edge.att)}"
+            )
+        out[edge.att[0]] += 1
+        into[edge.att[1]] += 1
+    totals = {node: out[node] + into[node] for node in out}
+    return {
+        "max_out": max(out.values()),
+        "min_out": min(out.values()),
+        "max_in": max(into.values()),
+        "min_in": min(into.values()),
+        "max": max(totals.values()),
+        "min": min(totals.values()),
+    }, None
+
+
+def build_plan(graph: Hypergraph, assign: Dict[int, int],
+               shards: int) -> PartitionPlan:
+    """Split ``graph`` into shard subgraphs + the boundary summary."""
+    subgraphs = [Hypergraph() for _ in range(shards)]
+    for node in sorted(graph.nodes()):
+        subgraphs[assign[node]].add_node(node)
+    boundary_edges: List[Tuple[int, Tuple[int, ...]]] = []
+    boundary_sets: List[Set[int]] = [set() for _ in range(shards)]
+    intra_unions: List[UnionFind] = [UnionFind(g.nodes())
+                                     for g in subgraphs]
+    for _, edge in graph.edges():
+        owners = {assign[node] for node in edge.att}
+        if len(owners) == 1:
+            owner = next(iter(owners))
+            subgraphs[owner].add_edge(edge.label, edge.att)
+            anchor = edge.att[0]
+            for node in edge.att[1:]:
+                intra_unions[owner].union(anchor, node)
+        else:
+            boundary_edges.append((edge.label, edge.att))
+            for node in edge.att:
+                boundary_sets[assign[node]].add(node)
+    boundary_nodes = [sorted(nodes) for nodes in boundary_sets]
+    # Pin the boundary: external nodes are never folded into rules, so
+    # these nodes keep their IDs in the shard start graphs.
+    for subgraph, pinned in zip(subgraphs, boundary_nodes):
+        subgraph.set_external(pinned)
+    # Within-shard connectivity classes of the boundary nodes — the
+    # partition-time summary that lets components() merge shard counts
+    # without ever decompressing.
+    blocks: List[List[Tuple[int, ...]]] = []
+    for shard, pinned in enumerate(boundary_nodes):
+        by_root: Dict[int, List[int]] = {}
+        for node in pinned:
+            by_root.setdefault(intra_unions[shard].find(node),
+                               []).append(node)
+        blocks.append([tuple(group) for group in
+                       sorted(by_root.values())])
+    extrema, degree_error = _degree_extrema(graph)
+    simple = all(len(edge.att) == 2 for _, edge in graph.edges())
+    return PartitionPlan(shards, assign, subgraphs, boundary_edges,
+                         boundary_nodes, blocks, extrema, degree_error,
+                         simple)

@@ -1,0 +1,161 @@
+"""Cost-based planning of cross-shard reachability queries.
+
+The sharded handle used to hard-code one branch: chain boundary hops
+when ``exits^2 <= |val|``, else BFS the merged neighborhoods.  The
+planner replaces that with an explicit decision over *three* regimes,
+priced from the boundary statistics every handle already has:
+
+``closure``
+    One in-shard Theorem-6 batch per endpoint shard plus O(1) hops in
+    the :class:`repro.partition.boundary.BoundaryClosure`.  Per-query
+    cost ``exits(S_s) + entries(S_t)`` probes — but the closure must
+    first be built (``closure_pairs()`` probes, once per handle), so
+    it is only eligible while that build fits ``closure_budget``.
+``chaining``
+    Per-hop boundary chaining; worst case it probes every exit from
+    every entered boundary node: ``total_exits * total_entries``.
+``bfs``
+    Plain BFS over the merged (LRU-backed) neighborhoods; cost scales
+    with the derived graph, ``~ total_nodes`` expansions.
+
+:meth:`ReachPlanner.plan` returns the cheapest eligible strategy as a
+:class:`ReachPlan` carrying the estimates, so tests, benchmarks and
+the CLI can see *why* a regime was picked.  ``force`` pins a strategy
+(differential suites exercise all three on the same handle); the
+in-process handle and the socket router consult the same planner, so
+served answers take the same route local ones do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.partition.boundary import BoundaryGraph
+
+__all__ = ["ReachPlan", "ReachPlanner"]
+
+#: ``closure_budget`` default: the build may cost up to this many
+#: in-shard probes per derived-graph node.  One BFS fallback query
+#: already costs ~``total_nodes`` expansions, so the build pays for
+#: itself after ~``_BUDGET_PER_NODE`` cross-shard queries — cheap for
+#: a long-lived serving handle, while still fencing off the dense
+#: regime where the boundary rivals the graph itself.
+_BUDGET_PER_NODE = 32
+#: ...but never below this floor, so small graphs always qualify.
+_BUDGET_FLOOR = 4096
+
+
+@dataclass(frozen=True)
+class ReachPlan:
+    """One routing decision plus the estimates that produced it."""
+
+    strategy: str                     # local | closure | chaining | bfs
+    reason: str
+    costs: Dict[str, float] = field(default_factory=dict)
+
+
+class ReachPlanner:
+    """Prices the cross-shard regimes for one sharded handle.
+
+    Stateless between calls except for ``force`` (a strategy name that
+    overrides the cost model; used by differential tests and
+    benchmarks) and ``closure_budget`` (the probe budget a closure
+    build may spend; ``0`` disables the closure entirely).
+    """
+
+    def __init__(self, boundary: BoundaryGraph, total_nodes: int,
+                 closure_budget: Optional[int] = None) -> None:
+        self._boundary = boundary
+        self._total_nodes = total_nodes
+        self.closure_budget = (
+            max(_BUDGET_PER_NODE * total_nodes, _BUDGET_FLOOR)
+            if closure_budget is None else closure_budget)
+        #: Pin a strategy ("closure" / "chaining" / "bfs"), bypassing
+        #: the cost model.  ``None`` restores cost-based planning.
+        self.force: Optional[str] = None
+
+    @property
+    def closure_allowed(self) -> bool:
+        """Whether a closure build fits the probe budget."""
+        boundary = self._boundary
+        return (boundary.edge_count > 0
+                and boundary.closure_pairs() <= self.closure_budget)
+
+    def strategy(self, source_shard: int, target_shard: int,
+                 closure_built: bool = False) -> str:
+        """The strategy name alone — the hot-path probe.
+
+        The reach dispatch calls this per query (twice per planned
+        batch request), so it allocates nothing and formats nothing;
+        :meth:`plan` wraps the same decision with the cost table and
+        a human-readable reason.
+        """
+        boundary = self._boundary
+        if source_shard not in boundary.touched:
+            return "local"
+        if (source_shard != target_shard
+                and not boundary.entries[target_shard]):
+            # Entering a shard requires a boundary edge landing in
+            # it; without entries the answer is decidable for free.
+            return "local"
+        if self.force is not None:
+            return self.force
+        closure_cost = (len(boundary.exits[source_shard])
+                        + len(boundary.entries[target_shard]))
+        chaining_cost = (boundary.total_exits
+                         * max(boundary.total_entries, 1))
+        bfs_cost = self._total_nodes
+        if ((closure_built or self.closure_allowed)
+                and closure_cost <= chaining_cost
+                and closure_cost <= bfs_cost):
+            return "closure"
+        return "chaining" if chaining_cost <= bfs_cost else "bfs"
+
+    def plan(self, source_shard: int, target_shard: int,
+             closure_built: bool = False) -> ReachPlan:
+        """One :meth:`strategy` decision plus costs and a reason.
+
+        ``closure_built`` marks the build cost as sunk (the handle
+        passes it so a warmed or loaded closure is always preferred
+        over re-deriving the decision from the budget).
+        """
+        boundary = self._boundary
+        strategy = self.strategy(source_shard, target_shard,
+                                 closure_built)
+        if strategy == "local":
+            if source_shard not in boundary.touched:
+                return ReachPlan(
+                    "local", "no boundary edge touches the source "
+                             "shard; it cannot be left")
+            return ReachPlan(
+                "local", "no boundary edge enters the target shard; "
+                         "it cannot be reached from outside")
+        costs: Dict[str, float] = {
+            "closure": (len(boundary.exits[source_shard])
+                        + len(boundary.entries[target_shard])),
+            "chaining": float(boundary.total_exits
+                              * max(boundary.total_entries, 1)),
+            "bfs": float(self._total_nodes),
+            "closure_build": float(boundary.closure_pairs()),
+        }
+        if self.force is not None:
+            return ReachPlan(self.force,
+                             f"forced to {self.force!r}", costs)
+        if strategy == "closure":
+            reason = ("closure build "
+                      + ("already paid"
+                         if closure_built else
+                         f"({costs['closure_build']:.0f} probes) fits "
+                         f"the budget ({self.closure_budget})")
+                      + f"; per-query cost {costs['closure']:.0f} "
+                        "probes beats the alternatives")
+        elif strategy == "chaining":
+            reason = (f"sparse boundary: chaining "
+                      f"(~{costs['chaining']:.0f} probes) undercuts "
+                      f"BFS (~{costs['bfs']:.0f} expansions)")
+        else:
+            reason = (f"dense boundary: BFS (~{costs['bfs']:.0f} "
+                      f"expansions) undercuts chaining "
+                      f"(~{costs['chaining']:.0f} probes)")
+        return ReachPlan(strategy, reason, costs)

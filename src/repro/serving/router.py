@@ -197,6 +197,9 @@ class _WireConnection:
         self._timeout = timeout
         self._lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
+        #: Completed request/response exchanges on this connection —
+        #: the router's unit of wire cost (tests assert budgets on it).
+        self.round_trips = 0
 
     def _socket(self) -> socket.socket:
         if self._sock is None:
@@ -205,6 +208,7 @@ class _WireConnection:
 
     def round_trip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
+            self.round_trips += 1
             sock = self._socket()
             send_message(sock, message, self._codec)
             try:
@@ -289,6 +293,11 @@ class GraphClient:
         """Liveness probe."""
         return self._conn.round_trip({"op": "ping"}).get("op") == "pong"
 
+    @property
+    def round_trips(self) -> int:
+        """Request/response exchanges this client has performed."""
+        return self._conn.round_trips
+
     def close(self) -> None:
         self._conn.close()
 
@@ -366,6 +375,11 @@ class RemoteShard:
 
     # -- inert introspection (the router owns no shard state) ----------
     @property
+    def round_trips(self) -> int:
+        """Wire exchanges with this shard (a cost meter for tests)."""
+        return self._client.round_trips
+
+    @property
     def canonicalizations(self) -> int:
         return 0
 
@@ -403,8 +417,22 @@ class GraphServer:
         self._listener: Optional[socket.socket] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        self._service: Optional[Any] = None
         self.endpoint: Optional[str] = None
         self.num_shards = 0
+
+    @property
+    def service(self) -> Optional[Any]:
+        """The router-side service answering client batches.
+
+        For a sharded container this is the proxy-backed
+        :class:`~repro.sharding.ShardedCompressedGraph` (its planner
+        and closure are live objects — tests and operators can
+        inspect or pin the cross-shard strategy); for a single
+        grammar it is the lone :class:`RemoteShard`.  ``None`` until
+        :meth:`start`.
+        """
+        return self._service
 
     # ------------------------------------------------------------------
     def start(self) -> "GraphServer":
@@ -428,18 +456,32 @@ class GraphServer:
         cache_size = (DEFAULT_CACHE_SIZE if self._cache_size is None
                       else self._cache_size)
         if is_sharded_container(self._data):
+            from repro.partition import BoundaryClosure
             from repro.sharding import ShardedCompressedGraph, _decode_meta
-            meta, blobs = decode_sharded_container(self._data)
+            meta, blobs, closure_blob = decode_sharded_container(
+                self._data)
             (shard_nodes, boundary_edges, blocks, extrema,
              degree_error, simple, partitioner) = _decode_meta(
                 meta, len(blobs))
+            # A persisted closure means a cold-started router answers
+            # cross-shard reach without ever re-probing the shards.
+            closure = (BoundaryClosure.from_bytes(closure_blob)
+                       if closure_blob is not None else None)
             shard_endpoints = self._spawn_shards(context, blobs)
             self._proxies = [RemoteShard(endpoint, codec=self._codec)
                              for endpoint in shard_endpoints]
-            service: Any = ShardedCompressedGraph(
-                list(self._proxies), None, boundary_edges, blocks,
-                extrema, degree_error, shard_nodes, simple=simple,
-                partitioner=partitioner, cache_size=cache_size)
+            try:
+                service: Any = ShardedCompressedGraph(
+                    list(self._proxies), None, boundary_edges, blocks,
+                    extrema, degree_error, shard_nodes, simple=simple,
+                    partitioner=partitioner, cache_size=cache_size,
+                    closure=closure,
+                    closure_persisted=closure is not None)
+            except Exception:
+                # e.g. a closure/meta mismatch: don't leak the shard
+                # processes forked above.
+                self.close()
+                raise
             executor: Executor = ThreadExecutor()
             self.num_shards = len(blobs)
             info = {
@@ -448,6 +490,7 @@ class GraphServer:
                 "nodes": sum(shard_nodes),
                 "boundary_edges": len(boundary_edges),
                 "partitioner": partitioner,
+                "closure": closure is not None,
             }
         else:
             shard_endpoints = self._spawn_shards(context, [self._data])
@@ -460,6 +503,7 @@ class GraphServer:
                     **{key: value
                        for key, value in proxy._client.info().items()
                        if key in ("nodes", "edges")}}
+        self._service = service
         self._listener, self.endpoint = bind_socket(self._address)
         self._thread = threading.Thread(
             target=_accept_loop,
@@ -512,6 +556,7 @@ class GraphServer:
         for proxy in self._proxies:
             proxy.close()
         self._proxies = []
+        self._service = None
         for process in self._processes:
             if process.is_alive():
                 process.terminate()

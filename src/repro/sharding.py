@@ -3,21 +3,28 @@
 One grammar per graph stops scaling when the graph outgrows a single
 compression run (or a single machine's build budget).  This module
 keeps the :class:`repro.api.CompressedGraph` serving interface but
-spreads the graph over ``k`` independent per-shard grammars:
+spreads the graph over ``k`` independent per-shard grammars.  It is
+orchestration glue over the :mod:`repro.partition` layer, which owns
+the actual partition topology:
 
-* **partition** — a pluggable partitioner assigns every node to a
-  shard (:func:`hash_partition` by default; ``"connectivity"`` keeps
-  whole connected components together, which eliminates boundary
-  edges whenever the graph has enough components).
+* **partition** — a pluggable partitioner
+  (:data:`repro.partition.PARTITIONERS`: ``hash`` by default,
+  ``connectivity`` keeps whole components together, ``bfs`` and
+  ``label`` minimize the edge cut so even a single giant component
+  splits with a small boundary) assigns every node to a shard;
+  :func:`repro.partition.build_plan` scores the cut
+  (``boundary_edges`` / ``cut_ratio`` / ``balance``, see
+  :attr:`ShardedCompressedGraph.partition_stats`).
 * **pin the boundary** — edges whose attachment spans two shards
   cannot live inside any shard grammar; they are kept verbatim in a
-  *boundary summary*.  Their endpoints are marked **external** in the
-  shard subgraphs before compression: gRePair never folds an external
-  node into a rule (see :func:`repro.core.digram.occurrence_key`), so
-  every boundary node provably survives in its shard's start graph
-  with its original ID.  That survival is what makes boundary
-  structures translatable into the canonical per-shard query numbering
-  — the one piece of node identity compression otherwise erases.
+  :class:`repro.partition.BoundaryGraph`.  Their endpoints are marked
+  **external** in the shard subgraphs before compression: gRePair
+  never folds an external node into a rule (see
+  :func:`repro.core.digram.occurrence_key`), so every boundary node
+  provably survives in its shard's start graph with its original ID.
+  That survival is what makes boundary structures translatable into
+  the canonical per-shard query numbering — the one piece of node
+  identity compression otherwise erases.
 * **compress shards independently** — optionally fanned out over a
   thread pool (``parallel="thread"``) or forked worker processes
   (``parallel="process"``, one compression per core — gRePair is pure
@@ -27,16 +34,24 @@ spreads the graph over ``k`` independent per-shard grammars:
   contiguous ID block ``base_i + 1 .. base_i + n_i`` where the local
   IDs are the shard's own canonical ``val`` numbering.  Per-node
   queries (``out`` / ``in_`` / ``neighborhood`` / ``degree``) route to
-  the owning shard and merge that node's boundary edges; ``reach``
-  chains per-shard reachability through boundary hops; ``components``
-  combines per-shard counts with a union-find over the boundary
-  summary built at partition time; ``path`` runs BFS over the merged
-  neighborhoods.  A differential suite asserts every answer equals the
-  unsharded handle's.
+  the owning shard and merge that node's boundary edges;
+  ``components`` combines per-shard counts with a union-find over the
+  boundary summary built at partition time; ``path`` runs BFS over
+  the merged neighborhoods.  Cross-shard ``reach`` is planned per
+  query by a :class:`repro.partition.ReachPlanner`: a lazily built
+  (and container-persisted) :class:`repro.partition.BoundaryClosure`
+  answers it with one in-shard Theorem-6 batch per endpoint shard
+  plus O(1) closure hops; when the closure is over budget the planner
+  falls back to batched boundary chaining (sparse) or merged-BFS
+  (dense).  A differential suite asserts every answer equals the
+  unsharded handle's under every strategy.
 * **persist** — :meth:`save` / :meth:`open` use the multi-shard
   container framing of :mod:`repro.encoding.container` ("GRPS"): one
   routing-summary meta section plus one complete "GRPR" container per
-  shard, with the existing per-section size accounting kept per shard.
+  shard, with the existing per-section size accounting kept per
+  shard, plus an optional closure trailer section so a warmed
+  boundary closure survives the round trip and cold-started servers
+  skip the rebuild.
 * **cache + batch** — the same per-handle query-result LRU as the
   unsharded facade, and ``batch(..., parallel=True)`` plans a batch
   (via :func:`repro.serving.plan_batch`): deduplicates it,
@@ -47,7 +62,8 @@ spreads the graph over ``k`` independent per-shard grammars:
   surface, every executor, and :func:`repro.serving.serve` (one
   socket-served process per shard behind a router, with
   :class:`repro.serving.router.RemoteShard` proxies standing in for
-  the local shard handles) all apply unchanged.
+  the local shard handles) all apply unchanged — including the
+  planner and the closure, which the router consults identically.
 
 :func:`open_compressed` dispatches on the container magic and returns
 whichever handle type a file holds.
@@ -85,6 +101,18 @@ from repro.encoding.container import (
     sharded_container_sections,
 )
 from repro.exceptions import EncodingError, GrammarError, QueryError
+from repro.partition import (
+    PARTITIONERS,
+    BoundaryClosure,
+    BoundaryGraph,
+    ReachPlanner,
+    bfs_partition,
+    build_plan,
+    connectivity_partition,
+    hash_partition,
+    label_partition,
+    resolve_partitioner,
+)
 from repro.queries.cache import QueryCache
 from repro.serving.executors import (
     Executor,
@@ -105,176 +133,14 @@ from repro.util.varint import read_uvarint, write_uvarint
 __all__ = [
     "PARTITIONERS",
     "ShardedCompressedGraph",
+    "bfs_partition",
     "connectivity_partition",
     "hash_partition",
+    "label_partition",
     "open_compressed",
 ]
 
 _META_VERSION = 1
-#: Knuth's multiplicative constant — a stable spread for consecutive
-#: node IDs, independent of PYTHONHASHSEED.
-_HASH_MIX = 2654435761
-
-
-# ----------------------------------------------------------------------
-# Partitioners
-# ----------------------------------------------------------------------
-def hash_partition(graph: Hypergraph, shards: int) -> Dict[int, int]:
-    """Assign each node by a stable multiplicative hash of its ID.
-
-    The default partitioner: balanced, stateless and deterministic
-    across processes (no reliance on ``hash()``), at the price of
-    cutting edges indiscriminately.
-    """
-    return {node: ((node * _HASH_MIX) & 0xFFFFFFFF) % shards
-            for node in graph.nodes()}
-
-
-def connectivity_partition(graph: Hypergraph, shards: int
-                           ) -> Dict[int, int]:
-    """Keep connected components together; bin-pack them onto shards.
-
-    Components (undirected, any edge rank) are sorted largest first
-    and greedily placed on the currently lightest shard, so a graph
-    with at least ``shards`` components yields **zero** boundary
-    edges.  A component larger than the ideal shard is kept whole —
-    splitting it would manufacture boundary edges, which is exactly
-    what this partitioner exists to avoid.
-    """
-    components = UnionFind(graph.nodes())
-    for _, edge in graph.edges():
-        anchor = edge.att[0]
-        for node in edge.att[1:]:
-            components.union(anchor, node)
-    members: Dict[int, List[int]] = {}
-    for node in graph.nodes():
-        members.setdefault(components.find(node), []).append(node)
-    loads = [0] * shards
-    assign: Dict[int, int] = {}
-    ordered = sorted(members.values(),
-                     key=lambda nodes: (-len(nodes), min(nodes)))
-    for nodes in ordered:
-        target = loads.index(min(loads))
-        loads[target] += len(nodes)
-        for node in nodes:
-            assign[node] = target
-    return assign
-
-
-#: name -> partitioner; the CLI and :meth:`ShardedCompressedGraph.compress`
-#: accept either a name from here or any callable with this signature.
-PARTITIONERS: Dict[str, Callable[[Hypergraph, int], Dict[int, int]]] = {
-    "hash": hash_partition,
-    "connectivity": connectivity_partition,
-}
-
-
-# ----------------------------------------------------------------------
-# Partition plan (original-ID space; consumed by the build)
-# ----------------------------------------------------------------------
-class _PartitionPlan:
-    """Everything the build needs, still in input-graph node IDs."""
-
-    __slots__ = ("shards", "assign", "subgraphs", "boundary_edges",
-                 "boundary_nodes", "blocks", "extrema", "degree_error",
-                 "simple")
-
-    def __init__(self, shards: int, assign: Dict[int, int],
-                 subgraphs: List[Hypergraph],
-                 boundary_edges: List[Tuple[int, Tuple[int, ...]]],
-                 boundary_nodes: List[List[int]],
-                 blocks: List[List[Tuple[int, ...]]],
-                 extrema: Optional[Dict[str, int]],
-                 degree_error: Optional[str],
-                 simple: bool) -> None:
-        self.shards = shards
-        self.assign = assign
-        self.subgraphs = subgraphs
-        self.boundary_edges = boundary_edges
-        self.boundary_nodes = boundary_nodes
-        self.blocks = blocks
-        self.extrema = extrema
-        self.degree_error = degree_error
-        self.simple = simple
-
-
-def _degree_extrema(graph: Hypergraph
-                    ) -> Tuple[Optional[Dict[str, int]], Optional[str]]:
-    """True degree extrema of the input, matching ``DegreeQueries``.
-
-    Computed in one pass at partition time; the per-shard grammars
-    cannot answer this alone because boundary edges contribute to
-    boundary nodes' degrees.  Mirrors
-    :class:`repro.queries.degrees.DegreeQueries` exactly: rank-2
-    multiplicity counting, and the same errors for hyperedges and
-    empty graphs (raised lazily from :meth:`ShardedCompressedGraph.degree`).
-    """
-    if graph.node_size == 0:
-        return None, "degree extrema undefined: empty graph"
-    out: Dict[int, int] = {node: 0 for node in graph.nodes()}
-    into: Dict[int, int] = {node: 0 for node in graph.nodes()}
-    for _, edge in graph.edges():
-        if len(edge.att) != 2:
-            return None, (
-                "degree queries require a simple derived graph; found "
-                f"a terminal edge of rank {len(edge.att)}"
-            )
-        out[edge.att[0]] += 1
-        into[edge.att[1]] += 1
-    totals = {node: out[node] + into[node] for node in out}
-    return {
-        "max_out": max(out.values()),
-        "min_out": min(out.values()),
-        "max_in": max(into.values()),
-        "min_in": min(into.values()),
-        "max": max(totals.values()),
-        "min": min(totals.values()),
-    }, None
-
-
-def _partition(graph: Hypergraph, assign: Dict[int, int],
-               shards: int) -> _PartitionPlan:
-    """Split ``graph`` into shard subgraphs + the boundary summary."""
-    subgraphs = [Hypergraph() for _ in range(shards)]
-    for node in sorted(graph.nodes()):
-        subgraphs[assign[node]].add_node(node)
-    boundary_edges: List[Tuple[int, Tuple[int, ...]]] = []
-    boundary_sets: List[Set[int]] = [set() for _ in range(shards)]
-    intra_unions: List[UnionFind] = [UnionFind(g.nodes())
-                                     for g in subgraphs]
-    for _, edge in graph.edges():
-        owners = {assign[node] for node in edge.att}
-        if len(owners) == 1:
-            owner = next(iter(owners))
-            subgraphs[owner].add_edge(edge.label, edge.att)
-            anchor = edge.att[0]
-            for node in edge.att[1:]:
-                intra_unions[owner].union(anchor, node)
-        else:
-            boundary_edges.append((edge.label, edge.att))
-            for node in edge.att:
-                boundary_sets[assign[node]].add(node)
-    boundary_nodes = [sorted(nodes) for nodes in boundary_sets]
-    # Pin the boundary: external nodes are never folded into rules, so
-    # these nodes keep their IDs in the shard start graphs.
-    for subgraph, pinned in zip(subgraphs, boundary_nodes):
-        subgraph.set_external(pinned)
-    # Within-shard connectivity classes of the boundary nodes — the
-    # partition-time summary that lets components() merge shard counts
-    # without ever decompressing.
-    blocks: List[List[Tuple[int, ...]]] = []
-    for shard, pinned in enumerate(boundary_nodes):
-        by_root: Dict[int, List[int]] = {}
-        for node in pinned:
-            by_root.setdefault(intra_unions[shard].find(node),
-                               []).append(node)
-        blocks.append([tuple(group) for group in
-                       sorted(by_root.values())])
-    extrema, degree_error = _degree_extrema(graph)
-    simple = all(len(edge.att) == 2 for _, edge in graph.edges())
-    return _PartitionPlan(shards, assign, subgraphs, boundary_edges,
-                          boundary_nodes, blocks, extrema, degree_error,
-                          simple)
 
 
 def _terminal_order(alphabet: Alphabet) -> Dict[int, int]:
@@ -326,7 +192,8 @@ class ShardedCompressedGraph(GraphService):
     shard's canonical ``val`` numbering (the same numbering an
     unsharded handle would use for that shard alone).  The handle is
     immutable after construction and safe to share between threads;
-    every per-shard index builds lazily, at most once.
+    every per-shard index — and the boundary closure — builds lazily,
+    at most once.
     """
 
     _BATCH_KINDS = CompressedGraph._BATCH_KINDS
@@ -342,16 +209,15 @@ class ShardedCompressedGraph(GraphService):
                  partitioner: str = "hash",
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  container: Optional[ShardedFile] = None,
-                 container_key: Optional[Tuple[bool, int]] = None
-                 ) -> None:
+                 container_key: Optional[Tuple[bool, int, bool]] = None,
+                 closure: Optional[BoundaryClosure] = None,
+                 closure_persisted: bool = False) -> None:
         """Internal: boundary structures must already be in global IDs.
 
         Use the classmethod constructors.
         """
         self._shards = shards
         self._alphabet = alphabet
-        self._boundary_edges = boundary_edges
-        self._blocks = blocks
         self._extrema = extrema
         self._degree_error = degree_error
         self._partitioner = partitioner
@@ -370,34 +236,23 @@ class ShardedCompressedGraph(GraphService):
         #: True iff every edge of the full graph has rank 2; mirrors
         #: the unsharded handle, whose reach raises on any hyperedge.
         self._simple = simple
-        # Merged-neighborhood summaries of the boundary, global IDs.
-        b_out: Dict[int, Set[int]] = {}
-        b_in: Dict[int, Set[int]] = {}
-        b_any: Dict[int, Set[int]] = {}
-        for label, att in boundary_edges:
-            if len(att) == 2:
-                source, target = att
-                b_out.setdefault(source, set()).add(target)
-                b_in.setdefault(target, set()).add(source)
-            for node in att:
-                others = b_any.setdefault(node, set())
-                others.update(other for other in att if other != node)
-        self._b_out = {node: sorted(v) for node, v in b_out.items()}
-        self._b_in = {node: sorted(v) for node, v in b_in.items()}
-        self._b_any = {node: sorted(v) for node, v in b_any.items()}
-        #: Global IDs of every node incident with a boundary edge.
-        self._boundary_incident: Set[int] = set(b_any)
-        #: Shards at least one boundary edge touches; only these can be
-        #: left or re-entered, so reach inside any other shard is local.
-        self._boundary_shards: Set[int] = {
-            self._owner(node) for node in self._boundary_incident}
-        # Outgoing boundary "exits" per shard, for cross-shard reach.
-        exits: List[List[int]] = [[] for _ in shards]
-        for node in sorted(self._b_out):
-            exits[self._owner(node)].append(node)
-        self._exits = exits
-        self._total_exits = sum(len(shard_exits)
-                                for shard_exits in exits)
+        #: The boundary topology (summaries, exits/entries, blocks).
+        self._boundary = BoundaryGraph(boundary_edges, blocks,
+                                       self._bases)
+        #: The cross-shard reach cost model (shared with the router).
+        self._planner = ReachPlanner(self._boundary, self._total_nodes)
+        if (closure is not None
+                and closure.nodes != sorted(self._boundary.incident)):
+            # A structurally valid closure over the wrong node set
+            # (a spliced or corrupted container) must fail here, like
+            # the meta/shard-count mismatch does — not as a KeyError
+            # from the first reach that takes the closure route.
+            raise EncodingError(
+                "closure section covers a different boundary node "
+                "set than the container meta"
+            )
+        self._closure_obj = closure
+        self._closure_persisted = closure_persisted
 
     # ------------------------------------------------------------------
     # Constructors
@@ -415,7 +270,8 @@ class ShardedCompressedGraph(GraphService):
                  ) -> "ShardedCompressedGraph":
         """Partition ``graph``, compress every shard, build the handle.
 
-        ``partitioner`` is a name from :data:`PARTITIONERS` or any
+        ``partitioner`` is a name from
+        :data:`repro.partition.PARTITIONERS` or any
         ``(graph, shards) -> {node: shard}`` callable covering every
         node with values in ``range(shards)``.  The per-shard
         compressions are independent by construction; ``parallel``
@@ -429,17 +285,7 @@ class ShardedCompressedGraph(GraphService):
             raise GrammarError(f"shards must be >= 1, got {shards}")
         if settings is None:
             settings = GRePairSettings()
-        if callable(partitioner):
-            partition_fn = partitioner
-            partitioner_name = getattr(partitioner, "__name__", "custom")
-        else:
-            partition_fn = PARTITIONERS.get(partitioner)
-            if partition_fn is None:
-                raise GrammarError(
-                    f"unknown partitioner {partitioner!r}; expected one "
-                    f"of {sorted(PARTITIONERS)} or a callable"
-                )
-            partitioner_name = partitioner
+        partition_fn, partitioner_name = resolve_partitioner(partitioner)
         assign = partition_fn(graph, shards)
         missing = [node for node in graph.nodes() if node not in assign]
         if missing:
@@ -452,7 +298,7 @@ class ShardedCompressedGraph(GraphService):
         if bad:
             raise GrammarError(
                 f"partitioner produced out-of-range shards {sorted(bad)}")
-        plan = _partition(graph, assign, shards)
+        plan = build_plan(graph, assign, shards)
 
         def build(index: int) -> CompressedGraph:
             return _compress_shard(plan.subgraphs[index], alphabet,
@@ -541,7 +387,7 @@ class ShardedCompressedGraph(GraphService):
                    ) -> "ShardedCompressedGraph":
         """Load a handle from serialized "GRPS" container bytes."""
         data = buf.data if isinstance(buf, ShardedFile) else bytes(buf)
-        meta, blobs = decode_sharded_container(data)
+        meta, blobs, closure_blob = decode_sharded_container(data)
         shards = [CompressedGraph.from_bytes(blob, cache_size=cache_size)
                   for blob in blobs]
         (shard_nodes, boundary_edges, blocks, extrema, degree_error,
@@ -573,6 +419,8 @@ class ShardedCompressedGraph(GraphService):
                     "build"
                 )
         reference = shards[0].grammar.alphabet
+        closure = (BoundaryClosure.from_bytes(closure_blob)
+                   if closure_blob is not None else None)
         container = ShardedFile(
             data=data, section_bytes=sharded_container_sections(data))
         # Like CompressedGraph.from_bytes: remember the k the file was
@@ -582,7 +430,10 @@ class ShardedCompressedGraph(GraphService):
         return cls(shards, reference, boundary_edges, blocks, extrema,
                    degree_error, shard_nodes, simple=simple,
                    partitioner=partitioner, cache_size=cache_size,
-                   container=container, container_key=(True, k))
+                   container=container,
+                   container_key=(True, k, closure is not None),
+                   closure=closure,
+                   closure_persisted=closure is not None)
 
     @classmethod
     def open(cls, path: Union[str, Path],
@@ -595,32 +446,43 @@ class ShardedCompressedGraph(GraphService):
     # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def to_container(self, include_names: bool = True,
-                     k: int = 2) -> ShardedFile:
+    def to_container(self, include_names: bool = True, k: int = 2,
+                     include_closure: Optional[bool] = None
+                     ) -> ShardedFile:
         """Serialize to the multi-shard container format.
 
+        ``include_closure=None`` (the default) persists the boundary
+        closure exactly when it is already built — so a warmed handle
+        round-trips its closure for free and a cold handle pays
+        nothing; ``True`` forces the build first, ``False`` drops it.
         Cached per parameter set: loaded handles keep reporting the
         file they came from, and repeated ``sizes``/``total_bytes``
         accesses do not re-encode every shard.
         """
-        key = (include_names, k)
+        if include_closure is None:
+            include_closure = self.closure_built
+        key = (include_names, k, bool(include_closure))
         with self._lock:
             if self._container is not None and self._container_key == key:
                 return self._container
         order = _terminal_order(self._alphabet)
         boundary_edges = [
-            (order[label], att) for label, att in self._boundary_edges
+            (order[label], att)
+            for label, att in self._boundary.edges
         ]
         meta = _encode_meta(self._shard_nodes, boundary_edges,
-                            self._blocks, self._extrema,
+                            self._boundary.blocks, self._extrema,
                             self._degree_error, self._simple,
                             self._partitioner)
         blobs = [shard.to_bytes(include_names=include_names, k=k)
                  for shard in self._shards]
-        container = encode_sharded_container(meta, blobs)
+        closure_bytes = (self.warm_closure().to_bytes()
+                         if include_closure else None)
+        container = encode_sharded_container(meta, blobs, closure_bytes)
         with self._lock:
             self._container = container
             self._container_key = key
+            self._closure_persisted = bool(include_closure)
         return container
 
     def _current_container(self) -> ShardedFile:
@@ -631,20 +493,23 @@ class ShardedCompressedGraph(GraphService):
             return container
         return self.to_container()
 
-    def to_bytes(self, include_names: bool = True, k: int = 2) -> bytes:
+    def to_bytes(self, include_names: bool = True, k: int = 2,
+                 include_closure: Optional[bool] = None) -> bytes:
         """Serialize to "GRPS" container bytes."""
-        return self.to_container(include_names, k).data
+        return self.to_container(include_names, k, include_closure).data
 
     def save(self, path: Union[str, Path], include_names: bool = True,
-             k: int = 2) -> ShardedFile:
+             k: int = 2,
+             include_closure: Optional[bool] = None) -> ShardedFile:
         """Write the container to ``path``; returns the container."""
-        container = self.to_container(include_names, k)
+        container = self.to_container(include_names, k, include_closure)
         container.write(path)
         return container
 
     @property
     def sizes(self) -> Dict[str, int]:
-        """Per-section bytes: ``meta`` plus ``shard<i>/<section>``.
+        """Per-section bytes: ``meta`` plus ``shard<i>/<section>``
+        (plus ``closure`` when persisted).
 
         Loaded handles report the sections parsed from the loaded
         file, exactly like :attr:`CompressedGraph.sizes`.
@@ -681,9 +546,79 @@ class ShardedCompressedGraph(GraphService):
         return self._alphabet
 
     @property
+    def boundary(self) -> BoundaryGraph:
+        """The boundary topology (summaries, exits/entries, blocks)."""
+        return self._boundary
+
+    @property
     def boundary_edge_count(self) -> int:
         """Edges of the input that cross shards (kept uncompressed)."""
-        return len(self._boundary_edges)
+        return self._boundary.edge_count
+
+    @property
+    def planner(self) -> ReachPlanner:
+        """The cross-shard reach planner (cost model + overrides)."""
+        return self._planner
+
+    @property
+    def closure_built(self) -> bool:
+        """Whether the boundary closure exists (no side effects)."""
+        return self._closure_obj is not None
+
+    @property
+    def closure_persisted(self) -> bool:
+        """Whether the current container carries a closure section."""
+        return self._closure_persisted
+
+    def warm_closure(self) -> BoundaryClosure:
+        """Force the boundary closure now (build at most once).
+
+        One in-shard ``batch()`` per shard covers every boundary-node
+        pair; the resulting closure makes every cross-shard ``reach``
+        one batch per endpoint shard.  Safe to call concurrently.
+        Raises :class:`QueryError` for non-simple graphs — their
+        ``reach`` raises anyway, so a closure could never be used.
+        """
+        closure = self._closure_obj
+        if closure is None and not self._simple:
+            raise QueryError(
+                "the boundary closure requires a simple derived "
+                "graph; found a terminal hyperedge"
+            )
+        if closure is None:
+            with self._lock:
+                closure = self._closure_obj
+                if closure is None:
+                    closure = BoundaryClosure.build(
+                        self._boundary, self._shards, self._bases)
+                    self._closure_obj = closure
+        return closure
+
+    @property
+    def partition_stats(self) -> Dict[str, float]:
+        """Cut statistics of this partition: size, ratio, balance.
+
+        Same keys as :func:`repro.partition.cut_statistics`
+        (``boundary_edges`` / ``cut_ratio`` / ``balance``), derived
+        from the handle itself so loaded containers report them too.
+        Counts edges on the raw shard grammars (canonicalization does
+        not change edge counts), so reading this never forces the
+        shards' lazy query indexes.
+        """
+        total_edges = self._boundary.edge_count + sum(
+            (shard.grammar.derived_edge_count()
+             if hasattr(shard, "grammar")     # socket-proxy shards
+             else shard.edge_count())         # answer over the wire
+            for shard in self._shards)
+        ideal = (self._total_nodes / len(self._shards)
+                 if self._shards else 0.0)
+        return {
+            "boundary_edges": self._boundary.edge_count,
+            "cut_ratio": (self._boundary.edge_count / total_edges
+                          if total_edges else 0.0),
+            "balance": (max(self._shard_nodes) / ideal
+                        if ideal else 1.0),
+        }
 
     @property
     def canonicalizations(self) -> int:
@@ -722,7 +657,10 @@ class ShardedCompressedGraph(GraphService):
         return {
             "shards": len(self._shards),
             "partitioner": self._partitioner,
-            "boundary_edges": len(self._boundary_edges),
+            "boundary_edges": self._boundary.edge_count,
+            "boundary_nodes": len(self._boundary.incident),
+            "closure_built": self.closure_built,
+            "closure_persisted": self.closure_persisted,
             "shard_nodes": list(self._shard_nodes),
             "shard_grammar_sizes": [shard.grammar.size
                                     for shard in self._shards],
@@ -737,7 +675,7 @@ class ShardedCompressedGraph(GraphService):
         return (f"{len(self._shards)} shards "
                 f"({self._partitioner}), {total_rules} rules, "
                 f"sum|G|={total_size}, "
-                f"{len(self._boundary_edges)} boundary edges, "
+                f"{self._boundary.edge_count} boundary edges, "
                 f"{self._total_nodes} nodes")
 
     # ------------------------------------------------------------------
@@ -778,7 +716,7 @@ class ShardedCompressedGraph(GraphService):
                 remaining -= val.num_edges
                 if remaining <= 0:
                     return merged
-        for label, att in self._boundary_edges:
+        for label, att in self._boundary.edges:
             merged.add_edge(label, att)
             if remaining is not None:
                 remaining -= 1
@@ -797,13 +735,13 @@ class ShardedCompressedGraph(GraphService):
         handle = self._shards[shard]
         if direction == "out":
             inner = handle.out_neighbors(local)
-            extra = self._b_out.get(node_id)
+            extra = self._boundary.out.get(node_id)
         elif direction == "in":
             inner = handle.in_neighbors(local)
-            extra = self._b_in.get(node_id)
+            extra = self._boundary.into.get(node_id)
         else:
             inner = handle.neighbors(local)
-            extra = self._b_any.get(node_id)
+            extra = self._boundary.undirected.get(node_id)
         result = [node + base for node in inner]
         if extra:
             merged = set(result)
@@ -845,20 +783,22 @@ class ShardedCompressedGraph(GraphService):
     # Speed-up queries (merge per-shard summaries)
     # ------------------------------------------------------------------
     def reachable(self, source_id: int, target_id: int) -> bool:
-        """(s,t)-reachability across shards.
+        """(s,t)-reachability across shards, planned per query.
 
-        Three regimes, picked per query:
+        Same-shard pairs in an untouched shard run the owning shard's
+        Theorem-6 query verbatim (``O(|G_i|)``).  Cross-shard pairs go
+        through the :class:`repro.partition.ReachPlanner`:
 
-        * both endpoints in one shard that no boundary edge touches —
-          the owning shard's Theorem-6 query verbatim (``O(|G_i|)``);
-        * a *sparse* boundary (``exits^2 <= |val|``) — boundary
-          chaining: alternate per-shard ``O(|G_i|)`` reachability with
-          boundary hops, so the cost scales with the grammar and the
-          boundary, never with ``val``;
-        * a *dense* boundary — the boundary summary rivals the graph
-          itself, so chaining would quadratically repeat per-shard
-          queries; fall back to BFS over the merged (LRU-backed)
-          neighborhoods, the paper's any-algorithm-on-Prop.-4 route.
+        * **closure** — one in-shard batch per endpoint shard plus
+          O(1) hops in the boundary transitive closure (built lazily,
+          persisted in the container);
+        * **chaining** — batched boundary chaining when the closure is
+          over budget and the boundary is sparse: one ``batch()`` per
+          (shard, wave) alternates per-shard reachability with
+          boundary hops;
+        * **BFS** — a dense boundary rivals the graph itself, so fall
+          back to BFS over the merged (LRU-backed) neighborhoods, the
+          paper's any-algorithm-on-Prop.-4 route.
         """
         return self._cache.get_or_compute(
             ("reach", source_id, target_id),
@@ -872,47 +812,120 @@ class ShardedCompressedGraph(GraphService):
             )
         source_shard = self._owner(source_id)
         target_shard = self._owner(target_id)
-        if (source_shard == target_shard
+        same_shard = source_shard == target_shard
+        if (same_shard
                 and self._shards[source_shard].reachable(
                     self._local(source_id, source_shard),
                     self._local(target_id, source_shard))):
             return True
-        if source_shard not in self._boundary_shards:
-            return False  # the source's shard cannot be left
-        if self._total_exits * self._total_exits <= self._total_nodes:
+        strategy = self._planner.strategy(
+            source_shard, target_shard,
+            closure_built=self.closure_built)
+        if strategy == "local":
+            return False  # no boundary route exists for this pair
+        if strategy == "closure":
+            return self._reach_by_closure(source_id, target_id,
+                                          source_shard, target_shard)
+        if strategy == "chaining":
             # The same-shard target check above already ran for the
             # source itself; don't pay that O(|G_i|) query twice.
-            checked = ({source_id} if source_shard == target_shard
-                       else set())
+            checked = {source_id} if same_shard else set()
             return self._reach_by_chaining(source_id, target_shard,
                                            self._local(target_id,
                                                        target_shard),
                                            checked)
         return self._reach_by_bfs(source_id, target_id)
 
+    def _reach_by_closure(self, source_id: int, target_id: int,
+                          source_shard: int, target_shard: int) -> bool:
+        """Closure route: one in-shard batch per endpoint shard.
+
+        Any cross-shard path decomposes as an intra-shard prefix to
+        the first exit, a boundary-graph walk, and an intra-shard
+        suffix from the last entry — so the reachable-boundary mask of
+        the source plus one probe batch per endpoint shard decides the
+        query.  Boundary endpoints themselves skip their batch: their
+        closure row is the answer.
+        """
+        closure = self.warm_closure()
+        boundary = self._boundary
+        if source_id in boundary.incident:
+            mask = (closure.row_mask(source_id)
+                    | closure.bit(source_id))
+        else:
+            exits = boundary.exits[source_shard]
+            if not exits:
+                return False
+            base = self._bases[source_shard]
+            answers = self._shards[source_shard].batch(
+                [("reach", source_id - base, exit_node - base)
+                 for exit_node in exits])
+            mask = 0
+            for exit_node, reachable in zip(exits, answers):
+                if reachable:
+                    mask |= (closure.row_mask(exit_node)
+                             | closure.bit(exit_node))
+        if not mask:
+            return False
+        if target_id in boundary.incident:
+            return bool(mask & closure.bit(target_id))
+        candidate_mask = mask & closure.mask_of(
+            boundary.entries[target_shard])
+        if not candidate_mask:
+            return False
+        base = self._bases[target_shard]
+        answers = self._shards[target_shard].batch(
+            [("reach", entry - base, target_id - base)
+             for entry in closure.nodes_in(candidate_mask)])
+        return any(answers)
+
     def _reach_by_chaining(self, source_id: int, target_shard: int,
                            target_local: int,
                            already_checked: Set[int]) -> bool:
-        """Boundary chaining: per-shard reach + boundary hops."""
+        """Batched boundary chaining: per-shard reach + boundary hops.
+
+        Each BFS wave groups its frontier by owning shard and ships
+        that shard's probes — exit reachability plus (in the target
+        shard) the target probe — as **one** ``batch()`` call, the
+        wire format socket-proxy shards forward in a single frame.
+        """
+        boundary = self._boundary
         seen: Set[int] = {source_id}
         frontier = [source_id]
         while frontier:
-            node = frontier.pop()
-            shard = self._owner(node)
-            handle = self._shards[shard]
-            local = self._local(node, shard)
-            if (shard == target_shard
-                    and node not in already_checked
-                    and handle.reachable(local, target_local)):
-                return True
-            for exit_node in self._exits[shard]:
-                exit_local = self._local(exit_node, shard)
-                if not handle.reachable(local, exit_local):
+            by_shard: Dict[int, List[int]] = {}
+            for node in frontier:
+                by_shard.setdefault(self._owner(node), []).append(node)
+            next_frontier: List[int] = []
+            for shard in sorted(by_shard):
+                base = self._bases[shard]
+                exits = boundary.exits[shard]
+                probes: List[Tuple[str, int, int]] = []
+                outcomes: List[Tuple[int, Optional[int]]] = []
+                for node in by_shard[shard]:
+                    local = node - base
+                    if (shard == target_shard
+                            and node not in already_checked):
+                        probes.append(("reach", local, target_local))
+                        outcomes.append((node, None))
+                    for exit_node in exits:
+                        probes.append(("reach", local,
+                                       exit_node - base))
+                        outcomes.append((node, exit_node))
+                if not probes:
                     continue
-                for entered in self._b_out[exit_node]:
-                    if entered not in seen:
-                        seen.add(entered)
-                        frontier.append(entered)
+                answers = self._shards[shard].batch(probes)
+                for (node, exit_node), reachable in zip(outcomes,
+                                                        answers):
+                    if not reachable:
+                        continue
+                    if exit_node is None:
+                        return True
+                    for entered in boundary.out[exit_node]:
+                        if entered not in seen:
+                            seen.add(entered)
+                            next_frontier.append(entered)
+            frontier = next_frontier
         return False
 
     def _reach_by_bfs(self, source_id: int, target_id: int) -> bool:
@@ -949,14 +962,14 @@ class ShardedCompressedGraph(GraphService):
         shard_total = sum(shard.connected_components()
                           for shard in self._shards)
         roots: Dict[int, int] = {}
-        for shard_blocks in self._blocks:
+        for shard_blocks in self._boundary.blocks:
             for block in shard_blocks:
                 anchor = block[0]
                 for node in block:
                     roots[node] = anchor
         merge = UnionFind(set(roots.values()))
         before = merge.set_count
-        for _, att in self._boundary_edges:
+        for _, att in self._boundary.edges:
             anchor = roots[att[0]]
             for node in att[1:]:
                 merge.union(anchor, roots[node])
@@ -1015,7 +1028,7 @@ class ShardedCompressedGraph(GraphService):
     def edge_count(self) -> int:
         """Terminal edges of the full graph (shards + boundary)."""
         return (sum(shard.edge_count() for shard in self._shards)
-                + len(self._boundary_edges))
+                + self._boundary.edge_count)
 
     # ------------------------------------------------------------------
     # Batched evaluation
@@ -1075,13 +1088,18 @@ class ShardedCompressedGraph(GraphService):
     def warm(self) -> "ShardedCompressedGraph":
         """Force every shard's lazy structures (see
         :meth:`CompressedGraph.warm`); degree extrema and the
-        component merge are already partition-time artifacts."""
+        component merge are already partition-time artifacts.  The
+        boundary closure is built too whenever the planner's budget
+        admits it, so serving starts with the cheap reach regime."""
         for shard in self._shards:
             warm = getattr(shard, "warm", None)
             if warm is not None:
                 warm()
         self.connected_components()
         self.edge_count()
+        if (self._simple and not self.closure_built
+                and self._planner.closure_allowed):
+            self.warm_closure()
         return self
 
     # Kinds a shard can answer alone for a non-boundary node, and the
@@ -1106,7 +1124,7 @@ class ShardedCompressedGraph(GraphService):
             node = args[0]
             if not 1 <= node <= self._total_nodes:
                 return None  # let the general path raise QueryError
-            if node in self._boundary_incident:
+            if node in self._boundary.incident:
                 return None
             shard = self._owner(node)
             local = self._local(node, shard)
@@ -1121,7 +1139,7 @@ class ShardedCompressedGraph(GraphService):
             # A shard that no boundary edge touches can never be left
             # or re-entered, so its local answer is the global one.
             if (shard == self._owner(target)
-                    and shard not in self._boundary_shards):
+                    and shard not in self._boundary.touched):
                 return (shard,
                         ("reach", self._local(source, shard),
                          self._local(target, shard)),
@@ -1160,8 +1178,16 @@ class ShardedCompressedGraph(GraphService):
                     and all(isinstance(arg, int)
                             and 1 <= arg <= self._total_nodes
                             for arg in args)):
-                reach_pairs.append((request.id, args[0], args[1]))
-                continue
+                # Only the dense-boundary regime benefits from the
+                # per-source BFS memoization below; closure/chaining
+                # plans already batch their shard probes, so they run
+                # through the planner like single-shot calls do.
+                strategy = self._planner.strategy(
+                    self._owner(args[0]), self._owner(args[1]),
+                    closure_built=self.closure_built)
+                if strategy == "bfs":
+                    reach_pairs.append((request.id, args[0], args[1]))
+                    continue
             general.append(request)
 
         def run_group(shard: int,
@@ -1254,7 +1280,7 @@ class ShardedCompressedGraph(GraphService):
         built = "built" if self.index_built else "lazy"
         return (f"ShardedCompressedGraph(shards={len(self._shards)}, "
                 f"nodes={self._total_nodes}, "
-                f"boundary={len(self._boundary_edges)}, index={built})")
+                f"boundary={self._boundary.edge_count}, index={built})")
 
 
 # ----------------------------------------------------------------------

@@ -169,6 +169,43 @@ class TestSharded:
         assert "shard 0:" in out
         assert "query cache:" in out
 
+    def test_stats_shows_partition_and_closure(self, sharded, capsys):
+        assert main(["stats", str(sharded)]) == 0
+        out = capsys.readouterr().out
+        assert "partitioner:    hash" in out
+        assert "cut ratio:" in out
+        assert "shard balance:" in out
+        assert "closure:        absent" in out
+
+    @pytest.mark.parametrize("partitioner", ["bfs", "label"])
+    def test_edge_cut_partitioners(self, tmp_path, edge_list,
+                                   partitioner, capsys):
+        out = tmp_path / f"{partitioner}.grps"
+        assert main(["compress", str(edge_list), str(out),
+                     "--shards", "2", "--partitioner",
+                     partitioner]) == 0
+        assert main(["stats", str(out)]) == 0
+        assert f"partitioner:    {partitioner}" in \
+            capsys.readouterr().out
+
+    def test_closure_flag_persists_closure(self, tmp_path, edge_list,
+                                           capsys):
+        out = tmp_path / "closed.grps"
+        assert main(["compress", str(edge_list), str(out),
+                     "--shards", "2", "--partitioner", "bfs",
+                     "--closure"]) == 0
+        assert main(["stats", str(out)]) == 0
+        stats_out = capsys.readouterr().out
+        assert "closure:        persisted" in stats_out
+        assert "closure=" in stats_out  # the section breakdown line
+        # Queries on the closure-backed container still route fine.
+        assert main(["query", str(out), "reach", "1", "2"]) in (0, 1)
+
+    def test_closure_needs_shards(self, tmp_path, edge_list, capsys):
+        assert main(["compress", str(edge_list),
+                     str(tmp_path / "x.grpr"), "--closure"]) == 2
+        assert "--shards" in capsys.readouterr().err
+
     def test_stats_shows_cache_for_single_too(self, compressed,
                                               capsys):
         assert main(["stats", str(compressed)]) == 0

@@ -179,6 +179,100 @@ class TestProtocolRobustness:
             raw.close()
 
 
+class TestCrossShardReachRoundTrips:
+    """Wire-cost budgets of the planned cross-shard reach routes.
+
+    A 4-shard chain (1 -> 2 -> ... -> 20, five nodes per shard) makes
+    the boundary sparse and the hop count maximal, so per-hop routing
+    would cost one round trip per probe.  The batched routes must
+    stay within one ``batch()`` frame per shard touched.
+    """
+
+    SHARDS = 4
+    PER_SHARD = 5
+
+    def _chain_handle(self):
+        from repro import Alphabet, Hypergraph
+        alphabet = Alphabet()
+        label = alphabet.add_terminal(rank=2, name="e")
+        total = self.SHARDS * self.PER_SHARD
+        graph = Hypergraph.from_edges(
+            [(label, (node, node + 1)) for node in range(1, total)],
+            num_nodes=total)
+        assign = {node: (node - 1) // self.PER_SHARD
+                  for node in graph.nodes()}
+        return ShardedCompressedGraph.compress(
+            graph, alphabet, shards=self.SHARDS,
+            partitioner=lambda g, k: assign)
+
+    def _deltas(self, server, before):
+        return [proxy.round_trips - start
+                for proxy, start in zip(server._proxies, before)]
+
+    def test_closure_reach_one_frame_per_endpoint_shard(self):
+        """Acceptance: a persisted closure answers cross-shard reach
+        with at most one routed query per endpoint shard — middle
+        shards are never contacted, and nothing is rebuilt."""
+        handle = self._chain_handle()
+        blob = handle.to_bytes(include_closure=True)
+        with serve(blob) as running:
+            service = running.service
+            assert service.closure_built and service.closure_persisted
+            with running.connect() as client:
+                before = [proxy.round_trips
+                          for proxy in running._proxies]
+                # Shard 0 interior node -> shard 3 interior node.
+                assert client.query("reach", 2, 18) is True
+                deltas = self._deltas(running, before)
+                assert deltas[0] <= 1          # source-shard batch
+                assert deltas[-1] <= 1         # target-shard batch
+                assert deltas[1] == deltas[2] == 0  # no chaining hops
+                # The reverse direction is decided by the closure and
+                # the source batch alone (no exit is reachable).
+                before = [proxy.round_trips
+                          for proxy in running._proxies]
+                assert client.query("reach", 18, 2) is False
+                deltas = self._deltas(running, before)
+                assert sum(deltas) <= 2
+
+    def test_chained_reach_ships_one_frame_per_shard_wave(self):
+        """ROADMAP follow-on: when the router does fall back to
+        chaining, each shard's exit probes travel as one ``batch()``
+        frame — one round trip per (shard, wave), not one per hop."""
+        handle = self._chain_handle()
+        blob = handle.to_bytes(include_closure=False)
+        with serve(blob) as running:
+            service = running.service
+            assert not service.closure_built
+            service.planner.force = "chaining"
+            with running.connect() as client:
+                before = [proxy.round_trips
+                          for proxy in running._proxies]
+                assert client.query("reach", 2, 18) is True
+                deltas = self._deltas(running, before)
+                # The chain walks each shard exactly once; per-hop
+                # routing would cost a round trip per exit probe.
+                assert all(delta <= 1 for delta in deltas), deltas
+                assert sum(deltas) <= self.SHARDS
+                before = [proxy.round_trips
+                          for proxy in running._proxies]
+                assert client.query("reach", 18, 2) is False
+                deltas = self._deltas(running, before)
+                assert sum(deltas) <= 1
+
+    def test_served_chain_answers_match_local(self):
+        handle = self._chain_handle()
+        total = handle.node_count()
+        requests = [("reach", source, target)
+                    for source in (1, 7, 13, 20)
+                    for target in (1, 6, 12, 20)]
+        expected = handle.batch(requests)
+        with serve(handle.to_bytes(include_closure=True)) as running:
+            with running.connect() as client:
+                assert client.batch(requests) == expected
+        assert total == self.SHARDS * self.PER_SHARD
+
+
 class TestRouterCache:
     def test_router_lru_absorbs_hot_traffic(self, sharded_bytes):
         """Repeated remote batches are answered by the router's LRU

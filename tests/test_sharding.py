@@ -149,7 +149,8 @@ class TestPartitioners:
         assert handle.node_count() == graph.node_size
 
     def test_registry_names(self):
-        assert set(PARTITIONERS) == {"hash", "connectivity"}
+        assert set(PARTITIONERS) == {"hash", "connectivity",
+                                     "bfs", "label"}
 
 
 # ----------------------------------------------------------------------
