@@ -17,13 +17,19 @@ module measures that claim end to end on the gate corpus:
   multi-machine reach, not beating shared memory; a floor failure
   means the router is broken or serializing pathologically, not that
   sockets are slower than function calls (they always are);
-* answers must be **identical** to the inline path, batch for batch.
+* answers must be **identical** to the inline path, batch for batch;
+* the **concurrent lane**: 64 pipelined clients hammer one server at
+  once (each multiplexing chunked batches over its own connection) —
+  the aggregate must beat the single strict client measured on the
+  same server in the same run, or the event loop is serializing
+  instead of pipelining.
 
 Run the smoke lane with ``pytest -m smoke benchmarks`` or the timed
 sweep with ``pytest benchmarks/bench_serving.py``.
 """
 
 import random
+import threading
 import time
 
 import pytest
@@ -40,6 +46,18 @@ GATE_SHARDS = 2
 GATE_SOCKET_QPS = 150.0
 #: Queries per measured batch (the regression gate's request count).
 GATE_REQUESTS = 1000
+#: The concurrent lane: this many pipelined clients at once, each
+#: shipping its requests as chunked multiplexed batches.
+GATE_CONCURRENT_CLIENTS = 64
+#: Requests per concurrent client (64 x 64 = 4096 per pass).
+GATE_CONCURRENT_REQUESTS = 64
+#: Batch size each pipelined client multiplexes its requests in.
+GATE_CONCURRENT_CHUNK = 32
+#: Absolute aggregate floor for the concurrent lane; the *relative*
+#: gate (aggregate >= the single strict client measured on the same
+#: server in the same run) is the one that catches a serializing
+#: event loop.
+GATE_CONCURRENT_QPS = 150.0
 
 
 def serving_workload(total_nodes, count=GATE_REQUESTS, seed=17,
@@ -96,6 +114,74 @@ def measure_serving(handle, blob, requests, rounds=3):
     return inline, socket_time, expected
 
 
+def measure_concurrent(handle, blob, requests,
+                       clients=GATE_CONCURRENT_CLIENTS,
+                       per_client=GATE_CONCURRENT_REQUESTS,
+                       chunk=GATE_CONCURRENT_CHUNK, rounds=2):
+    """Aggregate pipelined throughput of many concurrent clients.
+
+    One server; first a single strict client is timed shipping the
+    *same* chunked workload sequentially (the baseline the aggregate
+    must beat — same batch shape, same per-batch work, so the delta
+    is pure concurrency), then ``clients`` threads — each with its
+    own pipelined connection — ship their requests as ``chunk``-sized
+    multiplexed batches and verify every answer.  Returns
+    ``(single_seconds_per_client_workload, concurrent_seconds,
+    total_requests)`` where the second number is the
+    best-of-``rounds`` wall time for ``clients * per_client``
+    requests.
+    """
+    workload = requests[:per_client]
+    chunks = [workload[start:start + chunk]
+              for start in range(0, len(workload), chunk)]
+    expected_chunks = [handle.batch(part) for part in chunks]
+    single = None
+    concurrent = None
+    with serve(blob, cache_size=0) as server:
+        with server.connect() as client:
+            client.batch(requests[:10])  # warm every shard process
+            for _ in range(rounds):
+                start = time.perf_counter()
+                for part, expected in zip(chunks, expected_chunks):
+                    assert client.batch(part) == expected
+                elapsed = time.perf_counter() - start
+                single = (elapsed if single is None
+                          else min(single, elapsed))
+        for _ in range(rounds):
+            barrier = threading.Barrier(clients + 1)
+            failures = []
+
+            def worker():
+                try:
+                    with server.connect(pipeline=True) as client:
+                        client.ping()  # connect before the clock
+                        barrier.wait()
+                        futures = [client.execute_async(part)
+                                   for part in chunks]
+                        for future, expected in zip(futures,
+                                                    expected_chunks):
+                            got = [result.unwrap()
+                                   for result in future.result(60)]
+                            if got != expected:
+                                failures.append("wrong answers")
+                except Exception as exc:  # surfaced after the join
+                    failures.append(exc)
+
+            threads = [threading.Thread(target=worker)
+                       for _ in range(clients)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            start = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - start
+            assert not failures, failures[:3]
+            concurrent = (elapsed if concurrent is None
+                          else min(concurrent, elapsed))
+    return single, concurrent, clients * len(workload)
+
+
 @pytest.mark.smoke
 def test_socket_serving_meets_throughput_floor():
     """Acceptance gate: a served 2-shard graph answers 1k mixed
@@ -115,6 +201,38 @@ def test_socket_serving_meets_throughput_floor():
         f"socket serving reached only {qps:.0f} q/s "
         f"(floor: {GATE_SOCKET_QPS:.0f} q/s)"
     )
+
+
+@pytest.mark.smoke
+def test_concurrent_clients_beat_the_single_client():
+    """Acceptance gate for the pipelined front end: 64 concurrent
+    pipelined clients must push more aggregate throughput through one
+    server than a single strict client gets shipping the *same*
+    chunked workload on the same server in the same run — with every
+    answer verified — plus an absolute floor.  A failure here means
+    the event loop is serializing connections instead of multiplexing
+    them."""
+    handle, blob = build_container()
+    requests = serving_workload(handle.node_count())
+    single, concurrent, total = measure_concurrent(handle, blob,
+                                                   requests)
+    single_qps = GATE_CONCURRENT_REQUESTS / single
+    concurrent_qps = total / concurrent
+    Report.add(_SECTION,
+               f"{GATE_CONCURRENT_CLIENTS} pipelined clients x "
+               f"{GATE_CONCURRENT_REQUESTS} requests "
+               f"(chunks of {GATE_CONCURRENT_CHUNK}): "
+               f"{concurrent_qps:.0f} q/s aggregate vs "
+               f"{single_qps:.0f} q/s single strict client on the "
+               f"same chunks")
+    assert concurrent_qps >= GATE_CONCURRENT_QPS, (
+        f"concurrent serving reached only {concurrent_qps:.0f} q/s "
+        f"(floor: {GATE_CONCURRENT_QPS:.0f} q/s)")
+    assert concurrent_qps >= single_qps, (
+        f"{GATE_CONCURRENT_CLIENTS} pipelined clients pushed "
+        f"{concurrent_qps:.0f} q/s aggregate, below the "
+        f"{single_qps:.0f} q/s a single strict client gets on the "
+        f"same server — the loop is serializing, not pipelining")
 
 
 @pytest.mark.smoke

@@ -25,8 +25,10 @@ ratios for both engines over the shared smoke corpora
   ``benchmarks/bench_sharded_scaling.py``),
 * the socket serving path: a router plus 2 forked shard processes
   must answer 1k mixed queries end to end, identically to the
-  in-process path, above the absolute throughput floor (shared with
-  ``benchmarks/bench_serving.py``),
+  in-process path, above the absolute throughput floor — and 64
+  concurrent pipelined clients must push more aggregate throughput
+  than one strict client gets on the same chunked workload (shared
+  with ``benchmarks/bench_serving.py``),
 * the partition layer: on the single-component gate corpus at 4
   shards, the edge-cut partitioners (``bfs`` / ``label``) must cut
   strictly fewer edges than ``hash``, and closure-backed cross-shard
@@ -135,15 +137,21 @@ def serving_gate() -> dict:
     """
     sys.path.insert(0, str(_ROOT / "benchmarks"))
     from bench_serving import (  # noqa: E402
+        GATE_CONCURRENT_CLIENTS,
+        GATE_CONCURRENT_QPS,
+        GATE_CONCURRENT_REQUESTS,
         GATE_SHARDS,
         GATE_SOCKET_QPS,
         build_container,
+        measure_concurrent,
         measure_serving,
         serving_workload,
     )
     handle, blob = build_container()
     requests = serving_workload(handle.node_count())
     inline, socket_time, _ = measure_serving(handle, blob, requests)
+    single, concurrent, total = measure_concurrent(handle, blob,
+                                                   requests)
     return {
         "shards": GATE_SHARDS,
         "requests": len(requests),
@@ -151,6 +159,12 @@ def serving_gate() -> dict:
         "socket_ms": round(socket_time * 1e3, 2),
         "socket_qps": round(len(requests) / socket_time, 1),
         "required_qps": GATE_SOCKET_QPS,
+        "concurrent_clients": GATE_CONCURRENT_CLIENTS,
+        "concurrent_requests": total,
+        "single_chunked_qps": round(
+            GATE_CONCURRENT_REQUESTS / single, 1),
+        "concurrent_qps": round(total / concurrent, 1),
+        "required_concurrent_qps": GATE_CONCURRENT_QPS,
     }
 
 
@@ -256,6 +270,23 @@ def check(current: dict, baseline: dict, tolerance: float,
         fail("serving-gate",
              f"socket serving reached only {qps:.0f} q/s at "
              f"{serving.get('shards')} shards (floor: {floor:.0f})")
+    # Concurrent serving gate (absolute + relative): many pipelined
+    # clients must beat one strict client on the same chunked
+    # workload, or the event loop is serializing connections.
+    concurrent_qps = serving.get("concurrent_qps", 0.0)
+    concurrent_floor = serving.get("required_concurrent_qps", 150.0)
+    single_chunked_qps = serving.get("single_chunked_qps", 0.0)
+    if concurrent_qps < concurrent_floor:
+        fail("serving-gate",
+             f"{serving.get('concurrent_clients')} concurrent clients "
+             f"reached only {concurrent_qps:.0f} q/s aggregate "
+             f"(floor: {concurrent_floor:.0f})")
+    if concurrent_qps < single_chunked_qps:
+        fail("serving-gate",
+             f"{serving.get('concurrent_clients')} pipelined clients "
+             f"pushed {concurrent_qps:.0f} q/s aggregate, below the "
+             f"{single_chunked_qps:.0f} q/s one strict client gets on "
+             f"the same chunked workload (the loop is serializing)")
     # Partition gate (absolute): the edge-cut partitioners must cut
     # strictly fewer edges than hash, and closure-backed cross-shard
     # reach must beat boundary chaining.
@@ -323,7 +354,11 @@ def main(argv=None) -> int:
               f"inline={serving['inline_ms']}ms "
               f"socket={serving['socket_ms']}ms "
               f"qps={serving['socket_qps']:.0f} "
-              f"(floor {serving['required_qps']:.0f})")
+              f"(floor {serving['required_qps']:.0f}) "
+              f"{serving['concurrent_clients']}-client="
+              f"{serving['concurrent_qps']:.0f}q/s "
+              f"vs single-chunked="
+              f"{serving['single_chunked_qps']:.0f}q/s")
     partition = current.get("partition", {})
     if partition:
         cut = partition.get("cut", {})

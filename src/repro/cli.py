@@ -138,6 +138,10 @@ def _build_parser() -> argparse.ArgumentParser:
     srv.add_argument("--cache-size", type=int, default=None,
                      help="router-side query-result LRU capacity "
                           "(default: the library default)")
+    srv.add_argument("--pipeline", type=int, default=None,
+                     help="concurrently evaluating batches per server "
+                          "process (the event loop's worker pool; "
+                          "default: 16)")
     srv.add_argument("--ready-file", type=Path, default=None,
                      help="write the bound endpoint to this file "
                           "once serving (for scripts and tests)")
@@ -329,7 +333,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving import serve
 
     server = serve(args.input, address=args.address, codec=args.codec,
-                   cache_size=args.cache_size)
+                   cache_size=args.cache_size, pipeline=args.pipeline)
     # SIGTERM must tear the shard processes down like Ctrl-C does.
     def _terminate(*_: Any) -> None:
         raise SystemExit(0)

@@ -15,9 +15,15 @@ Layering (each module only reaches down):
     :class:`ProcessExecutor` / :class:`SocketExecutor` — where and
     how a planned batch runs; plus :func:`fork_map`, the
     process-pool primitive shard builds reuse.
+``aio``
+    :class:`ServerLoop`, the asyncio serving core: many in-flight
+    sequence-tagged frames per connection, answered as each batch
+    completes; legacy untagged frames stay strictly ordered.
 ``router``
     :func:`serve` / :func:`connect`: one process per shard, a router
-    multiplexing planned batches over sockets, and the client.
+    multiplexing planned batches over sockets, and the client —
+    pipelined (``pipeline=True``, ``execute_async``, ``pool_size=``)
+    or strict.
 
 :class:`repro.api.CompressedGraph` and
 :class:`repro.sharding.ShardedCompressedGraph` are the two in-process
@@ -25,7 +31,8 @@ Layering (each module only reaches down):
 sockets without changing a single answer.
 """
 
-from repro.serving.codec import WireError
+from repro.serving.aio import DEFAULT_PIPELINE, ServerLoop
+from repro.serving.codec import FrameError, OversizedFrameError, WireError
 from repro.serving.executors import (
     EXECUTORS,
     Executor,
@@ -57,17 +64,21 @@ from repro.serving.router import (
 __all__ = [
     "BatchPlan",
     "CACHEABLE_KINDS",
+    "DEFAULT_PIPELINE",
     "EXECUTORS",
     "Executor",
+    "FrameError",
     "GraphClient",
     "GraphServer",
     "GraphService",
     "InlineExecutor",
+    "OversizedFrameError",
     "ProcessExecutor",
     "QueryKind",
     "QueryRequest",
     "QueryResult",
     "RemoteShard",
+    "ServerLoop",
     "SocketExecutor",
     "ThreadExecutor",
     "WireError",

@@ -11,6 +11,19 @@ The tag selects the codec — ``J`` for JSON (debuggable, the default)
 or ``B`` for the compact binary form — so both ends of a connection
 can speak either encoding per message and a reader never guesses.
 
+Pipelined conversations use the *sequence-tagged* frame variant: the
+lowercase tags ``j``/``b`` prefix the payload with a client-assigned
+sequence id (one uvarint)::
+
+    4-byte length | 'j' or 'b' | uvarint sequence id | payload
+
+A server echoes each reply under the request's sequence id, so many
+frames can be in flight on one connection and the client correlates
+answers in whatever order the server finishes them.  Untagged frames
+remain fully supported — a reader dispatches per frame on the tag
+byte, so old strict request–response clients and new multiplexing
+ones share a wire format (and a server) without negotiation.
+
 The binary codec reuses the container format's uvarint machinery
 (:mod:`repro.util.varint`): kinds travel as short strings (forward
 compatible — an unknown kind becomes a per-request error, not a
@@ -31,20 +44,26 @@ import socket
 import struct
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import ReproError
+from repro.exceptions import EncodingError, ReproError
 from repro.serving.protocol import QueryRequest, QueryResult
 from repro.util.varint import read_uvarint, write_uvarint
 
 __all__ = [
     "CODECS",
     "FrameError",
+    "OversizedFrameError",
     "WireError",
+    "decode_frame",
     "decode_message",
+    "encode_frame",
     "encode_message",
+    "frame_bytes",
+    "recv_frame",
     "recv_message",
     "requests_to_wire",
     "results_from_wire",
     "results_to_wire",
+    "send_frame",
     "send_message",
     "wire_to_requests",
 ]
@@ -58,6 +77,11 @@ MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 _TAG_JSON = 0x4A   # 'J'
 _TAG_BINARY = 0x42  # 'B'
+#: Sequence-tagged variants: the lowercase tag, then a uvarint
+#: sequence id, then the same payload the uppercase tag carries.
+_TAG_SEQ_OFFSET = 0x20
+_TAG_JSON_SEQ = _TAG_JSON + _TAG_SEQ_OFFSET     # 'j'
+_TAG_BINARY_SEQ = _TAG_BINARY + _TAG_SEQ_OFFSET  # 'b'
 
 _OPS = ("batch", "results", "info", "info_reply", "ping", "pong",
         "error", "shutdown")
@@ -77,6 +101,17 @@ class FrameError(WireError):
     Ordinary :class:`WireError` decode failures happen *after* the
     payload was fully consumed, so the stream stays in sync and the
     peer can simply be told about the bad message.
+    """
+
+
+class OversizedFrameError(FrameError):
+    """A length header past :data:`MAX_FRAME_BYTES`.
+
+    Distinguished from other framing failures because a server can
+    still *reply* before closing: the header was read in full, so the
+    socket's send direction is intact even though the unread payload
+    poisons the receive direction.  The serving loop answers with a
+    structured ``error`` frame and then closes deterministically.
     """
 
 
@@ -171,31 +206,81 @@ def _ensure_value(value: Any) -> Any:
 def encode_message(message: Dict[str, Any], codec: str = "json"
                    ) -> bytes:
     """One message dict -> one framed payload (without the length)."""
+    return encode_frame(message, codec)
+
+
+def encode_frame(message: Dict[str, Any], codec: str = "json",
+                 seq: Optional[int] = None) -> bytes:
+    """One message -> one frame payload, optionally sequence-tagged.
+
+    ``seq=None`` produces the classic untagged frame; an integer
+    produces the pipelined variant (lowercase tag, uvarint sequence
+    id before the payload).
+    """
     if codec == "json":
-        return bytes([_TAG_JSON]) + json.dumps(
+        tag, body = _TAG_JSON, json.dumps(
             message, separators=(",", ":")).encode("utf-8")
-    if codec == "binary":
-        return bytes([_TAG_BINARY]) + _encode_binary(message)
-    raise WireError(f"unknown codec {codec!r}; expected one of "
-                    f"{CODECS}")
+    elif codec == "binary":
+        tag, body = _TAG_BINARY, _encode_binary(message)
+    else:
+        raise WireError(f"unknown codec {codec!r}; expected one of "
+                        f"{CODECS}")
+    if seq is None:
+        return bytes([tag]) + body
+    if seq < 0:
+        raise WireError(f"sequence id must be >= 0, got {seq}")
+    head = bytearray([tag + _TAG_SEQ_OFFSET])
+    write_uvarint(head, seq)
+    return bytes(head) + body
 
 
 def decode_message(payload: bytes) -> Dict[str, Any]:
-    """One framed payload -> the message dict (tag-dispatched)."""
+    """One frame payload -> the message dict (tag-dispatched).
+
+    Accepts both untagged and sequence-tagged frames; callers that
+    need the sequence id use :func:`decode_frame`.
+    """
+    return decode_frame(payload)[1]
+
+
+def decode_frame(payload: bytes
+                 ) -> Tuple[Optional[int], Dict[str, Any]]:
+    """One frame payload -> ``(sequence id or None, message dict)``.
+
+    Decode failures *after* the sequence id was read carry it on the
+    exception's ``seq`` attribute, so a server can still address its
+    error reply to the offending request.
+    """
     if not payload:
         raise WireError("empty frame")
     tag = payload[0]
-    if tag == _TAG_JSON:
+    seq: Optional[int] = None
+    pos = 1
+    if tag in (_TAG_JSON_SEQ, _TAG_BINARY_SEQ):
         try:
-            message = json.loads(payload[1:].decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-            raise WireError(f"bad JSON frame: {exc}") from None
-        if not isinstance(message, dict) or "op" not in message:
-            raise WireError("JSON frame is not an op message")
-        return message
-    if tag == _TAG_BINARY:
-        return _decode_binary(payload[1:])
-    raise WireError(f"unknown frame tag {tag:#x}")
+            seq, pos = read_uvarint(payload, 1)
+        except ReproError:
+            raise WireError("truncated sequence tag") from None
+        tag -= _TAG_SEQ_OFFSET
+    try:
+        if tag == _TAG_JSON:
+            return seq, _decode_json(payload[pos:])
+        if tag == _TAG_BINARY:
+            return seq, _decode_binary(payload[pos:])
+    except WireError as exc:
+        exc.seq = seq
+        raise
+    raise WireError(f"unknown frame tag {payload[0]:#x}")
+
+
+def _decode_json(body: bytes) -> Dict[str, Any]:
+    try:
+        message = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise WireError(f"bad JSON frame: {exc}") from None
+    if not isinstance(message, dict) or "op" not in message:
+        raise WireError("JSON frame is not an op message")
+    return message
 
 
 # ----------------------------------------------------------------------
@@ -375,43 +460,80 @@ def _decode_binary(data: bytes) -> Dict[str, Any]:
             payload["op"] = op
             return payload
         return {"op": op}
-    except (IndexError, ValueError) as exc:
+    except (IndexError, ValueError, EncodingError) as exc:
         raise WireError(f"corrupt binary message: {exc}") from None
 
 
 # ----------------------------------------------------------------------
 # Socket framing
 # ----------------------------------------------------------------------
+def frame_bytes(message: Dict[str, Any], codec: str = "json",
+                seq: Optional[int] = None) -> bytes:
+    """One message -> the complete wire frame (length prefix included)."""
+    payload = encode_frame(message, codec, seq=seq)
+    return _LENGTH.pack(len(payload)) + payload
+
+
 def send_message(sock: socket.socket, message: Dict[str, Any],
                  codec: str = "json") -> None:
-    """Encode and write one length-prefixed frame."""
-    payload = encode_message(message, codec)
-    sock.sendall(_LENGTH.pack(len(payload)) + payload)
+    """Encode and write one length-prefixed untagged frame."""
+    sock.sendall(frame_bytes(message, codec))
+
+
+def send_frame(sock: socket.socket, message: Dict[str, Any],
+               codec: str = "json", seq: Optional[int] = None) -> None:
+    """Encode and write one frame, sequence-tagged when ``seq`` is set."""
+    sock.sendall(frame_bytes(message, codec, seq=seq))
 
 
 def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; ``None`` on a clean boundary close.
+
+    A peer that vanishes *inside* the read is a wire failure, not a
+    close: truncating a frame and truncating a conversation must not
+    look alike, so the partial read raises :class:`FrameError`.
+    """
     chunks = bytearray()
     while len(chunks) < count:
         chunk = sock.recv(count - len(chunks))
         if not chunk:
-            return None
+            if not chunks:
+                return None
+            raise FrameError(f"connection closed mid-frame "
+                             f"({len(chunks)}/{count} bytes read)")
         chunks.extend(chunk)
     return bytes(chunks)
 
 
 def recv_message(sock: socket.socket) -> Optional[Dict[str, Any]]:
-    """Read one frame; ``None`` on a clean peer close."""
+    """Read one frame's message; ``None`` on a clean peer close."""
+    received = recv_frame(sock)
+    return None if received is None else received[1]
+
+
+def recv_frame(sock: socket.socket
+               ) -> Optional[Tuple[Optional[int], Dict[str, Any]]]:
+    """Read one frame; ``(seq, message)``, or ``None`` on a clean close.
+
+    Only a connection that dies exactly on a frame boundary is a
+    clean close; a death mid-header or mid-payload raises
+    :class:`FrameError`, and an over-limit length header raises
+    :class:`OversizedFrameError` (the payload is left unread — the
+    stream is desynchronized and must be closed).
+    """
     header = _recv_exact(sock, _LENGTH.size)
     if header is None:
         return None
     (length,) = _LENGTH.unpack(header)
     if length > MAX_FRAME_BYTES:
-        raise FrameError(f"frame of {length} bytes exceeds the "
-                         f"{MAX_FRAME_BYTES}-byte limit")
+        raise OversizedFrameError(
+            f"frame of {length} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
     payload = _recv_exact(sock, length)
     if payload is None:
-        raise FrameError("connection closed mid-frame")
-    return decode_message(payload)
+        raise FrameError("connection closed mid-frame (header read, "
+                         "payload missing)")
+    return decode_frame(payload)
 
 
 # ----------------------------------------------------------------------

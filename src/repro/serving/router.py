@@ -19,10 +19,22 @@ in memory and *answer traffic* — becomes concrete here:
     bit-identical to local evaluation.
 :class:`GraphClient` (``connect()``)
     The wire-codec client: typed ``execute()``, legacy-shaped
-    ``batch()``, single-shot ``query()``, ``info()``/``ping()``.
+    ``batch()``, single-shot ``query()``, ``info()``/``ping()`` — and,
+    with ``pipeline=True``, a **multiplexing** client: every frame is
+    sequence-tagged, many batches ride one connection concurrently
+    (``execute_async`` returns a future), and ``pool_size=`` spreads
+    the traffic over several such connections.
 :class:`RemoteShard`
     A shard-shaped proxy speaking the same wire protocol; the sharded
-    handle cannot tell it from a local :class:`CompressedGraph`.
+    handle cannot tell it from a local :class:`CompressedGraph`.  The
+    router runs its shard links pipelined, so concurrent client
+    batches multiplex over one socket per shard instead of queueing
+    on a per-connection lock.
+
+Every server — the router and each shard process — runs the
+:class:`repro.serving.aio.ServerLoop` event loop: many in-flight
+tagged frames per connection, legacy untagged frames still answered
+strictly in order.
 
 Endpoints are ``"host:port"`` (TCP, loopback by default) or
 ``"unix:/path"``.  Both frames and payloads come from
@@ -33,24 +45,28 @@ a single decoded grammar.
 
 from __future__ import annotations
 
+import itertools
 import os
 import socket
 import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.exceptions import QueryError, ReproError
+from repro.exceptions import ReproError
+from repro.serving.aio import ServerLoop
 from repro.serving.codec import (
     FrameError,
     WireError,
     bind_socket,
     connect_socket,
+    recv_frame,
     recv_message,
     requests_to_wire,
     results_from_wire,
-    results_to_wire,
+    send_frame,
     send_message,
-    wire_to_requests,
 )
 from repro.serving.executors import (
     Executor,
@@ -68,103 +84,15 @@ __all__ = [
     "serve",
 ]
 
-_ACCEPT_POLL_SECONDS = 0.2
 _STARTUP_TIMEOUT_SECONDS = 60.0
-
-
-# ----------------------------------------------------------------------
-# The connection loop every server (shard or router) runs
-# ----------------------------------------------------------------------
-def _serve_connection(service: Any, conn: socket.socket,
-                      executor: Executor, codec: str,
-                      info: Dict[str, Any]) -> None:
-    """Answer one client until it disconnects.
-
-    ``batch`` messages run through ``service.execute`` with the
-    server's executor; request ids are echoed back on the results, so
-    the client can correlate answers however the server reordered the
-    work.  Protocol-level failures (undecodable frames) answer with an
-    ``error`` message instead of killing the connection.
-    """
-    try:
-        while True:
-            try:
-                message = recv_message(conn)
-            except FrameError:
-                return  # stream desynchronized: only closing is safe
-            except WireError as exc:
-                # The payload was fully consumed before the decode
-                # failed — the stream is intact, tell the peer.
-                send_message(conn, {"op": "error", "message": str(exc)},
-                             codec)
-                continue
-            if message is None:
-                return
-            op = message.get("op")
-            if op == "ping":
-                send_message(conn, {"op": "pong"}, codec)
-            elif op == "info":
-                send_message(conn, {"op": "info_reply", **info}, codec)
-            elif op == "batch":
-                try:
-                    pairs = wire_to_requests(
-                        message.get("requests", []))
-                except WireError as exc:
-                    send_message(conn,
-                                 {"op": "error", "message": str(exc)},
-                                 codec)
-                    continue
-                # service.execute lets proxies forward whole batches
-                # (RemoteShard ships them as one frame); in-process
-                # services delegate right back to the executor.
-                results = service.execute(
-                    [request for _, request in pairs],
-                    executor=executor)
-                for (client_id, _), result in zip(pairs, results):
-                    result.id = client_id
-                send_message(conn, {"op": "results",
-                                    "results": results_to_wire(results)},
-                             codec)
-            else:
-                send_message(conn, {"op": "error",
-                                    "message": f"unknown op {op!r}"},
-                             codec)
-    except (ConnectionError, BrokenPipeError, OSError):
-        return  # peer vanished; nothing to clean up but the socket
-    finally:
-        try:
-            conn.close()
-        except OSError:  # pragma: no cover
-            pass
-
-
-def _accept_loop(listener: socket.socket, service: Any,
-                 executor: Executor, codec: str, info: Dict[str, Any],
-                 stop: threading.Event) -> None:
-    try:
-        listener.settimeout(_ACCEPT_POLL_SECONDS)
-    except OSError:
-        return  # closed before the loop even started: shutdown race
-    while not stop.is_set():
-        try:
-            conn, _ = listener.accept()
-        except socket.timeout:
-            continue
-        except OSError:
-            return  # listener closed under us: shutdown
-        worker = threading.Thread(
-            target=_serve_connection,
-            args=(service, conn, executor, codec, info),
-            daemon=True)
-        worker.start()
-    listener.close()
 
 
 # ----------------------------------------------------------------------
 # Shard server child process
 # ----------------------------------------------------------------------
 def _shard_process_main(blob: bytes, conn: Any, codec: str,
-                        cache_size: Optional[int]) -> None:
+                        cache_size: Optional[int],
+                        pipeline: Optional[int]) -> None:
     """Decode one shard, warm it, serve it forever on a loopback port."""
     from repro.api import DEFAULT_CACHE_SIZE, CompressedGraph
 
@@ -180,12 +108,38 @@ def _shard_process_main(blob: bytes, conn: Any, codec: str,
         "nodes": handle.node_count(),
         "edges": handle.edge_count(),
     }
-    stop = threading.Event()  # never set: the parent terminates us
-    _accept_loop(listener, handle, InlineExecutor(), codec, info, stop)
+    # Blocks until the parent terminates us; an unexpected listener
+    # death surfaces as a nonzero exit instead of a silent idle child.
+    loop = ServerLoop(listener, handle, InlineExecutor(), codec, info,
+                      pipeline=pipeline)
+    loop.run()
+    if loop.fault is not None:
+        raise loop.fault
 
 
 # ----------------------------------------------------------------------
-# Socket proxies
+# Reply settlement (shared by the strict and pipelined clients)
+# ----------------------------------------------------------------------
+def _settle_results(wire: List[Dict[str, Any]],
+                    reply: Dict[str, Any]) -> List[QueryResult]:
+    """A ``results`` reply -> one result per shipped request, in order."""
+    if reply.get("op") != "results":
+        raise WireError(f"expected results, got {reply.get('op')!r}")
+    by_id = {result.id: result
+             for result in results_from_wire(reply.get("results", []))}
+    results: List[QueryResult] = []
+    for entry in wire:
+        result = by_id.get(entry["id"])
+        if result is None:
+            result = QueryResult(id=entry["id"],
+                                 error="server returned no answer "
+                                       "for this request")
+        results.append(result)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Socket conversations: strict and multiplexed
 # ----------------------------------------------------------------------
 class _WireConnection:
     """One lock-guarded request/response socket conversation."""
@@ -235,13 +189,217 @@ class _WireConnection:
                     self._sock = None
 
 
+class _MuxConnection:
+    """One pipelined socket conversation: many frames in flight.
+
+    Every outgoing message is sequence-tagged; a daemon reader thread
+    correlates replies back to their futures by sequence id, in
+    whatever order the server finishes them.  One lock serializes
+    sends and the pending table — receives never hold it, so a slow
+    reply blocks nothing.
+
+    Failure discipline (the client-visible contracts the tests pin):
+
+    * a server that dies mid-conversation **fails every pending
+      future** instead of leaving callers hung;
+    * a reply whose sequence id was never issued is a protocol
+      violation — the connection is poisoned and every call after it
+      raises;
+    * only :meth:`close` is a deliberate shutdown; any other socket
+      death surfaces as :class:`~repro.exceptions.ReproError`
+      carrying the errno, never a silent return.
+    """
+
+    def __init__(self, address: Union[str, tuple], codec: str,
+                 timeout: Optional[float]) -> None:
+        self._address = address
+        self._codec = codec
+        self._timeout = timeout
+        self._lock = threading.Lock()
+        self._sock: Optional[socket.socket] = None
+        self._seq = itertools.count()
+        self._pending: Dict[int, "Future[Dict[str, Any]]"] = {}
+        self._closed = False
+        self._fault: Optional[ReproError] = None
+        #: Completed request/reply exchanges (same unit as the strict
+        #: connection's counter: one frame out, one frame back).
+        self.round_trips = 0
+
+    # -- sending -------------------------------------------------------
+    def submit(self, message: Dict[str, Any]
+               ) -> "Future[Dict[str, Any]]":
+        """Ship one sequence-tagged frame; the reply as a future."""
+        future: "Future[Dict[str, Any]]" = Future()
+        future.set_running_or_notify_cancel()
+        with self._lock:
+            if self._fault is not None:
+                raise self._fault
+            if self._closed:
+                raise WireError("connection is closed")
+            sock = self._ensure_socket()
+            seq = next(self._seq)
+            self._pending[seq] = future
+            try:
+                send_frame(sock, message, self._codec, seq=seq)
+            except OSError as exc:
+                self._pending.pop(seq, None)
+                self._fault = ReproError(
+                    f"send to {self._address!r} failed unexpectedly "
+                    f"(errno {exc.errno}): {exc}")
+                raise self._fault from exc
+        return future
+
+    def _ensure_socket(self) -> socket.socket:
+        if self._sock is None:
+            sock = connect_socket(self._address, self._timeout)
+            # The reader owns receives and must block indefinitely
+            # between replies; client-level timeouts are enforced on
+            # the futures, not the socket.
+            sock.settimeout(None)
+            self._sock = sock
+            threading.Thread(target=self._reader_main, args=(sock,),
+                             daemon=True,
+                             name="repro-client-reader").start()
+        return self._sock
+
+    # -- receiving (the reader thread) ---------------------------------
+    def _reader_main(self, sock: socket.socket) -> None:
+        fault: Optional[ReproError] = None
+        try:
+            while True:
+                try:
+                    received = recv_frame(sock)
+                except (FrameError, WireError) as exc:
+                    if not self._closed:
+                        fault = exc
+                    return
+                except OSError as exc:
+                    if not self._closed:
+                        fault = ReproError(
+                            f"connection to {self._address!r} failed "
+                            f"unexpectedly (errno {exc.errno}): {exc}")
+                    return
+                if received is None:  # clean close on a boundary
+                    with self._lock:
+                        if self._pending and not self._closed:
+                            fault = WireError(
+                                f"server at {self._address!r} closed "
+                                f"the connection with "
+                                f"{len(self._pending)} requests in "
+                                f"flight")
+                    return
+                seq, message = received
+                if seq is None:
+                    # Untagged frames on a pipelined connection are
+                    # connection-level: a fatal server error (e.g. an
+                    # oversized frame verdict) or a protocol breach.
+                    if message.get("op") == "error":
+                        fault = WireError(
+                            message.get("message", "server error"))
+                    else:
+                        fault = WireError(
+                            "untagged reply on a pipelined connection")
+                    return
+                with self._lock:
+                    future = self._pending.pop(seq, None)
+                if future is None:
+                    fault = WireError(
+                        f"server replied to sequence id {seq}, which "
+                        f"was never issued on this connection")
+                    return
+                self.round_trips += 1
+                if message.get("op") == "error":
+                    future.set_exception(WireError(
+                        message.get("message", "server error")))
+                else:
+                    future.set_result(message)
+        finally:
+            self._retire(sock, fault)
+
+    def _retire(self, sock: socket.socket,
+                fault: Optional[ReproError]) -> None:
+        """Tear one socket down: record the fault, fail the pending."""
+        with self._lock:
+            if fault is not None and not self._closed:
+                self._fault = fault
+            if self._sock is sock:
+                self._sock = None
+            pending = list(self._pending.values())
+            self._pending.clear()
+        try:
+            sock.close()
+        except OSError:  # pragma: no cover
+            pass
+        failure = fault if fault is not None else WireError(
+            "connection closed with requests in flight")
+        for future in pending:
+            if not future.done():
+                future.set_exception(failure)
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def fault(self) -> Optional[ReproError]:
+        """The unexpected failure that poisoned this connection."""
+        return self._fault
+
+    def close(self) -> None:
+        with self._lock:
+            self._closed = True
+            sock = self._sock
+            self._sock = None
+        if sock is not None:
+            try:
+                sock.close()  # wakes the reader, which retires cleanly
+            except OSError:  # pragma: no cover
+                pass
+
+
 class GraphClient:
-    """Client for a served graph: typed, legacy and one-shot surfaces."""
+    """Client for a served graph: typed, legacy and one-shot surfaces.
+
+    The default client is strict request–response on one connection —
+    simple, and exactly what scripts and the CLI need.  With
+    ``pipeline=True`` it becomes a multiplexing client: every frame
+    is sequence-tagged, :meth:`execute_async` returns a future, many
+    batches ride each connection concurrently, and ``pool_size``
+    connections share the traffic round-robin (one is plenty until a
+    single reader thread saturates).
+    """
 
     def __init__(self, address: Union[str, tuple], codec: str = "json",
-                 timeout: Optional[float] = None) -> None:
-        self._conn = _WireConnection(address, codec, timeout)
+                 timeout: Optional[float] = None,
+                 pipeline: bool = False, pool_size: int = 1) -> None:
         self.address = address
+        self.pipeline = bool(pipeline)
+        self._timeout = timeout
+        self._conn: Optional[_WireConnection] = None
+        self._pool: List[_MuxConnection] = []
+        if self.pipeline:
+            self._pool = [_MuxConnection(address, codec, timeout)
+                          for _ in range(max(1, int(pool_size)))]
+            self._rr = itertools.count()
+        else:
+            if pool_size not in (None, 1):
+                raise ReproError("pool_size > 1 needs pipeline=True "
+                                 "(a strict client holds exactly one "
+                                 "connection)")
+            self._conn = _WireConnection(address, codec, timeout)
+
+    # -- plumbing ------------------------------------------------------
+    def _next_mux(self) -> _MuxConnection:
+        return self._pool[next(self._rr) % len(self._pool)]
+
+    def _await(self, future: "Future[Any]") -> Any:
+        try:
+            return future.result(self._timeout)
+        except FutureTimeoutError:
+            raise WireError(f"no reply from {self.address!r} within "
+                            f"{self._timeout}s") from None
+
+    def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        if self.pipeline:
+            return self._await(self._next_mux().submit(message))
+        return self._conn.round_trip(message)
 
     # -- typed ---------------------------------------------------------
     def execute(self, requests: Sequence[Union[QueryRequest,
@@ -252,26 +410,45 @@ class GraphClient:
         Per-request error semantics hold across the wire: a malformed
         or failing request errors alone, everything else is answered.
         """
+        if self.pipeline:
+            return self._await(self.execute_async(requests))
         wire = requests_to_wire(requests)
         if not wire:
             return []
-        reply = self._conn.round_trip({"op": "batch",
-                                       "requests": wire})
-        if reply.get("op") != "results":
-            raise WireError(f"expected results, got "
-                            f"{reply.get('op')!r}")
-        by_id = {result.id: result
-                 for result in results_from_wire(
-                     reply.get("results", []))}
-        results: List[QueryResult] = []
-        for position, entry in enumerate(wire):
-            result = by_id.get(entry["id"])
-            if result is None:
-                result = QueryResult(id=entry["id"],
-                                     error="server returned no answer "
-                                           "for this request")
-            results.append(result)
-        return results
+        return _settle_results(
+            wire, self._conn.round_trip({"op": "batch",
+                                         "requests": wire}))
+
+    def execute_async(self, requests: Sequence[Union[QueryRequest,
+                                                     Sequence[Any]]]
+                      ) -> "Future[List[QueryResult]]":
+        """Ship a batch without waiting; results as a future.
+
+        Requires ``pipeline=True``.  Many futures can be outstanding
+        per connection; the server answers them as each batch
+        completes, in any order, and the sequence tags route every
+        reply to its future.
+        """
+        if not self.pipeline:
+            raise ReproError("execute_async needs a pipelined client "
+                             "(GraphClient(..., pipeline=True))")
+        done: "Future[List[QueryResult]]" = Future()
+        done.set_running_or_notify_cancel()
+        wire = requests_to_wire(requests)
+        if not wire:
+            done.set_result([])
+            return done
+        inner = self._next_mux().submit({"op": "batch",
+                                         "requests": wire})
+
+        def settle(reply: "Future[Dict[str, Any]]") -> None:
+            try:
+                done.set_result(_settle_results(wire, reply.result()))
+            except BaseException as exc:
+                done.set_exception(exc)
+
+        inner.add_done_callback(settle)
+        return done
 
     # -- legacy-shaped -------------------------------------------------
     def batch(self, requests: Sequence[Sequence[Any]]) -> List[Any]:
@@ -285,21 +462,26 @@ class GraphClient:
     # -- control -------------------------------------------------------
     def info(self) -> Dict[str, Any]:
         """The server's self-description (type, shards, sizes)."""
-        reply = self._conn.round_trip({"op": "info"})
+        reply = self._roundtrip({"op": "info"})
         return {key: value for key, value in reply.items()
                 if key != "op"}
 
     def ping(self) -> bool:
         """Liveness probe."""
-        return self._conn.round_trip({"op": "ping"}).get("op") == "pong"
+        return self._roundtrip({"op": "ping"}).get("op") == "pong"
 
     @property
     def round_trips(self) -> int:
         """Request/response exchanges this client has performed."""
+        if self.pipeline:
+            return sum(conn.round_trips for conn in self._pool)
         return self._conn.round_trips
 
     def close(self) -> None:
-        self._conn.close()
+        for conn in self._pool:
+            conn.close()
+        if self._conn is not None:
+            self._conn.close()
 
     def __enter__(self) -> "GraphClient":
         return self
@@ -318,12 +500,18 @@ class RemoteShard:
     its shard server.  The answers come from the same grammar code
     the local handle would run, which is why router-served answers
     are bit-identical to in-process ones.
+
+    The link is **pipelined by default**: concurrent router batches
+    (the event loop's worker pool fanning out per-shard groups)
+    multiplex over one sequence-tagged connection instead of
+    queueing on a per-connection lock.
     """
 
     def __init__(self, address: Union[str, tuple], codec: str = "json",
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 pipeline: bool = True) -> None:
         self._client = GraphClient(address, codec=codec,
-                                   timeout=timeout)
+                                   timeout=timeout, pipeline=pipeline)
         self.address = address
 
     # -- the wire format ----------------------------------------------
@@ -400,23 +588,26 @@ class GraphServer:
     ``start()`` is idempotent-safe to pair with ``close()`` (also a
     context manager).  The ``endpoint`` attribute is the canonical
     client address — with ``port=0`` the OS picks one, so tests and
-    benchmarks never race over a fixed port.
+    benchmarks never race over a fixed port.  ``pipeline`` bounds the
+    concurrently evaluating batches per server (the event loop's
+    worker pool; default :data:`repro.serving.aio.DEFAULT_PIPELINE`).
     """
 
     def __init__(self, path: Union[str, Path, bytes],
                  address: str = "127.0.0.1:0",
                  codec: str = "json",
-                 cache_size: Optional[int] = None) -> None:
+                 cache_size: Optional[int] = None,
+                 pipeline: Optional[int] = None) -> None:
         self._data = (bytes(path) if isinstance(path, (bytes, bytearray))
                       else Path(path).read_bytes())
         self._address = address
         self._codec = codec
         self._cache_size = cache_size
+        self._pipeline = pipeline
         self._processes: List[Any] = []
         self._proxies: List[RemoteShard] = []
         self._listener: Optional[socket.socket] = None
-        self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
+        self._loop: Optional[ServerLoop] = None
         self._service: Optional[Any] = None
         self.endpoint: Optional[str] = None
         self.num_shards = 0
@@ -433,6 +624,12 @@ class GraphServer:
         :meth:`start`.
         """
         return self._service
+
+    @property
+    def fault(self) -> Optional[ReproError]:
+        """An unexpected serving-loop death (listener failure), or
+        ``None`` while healthy or after a deliberate :meth:`close`."""
+        return self._loop.fault if self._loop is not None else None
 
     # ------------------------------------------------------------------
     def start(self) -> "GraphServer":
@@ -505,12 +702,9 @@ class GraphServer:
                        if key in ("nodes", "edges")}}
         self._service = service
         self._listener, self.endpoint = bind_socket(self._address)
-        self._thread = threading.Thread(
-            target=_accept_loop,
-            args=(self._listener, service, executor, self._codec, info,
-                  self._stop),
-            daemon=True)
-        self._thread.start()
+        self._loop = ServerLoop(self._listener, service, executor,
+                                self._codec, info,
+                                pipeline=self._pipeline).start()
         return self
 
     def _spawn_shards(self, context: Any, blobs: Iterable[bytes]
@@ -520,7 +714,8 @@ class GraphServer:
             parent_conn, child_conn = context.Pipe(duplex=False)
             process = context.Process(
                 target=_shard_process_main,
-                args=(blob, child_conn, self._codec, self._cache_size),
+                args=(blob, child_conn, self._codec, self._cache_size,
+                      self._pipeline),
                 daemon=True)
             process.start()
             child_conn.close()
@@ -534,25 +729,32 @@ class GraphServer:
         return endpoints
 
     # ------------------------------------------------------------------
-    def connect(self, timeout: Optional[float] = None) -> GraphClient:
+    def connect(self, timeout: Optional[float] = None,
+                pipeline: bool = False,
+                pool_size: int = 1) -> GraphClient:
         """A client for this server's public endpoint."""
         if self.endpoint is None:
             raise ReproError("server is not started")
         return GraphClient(self.endpoint, codec=self._codec,
-                           timeout=timeout)
+                           timeout=timeout, pipeline=pipeline,
+                           pool_size=pool_size)
 
     def close(self) -> None:
-        """Stop accepting, drop shard links, terminate shard processes."""
-        self._stop.set()
+        """Stop accepting, drop shard links, terminate shard processes.
+
+        This is the *deliberate* shutdown path: the serving loop is
+        flagged before its listener closes, so an orderly teardown is
+        never misreported as a listener failure.
+        """
+        if self._loop is not None:
+            self._loop.stop()
+            self._loop = None
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:  # pragma: no cover
                 pass
             self._listener = None
-        if self._thread is not None:
-            self._thread.join(timeout=2.0)
-            self._thread = None
         for proxy in self._proxies:
             proxy.close()
         self._proxies = []
@@ -581,18 +783,26 @@ class GraphServer:
 # ----------------------------------------------------------------------
 def serve(path: Union[str, Path, bytes], address: str = "127.0.0.1:0",
           codec: str = "json",
-          cache_size: Optional[int] = None) -> GraphServer:
+          cache_size: Optional[int] = None,
+          pipeline: Optional[int] = None) -> GraphServer:
     """Start serving a container; returns the running server.
 
     ``serve(...)`` / ``with serve(...) as server`` — the server
     accepts in a background thread, shard processes run until
-    :meth:`GraphServer.close`.
+    :meth:`GraphServer.close`.  ``pipeline`` bounds the concurrently
+    evaluating batches per server process.
     """
     return GraphServer(path, address=address, codec=codec,
-                       cache_size=cache_size).start()
+                       cache_size=cache_size, pipeline=pipeline).start()
 
 
 def connect(address: Union[str, tuple], codec: str = "json",
-            timeout: Optional[float] = None) -> GraphClient:
-    """Connect to a :func:`serve` endpoint."""
-    return GraphClient(address, codec=codec, timeout=timeout)
+            timeout: Optional[float] = None,
+            pipeline: bool = False,
+            pool_size: int = 1) -> GraphClient:
+    """Connect to a :func:`serve` endpoint.
+
+    ``pipeline=True`` returns the multiplexing client (sequence-tagged
+    frames, ``execute_async``, ``pool_size`` pooled connections)."""
+    return GraphClient(address, codec=codec, timeout=timeout,
+                       pipeline=pipeline, pool_size=pool_size)

@@ -1,8 +1,10 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures for the test suite — and the hard test timeout."""
 
 from __future__ import annotations
 
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import Tuple
 
@@ -13,6 +15,45 @@ sys.path.insert(0, str(Path(__file__).parent))
 from helpers import random_simple_graph  # noqa: E402
 
 from repro import Alphabet, Hypergraph  # noqa: E402
+
+_DEFAULT_TIMEOUT_SECONDS = 30.0
+
+
+class HardTimeout(Exception):
+    """A test exceeded its ``@pytest.mark.timeout`` wall-clock limit."""
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_call(item):
+    """Enforce ``@pytest.mark.timeout(seconds)`` with SIGALRM.
+
+    A hung event loop (or a client future that never resolves) would
+    otherwise stall the whole suite: a deadlock in the async serving
+    stack blocks the main thread on a condition variable forever.
+    SIGALRM interrupts that wait and fails the test instead.  Only
+    active on platforms with SIGALRM and when the test runs on the
+    main thread (both true for every supported CI lane).
+    """
+    marker = item.get_closest_marker("timeout")
+    if (marker is None or not hasattr(signal, "SIGALRM")
+            or threading.current_thread()
+            is not threading.main_thread()):
+        return (yield)
+    seconds = (float(marker.args[0]) if marker.args
+               else _DEFAULT_TIMEOUT_SECONDS)
+
+    def on_alarm(signum, frame):
+        raise HardTimeout(
+            f"{item.nodeid} exceeded the hard {seconds:.0f}s timeout "
+            f"(hung event loop or unresolved client future?)")
+
+    previous = signal.signal(signal.SIGALRM, on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, seconds)
+    try:
+        return (yield)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

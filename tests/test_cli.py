@@ -328,7 +328,7 @@ class TestServeAndConnect:
         env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         process = subprocess.Popen(
             [sys.executable, "-m", "repro.cli", "serve", str(sharded),
-             "--ready-file", str(ready)],
+             "--pipeline", "4", "--ready-file", str(ready)],
             env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE)
         try:
             deadline = time.time() + 60

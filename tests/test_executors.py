@@ -182,6 +182,24 @@ class TestShardedConformance:
         with server.connect() as client:
             assert_identical(truth, client.batch(requests))
 
+    @pytest.mark.smoke
+    def test_pipelined_client_equals_in_process_router(self, sharded,
+                                                       served):
+        """Conformance must survive pipelining: a multiplexing client
+        with many concurrent in-flight batches gets answers
+        bit-identical to the in-process sharded handle — reply order
+        is free, answer content is not."""
+        handle = sharded("er-random", 2)
+        requests = serving_workload(handle.node_count(), count=40)
+        truth = handle.batch(requests)
+        server = served("er-random", 2)
+        with server.connect(pipeline=True, pool_size=2) as client:
+            futures = [client.execute_async(requests)
+                       for _ in range(8)]
+            for future in futures:
+                got = [result.unwrap() for result in future.result(60)]
+                assert_identical(truth, got)
+
 
 # ----------------------------------------------------------------------
 # Error-channel conformance across process/socket boundaries

@@ -134,21 +134,28 @@ class TestClient:
 
 
 class TestProtocolRobustness:
-    def test_oversized_frame_closes_the_connection(self, server):
+    def test_oversized_frame_answers_then_closes(self, server):
         """A length header past the frame limit desynchronizes the
-        stream; the server must drop that connection (not loop
-        misparsing payload bytes) and keep serving new ones."""
+        stream; the server must answer with a structured ``error``
+        frame (fatal) and then close deterministically — not loop
+        misparsing payload bytes, and not drop a bare RST — while
+        continuing to serve new connections."""
         import socket as socket_module
         import struct
 
-        from repro.serving.codec import parse_address
+        from repro.serving.codec import parse_address, recv_message
 
         _, target = parse_address(server.endpoint)
         raw = socket_module.create_connection(target, timeout=5)
         try:
             raw.sendall(struct.pack("!I", 2 ** 31) + b"XXXX")
             raw.settimeout(5)
-            # The server drops the connection (FIN, or RST when our
+            # First: the structured verdict (the peer learns *why*).
+            reply = recv_message(raw)
+            assert reply["op"] == "error"
+            assert reply["fatal"] is True
+            assert "exceeds" in reply["message"]
+            # Then: the deterministic close (FIN, or RST when our
             # unread payload bytes are still in its receive buffer).
             try:
                 assert raw.recv(4096) == b""
@@ -271,6 +278,48 @@ class TestCrossShardReachRoundTrips:
             with running.connect() as client:
                 assert client.batch(requests) == expected
         assert total == self.SHARDS * self.PER_SHARD
+
+
+class TestShutdownRaces:
+    """Deliberate shutdown vs. unexpected death must be told apart.
+
+    The old accept loop swallowed *every* ``OSError`` with a bare
+    ``return``, so a listener dying under a healthy server looked
+    exactly like ``close()``.  Now only the flagged path is silent;
+    anything else records a :class:`ReproError` with the errno on
+    ``fault``.
+    """
+
+    def test_deliberate_close_records_no_fault(self, sharded_bytes):
+        _, blob = sharded_bytes
+        running = serve(blob)
+        loop = running._loop
+        running.close()
+        assert loop.fault is None
+        assert running.fault is None
+
+    def test_listener_death_is_a_fault_with_errno(self, sharded_bytes):
+        import socket as socket_module
+        import time
+
+        from repro.exceptions import ReproError
+
+        _, blob = sharded_bytes
+        running = serve(blob)
+        try:
+            loop = running._loop
+            # Not close(): yank the listener out from under a healthy
+            # server (shutdown() wakes the pending accept; close()
+            # would silently deregister the fd from the event loop).
+            running._listener.shutdown(socket_module.SHUT_RDWR)
+            deadline = time.monotonic() + 5
+            while loop.fault is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert isinstance(loop.fault, ReproError)
+            assert "unexpectedly" in str(loop.fault)
+            assert "errno" in str(loop.fault)
+        finally:
+            running.close()
 
 
 class TestRouterCache:
