@@ -33,7 +33,13 @@ ratios for both engines over the shared smoke corpora
   shards, the edge-cut partitioners (``bfs`` / ``label``) must cut
   strictly fewer edges than ``hash``, and closure-backed cross-shard
   reach must beat boundary chaining on the same query set (shared
-  with ``benchmarks/bench_partitioners.py``).
+  with ``benchmarks/bench_partitioners.py``),
+* the RPQ subsystem: warm product skeletons must answer the gate
+  workload at least 20x faster than the naive
+  decompress-then-product-BFS evaluator, and RPQ traffic through the
+  socket router must clear an absolute q/s floor, with answers
+  identical lane for lane (shared with
+  ``benchmarks/bench_rpq_extension.py``).
 
 Exit code 0 means no regression; 1 means at least one check failed;
 ``--update`` rewrites the baseline instead of checking.
@@ -181,6 +187,20 @@ def partition_gate() -> dict:
     return partitioner_gate()
 
 
+def rpq_lane() -> dict:
+    """Speedup + served-throughput probe of the RPQ subsystem.
+
+    Reuses the exact measurement of
+    ``benchmarks/bench_rpq_extension.py``; checked absolutely (warm
+    skeletons slower than the fixed multiple of the naive
+    decompress-then-product-BFS evaluator, or served RPQ under the
+    q/s floor, is a regression regardless of any baseline).
+    """
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+    from bench_rpq_extension import rpq_gate  # noqa: E402
+    return rpq_gate()
+
+
 def measure() -> dict:
     """Run both engines over every smoke corpus; collect the metrics."""
     corpora = {}
@@ -203,7 +223,8 @@ def measure() -> dict:
                 entry["facade"] = facade_lifecycle(result.grammar)
         corpora[name] = entry
     return {"corpora": corpora, "sharded": sharded_gate(),
-            "serving": serving_gate(), "partition": partition_gate()}
+            "serving": serving_gate(), "partition": partition_gate(),
+            "rpq": rpq_lane()}
 
 
 def check(current: dict, baseline: dict, tolerance: float,
@@ -304,6 +325,24 @@ def check(current: dict, baseline: dict, tolerance: float,
              f"closure-backed reach ({closure_ms:.1f} ms) did not "
              f"beat chaining ({chaining_ms:.1f} ms) over "
              f"{partition.get('reach_queries')} cross-shard queries")
+    # RPQ gate (absolute): warm product skeletons must beat the naive
+    # decompress-then-product-BFS evaluator by the fixed multiple,
+    # and served RPQ traffic must clear the router q/s floor.
+    rpq = current.get("rpq", {})
+    speedup = rpq.get("speedup", 0.0)
+    required = rpq.get("required_speedup", 20.0)
+    if speedup < required:
+        fail("rpq-gate",
+             f"skeleton RPQ is only {speedup:.1f}x the naive "
+             f"decompress-then-BFS evaluator on "
+             f"{rpq.get('corpus')} (gate: {required}x)")
+    served_qps = rpq.get("served_qps", 0.0)
+    served_floor = rpq.get("required_served_qps", 60.0)
+    if served_qps < served_floor:
+        fail("rpq-gate",
+             f"served RPQ reached only {served_qps:.0f} q/s at "
+             f"{rpq.get('served_shards')} shards "
+             f"(floor: {served_floor:.0f})")
     return failures
 
 
@@ -359,6 +398,16 @@ def main(argv=None) -> int:
               f"{serving['concurrent_qps']:.0f}q/s "
               f"vs single-chunked="
               f"{serving['single_chunked_qps']:.0f}q/s")
+    rpq = current.get("rpq", {})
+    if rpq:
+        print(f"{'rpq-gate':14s} corpus={rpq['corpus']} "
+              f"skeleton={rpq['skeleton_qps']:.0f}q/s "
+              f"naive={rpq['naive_qps']:.0f}q/s "
+              f"resident={rpq['resident_qps']:.0f}q/s "
+              f"speedup={rpq['speedup']:.0f}x "
+              f"(gate {rpq['required_speedup']}x) "
+              f"served={rpq['served_qps']:.0f}q/s "
+              f"(floor {rpq['required_served_qps']:.0f})")
     partition = current.get("partition", {})
     if partition:
         cut = partition.get("cut", {})

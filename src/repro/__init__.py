@@ -36,6 +36,14 @@ Public API highlights
     ``SocketExecutor``), and the socket deployment — ``serve()`` runs
     one process per shard behind a router speaking a framed
     JSON-or-binary wire codec; ``connect()`` is the client.
+``repro.rpq`` (``compile_pattern`` / ``PatternDFA``)
+    Regular path queries over the compressed form: a regex over edge
+    labels compiles to a canonical minimized DFA, evaluated via
+    memoized product skeletons (``handle.rpq(pattern, s, t)``),
+    with grammar-level pattern counting (``handle.pattern_count``)
+    riding the same pass family.  Sharded handles plan each RPQ
+    (per-pattern boundary closure / chaining / BFS) and persist
+    warmed closures in the container.
 ``Hypergraph`` / ``Alphabet``
     The directed edge-labeled hypergraph data model.
 ``GRePairSettings`` / ``CompressionResult``
@@ -59,6 +67,7 @@ See ``examples/quickstart.py`` for a tour.
 """
 
 from repro.api import CompressedGraph
+from repro.rpq import PatternDFA, compile_pattern
 from repro.sharding import ShardedCompressedGraph, open_compressed
 from repro.serving import (
     GraphClient,
@@ -106,6 +115,7 @@ __all__ = [
     "GraphServer",
     "Hypergraph",
     "InlineExecutor",
+    "PatternDFA",
     "ProcessExecutor",
     "QueryKind",
     "QueryRequest",
@@ -116,6 +126,7 @@ __all__ = [
     "SocketExecutor",
     "StreamingCompressor",
     "ThreadExecutor",
+    "compile_pattern",
     "compress",
     "connect",
     "derive",

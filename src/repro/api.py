@@ -74,6 +74,9 @@ from repro.queries.degrees import DegreeQueries
 from repro.queries.index import GrammarIndex
 from repro.queries.neighborhood import NeighborhoodQueries
 from repro.queries.reachability import ReachabilityQueries
+from repro.rpq.counts import PatternCounts
+from repro.rpq.engine import PatternEngine
+from repro.rpq.regex import cache_key as _rpq_cache_key
 from repro.serving.executors import Executor, InlineExecutor, ThreadExecutor
 from repro.serving.protocol import (
     KIND_ALIASES,
@@ -102,7 +105,8 @@ class _QueryBundle:
     """
 
     __slots__ = ("grammar", "index", "neighborhood", "reachability",
-                 "degrees", "component_count", "edge_count")
+                 "degrees", "component_count", "edge_count",
+                 "rpq_engine", "pattern_counts")
 
     def __init__(self, canonical: SLHRGrammar) -> None:
         self.grammar = canonical
@@ -112,6 +116,8 @@ class _QueryBundle:
         self.degrees: Optional[DegreeQueries] = None
         self.component_count: Optional[int] = None
         self.edge_count: Optional[int] = None
+        self.rpq_engine: Optional[PatternEngine] = None
+        self.pattern_counts: Optional[PatternCounts] = None
 
 
 class CompressedGraph(GraphService):
@@ -419,6 +425,25 @@ class CompressedGraph(GraphService):
                     bundle.degrees = DegreeQueries(bundle.grammar)
         return bundle.degrees
 
+    def _rpq_engine(self) -> PatternEngine:
+        bundle = self._queries()
+        if bundle.rpq_engine is None:
+            with self._lock:
+                if bundle.rpq_engine is None:
+                    bundle.rpq_engine = PatternEngine(
+                        bundle.index, bundle.grammar.alphabet,
+                        bundle.neighborhood)
+        return bundle.rpq_engine
+
+    def _pattern_counts(self) -> PatternCounts:
+        bundle = self._queries()
+        if bundle.pattern_counts is None:
+            with self._lock:
+                if bundle.pattern_counts is None:
+                    bundle.pattern_counts = PatternCounts(
+                        bundle.index, bundle.grammar.alphabet)
+        return bundle.pattern_counts
+
     # -- neighborhood ---------------------------------------------------
     def out_neighbors(self, node_id: int) -> List[int]:
         """Sorted out-neighbor IDs of ``node_id`` (paper's ``N+``)."""
@@ -516,6 +541,75 @@ class CompressedGraph(GraphService):
             ("path", source_id, target_id),
             lambda: shortest_path(self, source_id, target_id))
 
+    # -- regular path queries / pattern counts --------------------------
+    @staticmethod
+    def _rpq_key(pattern: str, source: int, target: int,
+                 from_state: Optional[int],
+                 to_state: Optional[int]) -> Tuple[Any, ...]:
+        """The LRU key an RPQ shares with the typed protocol.
+
+        Matches ``QueryRequest.key``: the pattern text is replaced by
+        its minimized-DFA canonical form, so equivalent spellings
+        (``a|b`` / ``b|a``) share one entry; the optional state
+        overrides trail in wire order.
+        """
+        states: Tuple[Any, ...] = ()
+        if to_state is not None:
+            states = (from_state, to_state)
+        elif from_state is not None:
+            states = (from_state,)
+        return ("rpq", _rpq_cache_key(pattern), source, target, *states)
+
+    def rpq(self, pattern: str, source: int, target: int,
+            from_state: Optional[int] = None,
+            to_state: Optional[int] = None) -> bool:
+        """Does some ``source -> target`` path spell a word of ``pattern``?
+
+        ``pattern`` is a regex over edge-label names (literals, ``.``,
+        concatenation, ``|``, ``*``, ``+``, ``?``, parentheses — see
+        :mod:`repro.rpq.regex`).  Evaluation runs on a per-handle
+        memoized product-skeleton build (one per *canonical* DFA), with
+        a cost-gated product-automaton BFS fallback for automata large
+        relative to the grammar.
+
+        ``from_state`` / ``to_state`` override the DFA's start and
+        accepting states (states use the canonical DFA's numbering) —
+        the probe surface the sharded evaluator batches.
+        """
+        return self._cache.get_or_compute(
+            self._rpq_key(pattern, source, target, from_state, to_state),
+            lambda: self._rpq_engine().matches(
+                pattern, source, target, from_state, to_state))
+
+    def pattern_count(self, sub_kind: str, *args: Any) -> int:
+        """GraphZip-style labeled pattern counts over ``val(G)``.
+
+        ``("label", a)`` counts ``a``-edges; ``("digram", a, b)``
+        counts length-2 label paths; ``("star", a, k)`` counts nodes
+        with ``>= k`` outgoing ``a``-edges; ``("node_out", a, v)`` /
+        ``("node_in", a, v)`` are one node's labeled degrees with
+        multiplicity.  Labels are *names*; unknown names count zero.
+        """
+        return self._cache.get_or_compute(
+            ("pattern_count", sub_kind, *args),
+            lambda: self._pattern_counts().count(sub_kind, *args))
+
+    def out_edges(self, node_id: int) -> List[List[int]]:
+        """Labeled outgoing edges as sorted ``[label, target]`` pairs.
+
+        The labeled variant of :meth:`out_neighbors` (list-of-lists for
+        wire type-stability across the serving codecs).
+        """
+        return self._cache.get_or_compute(
+            ("out_edges", node_id),
+            lambda: [list(pair) for pair in
+                     self._queries().neighborhood.out_edges(node_id)])
+
+    @property
+    def rpq_info(self) -> Dict[str, int]:
+        """RPQ engine accounting: skeleton builds, cached DFAs, entries."""
+        return self._rpq_engine().info()
+
     def node_count(self) -> int:
         """``|val(G)|_V`` without decompressing."""
         return self._queries().index.total_nodes
@@ -556,6 +650,13 @@ class CompressedGraph(GraphService):
         if kind is QueryKind.PATH:
             from repro.queries.traversal import shortest_path
             return shortest_path(self, *args)
+        if kind is QueryKind.RPQ:
+            return self._rpq_engine().matches(*args)
+        if kind is QueryKind.PATTERN_COUNT:
+            return self._pattern_counts().count(*args)
+        if kind is QueryKind.OUT_EDGES:
+            return [list(pair) for pair in
+                    self._queries().neighborhood.out_edges(*args)]
         return getattr(self, KIND_METHODS[kind])(*args)
 
     def warm(self) -> "CompressedGraph":

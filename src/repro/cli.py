@@ -13,8 +13,10 @@ usable without writing Python::
     python -m repro.cli decompress graph.grpr roundtrip.tsv
     python -m repro.cli query graph.grpr reach 4 17
     python -m repro.cli query graph.grps out 4
+    python -m repro.cli query graph.grps rpq 'a(b|c)*' 4 17
+    python -m repro.cli query graph.grps pattern-count digram a b
     python -m repro.cli serve graph.grps --address 127.0.0.1:8437
-    python -m repro.cli connect 127.0.0.1:8437 reach 4 17
+    python -m repro.cli connect 127.0.0.1:8437 rpq 'a(b|c)*' 4 17
     python -m repro.cli connect 127.0.0.1:8437 --info
 
 ``serve`` starts the socket deployment of
@@ -118,10 +120,13 @@ def _build_parser() -> argparse.ArgumentParser:
     query.add_argument("kind",
                        choices=["reach", "out", "in", "neighborhood",
                                 "degree", "path", "components",
-                                "nodes", "edges"])
-    query.add_argument("args", nargs="*", type=int,
-                       help="node IDs (reach/path: two; "
-                            "out/in/neighborhood/degree: one)")
+                                "nodes", "edges", "rpq",
+                                "pattern-count", "out-edges"])
+    query.add_argument("args", nargs="*",
+                       help="node IDs (reach/path: two; out/in/"
+                            "neighborhood/degree/out-edges: one); "
+                            "rpq: PATTERN SRC DST; pattern-count: "
+                            "SUBKIND plus its arguments")
 
     srv = sub.add_parser("serve",
                          help="serve a container on a socket "
@@ -154,10 +159,13 @@ def _build_parser() -> argparse.ArgumentParser:
     conn.add_argument("kind", nargs="?",
                       choices=["reach", "out", "in", "neighborhood",
                                "degree", "path", "components",
-                               "nodes", "edges"])
-    conn.add_argument("args", nargs="*", type=int,
-                      help="node IDs (reach/path: two; "
-                           "out/in/neighborhood/degree: one)")
+                               "nodes", "edges", "rpq",
+                               "pattern-count", "out-edges"])
+    conn.add_argument("args", nargs="*",
+                      help="node IDs (reach/path: two; out/in/"
+                           "neighborhood/degree/out-edges: one); "
+                           "rpq: PATTERN SRC DST; pattern-count: "
+                           "SUBKIND plus its arguments")
     conn.add_argument("--info", action="store_true",
                       help="print the server's self-description "
                            "instead of querying")
@@ -262,30 +270,68 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-def _require_arity(kind: str, args: List[int], arity: int) -> None:
+def _require_arity(kind: str, args: List[str], arity: int) -> None:
     if len(args) != arity:
         noun = "node ID" if arity == 1 else "node IDs"
         raise ReproError(f"{kind} needs exactly {arity} {noun}")
 
 
+def _as_int(kind: str, value: str, what: str = "node ID") -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise ReproError(f"{kind} expects an integer {what}, "
+                         f"got {value!r}")
+
+
 def _run_query(ask: Callable[..., Any], kind: str,
-               args: List[int]) -> int:
+               args: List[str]) -> int:
     """Evaluate and print one query through any query surface.
 
     ``ask(kind, *args)`` answers a single request — a local handle or
     a :class:`repro.serving.GraphClient` — so ``query`` (file) and
     ``connect`` (socket) print byte-identical output for the same
-    graph.
+    graph.  Arguments arrive as strings (RPQ patterns and
+    pattern-count label names are not integers); each branch converts
+    its node IDs.
     """
     if kind == "reach":
         _require_arity(kind, args, 2)
-        source, target = args
+        source, target = (_as_int(kind, arg) for arg in args)
         answer = ask("reach", source, target)
         print(f"reach({source}, {target}) = {answer}")
         return 0 if answer else 1
+    if kind == "rpq":
+        if len(args) != 3:
+            raise ReproError("rpq needs a pattern and two node IDs, "
+                             "e.g. rpq 'a(b|c)*' 4 17")
+        pattern = args[0]
+        source = _as_int(kind, args[1])
+        target = _as_int(kind, args[2])
+        answer = ask("rpq", pattern, source, target)
+        print(f"rpq({pattern!r}, {source}, {target}) = {answer}")
+        return 0 if answer else 1
+    if kind == "pattern-count":
+        if not args:
+            raise ReproError(
+                "pattern-count needs a sub-kind (label / digram / "
+                "star / node_out / node_in) plus its arguments")
+        sub_kind = args[0].replace("-", "_")
+        rest: List[Any] = list(args[1:])
+        if sub_kind == "star" and len(rest) == 2:
+            rest[1] = _as_int(kind, rest[1], "star threshold")
+        elif sub_kind in ("node_out", "node_in") and len(rest) == 2:
+            rest[1] = _as_int(kind, rest[1])
+        print(ask("pattern_count", sub_kind, *rest))
+        return 0
+    if kind == "out-edges":
+        _require_arity(kind, args, 1)
+        for label, target in ask("out_edges", _as_int(kind, args[0])):
+            print(f"{label} {target}")
+        return 0
     if kind == "path":
         _require_arity(kind, args, 2)
-        path = ask("path", *args)
+        path = ask("path", *(_as_int(kind, arg) for arg in args))
         if path is None:
             print("none")
             return 1
@@ -293,7 +339,7 @@ def _run_query(ask: Callable[..., Any], kind: str,
         return 0
     if kind in ("out", "in", "neighborhood"):
         _require_arity(kind, args, 1)
-        print(" ".join(map(str, ask(kind, args[0]))))
+        print(" ".join(map(str, ask(kind, _as_int(kind, args[0])))))
         return 0
     if kind == "degree":
         if not args:
@@ -304,7 +350,7 @@ def _run_query(ask: Callable[..., Any], kind: str,
                 print(f"{name}: {extrema[name]}")
             return 0
         _require_arity(kind, args, 1)
-        node = args[0]
+        node = _as_int(kind, args[0])
         print(f"out={ask('degree', node, 'out')} "
               f"in={ask('degree', node, 'in')} (distinct neighbors)")
         return 0

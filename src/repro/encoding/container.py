@@ -333,11 +333,14 @@ def is_sharded_container(data: bytes) -> bool:
 
 #: Trailer-section tag: the boundary transitive closure.
 _CLOSURE_TAG = 0x43  # 'C'
+#: Trailer-section tag: persisted per-pattern RPQ product closures.
+_RPQ_CLOSURE_TAG = 0x52  # 'R'
 
 
 def encode_sharded_container(meta: bytes,
                              shard_blobs: Sequence[bytes],
-                             closure: Optional[bytes] = None
+                             closure: Optional[bytes] = None,
+                             rpq_closures: Optional[bytes] = None
                              ) -> ShardedFile:
     """Frame a routing summary plus per-shard "GRPR" blobs.
 
@@ -345,8 +348,11 @@ def encode_sharded_container(meta: bytes,
     :mod:`repro.sharding`); every shard blob must be a complete
     single-grammar container so the per-shard section accounting can be
     reused as-is.  ``closure`` (an encoded
-    :class:`repro.partition.boundary.BoundaryClosure`) is written as a
-    tagged trailer section when given.
+    :class:`repro.partition.boundary.BoundaryClosure`) and
+    ``rpq_closures`` (the per-pattern
+    :class:`repro.partition.boundary.ProductClosure` table assembled by
+    :mod:`repro.sharding`) are written as tagged trailer sections when
+    given.
     """
     if not shard_blobs:
         raise EncodingError("a sharded container needs >= 1 shard")
@@ -371,19 +377,26 @@ def encode_sharded_container(meta: bytes,
         write_uvarint(out, len(closure))
         out.extend(closure)
         sections["closure"] = len(closure)
+    if rpq_closures is not None:
+        out.append(_RPQ_CLOSURE_TAG)
+        write_uvarint(out, len(rpq_closures))
+        out.extend(rpq_closures)
+        sections["rpq_closures"] = len(rpq_closures)
     return ShardedFile(data=bytes(out), section_bytes=sections)
 
 
 def decode_sharded_container(data: bytes
                              ) -> Tuple[bytes, List[bytes],
+                                        Optional[bytes],
                                         Optional[bytes]]:
-    """Split a "GRPS" container into ``(meta, [shard blobs], closure)``.
+    """Split a "GRPS" container into
+    ``(meta, [shard blobs], closure, rpq_closures)``.
 
-    ``closure`` is ``None`` when the file carries no closure trailer
-    (every pre-closure container).  Only the framing is validated
-    here; the shard blobs are decoded by :func:`decode_grammar`, the
-    meta payload by :mod:`repro.sharding` and the closure payload by
-    :mod:`repro.partition.boundary`.
+    ``closure`` / ``rpq_closures`` are ``None`` when the file carries
+    no such trailer section (every pre-closure container).  Only the
+    framing is validated here; the shard blobs are decoded by
+    :func:`decode_grammar`, the meta payload by :mod:`repro.sharding`
+    and the closure payloads by :mod:`repro.partition.boundary`.
     """
     if len(data) < 6:
         raise EncodingError("sharded container too short")
@@ -411,25 +424,34 @@ def decode_sharded_container(data: bytes
             blobs.append(bytes(data[pos:pos + blob_len]))
             pos += blob_len
         closure: Optional[bytes] = None
-        if pos < len(data):
+        rpq_closures: Optional[bytes] = None
+        while pos < len(data):
             tag = data[pos]
             pos += 1
-            if tag != _CLOSURE_TAG:
+            if tag == _CLOSURE_TAG and closure is None:
+                name = "closure"
+            elif tag == _RPQ_CLOSURE_TAG and rpq_closures is None:
+                name = "rpq closure"
+            else:
                 raise EncodingError(
                     f"unknown trailing section tag {tag:#04x} after "
                     "the last shard")
-            closure_len, pos = read_uvarint(data, pos)
-            if pos + closure_len > len(data):
-                raise EncodingError("truncated closure section")
-            closure = bytes(data[pos:pos + closure_len])
-            pos += closure_len
+            section_len, pos = read_uvarint(data, pos)
+            if pos + section_len > len(data):
+                raise EncodingError(f"truncated {name} section")
+            payload = bytes(data[pos:pos + section_len])
+            pos += section_len
+            if tag == _CLOSURE_TAG:
+                closure = payload
+            else:
+                rpq_closures = payload
     except (IndexError, ValueError) as exc:
         raise EncodingError(f"corrupt sharded container: {exc}") \
             from None
     if pos != len(data):
         raise EncodingError(
             f"{len(data) - pos} trailing bytes after the last section")
-    return meta, blobs, closure
+    return meta, blobs, closure, rpq_closures
 
 
 def sharded_container_sections(data: bytes) -> Dict[str, int]:
@@ -439,7 +461,8 @@ def sharded_container_sections(data: bytes) -> Dict[str, int]:
     matching the :func:`container_sections` convention.
     """
     try:
-        meta, blobs, closure = decode_sharded_container(data)
+        meta, blobs, closure, rpq_closures = \
+            decode_sharded_container(data)
     except EncodingError:
         return {}
     sections: Dict[str, int] = {"header": 5, "meta": len(meta)}
@@ -448,4 +471,6 @@ def sharded_container_sections(data: bytes) -> Dict[str, int]:
             sections[f"shard{index}/{section}"] = size
     if closure is not None:
         sections["closure"] = len(closure)
+    if rpq_closures is not None:
+        sections["rpq_closures"] = len(rpq_closures)
     return sections

@@ -15,7 +15,8 @@ concern is a module of its own:
     :class:`BoundaryGraph` (the cross-shard summary in global IDs)
     and :class:`BoundaryClosure` (the persisted transitive closure
     that turns cross-shard ``reach`` into one in-shard batch per
-    endpoint shard).
+    endpoint shard), plus :class:`ProductClosure` — the same closure
+    in the product with a pattern DFA, serving cross-shard RPQs.
 ``planner``
     :class:`ReachPlanner`: the cost model choosing closure /
     chaining / BFS per query, shared by the in-process handle and
@@ -25,7 +26,11 @@ concern is a module of its own:
 glue on top of this layer.
 """
 
-from repro.partition.boundary import BoundaryClosure, BoundaryGraph
+from repro.partition.boundary import (
+    BoundaryClosure,
+    BoundaryGraph,
+    ProductClosure,
+)
 from repro.partition.partitioners import (
     PARTITIONERS,
     bfs_partition,
@@ -43,6 +48,7 @@ __all__ = [
     "BoundaryClosure",
     "BoundaryGraph",
     "PartitionPlan",
+    "ProductClosure",
     "ReachPlan",
     "ReachPlanner",
     "bfs_partition",

@@ -28,17 +28,26 @@ identity.  This module owns everything built on that summary:
     and the byte encoding is canonical (sorted, delta-coded IDs +
     fixed-width little-endian rows), so a closure loaded from the
     "GRPS" container is byte-identical to a rebuilt one.
+:class:`ProductClosure`
+    The same construction lifted to the product with a pattern DFA:
+    vertices are ``(boundary node, DFA state)`` pairs, arcs are (a)
+    boundary edges stepping the DFA on their label and (b) in-shard
+    RPQ state-to-state probes (one ``batch()`` per shard, exactly the
+    reach-closure shape).  With it, a cross-shard RPQ costs one
+    in-shard batch per endpoint shard plus O(1) lookups — the
+    per-label boundary closure the sharded RPQ evaluator plans with.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_right
-from typing import Any, Dict, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, \
+    Sequence, Tuple
 
 from repro.exceptions import EncodingError
 from repro.util.varint import read_uvarint, write_uvarint
 
-__all__ = ["BoundaryClosure", "BoundaryGraph"]
+__all__ = ["BoundaryClosure", "BoundaryGraph", "ProductClosure"]
 
 
 def _bits(mask: int) -> Iterable[int]:
@@ -264,3 +273,180 @@ class BoundaryClosure:
         reachable = sum(row.bit_count() for row in self.rows)
         return (f"BoundaryClosure(nodes={len(self.nodes)}, "
                 f"pairs={reachable})")
+
+
+class ProductClosure:
+    """Boundary closure in the product with a pattern DFA.
+
+    Vertices are ``(boundary node, state)`` pairs laid out row-major —
+    bit/row index ``position(node) * num_states + state`` — over the
+    sorted boundary-node list.  ``rows[i]`` has bit ``j`` set iff
+    product vertex ``j`` is reachable from vertex ``i`` through at
+    least one arc (like :class:`BoundaryClosure`, the relation is not
+    reflexive; callers add the source vertex where the empty path
+    matters).
+    """
+
+    __slots__ = ("nodes", "num_states", "rows", "_index")
+
+    def __init__(self, nodes: List[int], num_states: int,
+                 rows: List[int]) -> None:
+        self.nodes = nodes
+        self.num_states = num_states
+        self.rows = rows
+        self._index = {node: position
+                       for position, node in enumerate(nodes)}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, boundary: BoundaryGraph, shards: Sequence[Any],
+              bases: Sequence[int], pattern: str, num_states: int,
+              step: Callable[[int, int], Optional[int]]
+              ) -> "ProductClosure":
+        """Probe the shards and close the product boundary graph.
+
+        Arcs come from two sources: each boundary edge ``u -l-> v``
+        contributes ``(u, q) -> (v, step(q, l))`` for every state the
+        DFA can step on that label (``step`` maps a state and an *edge
+        label ID* to the successor state or ``None``); and each shard
+        answers one ``batch()`` of state-to-state RPQ probes
+        ``("rpq", pattern, a, b, q, q2)`` covering every ordered pair
+        of its boundary nodes and state pair — including ``a == b``
+        with ``q != q2``, because an in-shard cycle can advance the
+        automaton without leaving the node.
+        """
+        nodes = sorted(boundary.incident)
+        index = {node: position for position, node in enumerate(nodes)}
+        size = len(nodes) * num_states
+
+        def vertex(node: int, state: int) -> int:
+            return index[node] * num_states + state
+
+        adjacency = [0] * size
+        for label, att in boundary.edges:
+            if len(att) != 2:
+                continue
+            source, target = att
+            for state in range(num_states):
+                nxt = step(state, label)
+                if nxt is not None:
+                    adjacency[vertex(source, state)] |= \
+                        1 << vertex(target, nxt)
+        for shard, members in enumerate(boundary.members):
+            probes = [(a, b, q, q2)
+                      for a in members for b in members
+                      for q in range(num_states)
+                      for q2 in range(num_states)
+                      if not (a == b and q == q2)]
+            if not probes:
+                continue
+            base = bases[shard]
+            answers = shards[shard].batch(
+                [("rpq", pattern, a - base, b - base, q, q2)
+                 for a, b, q, q2 in probes])
+            for (a, b, q, q2), matched in zip(probes, answers):
+                if matched:
+                    adjacency[vertex(a, q)] |= 1 << vertex(b, q2)
+        rows: List[int] = []
+        for start in range(size):
+            seen = 0
+            frontier = adjacency[start]
+            while frontier:
+                seen |= frontier
+                hop = 0
+                for bit in _bits(frontier):
+                    hop |= adjacency[bit]
+                frontier = hop & ~seen
+            rows.append(seen)
+        return cls(nodes, num_states, rows)
+
+    # ------------------------------------------------------------------
+    # Lookups (global node IDs + DFA states in)
+    # ------------------------------------------------------------------
+    def bit(self, node: int, state: int) -> int:
+        """The single-bit mask of one ``(node, state)`` vertex."""
+        return 1 << (self._index[node] * self.num_states + state)
+
+    def row_mask(self, node: int, state: int) -> int:
+        """Mask of product vertices reachable from ``(node, state)``."""
+        return self.rows[self._index[node] * self.num_states + state]
+
+    def mask_of(self, vertices: Iterable[Tuple[int, int]]) -> int:
+        """The union mask of several ``(node, state)`` vertices."""
+        mask = 0
+        for node, state in vertices:
+            mask |= 1 << (self._index[node] * self.num_states + state)
+        return mask
+
+    def vertices_in(self, mask: int) -> List[Tuple[int, int]]:
+        """The ``(node, state)`` vertices a mask selects, ascending."""
+        return [(self.nodes[bit // self.num_states],
+                 bit % self.num_states)
+                for bit in _bits(mask)]
+
+    # ------------------------------------------------------------------
+    # Codec (one entry of the "GRPS" RPQ-closure trailer section)
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        """Canonical encoding: the reach-closure layout + a state count."""
+        out = bytearray()
+        write_uvarint(out, self.num_states)
+        write_uvarint(out, len(self.nodes))
+        previous = 0
+        for node in self.nodes:
+            write_uvarint(out, node - previous)
+            previous = node
+        size = len(self.nodes) * self.num_states
+        row_bytes = (size + 7) // 8
+        for row in self.rows:
+            out.extend(row.to_bytes(row_bytes, "little"))
+        return bytes(out)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "ProductClosure":
+        """Decode a product-closure entry; validates the exact length."""
+        try:
+            num_states, pos = read_uvarint(data, 0)
+            if num_states < 1:
+                raise EncodingError("product closure needs >= 1 state")
+            count, pos = read_uvarint(data, pos)
+            nodes: List[int] = []
+            previous = 0
+            for _ in range(count):
+                delta, pos = read_uvarint(data, pos)
+                previous += delta
+                nodes.append(previous)
+            size = count * num_states
+            row_bytes = (size + 7) // 8
+            rows: List[int] = []
+            for _ in range(size):
+                if pos + row_bytes > len(data):
+                    raise EncodingError("truncated product-closure row")
+                row = int.from_bytes(data[pos:pos + row_bytes],
+                                     "little")
+                if row >> size:
+                    raise EncodingError("product-closure row has bits "
+                                        "beyond the vertex count")
+                rows.append(row)
+                pos += row_bytes
+        except (EncodingError, IndexError, ValueError) as exc:
+            raise EncodingError(
+                f"corrupt product-closure section: {exc}") from None
+        if pos != len(data):
+            raise EncodingError(
+                f"{len(data) - pos} trailing bytes in product-closure "
+                f"section")
+        return cls(nodes, num_states, rows)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ProductClosure)
+                and self.nodes == other.nodes
+                and self.num_states == other.num_states
+                and self.rows == other.rows)
+
+    def __repr__(self) -> str:
+        reachable = sum(row.bit_count() for row in self.rows)
+        return (f"ProductClosure(nodes={len(self.nodes)}, "
+                f"states={self.num_states}, pairs={reachable})")

@@ -82,6 +82,19 @@ class ReachPlanner:
         return (boundary.edge_count > 0
                 and boundary.closure_pairs() <= self.closure_budget)
 
+    def rpq_closure_allowed(self, num_states: int) -> bool:
+        """Whether a *product* closure build fits the same budget.
+
+        A product closure probes every ordered boundary pair times
+        every ordered state pair, so the reach-closure build cost
+        scales by ``|Q|^2``; it competes for the same per-node probe
+        budget the reach closure does.
+        """
+        boundary = self._boundary
+        return (boundary.edge_count > 0
+                and (boundary.closure_pairs() * num_states * num_states
+                     <= self.closure_budget))
+
     def strategy(self, source_shard: int, target_shard: int,
                  closure_built: bool = False) -> str:
         """The strategy name alone — the hot-path probe.
@@ -107,6 +120,41 @@ class ReachPlanner:
                          * max(boundary.total_entries, 1))
         bfs_cost = self._total_nodes
         if ((closure_built or self.closure_allowed)
+                and closure_cost <= chaining_cost
+                and closure_cost <= bfs_cost):
+            return "closure"
+        return "chaining" if chaining_cost <= bfs_cost else "bfs"
+
+    def rpq_strategy(self, source_shard: int, target_shard: int,
+                     num_states: int,
+                     closure_built: bool = False,
+                     force: Optional[str] = None) -> str:
+        """The cross-shard RPQ route: the reach decision, |Q|-scaled.
+
+        Same regimes as :meth:`strategy`, with every estimate carrying
+        the DFA factor the product construction costs: closure lookups
+        scale by ``|Q|`` (state-to-state probes per endpoint), chaining
+        by ``|Q|^2`` (product waves), BFS by ``|Q|`` (product vertices).
+        ``force`` overrides per call (the differential tests pin all
+        three routes on one handle without touching reach planning).
+        """
+        boundary = self._boundary
+        if source_shard not in boundary.touched:
+            return "local"
+        if (source_shard != target_shard
+                and not boundary.entries[target_shard]):
+            return "local"
+        pinned = force if force is not None else self.force
+        if pinned is not None:
+            return pinned
+        closure_cost = (len(boundary.exits[source_shard])
+                        + len(boundary.entries[target_shard])
+                        ) * num_states
+        chaining_cost = (boundary.total_exits
+                         * max(boundary.total_entries, 1)
+                         * num_states * num_states)
+        bfs_cost = self._total_nodes * num_states
+        if ((closure_built or self.rpq_closure_allowed(num_states))
                 and closure_cost <= chaining_cost
                 and closure_cost <= bfs_cost):
             return "closure"

@@ -66,6 +66,33 @@ class NeighborhoodQueries:
         """Undirected neighborhood ``N(v)`` (any shared edge)."""
         return self._neighbors(node_id, "any")
 
+    def out_edges(self, node_id: int) -> List[Tuple[int, int]]:
+        """Labeled outgoing edges: sorted ``(label, target)`` pairs.
+
+        The labeled variant of :meth:`out_neighbors` (same descent,
+        same cost bound), keeping each edge's terminal label — the
+        adjacency the RPQ product-automaton BFS steps on.  Parallel
+        edges with the same label collapse; self-loops are included
+        (a labeled self-loop can change the automaton state without
+        leaving the node).
+        """
+        rep = self.index.locate(node_id)
+        host = self.index.host_of(rep)
+        result: Set[Tuple[int, int]] = set()
+        path = list(rep.edges)
+        for eid in host.incident(rep.node):
+            edge = host.edge(eid)
+            for position, node in enumerate(edge.att):
+                if node != rep.node:
+                    continue
+                if self.grammar.has_rule(edge.label):
+                    self._descend_labeled(path + [eid], position,
+                                          result)
+                elif len(edge.att) == 2 and position == 0:
+                    result.add((edge.label,
+                                self.index.get_id(path, edge.att[1])))
+        return sorted(result)
+
     # ------------------------------------------------------------------
     # Implementation
     # ------------------------------------------------------------------
@@ -111,3 +138,24 @@ class NeighborhoodQueries:
                                                 direction):
                     result.add(self.index.get_id(path,
                                                  edge.att[target]))
+
+    def _descend_labeled(self, path_to_edge: List[int], position: int,
+                         result: Set[Tuple[int, int]]) -> None:
+        """``getNeighboring`` keeping labels: (label, target) pairs."""
+        stack: List[Tuple[List[int], int]] = [(path_to_edge, position)]
+        while stack:
+            path, pos = stack.pop()
+            label = self.index.label_of_path(path)
+            rhs = self.grammar.rhs(label)
+            entry = rhs.ext[pos]
+            for eid in rhs.incident(entry):
+                edge = rhs.edge(eid)
+                for local_pos, node in enumerate(edge.att):
+                    if node != entry:
+                        continue
+                    if self.grammar.has_rule(edge.label):
+                        stack.append((path + [eid], local_pos))
+                    elif len(edge.att) == 2 and local_pos == 0:
+                        result.add(
+                            (edge.label,
+                             self.index.get_id(path, edge.att[1])))

@@ -26,8 +26,8 @@ Plain reachability is the special case of the one-state DFA accepting
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Sequence, \
-    Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, \
+    Sequence, Set, Tuple
 
 from repro.core.hypergraph import Hypergraph
 from repro.exceptions import QueryError
@@ -177,14 +177,30 @@ class RegularPathQueries:
     # ------------------------------------------------------------------
     # Query (mirrors ReachabilityQueries.reachable on the product)
     # ------------------------------------------------------------------
-    def matches(self, source_id: int, target_id: int) -> bool:
+    def matches(self, source_id: int, target_id: int,
+                start_state: Optional[int] = None,
+                accepting: Optional[Iterable[int]] = None) -> bool:
         """True if a path from source to target spells a word of L(M).
 
         The empty path counts when the DFA accepts the empty word and
         ``source == target``.
+
+        ``start_state`` / ``accepting`` override the DFA's own start
+        and accepting states for this one query.  The product skeletons
+        depend only on the DFA's *transitions*, so a single skeleton
+        build answers arbitrary state-to-state probes — the sharded
+        evaluator's boundary-closure construction relies on this.
         """
-        if source_id == target_id and self.dfa.start in \
-                self.dfa.accepting:
+        start = self.dfa.start if start_state is None else start_state
+        accept = (self.dfa.accepting if accepting is None
+                  else frozenset(accepting))
+        if not 0 <= start < self.dfa.num_states:
+            raise QueryError(f"start state {start} out of range")
+        for state in accept:
+            if not 0 <= state < self.dfa.num_states:
+                raise QueryError(
+                    f"accepting state {state} out of range")
+        if source_id == target_id and start in accept:
             return True
         source_rep = self.index.locate(source_id)
         target_rep = self.index.locate(target_id)
@@ -193,8 +209,10 @@ class RegularPathQueries:
             if eu != ev:
                 break
             common += 1
-        source_sets = self._lift(source_rep, starting=True)
-        target_sets = self._lift(target_rep, starting=False)
+        source_sets = self._lift(source_rep, starting=True,
+                                 start_state=start, accepting=accept)
+        target_sets = self._lift(target_rep, starting=False,
+                                 start_state=start, accepting=accept)
         for level in range(common, -1, -1):
             host = self.index._host_for(source_rep.edges[:level])
             adjacency = _product_adjacency(host, self.grammar, self.dfa,
@@ -204,18 +222,23 @@ class RegularPathQueries:
                 return True
         return False
 
-    def _lift(self, rep, starting: bool) -> List[Set[Tuple[int, int]]]:
+    def _lift(self, rep, starting: bool,
+              start_state: Optional[int] = None,
+              accepting: Optional[FrozenSet[int]] = None
+              ) -> List[Set[Tuple[int, int]]]:
         """Per-level product sets, forward from the source (``starting``)
         or backward to the target (accepting states seed the search)."""
+        start = self.dfa.start if start_state is None else start_state
+        accept = (self.dfa.accepting if accepting is None
+                  else accepting)
         edges = rep.edges
         depth = len(edges)
         sets: List[Set[Tuple[int, int]]] = [set()
                                             for _ in range(depth + 1)]
         if starting:
-            sets[depth] = {(rep.node, self.dfa.start)}
+            sets[depth] = {(rep.node, start)}
         else:
-            sets[depth] = {(rep.node, state)
-                           for state in self.dfa.accepting}
+            sets[depth] = {(rep.node, state) for state in accept}
         for level in range(depth, 0, -1):
             host = self.index._host_for(edges[:level])
             adjacency = _product_adjacency(host, self.grammar, self.dfa,

@@ -1,0 +1,266 @@
+"""GraphZip-style pattern counts evaluated on the grammar.
+
+The companion workload to RPQ: aggregate occurrence counts of tiny
+labeled patterns — single labels, labeled digrams, out-stars — over
+``val(G)``, computed with one bottom-up grammar pass per label and
+*without* decompression (the same idiom as
+:mod:`repro.queries.degrees`).
+
+Per rule and per label ``l`` we accumulate each node's
+``(out_l, in_l)`` degree **with multiplicity** — own terminal
+``l``-edges plus the per-external-position contribution vectors of
+child nonterminals.  A node's counts are final in the host where it is
+internal (no ancestor edge can attach to an internal node), so
+whole-graph aggregates are occurrence-weighted sums over rule bodies::
+
+    count = sum_over_hosts  occ(host) * contribution(host)
+
+where ``occ`` is how many instances of the host the full derivation
+expands (1 for the start graph).
+
+Supported sub-kinds (the ``pattern_count`` query's first argument):
+
+``("label", a)``
+    Number of ``a``-labeled edges in ``val(G)``.
+``("digram", a, b)``
+    Number of length-2 label paths ``a . b``:
+    ``sum_v in_a(v) * out_b(v)`` (with edge multiplicity).
+``("star", a, k)``
+    Number of nodes with at least ``k`` outgoing ``a``-edges.
+``("node_out", a, v)`` / ``("node_in", a, v)``
+    One node's ``a``-labeled out-/in-degree with multiplicity — the
+    per-node probe the sharded evaluator batches to correct boundary
+    double-counts.
+
+Label arguments are *names*; a name not registered in the alphabet
+counts zero (essential for shards that never saw a label).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.queries.index import GrammarIndex
+
+#: Sub-kinds in the order reported by error messages.
+PATTERN_COUNT_KINDS = ("digram", "label", "node_in", "node_out", "star")
+
+#: Sub-kind -> (positional arity, description used in arity errors).
+_ARITY = {
+    "label": (1, "a label name"),
+    "digram": (2, "two label names"),
+    "star": (2, "a label name and a threshold"),
+    "node_out": (2, "a label name and a node ID"),
+    "node_in": (2, "a label name and a node ID"),
+}
+
+
+def validate_args(sub_kind, args) -> Tuple:
+    """Shared ``pattern_count`` request validation.
+
+    Both evaluators — the grammar-pass :class:`PatternCounts` and the
+    sharded sum-plus-boundary-corrections path — raise identical
+    errors, so the four executors and the differential suites see one
+    error vocabulary.
+    """
+    arity = _ARITY.get(sub_kind)
+    if arity is None:
+        raise QueryError(
+            f"unknown pattern_count kind {sub_kind!r}; expected one "
+            f"of {list(PATTERN_COUNT_KINDS)}")
+    expected_count, expected = arity
+    if len(args) != expected_count:
+        raise QueryError(
+            f"pattern_count {sub_kind!r} needs {expected}, "
+            f"got {len(args)} argument(s)")
+    for name in args[:2 if sub_kind == "digram" else 1]:
+        if not isinstance(name, str):
+            raise QueryError(
+                f"pattern_count label must be a name string, "
+                f"got {type(name).__name__}")
+    if sub_kind == "star":
+        k = args[1]
+        if not isinstance(k, int) or isinstance(k, bool) or k < 0:
+            raise QueryError(
+                f"pattern_count star threshold must be a "
+                f"non-negative integer, got {k!r}")
+    return args
+
+
+class _Summary(NamedTuple):
+    """One rule body's label-degree bookkeeping for one label."""
+
+    nodes: Dict[int, Tuple[int, int]]  # node -> (out, in) multiplicity
+    ext_out: Tuple[int, ...]
+    ext_in: Tuple[int, ...]
+    edge_count: int  # terminal edges with the label in this body
+
+
+class PatternCounts:
+    """Pattern-count evaluation on a :class:`GrammarIndex`."""
+
+    def __init__(self, index: GrammarIndex, alphabet) -> None:
+        self._index = index
+        self._grammar = index.grammar
+        self._alphabet = alphabet
+        self._lock = threading.RLock()
+        self._order = list(self._grammar.bottom_up_order())
+        self._by_name: Dict[str, int] = {}
+        for label in alphabet.terminals():
+            name = alphabet.name(label)
+            if name is not None:
+                self._by_name[name] = label
+        self._occurrences: Optional[Dict[Optional[int], int]] = None
+        self._summaries: Dict[Optional[int],
+                              Dict[Optional[int], _Summary]] = {}
+
+    # ------------------------------------------------------------------
+    # Public surface (the ``pattern_count`` query)
+    # ------------------------------------------------------------------
+    def count(self, sub_kind, *args):
+        """Evaluate one ``pattern_count`` request."""
+        validate_args(sub_kind, args)
+        if sub_kind == "label":
+            return self._label_total(self._resolve(args[0]))
+        if sub_kind == "digram":
+            return self._digram_total(self._resolve(args[0]),
+                                      self._resolve(args[1]))
+        if sub_kind == "star":
+            return self._star_total(self._resolve(args[0]), args[1])
+        name, node = args
+        out, into = self._node_degrees(self._resolve(name), node)
+        return out if sub_kind == "node_out" else into
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _label_total(self, label: Optional[int]) -> int:
+        if label is None:
+            return 0
+        occurrences = self._occ()
+        summaries = self._summary(label)
+        return sum(occurrences[host] * summaries[host].edge_count
+                   for host in occurrences)
+
+    def _digram_total(self, first: Optional[int],
+                      second: Optional[int]) -> int:
+        if first is None or second is None:
+            return 0
+        occurrences = self._occ()
+        in_summaries = self._summary(first)
+        out_summaries = self._summary(second)
+        total = 0
+        for host, weight in occurrences.items():
+            contribution = 0
+            for node in self._internal_nodes(host):
+                into = in_summaries[host].nodes[node][1]
+                if into:
+                    contribution += (
+                        into * out_summaries[host].nodes[node][0])
+            total += weight * contribution
+        return total
+
+    def _star_total(self, label: Optional[int], k: int) -> int:
+        if label is None:
+            return 0 if k > 0 else self._index.total_nodes
+        occurrences = self._occ()
+        summaries = self._summary(label)
+        total = 0
+        for host, weight in occurrences.items():
+            hits = sum(1 for node in self._internal_nodes(host)
+                       if summaries[host].nodes[node][0] >= k)
+            total += weight * hits
+        return total
+
+    def _node_degrees(self, label: Optional[int],
+                      node: int) -> Tuple[int, int]:
+        rep = self._index.locate(node)
+        if label is None:
+            return 0, 0
+        host = (self._index.label_of_path(rep.edges)
+                if rep.edges else None)
+        return self._summary(label)[host].nodes[rep.node]
+
+    # ------------------------------------------------------------------
+    # Bottom-up machinery
+    # ------------------------------------------------------------------
+    def _hosts(self) -> List[Optional[int]]:
+        """Rule bodies bottom-up, then the start graph (key None)."""
+        return self._order + [None]
+
+    def _body(self, host: Optional[int]):
+        return (self._grammar.start if host is None
+                else self._grammar.rhs(host))
+
+    def _internal_nodes(self, host: Optional[int]):
+        body = self._body(host)
+        if host is None:
+            return list(body.nodes())
+        external = set(body.ext)
+        return [node for node in body.nodes() if node not in external]
+
+    def _occ(self) -> Dict[Optional[int], int]:
+        """Instance count of every host in the full derivation."""
+        with self._lock:
+            if self._occurrences is None:
+                uses: Dict[Optional[int], Dict[int, int]] = {}
+                for host in self._hosts():
+                    counts: Dict[int, int] = {}
+                    for _, edge in self._body(host).edges():
+                        if self._grammar.has_rule(edge.label):
+                            counts[edge.label] = \
+                                counts.get(edge.label, 0) + 1
+                    uses[host] = counts
+                occurrences: Dict[Optional[int], int] = {None: 1}
+                for lhs in reversed(self._order):
+                    occurrences[lhs] = sum(
+                        weight * uses[user].get(lhs, 0)
+                        for user, weight in occurrences.items())
+                self._occurrences = occurrences
+            return self._occurrences
+
+    def _summary(self, label: int) -> Dict[Optional[int], _Summary]:
+        """Per-host label-degree summaries for one terminal label."""
+        with self._lock:
+            cached = self._summaries.get(label)
+            if cached is not None:
+                return cached
+            summaries: Dict[Optional[int], _Summary] = {}
+            for host in self._hosts():
+                body = self._body(host)
+                nodes = {node: [0, 0] for node in body.nodes()}
+                edge_count = 0
+                for _, edge in body.edges():
+                    if self._grammar.has_rule(edge.label):
+                        child = summaries[edge.label]
+                        for pos, att_node in enumerate(edge.att):
+                            nodes[att_node][0] += child.ext_out[pos]
+                            nodes[att_node][1] += child.ext_in[pos]
+                        continue
+                    if len(edge.att) != 2:
+                        raise QueryError(
+                            "pattern counts require a simple derived "
+                            "graph (rank-2 edges only); "
+                            "found a hyperedge")
+                    if edge.label == label:
+                        edge_count += 1
+                        nodes[edge.att[0]][0] += 1
+                        nodes[edge.att[1]][1] += 1
+                ext = () if host is None else body.ext
+                summaries[host] = _Summary(
+                    nodes={node: (out, into)
+                           for node, (out, into) in nodes.items()},
+                    ext_out=tuple(nodes[node][0] for node in ext),
+                    ext_in=tuple(nodes[node][1] for node in ext),
+                    edge_count=edge_count,
+                )
+            self._summaries[label] = summaries
+            return summaries
+
+    # ------------------------------------------------------------------
+    # Argument plumbing
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> Optional[int]:
+        return self._by_name.get(name)

@@ -1,0 +1,163 @@
+"""The RPQ evaluation engine: memoized skeleton builds + BFS fallback.
+
+One :class:`PatternEngine` lives per compressed handle.  It keeps a
+product-skeleton evaluator (:class:`repro.queries.paths.
+RegularPathQueries`) per *canonical* pattern DFA, so every equivalent
+pattern text — ``a|b``, ``b|a``, ``(a)|b`` — shares one skeleton
+build; :attr:`builds` counts the builds that actually happened (the
+cache-correctness tests and the bench's skeleton-size accounting read
+it through ``CompressedGraph.rpq_info``).
+
+Skeleton precomputation costs ``O(|G| * |Q|^2)`` and each query after
+that costs near-nothing, but for a DFA large relative to the grammar
+the build can exceed what a direct search would pay.  Like
+:class:`repro.partition.planner.ReachPlanner`, the engine is
+cost-gated: when ``|G| * |Q|`` outweighs ``FALLBACK_FACTOR *
+total_nodes``, queries run as a product-automaton BFS over the
+compressed index instead (labeled adjacency expanded on demand via
+``NeighborhoodQueries.out_edges`` — still no decompression).  ``force``
+overrides the gate for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Dict, FrozenSet, Optional, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.queries.index import GrammarIndex
+from repro.queries.neighborhood import NeighborhoodQueries
+from repro.queries.paths import RegularPathQueries
+from repro.rpq.regex import PatternDFA, compile_pattern
+
+
+class PatternEngine:
+    """Per-handle RPQ evaluation with per-canonical-DFA memoization."""
+
+    #: Build skeletons while ``|G| * |Q| <= FACTOR * total_nodes``.
+    FALLBACK_FACTOR = 8
+
+    def __init__(self, index: GrammarIndex, alphabet,
+                 neighborhood: NeighborhoodQueries) -> None:
+        self._index = index
+        self._alphabet = alphabet
+        self._neighborhood = neighborhood
+        self._evaluators: Dict[Tuple, RegularPathQueries] = {}
+        self._lock = threading.RLock()
+        #: Skeleton builds performed (equivalent patterns share one).
+        self.builds = 0
+        #: Strategy override: None (cost model), "skeleton" or "bfs".
+        self.force: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Strategy
+    # ------------------------------------------------------------------
+    def use_skeletons(self, dfa: PatternDFA) -> bool:
+        """Whether this DFA runs on skeletons or the BFS fallback."""
+        if self.force == "skeleton":
+            return True
+        if self.force == "bfs":
+            return False
+        if dfa.key in self._evaluators:
+            return True  # already paid for
+        build_cost = self._index.grammar.size * dfa.num_states
+        search_cost = max(1, self._index.total_nodes)
+        return build_cost <= self.FALLBACK_FACTOR * search_cost
+
+    def evaluator(self, dfa: PatternDFA) -> RegularPathQueries:
+        """The memoized skeleton evaluator for one canonical DFA."""
+        with self._lock:
+            cached = self._evaluators.get(dfa.key)
+            if cached is None:
+                grounded = dfa.ground(self._alphabet)
+                cached = RegularPathQueries(self._index, grounded)
+                self._evaluators[dfa.key] = cached
+                self.builds += 1
+            return cached
+
+    def info(self) -> Dict[str, int]:
+        """Build/size accounting (benchmarks, cache-correctness tests)."""
+        with self._lock:
+            entries = sum(
+                sum(len(pairs) for pairs in
+                    evaluator._skeletons.values())
+                for evaluator in self._evaluators.values())
+            return {
+                "skeleton_builds": self.builds,
+                "cached_dfas": len(self._evaluators),
+                "skeleton_entries": entries,
+            }
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def matches(self, pattern: str, source: int, target: int,
+                from_state: Optional[int] = None,
+                to_state: Optional[int] = None) -> bool:
+        """Does some source->target path spell a word of the pattern?
+
+        ``from_state`` / ``to_state`` override the canonical DFA's
+        start and accepting states (the sharded evaluator's probe
+        surface); omitted, the query is the plain RPQ.
+        """
+        dfa = compile_pattern(pattern)
+        start, accept = _resolve_states(dfa, from_state, to_state)
+        total = self._index.total_nodes
+        for node in (source, target):
+            if not isinstance(node, int) or isinstance(node, bool) \
+                    or not 1 <= node <= total:
+                raise QueryError(
+                    f"node ID {node} out of range 1..{total}")
+        if self.use_skeletons(dfa):
+            return self.evaluator(dfa).matches(
+                source, target, start_state=start, accepting=accept)
+        return self._bfs_matches(dfa, source, target, start, accept)
+
+    def _bfs_matches(self, dfa: PatternDFA, source: int, target: int,
+                     start: int, accept: FrozenSet[int]) -> bool:
+        """Product-automaton BFS, expanding labeled adjacency lazily."""
+        if source == target and start in accept:
+            return True
+        name_of = self._alphabet.name
+        out_edges = self._neighborhood.out_edges
+        adjacency: Dict[int, list] = {}
+        seen: Set[Tuple[int, int]] = {(source, start)}
+        queue = deque(seen)
+        while queue:
+            node, state = queue.popleft()
+            edges = adjacency.get(node)
+            if edges is None:
+                edges = out_edges(node)
+                adjacency[node] = edges
+            for label, successor in edges:
+                next_state = dfa.step_name(state, name_of(label))
+                if next_state is None:
+                    continue
+                if successor == target and next_state in accept:
+                    return True
+                item = (successor, next_state)
+                if item not in seen:
+                    seen.add(item)
+                    queue.append(item)
+        return False
+
+
+def _resolve_states(dfa: PatternDFA, from_state: Optional[int],
+                    to_state: Optional[int]
+                    ) -> Tuple[int, FrozenSet[int]]:
+    """Validate and apply the optional state overrides."""
+    start = dfa.start if from_state is None else from_state
+    if not isinstance(start, int) or isinstance(start, bool) or \
+            not 0 <= start < dfa.num_states:
+        raise QueryError(
+            f"rpq from_state {start!r} out of range "
+            f"0..{dfa.num_states - 1}")
+    if to_state is None:
+        return start, dfa.accepting
+    if not isinstance(to_state, int) or isinstance(to_state, bool) or \
+            not 0 <= to_state < dfa.num_states:
+        raise QueryError(
+            f"rpq to_state {to_state!r} out of range "
+            f"0..{dfa.num_states - 1}")
+    return start, frozenset((to_state,))

@@ -95,6 +95,9 @@ class QueryKind(str, Enum):
     COMPONENTS = "components"
     NODES = "nodes"
     EDGES = "edges"
+    RPQ = "rpq"
+    PATTERN_COUNT = "pattern_count"
+    OUT_EDGES = "out_edges"
 
 
 #: canonical kind -> public method name on the serving handles.
@@ -108,6 +111,9 @@ KIND_METHODS: Dict[QueryKind, str] = {
     QueryKind.COMPONENTS: "connected_components",
     QueryKind.NODES: "node_count",
     QueryKind.EDGES: "edge_count",
+    QueryKind.RPQ: "rpq",
+    QueryKind.PATTERN_COUNT: "pattern_count",
+    QueryKind.OUT_EDGES: "out_edges",
 }
 
 #: Every accepted spelling (the legacy ``batch()`` wire format kept
@@ -130,6 +136,11 @@ KIND_ALIASES: Dict[str, QueryKind] = {
     "node_count": QueryKind.NODES,
     "edges": QueryKind.EDGES,
     "edge_count": QueryKind.EDGES,
+    "rpq": QueryKind.RPQ,
+    "pattern_count": QueryKind.PATTERN_COUNT,
+    "pattern-count": QueryKind.PATTERN_COUNT,
+    "out_edges": QueryKind.OUT_EDGES,
+    "out-edges": QueryKind.OUT_EDGES,
 }
 
 #: Kinds whose answers the handles' LRU caches (same key tuples); the
@@ -140,6 +151,9 @@ CACHEABLE_KINDS = frozenset({
     QueryKind.IN,
     QueryKind.NEIGHBORHOOD,
     QueryKind.PATH,
+    QueryKind.RPQ,
+    QueryKind.PATTERN_COUNT,
+    QueryKind.OUT_EDGES,
 })
 
 
@@ -159,7 +173,16 @@ class QueryRequest:
 
     @property
     def key(self) -> Tuple[Any, ...]:
-        """The LRU cache key this request shares with single-shot calls."""
+        """The LRU cache key this request shares with single-shot calls.
+
+        RPQ keys canonicalize the pattern text through the regex
+        front end's minimized-DFA form, so equivalent patterns
+        (``a|b`` / ``b|a``) share one cache entry wherever they are
+        asked — single-shot, batched, or over the socket.
+        """
+        if self.kind is QueryKind.RPQ and self.args:
+            from repro.rpq.regex import cache_key
+            return ("rpq", cache_key(self.args[0]), *self.args[1:])
         return (self.kind.value, *self.args)
 
     def with_id(self, request_id: int) -> "QueryRequest":

@@ -107,6 +107,10 @@ def _shard_process_main(blob: bytes, conn: Any, codec: str,
         "type": "shard",
         "nodes": handle.node_count(),
         "edges": handle.edge_count(),
+        # Terminal label names, so a proxy-backed router can step
+        # pattern DFAs over boundary-edge labels without the alphabet.
+        "labels": [[label, handle.alphabet.name(label)]
+                   for label in handle.alphabet.terminals()],
     }
     # Blocks until the parent terminates us; an unexpected listener
     # death surfaces as a nonzero exit instead of a silent idle child.
@@ -654,9 +658,13 @@ class GraphServer:
                       else self._cache_size)
         if is_sharded_container(self._data):
             from repro.partition import BoundaryClosure
-            from repro.sharding import ShardedCompressedGraph, _decode_meta
-            meta, blobs, closure_blob = decode_sharded_container(
-                self._data)
+            from repro.sharding import (
+                ShardedCompressedGraph,
+                _decode_meta,
+                _decode_rpq_closures,
+            )
+            meta, blobs, closure_blob, rpq_blob = \
+                decode_sharded_container(self._data)
             (shard_nodes, boundary_edges, blocks, extrema,
              degree_error, simple, partitioner) = _decode_meta(
                 meta, len(blobs))
@@ -664,16 +672,29 @@ class GraphServer:
             # cross-shard reach without ever re-probing the shards.
             closure = (BoundaryClosure.from_bytes(closure_blob)
                        if closure_blob is not None else None)
+            rpq_closures = (_decode_rpq_closures(rpq_blob)
+                            if rpq_blob is not None else None)
             shard_endpoints = self._spawn_shards(context, blobs)
             self._proxies = [RemoteShard(endpoint, codec=self._codec)
                              for endpoint in shard_endpoints]
+            # The router owns no grammar, so boundary-edge label names
+            # (RPQ DFA steps, pattern-count corrections) come from the
+            # shard servers' startup info.
+            label_names: Dict[int, Optional[str]] = {}
+            for proxy in self._proxies:
+                for label, name in \
+                        proxy._client.info().get("labels", []):
+                    label_names.setdefault(label, name)
             try:
                 service: Any = ShardedCompressedGraph(
                     list(self._proxies), None, boundary_edges, blocks,
                     extrema, degree_error, shard_nodes, simple=simple,
                     partitioner=partitioner, cache_size=cache_size,
                     closure=closure,
-                    closure_persisted=closure is not None)
+                    closure_persisted=closure is not None,
+                    label_names=sorted(label_names.items()),
+                    rpq_closures=rpq_closures,
+                    rpq_closures_persisted=rpq_closures is not None)
             except Exception:
                 # e.g. a closure/meta mismatch: don't leak the shard
                 # processes forked above.

@@ -105,6 +105,7 @@ from repro.partition import (
     PARTITIONERS,
     BoundaryClosure,
     BoundaryGraph,
+    ProductClosure,
     ReachPlanner,
     bfs_partition,
     build_plan,
@@ -114,6 +115,13 @@ from repro.partition import (
     resolve_partitioner,
 )
 from repro.queries.cache import QueryCache
+from repro.rpq.counts import validate_args as _validate_pattern_count
+from repro.rpq.engine import _resolve_states
+from repro.rpq.regex import (
+    PatternDFA,
+    cache_key as _rpq_cache_key,
+    compile_pattern,
+)
 from repro.serving.executors import (
     Executor,
     InlineExecutor,
@@ -209,15 +217,25 @@ class ShardedCompressedGraph(GraphService):
                  partitioner: str = "hash",
                  cache_size: int = DEFAULT_CACHE_SIZE,
                  container: Optional[ShardedFile] = None,
-                 container_key: Optional[Tuple[bool, int, bool]] = None,
+                 container_key: Optional[Tuple[Any, ...]] = None,
                  closure: Optional[BoundaryClosure] = None,
-                 closure_persisted: bool = False) -> None:
+                 closure_persisted: bool = False,
+                 label_names: Optional[Sequence[
+                     Tuple[int, Optional[str]]]] = None,
+                 rpq_closures: Optional[List[
+                     Tuple[PatternDFA, ProductClosure]]] = None,
+                 rpq_closures_persisted: bool = False) -> None:
         """Internal: boundary structures must already be in global IDs.
 
-        Use the classmethod constructors.
+        Use the classmethod constructors.  ``label_names`` substitutes
+        for the alphabet when the handle fronts socket-proxy shards
+        (the router has no grammar of its own): a ``(label, name)``
+        table covering the terminals boundary edges may carry.
         """
         self._shards = shards
         self._alphabet = alphabet
+        self._label_table: Optional[Dict[int, Optional[str]]] = (
+            dict(label_names) if label_names is not None else None)
         self._extrema = extrema
         self._degree_error = degree_error
         self._partitioner = partitioner
@@ -253,6 +271,25 @@ class ShardedCompressedGraph(GraphService):
             )
         self._closure_obj = closure
         self._closure_persisted = closure_persisted
+        boundary_nodes = sorted(self._boundary.incident)
+        self._rpq_closures: Dict[Tuple, Tuple[PatternDFA,
+                                              ProductClosure]] = {}
+        for dfa, product in (rpq_closures or []):
+            if product.nodes != boundary_nodes:
+                raise EncodingError(
+                    "rpq closure section covers a different boundary "
+                    "node set than the container meta"
+                )
+            if product.num_states != dfa.num_states:
+                raise EncodingError(
+                    "rpq closure state count disagrees with its "
+                    "pattern DFA"
+                )
+            self._rpq_closures[dfa.key] = (dfa, product)
+        self._rpq_closures_persisted = rpq_closures_persisted
+        #: Lazily built labeled boundary out-adjacency (global IDs).
+        self._boundary_out_edges: Optional[
+            Dict[int, List[Tuple[int, int]]]] = None
 
     # ------------------------------------------------------------------
     # Constructors
@@ -387,7 +424,8 @@ class ShardedCompressedGraph(GraphService):
                    ) -> "ShardedCompressedGraph":
         """Load a handle from serialized "GRPS" container bytes."""
         data = buf.data if isinstance(buf, ShardedFile) else bytes(buf)
-        meta, blobs, closure_blob = decode_sharded_container(data)
+        meta, blobs, closure_blob, rpq_blob = \
+            decode_sharded_container(data)
         shards = [CompressedGraph.from_bytes(blob, cache_size=cache_size)
                   for blob in blobs]
         (shard_nodes, boundary_edges, blocks, extrema, degree_error,
@@ -421,6 +459,8 @@ class ShardedCompressedGraph(GraphService):
         reference = shards[0].grammar.alphabet
         closure = (BoundaryClosure.from_bytes(closure_blob)
                    if closure_blob is not None else None)
+        rpq_closures = (_decode_rpq_closures(rpq_blob)
+                        if rpq_blob is not None else None)
         container = ShardedFile(
             data=data, section_bytes=sharded_container_sections(data))
         # Like CompressedGraph.from_bytes: remember the k the file was
@@ -431,9 +471,12 @@ class ShardedCompressedGraph(GraphService):
                    degree_error, shard_nodes, simple=simple,
                    partitioner=partitioner, cache_size=cache_size,
                    container=container,
-                   container_key=(True, k, closure is not None),
+                   container_key=(True, k, closure is not None,
+                                  len(rpq_closures or [])),
                    closure=closure,
-                   closure_persisted=closure is not None)
+                   closure_persisted=closure is not None,
+                   rpq_closures=rpq_closures,
+                   rpq_closures_persisted=rpq_closures is not None)
 
     @classmethod
     def open(cls, path: Union[str, Path],
@@ -455,13 +498,22 @@ class ShardedCompressedGraph(GraphService):
         closure exactly when it is already built — so a warmed handle
         round-trips its closure for free and a cold handle pays
         nothing; ``True`` forces the build first, ``False`` drops it.
+        Warmed RPQ product closures follow the same default: whatever
+        :meth:`warm_rpq_closure` has built rides along in the ``'R'``
+        trailer section (dropped with ``include_closure=False``).
         Cached per parameter set: loaded handles keep reporting the
         file they came from, and repeated ``sizes``/``total_bytes``
         accesses do not re-encode every shard.
         """
+        include_rpq = include_closure is not False
         if include_closure is None:
             include_closure = self.closure_built
-        key = (include_names, k, bool(include_closure))
+        with self._lock:
+            rpq_entries = (sorted(self._rpq_closures.values(),
+                                  key=lambda entry: entry[0].to_bytes())
+                           if include_rpq else [])
+        key = (include_names, k, bool(include_closure),
+               len(rpq_entries))
         with self._lock:
             if self._container is not None and self._container_key == key:
                 return self._container
@@ -478,11 +530,15 @@ class ShardedCompressedGraph(GraphService):
                  for shard in self._shards]
         closure_bytes = (self.warm_closure().to_bytes()
                          if include_closure else None)
-        container = encode_sharded_container(meta, blobs, closure_bytes)
+        rpq_bytes = (_encode_rpq_closures(rpq_entries)
+                     if rpq_entries else None)
+        container = encode_sharded_container(meta, blobs, closure_bytes,
+                                             rpq_bytes)
         with self._lock:
             self._container = container
             self._container_key = key
             self._closure_persisted = bool(include_closure)
+            self._rpq_closures_persisted = bool(rpq_entries)
         return container
 
     def _current_container(self) -> ShardedFile:
@@ -661,6 +717,8 @@ class ShardedCompressedGraph(GraphService):
             "boundary_nodes": len(self._boundary.incident),
             "closure_built": self.closure_built,
             "closure_persisted": self.closure_persisted,
+            "rpq_closures": len(self._rpq_closures),
+            "rpq_closures_persisted": self._rpq_closures_persisted,
             "shard_nodes": list(self._shard_nodes),
             "shard_grammar_sizes": [shard.grammar.size
                                     for shard in self._shards],
@@ -1031,6 +1089,433 @@ class ShardedCompressedGraph(GraphService):
                 + self._boundary.edge_count)
 
     # ------------------------------------------------------------------
+    # Regular path queries / pattern counts
+    # ------------------------------------------------------------------
+    def _label_name(self, label: int) -> Optional[str]:
+        """The name of a terminal label, alphabet or proxy table."""
+        if self._alphabet is not None:
+            return self._alphabet.name(label)
+        if self._label_table is not None:
+            return self._label_table.get(label)
+        return None
+
+    def _boundary_out(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Labeled boundary out-adjacency (lazy, built once)."""
+        table = self._boundary_out_edges
+        if table is None:
+            with self._lock:
+                table = self._boundary_out_edges
+                if table is None:
+                    table = {}
+                    for label, att in self._boundary.edges:
+                        if len(att) == 2:
+                            table.setdefault(att[0], []).append(
+                                (label, att[1]))
+                    self._boundary_out_edges = table
+        return table
+
+    def out_edges(self, node_id: int) -> List[List[int]]:
+        """Labeled outgoing edges as sorted ``[label, target]`` pairs.
+
+        The owning shard's labeled adjacency (shifted into global
+        IDs) merged with the node's outgoing boundary edges — the
+        sharded mirror of :meth:`CompressedGraph.out_edges`.
+        """
+        return self._cache.get_or_compute(
+            ("out_edges", node_id),
+            lambda: self._out_edges_uncached(node_id))
+
+    def _out_edges_uncached(self, node_id: int) -> List[List[int]]:
+        shard = self._owner(node_id)
+        base = self._bases[shard]
+        inner = self._shards[shard].batch(
+            [("out_edges", node_id - base)])[0]
+        merged = {(label, target + base) for label, target in inner}
+        merged.update(self._boundary_out().get(node_id, ()))
+        return [list(pair) for pair in sorted(merged)]
+
+    def pattern_count(self, sub_kind: str, *args: Any) -> int:
+        """Labeled pattern counts over the full graph.
+
+        Per-shard grammar-pass counts plus exact boundary
+        corrections: boundary edges contribute their own label counts,
+        and for ``digram``/``star`` the mixed terms at boundary nodes
+        are reconstructed from batched per-node labeled-degree probes
+        (``node_in``/``node_out``) against the owning shards.
+        """
+        return self._cache.get_or_compute(
+            ("pattern_count", sub_kind, *args),
+            lambda: self._pattern_count_uncached(sub_kind, *args))
+
+    def _pattern_count_uncached(self, sub_kind: str,
+                                *args: Any) -> int:
+        _validate_pattern_count(sub_kind, args)
+        if not self._simple:
+            raise QueryError(
+                "pattern counts require a simple derived graph "
+                "(rank-2 edges only); found a hyperedge")
+        if sub_kind == "label":
+            return (self._shard_count_sum("label", args[0])
+                    + self._boundary_label_count(args[0]))
+        if sub_kind in ("node_out", "node_in"):
+            name, node = args
+            shard = self._owner(node)
+            inner = self._shards[shard].batch(
+                [("pattern_count", sub_kind, name,
+                  node - self._bases[shard])])[0]
+            return inner + self._boundary_degree(name, node, sub_kind)
+        if sub_kind == "star":
+            return self._star_count(args[0], args[1])
+        return self._digram_count(args[0], args[1])
+
+    def _shard_count_sum(self, sub_kind: str, *args: Any) -> int:
+        return sum(shard.batch([("pattern_count", sub_kind, *args)])[0]
+                   for shard in self._shards)
+
+    def _boundary_label_count(self, name: str) -> int:
+        return sum(1 for label, att in self._boundary.edges
+                   if len(att) == 2 and self._label_name(label) == name)
+
+    def _boundary_degree(self, name: str, node: int,
+                         direction: str) -> int:
+        position = 0 if direction == "node_out" else 1
+        return sum(1 for label, att in self._boundary.edges
+                   if len(att) == 2 and att[position] == node
+                   and self._label_name(label) == name)
+
+    def _boundary_label_degrees(self, name: str
+                                ) -> Tuple[Dict[int, int],
+                                           Dict[int, int]]:
+        """Boundary-edge out-/in-degrees of one label name, per node."""
+        out: Dict[int, int] = {}
+        into: Dict[int, int] = {}
+        for label, att in self._boundary.edges:
+            if len(att) == 2 and self._label_name(label) == name:
+                out[att[0]] = out.get(att[0], 0) + 1
+                into[att[1]] = into.get(att[1], 0) + 1
+        return out, into
+
+    def _shard_degree_probes(self, wanted: List[Tuple[str, str, int]]
+                             ) -> List[int]:
+        """Batched ``node_out``/``node_in`` probes, grouped per shard.
+
+        ``wanted`` rows are ``(sub_kind, label name, global node)``;
+        answers come back in row order, one shard ``batch()`` per
+        owning shard.
+        """
+        by_shard: Dict[int, List[int]] = {}
+        for row, (_, _, node) in enumerate(wanted):
+            by_shard.setdefault(self._owner(node), []).append(row)
+        answers: List[int] = [0] * len(wanted)
+        for shard in sorted(by_shard):
+            base = self._bases[shard]
+            rows = by_shard[shard]
+            batch = [("pattern_count", wanted[row][0], wanted[row][1],
+                      wanted[row][2] - base) for row in rows]
+            for row, answer in zip(rows,
+                                   self._shards[shard].batch(batch)):
+                answers[row] = answer
+        return answers
+
+    def _digram_count(self, first: str, second: str) -> int:
+        total = self._shard_count_sum("digram", first, second)
+        b_out, b_in = self._boundary_label_degrees(second)[0], \
+            self._boundary_label_degrees(first)[1]
+        affected = sorted(set(b_in) | set(b_out))
+        if not affected:
+            return total
+        probes = [("node_in", first, node) for node in affected] + \
+                 [("node_out", second, node) for node in affected]
+        answers = self._shard_degree_probes(probes)
+        half = len(affected)
+        for position, node in enumerate(affected):
+            shard_in = answers[position]
+            shard_out = answers[half + position]
+            boundary_in = b_in.get(node, 0)
+            boundary_out = b_out.get(node, 0)
+            total += ((shard_in + boundary_in)
+                      * (shard_out + boundary_out)
+                      - shard_in * shard_out)
+        return total
+
+    def _star_count(self, name: str, threshold: int) -> int:
+        total = self._shard_count_sum("star", name, threshold)
+        b_out = self._boundary_label_degrees(name)[0]
+        affected = sorted(b_out)
+        if not affected or threshold == 0:
+            # With k == 0 every node already counts in its shard; the
+            # boundary cannot push anyone over an absent threshold.
+            return total
+        answers = self._shard_degree_probes(
+            [("node_out", name, node) for node in affected])
+        for node, shard_out in zip(affected, answers):
+            merged = shard_out + b_out[node]
+            total += ((1 if merged >= threshold else 0)
+                      - (1 if shard_out >= threshold else 0))
+        return total
+
+    def rpq(self, pattern: str, source: int, target: int,
+            from_state: Optional[int] = None,
+            to_state: Optional[int] = None) -> bool:
+        """Does some ``source -> target`` path spell a word of ``pattern``?
+
+        Same contract as :meth:`CompressedGraph.rpq`, evaluated across
+        shards: the owning shard answers same-shard pairs directly;
+        cross-shard pairs are planned per query by
+        :meth:`repro.partition.ReachPlanner.rpq_strategy` over the
+        per-pattern :class:`repro.partition.ProductClosure`, batched
+        product chaining, or a product BFS over the merged labeled
+        adjacency.
+        """
+        states: Tuple[Any, ...] = ()
+        if to_state is not None:
+            states = (from_state, to_state)
+        elif from_state is not None:
+            states = (from_state,)
+        return self._cache.get_or_compute(
+            ("rpq", _rpq_cache_key(pattern), source, target, *states),
+            lambda: self._rpq_uncached(pattern, source, target,
+                                       from_state, to_state))
+
+    def _rpq_uncached(self, pattern: str, source: int, target: int,
+                      from_state: Optional[int] = None,
+                      to_state: Optional[int] = None) -> bool:
+        if not self._simple:
+            raise QueryError(
+                "regular path queries require a simple derived graph; "
+                "found a terminal hyperedge"
+            )
+        dfa = compile_pattern(pattern)
+        start, accept = _resolve_states(dfa, from_state, to_state)
+        source_shard = self._owner(source)
+        target_shard = self._owner(target)
+        if source == target and start in accept:
+            return True
+        # Probes ship the pattern text; every evaluator compiles it to
+        # the same canonical DFA, so state numbers agree end to end.
+        # ``(..., q)`` probes run q -> accepting, ``(..., q, q2)``
+        # probes run q -> {q2}.
+        accept_tail: Tuple[int, ...] = (
+            () if to_state is None else (to_state,))
+        if source_shard == target_shard:
+            base = self._bases[source_shard]
+            direct = self._shards[source_shard].batch(
+                [("rpq", pattern, source - base, target - base,
+                  start, *accept_tail)])[0]
+            if direct:
+                return True
+        strategy = self._planner.rpq_strategy(
+            source_shard, target_shard, dfa.num_states,
+            closure_built=dfa.key in self._rpq_closures)
+        if strategy == "local":
+            return False  # no boundary route exists for this pair
+        if strategy == "closure":
+            return self._rpq_by_closure(pattern, dfa, source, target,
+                                        start, accept, accept_tail,
+                                        source_shard, target_shard)
+        if strategy == "chaining":
+            already = ({(source, start)}
+                       if source_shard == target_shard else set())
+            return self._rpq_by_chaining(pattern, dfa, source, target,
+                                         start, accept, accept_tail,
+                                         target_shard, already)
+        return self._rpq_by_bfs(dfa, source, target, start, accept)
+
+    def warm_rpq_closure(self, pattern: str) -> ProductClosure:
+        """Force the product closure for one pattern (build at most
+        once per canonical DFA; equivalent patterns share it).
+
+        One ``batch()`` of state-to-state probes per shard covers
+        every ordered (boundary node, state) pair, after which every
+        cross-shard query of the pattern costs one in-shard batch per
+        endpoint shard.  Persisted by :meth:`to_container` alongside
+        the reach closure.
+        """
+        if not self._simple:
+            raise QueryError(
+                "the rpq boundary closure requires a simple derived "
+                "graph; found a terminal hyperedge"
+            )
+        dfa = compile_pattern(pattern)
+        with self._lock:
+            entry = self._rpq_closures.get(dfa.key)
+        if entry is None:
+            product = ProductClosure.build(
+                self._boundary, self._shards, self._bases, pattern,
+                dfa.num_states,
+                lambda state, label: dfa.step_name(
+                    state, self._label_name(label)))
+            with self._lock:
+                entry = self._rpq_closures.setdefault(
+                    dfa.key, (dfa, product))
+        return entry[1]
+
+    @property
+    def rpq_closures_built(self) -> int:
+        """Warmed product closures (one per canonical pattern DFA)."""
+        return len(self._rpq_closures)
+
+    @property
+    def rpq_closures_persisted(self) -> bool:
+        """Whether the current container carries an 'R' section."""
+        return self._rpq_closures_persisted
+
+    @property
+    def rpq_info(self) -> Dict[str, int]:
+        """Aggregate RPQ accounting over the shards plus closures."""
+        info = {"skeleton_builds": 0, "cached_dfas": 0,
+                "skeleton_entries": 0}
+        for shard in self._shards:
+            shard_info = getattr(shard, "rpq_info", None)
+            if isinstance(shard_info, dict):
+                for key in info:
+                    info[key] += shard_info.get(key, 0)
+        info["rpq_closures"] = len(self._rpq_closures)
+        return info
+
+    def _rpq_by_closure(self, pattern: str, dfa: PatternDFA,
+                        source: int, target: int, start: int,
+                        accept, accept_tail: Tuple[int, ...],
+                        source_shard: int, target_shard: int) -> bool:
+        """Closure route: one in-shard batch per endpoint shard.
+
+        The product-closure mirror of reach's ``_reach_by_closure``:
+        the reachable product-vertex mask of ``(source, start)``,
+        intersected with the target shard's entry vertices, decides
+        which entry probes to ship.
+        """
+        closure = self.warm_rpq_closure(pattern)
+        boundary = self._boundary
+        num_states = dfa.num_states
+        if source in boundary.incident:
+            mask = (closure.row_mask(source, start)
+                    | closure.bit(source, start))
+        else:
+            exits = boundary.exits[source_shard]
+            if not exits:
+                return False
+            base = self._bases[source_shard]
+            probes = [(exit_node, state) for exit_node in exits
+                      for state in range(num_states)]
+            answers = self._shards[source_shard].batch(
+                [("rpq", pattern, source - base, exit_node - base,
+                  start, state) for exit_node, state in probes])
+            mask = 0
+            for (exit_node, state), matched in zip(probes, answers):
+                if matched:
+                    mask |= (closure.row_mask(exit_node, state)
+                             | closure.bit(exit_node, state))
+        if not mask:
+            return False
+        if target in boundary.incident:
+            return any(mask & closure.bit(target, state)
+                       for state in accept)
+        entries = boundary.entries[target_shard]
+        if not entries:
+            return False
+        candidate_mask = mask & closure.mask_of(
+            (entry, state) for entry in entries
+            for state in range(num_states))
+        if not candidate_mask:
+            return False
+        base = self._bases[target_shard]
+        answers = self._shards[target_shard].batch(
+            [("rpq", pattern, entry - base, target - base, state,
+              *accept_tail)
+             for entry, state in closure.vertices_in(candidate_mask)])
+        return any(answers)
+
+    def _rpq_by_chaining(self, pattern: str, dfa: PatternDFA,
+                         source: int, target: int, start: int,
+                         accept, accept_tail: Tuple[int, ...],
+                         target_shard: int,
+                         checked: Set[Tuple[int, int]]) -> bool:
+        """Batched product chaining: per-shard RPQ probes + DFA-stepped
+        boundary hops, one ``batch()`` per (shard, wave)."""
+        boundary = self._boundary
+        boundary_out = self._boundary_out()
+        num_states = dfa.num_states
+        seen: Set[Tuple[int, int]] = {(source, start)}
+        frontier: List[Tuple[int, int]] = [(source, start)]
+        while frontier:
+            by_shard: Dict[int, List[Tuple[int, int]]] = {}
+            for vertex in frontier:
+                by_shard.setdefault(self._owner(vertex[0]),
+                                    []).append(vertex)
+            next_frontier: List[Tuple[int, int]] = []
+            for shard in sorted(by_shard):
+                base = self._bases[shard]
+                exits = boundary.exits[shard]
+                hits: Set[Tuple[int, int]] = set()
+                probes: List[Tuple[Any, ...]] = []
+                probe_hits: List[Optional[Tuple[int, int]]] = []
+                for node, state in by_shard[shard]:
+                    local = node - base
+                    if (shard == target_shard
+                            and (node, state) not in checked):
+                        checked.add((node, state))
+                        probes.append(("rpq", pattern, local,
+                                       target - base, state,
+                                       *accept_tail))
+                        probe_hits.append(None)
+                    for exit_node in exits:
+                        for next_state in range(num_states):
+                            if exit_node == node and \
+                                    next_state == state:
+                                # The empty in-shard path: this
+                                # frontier vertex is itself an exit.
+                                hits.add((exit_node, next_state))
+                                continue
+                            probes.append(("rpq", pattern, local,
+                                           exit_node - base, state,
+                                           next_state))
+                            probe_hits.append((exit_node, next_state))
+                if probes:
+                    answers = self._shards[shard].batch(probes)
+                    for hit, matched in zip(probe_hits, answers):
+                        if not matched:
+                            continue
+                        if hit is None:
+                            return True
+                        hits.add(hit)
+                for exit_node, state in hits:
+                    for label, entered in boundary_out.get(exit_node,
+                                                           ()):
+                        next_state = dfa.step_name(
+                            state, self._label_name(label))
+                        if next_state is None:
+                            continue
+                        if entered == target and next_state in accept:
+                            return True
+                        vertex = (entered, next_state)
+                        if vertex not in seen:
+                            seen.add(vertex)
+                            next_frontier.append(vertex)
+            frontier = next_frontier
+        return False
+
+    def _rpq_by_bfs(self, dfa: PatternDFA, source: int, target: int,
+                    start: int, accept) -> bool:
+        """Product BFS over the merged labeled adjacency (dense
+        boundary); expansions go through the ``out_edges`` LRU."""
+        seen: Set[Tuple[int, int]] = {(source, start)}
+        queue = deque(seen)
+        while queue:
+            node, state = queue.popleft()
+            for label, successor in self.out_edges(node):
+                next_state = dfa.step_name(state,
+                                           self._label_name(label))
+                if next_state is None:
+                    continue
+                if successor == target and next_state in accept:
+                    return True
+                vertex = (successor, next_state)
+                if vertex not in seen:
+                    seen.add(vertex)
+                    queue.append(vertex)
+        return False
+
+    # ------------------------------------------------------------------
     # Batched evaluation
     # ------------------------------------------------------------------
     def batch(self, requests: Iterable[Sequence[Any]],
@@ -1082,6 +1567,15 @@ class ShardedCompressedGraph(GraphService):
         if kind is QueryKind.PATH:
             from repro.queries.traversal import shortest_path
             return shortest_path(self, *args)
+        if kind is QueryKind.RPQ:
+            return self._rpq_uncached(*args)
+        if kind is QueryKind.PATTERN_COUNT:
+            return self._pattern_count_uncached(*args)
+        if kind is QueryKind.OUT_EDGES:
+            if len(args) != 1:
+                raise TypeError(f"out_edges() takes 1 argument "
+                                f"({len(args)} given)")
+            return self._out_edges_uncached(args[0])
         from repro.serving.protocol import KIND_METHODS
         return getattr(self, KIND_METHODS[kind])(*args)
 
@@ -1109,6 +1603,7 @@ class ShardedCompressedGraph(GraphService):
         QueryKind.IN: "in",
         QueryKind.NEIGHBORHOOD: "neighborhood",
         QueryKind.DEGREE: "degree",
+        QueryKind.OUT_EDGES: "out_edges",
     }
     #: Answers that are lists of local node IDs (need the +base shift).
     _OFFSET_RESULTS = {"out", "in", "neighborhood"}
@@ -1144,6 +1639,22 @@ class ShardedCompressedGraph(GraphService):
                         ("reach", self._local(source, shard),
                          self._local(target, shard)),
                         "reach")
+        if kind is QueryKind.RPQ and len(args) == 3 \
+                and isinstance(args[0], str) \
+                and all(isinstance(arg, int) for arg in args[1:]):
+            pattern, source, target = args
+            if not (1 <= source <= self._total_nodes
+                    and 1 <= target <= self._total_nodes):
+                return None
+            shard = self._owner(source)
+            # An untouched shard is never left or re-entered, so the
+            # in-shard RPQ answer is the global one.
+            if (shard == self._owner(target)
+                    and shard not in self._boundary.touched):
+                return (shard,
+                        ("rpq", pattern, self._local(source, shard),
+                         self._local(target, shard)),
+                        "rpq")
         return None
 
     def _fanout_jobs(self, jobs: List[QueryRequest],
@@ -1209,6 +1720,9 @@ class ShardedCompressedGraph(GraphService):
             for (request, _, local_kind), answer in zip(items, answers):
                 if local_kind in self._OFFSET_RESULTS:
                     answer = [node + base for node in answer]
+                elif local_kind == "out_edges":
+                    answer = [[label, target + base]
+                              for label, target in answer]
                 emit(request.id, QueryResult(id=request.id,
                                              value=answer))
 
@@ -1281,6 +1795,54 @@ class ShardedCompressedGraph(GraphService):
         return (f"ShardedCompressedGraph(shards={len(self._shards)}, "
                 f"nodes={self._total_nodes}, "
                 f"boundary={self._boundary.edge_count}, index={built})")
+
+
+# ----------------------------------------------------------------------
+# RPQ product-closure trailer codec (the "GRPS" 'R' section)
+# ----------------------------------------------------------------------
+def _encode_rpq_closures(entries: Sequence[Tuple[PatternDFA,
+                                                 ProductClosure]]
+                         ) -> bytes:
+    """``count`` + per entry the canonical DFA and its closure, each
+    length-prefixed.  Entries arrive sorted by DFA bytes, so the
+    section is deterministic for a given set of warmed patterns."""
+    out = bytearray()
+    write_uvarint(out, len(entries))
+    for dfa, product in entries:
+        dfa_bytes = dfa.to_bytes()
+        write_uvarint(out, len(dfa_bytes))
+        out.extend(dfa_bytes)
+        closure_bytes = product.to_bytes()
+        write_uvarint(out, len(closure_bytes))
+        out.extend(closure_bytes)
+    return bytes(out)
+
+
+def _decode_rpq_closures(data: bytes
+                         ) -> List[Tuple[PatternDFA, ProductClosure]]:
+    try:
+        count, pos = read_uvarint(data, 0)
+        entries: List[Tuple[PatternDFA, ProductClosure]] = []
+        for _ in range(count):
+            dfa_len, pos = read_uvarint(data, pos)
+            if pos + dfa_len > len(data):
+                raise EncodingError("truncated rpq closure DFA")
+            dfa = PatternDFA.from_bytes(data[pos:pos + dfa_len])
+            pos += dfa_len
+            closure_len, pos = read_uvarint(data, pos)
+            if pos + closure_len > len(data):
+                raise EncodingError("truncated rpq closure rows")
+            product = ProductClosure.from_bytes(
+                data[pos:pos + closure_len])
+            pos += closure_len
+            entries.append((dfa, product))
+    except (IndexError, ValueError) as exc:
+        raise EncodingError(
+            f"corrupt rpq closure section: {exc}") from None
+    if pos != len(data):
+        raise EncodingError(
+            f"{len(data) - pos} trailing bytes in rpq closure section")
+    return entries
 
 
 # ----------------------------------------------------------------------

@@ -126,6 +126,65 @@ class TestQuery:
         # Node 2: three middles point in, one tail edge points out.
         assert len(capsys.readouterr().out.split()) == 4
 
+    def test_rpq_exit_codes_and_output(self, compressed, capsys):
+        assert main(["query", str(compressed), "rpq", "a b",
+                     "1", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "rpq('a b', 1, 2) = True"
+        # The compressed numbering keeps the hub at 1 and puts the
+        # c-tail at 3 (deterministic renumbering, per the paper).
+        assert main(["query", str(compressed), "rpq", "a b c",
+                     "1", "3"]) == 0
+        capsys.readouterr()
+        # No c-labeled path back out of the tail.
+        assert main(["query", str(compressed), "rpq", "c",
+                     "3", "1"]) == 1
+        assert capsys.readouterr().out.strip().endswith("False")
+
+    def test_rpq_malformed_pattern(self, compressed, capsys):
+        assert main(["query", str(compressed), "rpq", "a(b",
+                     "1", "2"]) == 2
+        err = capsys.readouterr().err
+        assert "error" in err and "malformed pattern" in err
+
+    def test_rpq_arity_and_node_types(self, compressed, capsys):
+        assert main(["query", str(compressed), "rpq", "a b"]) == 2
+        assert "rpq needs a pattern" in capsys.readouterr().err
+        assert main(["query", str(compressed), "rpq", "a b",
+                     "1", "two"]) == 2
+        assert "integer" in capsys.readouterr().err
+
+    def test_pattern_count(self, compressed, capsys):
+        # Three a-edges out of the hub, one c-edge to the tail.
+        for name, expected in (("a", "3"), ("b", "3"), ("c", "1"),
+                               ("nope", "0")):
+            assert main(["query", str(compressed), "pattern-count",
+                         "label", name]) == 0
+            assert capsys.readouterr().out.strip() == expected
+        # Each middle has one a in and one b out.
+        assert main(["query", str(compressed), "pattern-count",
+                     "digram", "a", "b"]) == 0
+        assert capsys.readouterr().out.strip() == "3"
+        # Exactly one node fans out three a-edges.
+        assert main(["query", str(compressed), "pattern-count",
+                     "star", "a", "3"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_pattern_count_errors(self, compressed, capsys):
+        assert main(["query", str(compressed), "pattern-count"]) == 2
+        assert "sub-kind" in capsys.readouterr().err
+        assert main(["query", str(compressed), "pattern-count",
+                     "triangle", "a"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_out_edges(self, compressed, capsys):
+        assert main(["query", str(compressed), "out-edges", "1"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 3
+        # Labels print as numeric IDs — the wire answer a remote
+        # `connect` client sees, where no alphabet is available.
+        assert all(line.startswith("1 ") for line in lines)
+
 
 @pytest.fixture
 def sharded(tmp_path, edge_list):
@@ -287,7 +346,13 @@ class TestServeAndConnect:
         for request in (["components"], ["nodes"], ["edges"],
                         ["degree"], ["degree", "2"], ["out", "1"],
                         ["in", "2"], ["neighborhood", "2"],
-                        ["reach", "1", "2"], ["path", "1", "2"]):
+                        ["reach", "1", "2"], ["path", "1", "2"],
+                        ["rpq", "a b", "1", "2"],
+                        ["rpq", "(a|b)+ c?", "1", "6"],
+                        ["pattern-count", "label", "a"],
+                        ["pattern-count", "digram", "a", "b"],
+                        ["pattern-count", "star", "a", "2"],
+                        ["out-edges", "1"]):
             local_code = main(["query", str(sharded)] + request)
             local_out = capsys.readouterr().out
             remote_code = main(["connect", server.endpoint] + request)

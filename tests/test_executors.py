@@ -38,8 +38,13 @@ CORPORA = list(SMOKE_CORPORA)
 SHARDED_CORPORA = ["er-random", "communication", "rdf-types"]
 
 
-def serving_workload(total_nodes, count=70, seed=13):
-    """A mixed request stream covering the full §V family."""
+def serving_workload(total_nodes, count=70, seed=13, labels=()):
+    """A mixed request stream covering the full §V family.
+
+    ``labels`` (terminal label names) turns on the RPQ extension
+    kinds — ``rpq``, ``pattern_count``, ``out_edges`` — so the
+    conformance lanes exercise the full served surface.
+    """
     rng = random.Random(seed)
     requests = [("degree",), ("components",), ("nodes",), ("edges",)]
     for _ in range(count):
@@ -51,7 +56,30 @@ def serving_workload(total_nodes, count=70, seed=13):
         else:
             requests.append((kind,
                              rng.randint(1, min(total_nodes, 50))))
+    labels = list(labels)
+    if labels:
+        patterns = [labels[0], f"{labels[0]}+",
+                    f"(<{labels[0]}>|<{labels[-1]}>) .*"]
+        for index in range(max(count // 6, 3)):
+            requests.append(("rpq", patterns[index % len(patterns)],
+                             rng.randint(1, min(total_nodes, 25)),
+                             rng.randint(1, total_nodes)))
+        requests.extend([
+            ("pattern_count", "label", labels[0]),
+            ("pattern_count", "digram", labels[0], labels[-1]),
+            ("pattern_count", "star", labels[0], 2),
+            ("pattern_count", "node_out", labels[-1],
+             rng.randint(1, total_nodes)),
+            ("out_edges", rng.randint(1, total_nodes)),
+            ("out_edges", rng.randint(1, total_nodes)),
+        ])
     return requests
+
+
+def label_names(handle):
+    """Terminal label names of a handle, report order."""
+    alphabet = handle.alphabet
+    return [alphabet.name(label) for label in alphabet.terminals()]
 
 
 def assert_identical(reference, candidate):
@@ -132,7 +160,8 @@ class TestUnshardedConformance:
     def test_every_corpus_every_executor(self, corpus, unsharded,
                                          served):
         handle = unsharded(corpus)
-        requests = serving_workload(handle.node_count())
+        requests = serving_workload(handle.node_count(),
+                                    labels=label_names(handle))
         reference = run_through(InlineExecutor(), handle, requests)
         assert_identical(reference, run_through(
             ThreadExecutor(max_workers=4), handle, requests))
@@ -145,7 +174,8 @@ class TestUnshardedConformance:
     @pytest.mark.smoke
     def test_smoke_lane(self, unsharded, served):
         handle = unsharded("er-random")
-        requests = serving_workload(handle.node_count(), count=30)
+        requests = serving_workload(handle.node_count(), count=30,
+                                    labels=label_names(handle))
         reference = run_through(InlineExecutor(), handle, requests)
         server = served("er-random")
         for executor in (ThreadExecutor(), ProcessExecutor(),
@@ -160,7 +190,8 @@ class TestShardedConformance:
                              + [("communication", 4)])
     def test_executors_agree(self, corpus, shards, sharded, served):
         handle = sharded(corpus, shards)
-        requests = serving_workload(handle.node_count())
+        requests = serving_workload(handle.node_count(),
+                                    labels=label_names(handle))
         reference = run_through(InlineExecutor(), handle, requests)
         assert_identical(reference, run_through(
             ThreadExecutor(max_workers=4), handle, requests))
@@ -176,7 +207,8 @@ class TestShardedConformance:
         the router (which plans + multiplexes to shard processes)
         must equal the in-process sharded handle verbatim."""
         handle = sharded("er-random", 2)
-        requests = serving_workload(handle.node_count(), count=40)
+        requests = serving_workload(handle.node_count(), count=40,
+                                    labels=label_names(handle))
         truth = handle.batch(requests)
         server = served("er-random", 2)
         with server.connect() as client:
@@ -190,7 +222,8 @@ class TestShardedConformance:
         bit-identical to the in-process sharded handle — reply order
         is free, answer content is not."""
         handle = sharded("er-random", 2)
-        requests = serving_workload(handle.node_count(), count=40)
+        requests = serving_workload(handle.node_count(), count=40,
+                                    labels=label_names(handle))
         truth = handle.batch(requests)
         server = served("er-random", 2)
         with server.connect(pipeline=True, pool_size=2) as client:

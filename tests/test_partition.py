@@ -461,7 +461,7 @@ class TestClosurePersistence:
             graph, alphabet, shards=4, partitioner="bfs",
             validate=False)
         handle.warm_closure()
-        meta, blobs, closure = decode_sharded_container(
+        meta, blobs, closure, _ = decode_sharded_container(
             handle.to_bytes())
         wrong = BoundaryClosure([1, 2], [2, 1]).to_bytes()
         spliced = encode_sharded_container(meta, blobs, wrong)

@@ -1,0 +1,620 @@
+"""The RPQ subsystem: regex front end, engine, counts, sharding.
+
+Differential acceptance for ``repro.rpq``:
+
+* **front end** — the pattern language parses, canonicalizes
+  (equivalent patterns share one minimized DFA / one cache key), and
+  rejects malformed input with ``QueryError``; a property lane checks
+  random patterns against Python's ``re`` on random words.
+* **engine truth lane** — ``CompressedGraph.rpq`` must equal a naive
+  product-BFS over the networkx view of the handle's own
+  ``decompress()`` on every smoke corpus, for a fixed pattern set,
+  on both the skeleton route and the forced-BFS fallback.
+* **sharded lanes** — ``k=1`` is bit-identical to the unsharded
+  handle; ``k>1`` is checked against its own decompression under
+  every forced strategy (closure / chaining / bfs); ID-free
+  pattern-count aggregates must equal the unsharded handle exactly.
+* **persistence** — warmed product closures survive the GRPS 'R'
+  trailer round-trip and corrupt sections are rejected.
+* **serving** — a socket-served handle answers ``rpq`` /
+  ``pattern_count`` / ``out_edges`` byte-identically to the
+  in-process handle on both codecs (SIGALRM-bounded).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from collections import deque
+
+import networkx as nx
+import pytest
+
+from repro import CompressedGraph, ShardedCompressedGraph
+from repro.bench.corpora import SMOKE_CORPORA
+from repro.encoding.container import decode_sharded_container
+from repro.exceptions import EncodingError, QueryError
+from repro.partition import ProductClosure
+from repro.rpq import cache_key, compile_pattern
+from repro.rpq.regex import PatternDFA
+from repro.serving import GraphServer
+from repro.serving.protocol import QueryKind, QueryRequest
+
+from helpers import to_networkx
+
+#: Pattern templates instantiated with each corpus's label names
+#: (``{a}`` = first name, ``{z}`` = last name).
+PATTERN_TEMPLATES = [
+    "<{a}>",
+    "<{a}>+",
+    "<{a}> <{z}>",
+    "(<{a}>|<{z}>)*<{z}>",
+    ". .",
+    "<{a}>?.",
+]
+
+
+def corpus_patterns(names):
+    return [template.format(a=names[0], z=names[-1])
+            for template in PATTERN_TEMPLATES]
+
+
+def label_names(alphabet):
+    return [alphabet.name(label) for label in alphabet.terminals()]
+
+
+def truth_graph(handle):
+    """networkx multidigraph of the handle's own ``val``, with label
+    *names* on the edges (the ID space its answers live in)."""
+    alphabet = handle.alphabet
+    graph = to_networkx(handle.decompress())
+    named = nx.MultiDiGraph()
+    named.add_nodes_from(graph.nodes())
+    for source, target, data in graph.edges(data=True):
+        named.add_edge(source, target, name=alphabet.name(data["label"]))
+    return named
+
+
+def truth_rpq(graph, dfa, source, target,
+              start=None, accepting=None):
+    """Naive product-automaton BFS over a networkx truth graph."""
+    start = dfa.start if start is None else start
+    accepting = dfa.accepting if accepting is None else accepting
+    if source == target and start in accepting:
+        return True
+    seen = {(source, start)}
+    frontier = deque(seen)
+    while frontier:
+        node, state = frontier.popleft()
+        if node not in graph:
+            continue
+        for _, successor, data in graph.out_edges(node, data=True):
+            next_state = dfa.step_name(state, data["name"])
+            if next_state is None:
+                continue
+            if successor == target and next_state in accepting:
+                return True
+            if (successor, next_state) not in seen:
+                seen.add((successor, next_state))
+                frontier.append((successor, next_state))
+    return False
+
+
+def probe_pairs(total_nodes, count=40, seed=7):
+    rng = random.Random(seed)
+    pairs = [(1, total_nodes), (total_nodes, 1), (1, 1)]
+    pairs += [(rng.randint(1, total_nodes), rng.randint(1, total_nodes))
+              for _ in range(count)]
+    return pairs
+
+
+# ----------------------------------------------------------------------
+# Shared handles (compression dominates; one build per corpus)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def flat():
+    handles = {}
+
+    def build(corpus):
+        if corpus not in handles:
+            graph, alphabet = SMOKE_CORPORA[corpus]()
+            handles[corpus] = (CompressedGraph.compress(
+                graph, alphabet, validate=False), label_names(alphabet))
+        return handles[corpus]
+
+    return build
+
+
+# ----------------------------------------------------------------------
+# Front end: parsing, canonicalization, rejection
+# ----------------------------------------------------------------------
+class TestRegexFrontEnd:
+    def test_literal_and_concat(self):
+        dfa = compile_pattern("a b")
+        assert dfa.accepts(["a", "b"])
+        assert not dfa.accepts(["a"])
+        assert not dfa.accepts(["b", "a"])
+
+    def test_union_star_plus_optional(self):
+        dfa = compile_pattern("a(b|c)*")
+        assert dfa.accepts(["a"])
+        assert dfa.accepts(["a", "c", "b", "b"])
+        assert not dfa.accepts(["c"])
+        plus = compile_pattern("a+")
+        assert not plus.accepts([])
+        assert plus.accepts(["a", "a", "a"])
+        opt = compile_pattern("a? b")
+        assert opt.accepts(["b"]) and opt.accepts(["a", "b"])
+
+    def test_dot_matches_unmentioned_labels(self):
+        dfa = compile_pattern("a .")
+        assert dfa.accepts(["a", "completely-new-label"])
+        assert dfa.accepts(["a", "a"])
+        assert not dfa.accepts(["completely-new-label", "a"])
+
+    def test_quoted_names(self):
+        dfa = compile_pattern("<rdf:type|odd name>+")
+        assert dfa.accepts(["rdf:type|odd name"])
+        assert not dfa.accepts(["rdf:type"])
+
+    @pytest.mark.parametrize("left,right", [
+        ("a|b", "b|a"),
+        ("((a))", "a"),
+        ("a+", "a a*"),
+        ("(a|b)(a|b)", "(b|a)(b|a)"),
+        ("a**", "a*"),
+        ("(a*)*", "a*"),
+        ("a|a", "a"),
+    ])
+    def test_equivalent_patterns_share_one_canonical_dfa(self, left,
+                                                         right):
+        assert compile_pattern(left).key == compile_pattern(right).key
+        assert cache_key(left) == cache_key(right)
+
+    def test_distinct_patterns_do_not_collide(self):
+        assert compile_pattern("a").key != compile_pattern("b").key
+        assert compile_pattern("a*").key != compile_pattern("a+").key
+        assert cache_key("a b") != cache_key("b a")
+
+    def test_empty_union_branches_mean_epsilon(self):
+        assert compile_pattern("a|").accepts([])
+        assert compile_pattern("|a").key == compile_pattern("a?").key
+
+    @pytest.mark.parametrize("bad", [
+        "a(b", "(", ")", "a)b", "*", "<unterminated", "a~b", "+",
+    ])
+    def test_malformed_patterns_raise_query_errors(self, bad):
+        with pytest.raises(QueryError, match="malformed pattern"):
+            compile_pattern(bad)
+
+    def test_cache_key_falls_back_on_malformed_input(self):
+        assert cache_key("a(b") == ("raw", "a(b")
+        assert cache_key(17) == ("raw", 17)
+
+    def test_dfa_codec_roundtrip(self):
+        dfa = compile_pattern("a(b|c)*d?")
+        again = PatternDFA.from_bytes(dfa.to_bytes())
+        assert again == dfa
+        assert again.key == dfa.key
+
+    def test_property_lane_matches_python_re(self):
+        """Random patterns over {a, b} vs ``re`` on random words.
+
+        Every generated word only uses mentioned names, so the
+        rest-class symbol never fires and ``.`` is exactly ``[ab]``.
+        """
+        rng = random.Random(99)
+
+        def gen(depth):
+            roll = rng.random()
+            if depth <= 0 or roll < 0.4:
+                return rng.choice(["a", "b", "."])
+            if roll < 0.6:
+                return f"{gen(depth - 1)} {gen(depth - 1)}"
+            if roll < 0.75:
+                left, right = gen(depth - 1), gen(depth - 1)
+                return f"({left}|{right})"
+            mark = rng.choice("*+?")
+            return f"({gen(depth - 1)}){mark}"
+
+        for _ in range(60):
+            pattern = gen(3)
+            dfa = compile_pattern(pattern)
+            truth = re.compile(
+                pattern.replace(" ", "").replace(".", "[ab]") + r"\Z")
+            for _ in range(25):
+                word = [rng.choice("ab")
+                        for _ in range(rng.randint(0, 6))]
+                expected = truth.match("".join(word)) is not None
+                assert dfa.accepts(word) == expected, \
+                    (pattern, word)
+
+
+# ----------------------------------------------------------------------
+# Engine truth lane: every smoke corpus vs networkx product-BFS
+# ----------------------------------------------------------------------
+class TestEngineDifferential:
+    @pytest.mark.parametrize("corpus", list(SMOKE_CORPORA))
+    def test_rpq_equals_product_bfs(self, corpus, flat):
+        handle, names = flat(corpus)
+        graph = truth_graph(handle)
+        pairs = probe_pairs(handle.node_count())
+        for pattern in corpus_patterns(names):
+            dfa = compile_pattern(pattern)
+            for source, target in pairs:
+                assert handle.rpq(pattern, source, target) == \
+                    truth_rpq(graph, dfa, source, target), \
+                    (corpus, pattern, source, target)
+
+    @pytest.mark.smoke
+    def test_state_to_state_probes(self, flat):
+        """The wire probe forms: from-state and state-to-state."""
+        handle, names = flat("rdf-identica")
+        graph = truth_graph(handle)
+        pattern = f"<{names[0]}>(<{names[-1]}>|<{names[0]}>)*"
+        dfa = compile_pattern(pattern)
+        pairs = probe_pairs(handle.node_count(), count=15, seed=3)
+        for from_state in range(dfa.num_states):
+            for to_state in range(dfa.num_states):
+                for source, target in pairs:
+                    expected = truth_rpq(
+                        graph, dfa, source, target,
+                        start=from_state,
+                        accepting=frozenset([to_state]))
+                    assert handle.rpq(pattern, source, target,
+                                      from_state, to_state) == \
+                        expected, (from_state, to_state, source, target)
+
+    @pytest.mark.smoke
+    def test_bfs_fallback_agrees_with_skeletons(self, flat):
+        handle, names = flat("er-random")
+        engine = handle._rpq_engine()
+        pattern = f"(<{names[0]}>|.)<{names[0]}>*"
+        pairs = probe_pairs(handle.node_count(), count=20, seed=5)
+        skeleton = [engine.matches(pattern, s, t) for s, t in pairs]
+        engine.force = "bfs"
+        try:
+            assert [engine.matches(pattern, s, t)
+                    for s, t in pairs] == skeleton
+        finally:
+            engine.force = None
+
+    def test_node_validation(self, flat):
+        handle, names = flat("er-random")
+        total = handle.node_count()
+        with pytest.raises(QueryError, match="out of range"):
+            handle.rpq(names[0], 0, 1)
+        with pytest.raises(QueryError, match="out of range"):
+            handle.rpq(names[0], 1, total + 1)
+        with pytest.raises(QueryError, match="from_state"):
+            handle.rpq(names[0], 1, 1, 99)
+
+
+# ----------------------------------------------------------------------
+# Cache correctness: canonical keys share entries and builds
+# ----------------------------------------------------------------------
+class TestCanonicalCaching:
+    @pytest.mark.smoke
+    def test_equivalent_patterns_hit_one_cache_entry(self):
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        names = label_names(alphabet)
+        handle = CompressedGraph.compress(graph, alphabet,
+                                          validate=False)
+        first = f"<{names[0]}>|<{names[1]}>"
+        second = f"<{names[1]}>|<{names[0]}>"
+        answer = handle.rpq(first, 1, 2)
+        misses = handle.cache_info["misses"]
+        hits = handle.cache_info["hits"]
+        assert handle.rpq(second, 1, 2) == answer
+        # The flipped union is the same canonical DFA: same LRU slot.
+        assert handle.cache_info["hits"] == hits + 1
+        assert handle.cache_info["misses"] == misses
+        # ...and the engine built exactly one skeleton set for both.
+        assert handle.rpq_info["skeleton_builds"] == 1
+        assert handle.rpq_info["cached_dfas"] == 1
+
+    def test_request_keys_canonicalize(self):
+        one = QueryRequest(id=1, kind=QueryKind.RPQ,
+                           args=("a|b", 3, 4))
+        two = QueryRequest(id=2, kind=QueryKind.RPQ,
+                           args=("b|a", 3, 4))
+        other = QueryRequest(id=3, kind=QueryKind.RPQ,
+                             args=("b|a", 4, 3))
+        assert one.key == two.key
+        assert one.key != other.key
+        # Unparseable patterns still get a (raw) key — the error
+        # surfaces at evaluation, not at cache-key time.
+        bad = QueryRequest(id=4, kind=QueryKind.RPQ, args=("a(", 1, 2))
+        assert bad.key[1] == ("raw", "a(")
+
+
+# ----------------------------------------------------------------------
+# Pattern counts: grammar pass vs decompressed truth, both handles
+# ----------------------------------------------------------------------
+class TestPatternCounts:
+    @pytest.mark.parametrize("corpus", ["er-random", "rdf-identica",
+                                        "version-dblp", "coauthorship"])
+    def test_counts_equal_decompressed_truth(self, corpus, flat):
+        handle, names = flat(corpus)
+        graph = truth_graph(handle)
+        edges = [(source, target, data["name"]) for source, target,
+                 data in graph.edges(data=True)]
+        for name in {names[0], names[-1], "no-such-label"}:
+            assert handle.pattern_count("label", name) == \
+                sum(1 for _, _, label in edges if label == name)
+            out_by_node = {}
+            in_by_node = {}
+            for source, target, label in edges:
+                if label == name:
+                    out_by_node[source] = out_by_node.get(source, 0) + 1
+                    in_by_node[target] = in_by_node.get(target, 0) + 1
+            for threshold in (0, 1, 2, 5):
+                expected = sum(
+                    1 for node in graph.nodes()
+                    if out_by_node.get(node, 0) >= threshold)
+                assert handle.pattern_count("star", name,
+                                            threshold) == expected
+            other = names[-1]
+            other_out = {}
+            for source, target, label in edges:
+                if label == other:
+                    other_out[source] = other_out.get(source, 0) + 1
+            assert handle.pattern_count("digram", name, other) == sum(
+                count * other_out.get(node, 0)
+                for node, count in in_by_node.items())
+            probe = max(graph.nodes())
+            assert handle.pattern_count("node_out", name, probe) == \
+                out_by_node.get(probe, 0)
+            assert handle.pattern_count("node_in", name, probe) == \
+                in_by_node.get(probe, 0)
+
+    @pytest.mark.smoke
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_sharded_aggregates_equal_unsharded(self, shards, flat):
+        """The ID-free lane: aggregate counts are isomorphism
+        invariants, so sharded and unsharded must agree exactly."""
+        handle, names = flat("rdf-identica")
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=shards, partitioner="bfs",
+            validate=False)
+        for name in names:
+            assert sharded.pattern_count("label", name) == \
+                handle.pattern_count("label", name)
+            for threshold in (0, 1, 3):
+                assert sharded.pattern_count("star", name,
+                                             threshold) == \
+                    handle.pattern_count("star", name, threshold)
+            assert sharded.pattern_count("digram", name, names[0]) == \
+                handle.pattern_count("digram", name, names[0])
+
+    def test_error_vocabulary_is_shared(self, flat):
+        handle, names = flat("er-random")
+        graph, alphabet = SMOKE_CORPORA["er-random"]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=2, validate=False)
+        for target in (handle, sharded):
+            with pytest.raises(QueryError,
+                               match="unknown pattern_count kind"):
+                target.pattern_count("triangle", names[0])
+            with pytest.raises(QueryError, match="needs two label"):
+                target.pattern_count("digram", names[0])
+            with pytest.raises(QueryError, match="star threshold"):
+                target.pattern_count("star", names[0], -1)
+            with pytest.raises(QueryError, match="name string"):
+                target.pattern_count("label", 3)
+
+
+# ----------------------------------------------------------------------
+# Sharded lanes: k=1 exact, k>1 truth under every forced strategy
+# ----------------------------------------------------------------------
+class TestShardedRPQ:
+    def test_single_shard_is_bit_identical(self, flat):
+        handle, names = flat("rdf-identica")
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        single = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=1, validate=False)
+        pairs = probe_pairs(handle.node_count(), count=20)
+        for pattern in corpus_patterns(names):
+            for source, target in pairs:
+                expected = handle.rpq(pattern, source, target)
+                actual = single.rpq(pattern, source, target)
+                assert actual == expected and \
+                    type(actual) is type(expected)
+
+    @pytest.mark.parametrize("corpus,shards", [
+        ("rdf-identica", 2), ("rdf-identica", 4),
+        ("version-dblp", 3), ("rdf-types", 2),
+    ])
+    def test_every_strategy_equals_own_truth(self, corpus, shards):
+        graph, alphabet = SMOKE_CORPORA[corpus]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=shards, partitioner="bfs",
+            validate=False)
+        names = label_names(sharded.alphabet)
+        truth = truth_graph(sharded)
+        pairs = probe_pairs(sharded.node_count(), count=10, seed=11)
+        patterns = corpus_patterns(names)[:4]
+        for force in (None, "closure", "chaining", "bfs"):
+            sharded._planner.force = force
+            for pattern in patterns:
+                dfa = compile_pattern(pattern)
+                for source, target in pairs:
+                    expected = truth_rpq(truth, dfa, source, target)
+                    assert sharded._rpq_uncached(
+                        pattern, source, target) == expected, \
+                        (corpus, shards, force, pattern, source, target)
+        sharded._planner.force = None
+
+    @pytest.mark.smoke
+    def test_out_edges_match_decompressed_truth(self):
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=3, partitioner="bfs",
+            validate=False)
+        val = sharded.decompress()
+        expected = {}
+        for _, edge in val.edges():
+            expected.setdefault(edge.att[0], set()).add(
+                (edge.label, edge.att[1]))
+        for node in probe_pairs(sharded.node_count(), count=15):
+            node = node[0]
+            assert sharded.out_edges(node) == sorted(
+                [list(pair) for pair in expected.get(node, set())])
+
+    def test_planner_prices_rpq_routes(self):
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=2, partitioner="bfs",
+            validate=False)
+        planner = sharded._planner
+        # More states -> strictly costlier closure builds; a huge
+        # automaton must eventually fall out of the probe budget.
+        assert planner.rpq_closure_allowed(1) == \
+            planner.closure_allowed
+        assert not planner.rpq_closure_allowed(10 ** 6)
+        strategy = planner.rpq_strategy(0, 1, 2)
+        assert strategy in ("local", "closure", "chaining", "bfs")
+        assert planner.rpq_strategy(0, 1, 2, force="bfs") == "bfs"
+        # A per-call force never leaks into reach planning.
+        assert planner.force is None
+
+
+# ----------------------------------------------------------------------
+# Persistence: the GRPS 'R' trailer section
+# ----------------------------------------------------------------------
+class TestClosurePersistence:
+    def build(self, shards=2):
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        return ShardedCompressedGraph.compress(
+            graph, alphabet, shards=shards, partitioner="bfs",
+            validate=False)
+
+    def test_roundtrip_preserves_closures_and_answers(self):
+        sharded = self.build()
+        names = label_names(sharded.alphabet)
+        pattern = f"(<{names[0]}>|<{names[-1]}>)+"
+        sharded.warm_rpq_closure(pattern)
+        sharded.warm_rpq_closure(f"<{names[0]}>")
+        assert sharded.rpq_closures_built == 2
+        assert not sharded.rpq_closures_persisted
+        blob = sharded.to_bytes()
+        _, _, _, rpq_blob = decode_sharded_container(blob)
+        assert rpq_blob is not None
+        assert sharded.rpq_closures_persisted
+        loaded = ShardedCompressedGraph.from_bytes(blob)
+        assert loaded.rpq_closures_built == 2
+        assert loaded.rpq_closures_persisted
+        # The loaded closure answers without rebuilding: equivalent
+        # patterns (same canonical DFA) reuse the persisted rows.
+        dfa = compile_pattern(pattern)
+        assert dfa.key in loaded._rpq_closures
+        loaded._planner.force = "closure"
+        pairs = probe_pairs(sharded.node_count(), count=12, seed=23)
+        sharded._planner.force = "closure"
+        for source, target in pairs:
+            assert loaded.rpq(pattern, source, target) == \
+                sharded.rpq(pattern, source, target)
+
+    def test_closure_equality_and_codec(self):
+        sharded = self.build()
+        names = label_names(sharded.alphabet)
+        closure = sharded.warm_rpq_closure(f"<{names[0]}>+")
+        again = ProductClosure.from_bytes(closure.to_bytes())
+        assert again == closure
+        assert again.num_states == closure.num_states
+
+    def test_corrupt_sections_rejected(self):
+        sharded = self.build()
+        names = label_names(sharded.alphabet)
+        sharded.warm_rpq_closure(f"<{names[0]}>")
+        blob = sharded.to_bytes()
+        meta, blobs, closure_blob, rpq_blob = \
+            decode_sharded_container(blob)
+        with pytest.raises(EncodingError, match="rpq closure"):
+            from repro.sharding import _decode_rpq_closures
+            _decode_rpq_closures(rpq_blob[:-2])
+
+    def test_save_roundtrip_through_files(self, tmp_path):
+        sharded = self.build()
+        names = label_names(sharded.alphabet)
+        sharded.warm_rpq_closure(f"<{names[0]}>")
+        path = tmp_path / "with-rpq.grps"
+        sharded.save(path)
+        loaded = ShardedCompressedGraph.open(path)
+        assert loaded.rpq_closures_built == 1
+        assert loaded.stats["rpq_closures"] == 1
+
+
+# ----------------------------------------------------------------------
+# Serving: socket round trips, bounded with SIGALRM
+# ----------------------------------------------------------------------
+class TestServedRPQ:
+    @pytest.fixture(scope="class")
+    def deployment(self):
+        graph, alphabet = SMOKE_CORPORA["rdf-identica"]()
+        sharded = ShardedCompressedGraph.compress(
+            graph, alphabet, shards=2, partitioner="bfs",
+            validate=False)
+        names = label_names(sharded.alphabet)
+        sharded.warm_rpq_closure(f"(<{names[0]}>|<{names[-1]}>)+")
+        servers = {codec: GraphServer(sharded.to_bytes(),
+                                      codec=codec).start()
+                   for codec in ("json", "binary")}
+        yield sharded, names, servers
+        for server in servers.values():
+            server.close()
+
+    def requests(self, names, total_nodes):
+        rng = random.Random(31)
+        requests = [
+            ("rpq", f"(<{names[0]}>|<{names[-1]}>)+", 1, 2),
+            ("rpq", f"<{names[0]}> .", 3, 40),
+            ("pattern_count", "label", names[0]),
+            ("pattern_count", "digram", names[0], names[-1]),
+            ("pattern_count", "star", names[0], 1),
+            ("out_edges", 5),
+        ]
+        requests += [("rpq", f"<{names[0]}>+",
+                      rng.randint(1, total_nodes),
+                      rng.randint(1, total_nodes)) for _ in range(6)]
+        return requests
+
+    @pytest.mark.smoke
+    @pytest.mark.timeout(120)
+    def test_served_answers_are_bit_identical(self, deployment):
+        sharded, names, servers = deployment
+        requests = self.requests(names, sharded.node_count())
+        truth = sharded.batch(requests)
+        for codec, server in servers.items():
+            with server.connect() as client:
+                answers = client.batch(requests)
+            assert answers == truth, codec
+            for expected, actual in zip(truth, answers):
+                assert type(actual) is type(expected)
+
+    @pytest.mark.timeout(120)
+    def test_pipelined_client_agrees(self, deployment):
+        sharded, names, servers = deployment
+        requests = self.requests(names, sharded.node_count())
+        truth = sharded.batch(requests)
+        with servers["binary"].connect(pipeline=True,
+                                       pool_size=2) as client:
+            futures = [client.execute_async(requests)
+                       for _ in range(4)]
+            for future in futures:
+                values = [result.unwrap()
+                          for result in future.result(60)]
+                assert values == truth
+
+    @pytest.mark.timeout(120)
+    def test_served_errors_match_in_process(self, deployment):
+        sharded, names, servers = deployment
+        bad = [("rpq", "a(b", 1, 2),
+               ("pattern_count", "triangle", names[0]),
+               ("rpq", names[0], 0, 1)]
+        local = sharded.execute(bad)
+        with servers["json"].connect() as client:
+            remote = client.execute(bad)
+        assert [r.ok for r in remote] == [r.ok for r in local]
+        assert [r.error for r in remote] == [r.error for r in local]

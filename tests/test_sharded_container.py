@@ -48,7 +48,7 @@ class TestFraming:
     def test_meta_and_blobs_roundtrip(self):
         handle = _sharded_handle(shards=2)
         blob = handle.to_bytes()
-        meta, blobs, closure = decode_sharded_container(blob)
+        meta, blobs, closure, _ = decode_sharded_container(blob)
         assert len(blobs) == 2
         assert closure is None  # no closure was built before saving
         rebuilt = encode_sharded_container(meta, blobs)
@@ -181,7 +181,7 @@ class TestRoundtrip:
 
     def test_meta_shard_count_mismatch_rejected(self):
         handle = _sharded_handle(shards=2)
-        meta, blobs, _ = decode_sharded_container(handle.to_bytes())
+        meta, blobs, _, _ = decode_sharded_container(handle.to_bytes())
         with pytest.raises(EncodingError):
             ShardedCompressedGraph.from_bytes(
                 encode_sharded_container(meta, blobs[:1]))
