@@ -58,6 +58,14 @@ GATE_CONCURRENT_CHUNK = 32
 #: server in the same run) is the one that catches a serializing
 #: event loop.
 GATE_CONCURRENT_QPS = 150.0
+#: The failover lane: replicas per shard, and the fraction of healthy
+#: throughput that must survive killing one replica of every shard
+#: mid-run (with zero wrong answers — correctness is never traded).
+GATE_FAILOVER_REPLICAS = 2
+GATE_FAILOVER_RATIO = 0.5
+#: Requests per batch in the failover lane (the kill lands after the
+#: first chunk, so most of the run is measured post-failover).
+GATE_FAILOVER_CHUNK = 100
 
 
 def serving_workload(total_nodes, count=GATE_REQUESTS, seed=17,
@@ -182,6 +190,43 @@ def measure_concurrent(handle, blob, requests,
     return single, concurrent, clients * len(workload)
 
 
+def measure_failover(handle, blob, requests,
+                     replicas=GATE_FAILOVER_REPLICAS,
+                     chunk=GATE_FAILOVER_CHUNK):
+    """Healthy vs kill-one-replica-mid-run throughput, every answer
+    verified against the inline oracle.
+
+    Two passes over fresh ``replicas``-per-shard servers: the first
+    runs healthy; the second kills replica 0 of *every* shard after
+    the first chunk, so the bulk of its requests route through the
+    failover path (dead-link detection, backoff, resend to the
+    surviving replica).  Returns ``(healthy_seconds,
+    failover_seconds, wrong_answers)``.
+    """
+    chunks = [requests[start:start + chunk]
+              for start in range(0, len(requests), chunk)]
+    expected = [handle.batch(part) for part in chunks]
+
+    def run_pass(kill_after_first_chunk):
+        with serve(blob, cache_size=0, replicas=replicas) as server:
+            with server.connect() as client:
+                client.batch(requests[:10])  # warm every replica link
+                wrong = 0
+                start = time.perf_counter()
+                for index, (part, want) in enumerate(
+                        zip(chunks, expected)):
+                    if kill_after_first_chunk and index == 1:
+                        for shard in range(server.num_shards):
+                            server.kill_replica(shard, 0)
+                    if client.batch(part) != want:
+                        wrong += 1
+                return time.perf_counter() - start, wrong
+
+    healthy, wrong_healthy = run_pass(False)
+    failover, wrong_failover = run_pass(True)
+    return healthy, failover, wrong_healthy + wrong_failover
+
+
 @pytest.mark.smoke
 def test_socket_serving_meets_throughput_floor():
     """Acceptance gate: a served 2-shard graph answers 1k mixed
@@ -233,6 +278,34 @@ def test_concurrent_clients_beat_the_single_client():
         f"{concurrent_qps:.0f} q/s aggregate, below the "
         f"{single_qps:.0f} q/s a single strict client gets on the "
         f"same server — the loop is serializing, not pipelining")
+
+
+@pytest.mark.smoke
+def test_failover_keeps_half_the_throughput_and_all_the_answers():
+    """Acceptance gate for replica failover: killing one replica of
+    every shard mid-run must retain at least
+    :data:`GATE_FAILOVER_RATIO` of the healthy run's throughput and
+    produce **zero** wrong answers — resilience is not allowed to
+    cost correctness, and a ratio collapse means dead-link detection
+    is stalling the router (e.g. waiting out a timeout per request
+    instead of marking the replica down once)."""
+    handle, blob = build_container()
+    requests = serving_workload(handle.node_count())
+    healthy, failover, wrong = measure_failover(handle, blob,
+                                                requests)
+    healthy_qps = len(requests) / healthy
+    failover_qps = len(requests) / failover
+    ratio = failover_qps / healthy_qps
+    Report.add(_SECTION,
+               f"failover ({GATE_FAILOVER_REPLICAS} replicas/shard, "
+               f"one killed mid-run): healthy {healthy_qps:.0f} q/s, "
+               f"with failover {failover_qps:.0f} q/s "
+               f"({ratio:.0%} retained), wrong answers: {wrong}")
+    assert wrong == 0, (
+        f"{wrong} batch(es) answered wrongly during failover")
+    assert ratio >= GATE_FAILOVER_RATIO, (
+        f"throughput with a dead replica fell to {ratio:.0%} of "
+        f"healthy (floor: {GATE_FAILOVER_RATIO:.0%})")
 
 
 @pytest.mark.smoke

@@ -29,6 +29,10 @@ ratios for both engines over the shared smoke corpora
   concurrent pipelined clients must push more aggregate throughput
   than one strict client gets on the same chunked workload (shared
   with ``benchmarks/bench_serving.py``),
+* replica failover: with 2 forked replicas per shard, killing one
+  replica of every shard mid-run must retain at least half the
+  healthy run's throughput with **zero** wrong answers (shared with
+  ``benchmarks/bench_serving.py``),
 * the partition layer: on the single-component gate corpus at 4
   shards, the edge-cut partitioners (``bfs`` / ``label``) must cut
   strictly fewer edges than ``hash``, and closure-backed cross-shard
@@ -146,10 +150,13 @@ def serving_gate() -> dict:
         GATE_CONCURRENT_CLIENTS,
         GATE_CONCURRENT_QPS,
         GATE_CONCURRENT_REQUESTS,
+        GATE_FAILOVER_RATIO,
+        GATE_FAILOVER_REPLICAS,
         GATE_SHARDS,
         GATE_SOCKET_QPS,
         build_container,
         measure_concurrent,
+        measure_failover,
         measure_serving,
         serving_workload,
     )
@@ -158,6 +165,8 @@ def serving_gate() -> dict:
     inline, socket_time, _ = measure_serving(handle, blob, requests)
     single, concurrent, total = measure_concurrent(handle, blob,
                                                    requests)
+    healthy, failover, wrong = measure_failover(handle, blob,
+                                                requests)
     return {
         "shards": GATE_SHARDS,
         "requests": len(requests),
@@ -171,6 +180,12 @@ def serving_gate() -> dict:
             GATE_CONCURRENT_REQUESTS / single, 1),
         "concurrent_qps": round(total / concurrent, 1),
         "required_concurrent_qps": GATE_CONCURRENT_QPS,
+        "failover_replicas": GATE_FAILOVER_REPLICAS,
+        "failover_healthy_qps": round(len(requests) / healthy, 1),
+        "failover_qps": round(len(requests) / failover, 1),
+        "failover_ratio": round(healthy / failover, 3),
+        "required_failover_ratio": GATE_FAILOVER_RATIO,
+        "failover_wrong_answers": wrong,
     }
 
 
@@ -308,6 +323,24 @@ def check(current: dict, baseline: dict, tolerance: float,
              f"pushed {concurrent_qps:.0f} q/s aggregate, below the "
              f"{single_chunked_qps:.0f} q/s one strict client gets on "
              f"the same chunked workload (the loop is serializing)")
+    # Failover gate (absolute): killing one replica of every shard
+    # mid-run must retain the throughput ratio with zero wrong
+    # answers — resilience never trades correctness.
+    failover_ratio = serving.get("failover_ratio")
+    if failover_ratio is not None:
+        required_ratio = serving.get("required_failover_ratio", 0.5)
+        wrong = serving.get("failover_wrong_answers", 0)
+        if wrong:
+            fail("failover-gate",
+                 f"{wrong} batch(es) answered wrongly while failing "
+                 f"over to a surviving replica")
+        if failover_ratio < required_ratio:
+            fail("failover-gate",
+                 f"throughput with a dead replica fell to "
+                 f"{failover_ratio:.0%} of healthy "
+                 f"({serving.get('failover_qps'):.0f} vs "
+                 f"{serving.get('failover_healthy_qps'):.0f} q/s; "
+                 f"floor: {required_ratio:.0%})")
     # Partition gate (absolute): the edge-cut partitioners must cut
     # strictly fewer edges than hash, and closure-backed cross-shard
     # reach must beat boundary chaining.
@@ -398,6 +431,14 @@ def main(argv=None) -> int:
               f"{serving['concurrent_qps']:.0f}q/s "
               f"vs single-chunked="
               f"{serving['single_chunked_qps']:.0f}q/s")
+        if "failover_ratio" in serving:
+            print(f"{'failover-gate':14s} "
+                  f"replicas={serving['failover_replicas']} "
+                  f"healthy={serving['failover_healthy_qps']:.0f}q/s "
+                  f"failover={serving['failover_qps']:.0f}q/s "
+                  f"ratio={serving['failover_ratio']:.0%} "
+                  f"(floor {serving['required_failover_ratio']:.0%}) "
+                  f"wrong={serving['failover_wrong_answers']}")
     rpq = current.get("rpq", {})
     if rpq:
         print(f"{'rpq-gate':14s} corpus={rpq['corpus']} "

@@ -16,15 +16,26 @@ usable without writing Python::
     python -m repro.cli query graph.grps rpq 'a(b|c)*' 4 17
     python -m repro.cli query graph.grps pattern-count digram a b
     python -m repro.cli serve graph.grps --address 127.0.0.1:8437
+    python -m repro.cli serve graph.grps --replicas 2
+    python -m repro.cli shard-serve graph.grps --shard 1 --epoch 3
+    python -m repro.cli manifest graph.grps cluster.json \
+        --endpoints 10.0.0.5:9000,10.0.0.6:9000 10.0.0.7:9000
+    python -m repro.cli serve --manifest cluster.json
     python -m repro.cli connect 127.0.0.1:8437 rpq 'a(b|c)*' 4 17
     python -m repro.cli connect 127.0.0.1:8437 --info
 
 ``serve`` starts the socket deployment of
-:mod:`repro.serving.router` — one forked process per shard plus a
-router multiplexing planned batches — and blocks until interrupted;
-``connect`` runs the same query surface as ``query`` against a
-running server, printing identical output (so scripts can switch
-between a local file and a served endpoint by swapping one word).
+:mod:`repro.serving.router` — one forked process per shard
+(``--replicas N`` forks N failover copies of each) plus a router
+multiplexing planned batches — and blocks until interrupted.  For
+multi-host topologies the pieces start independently: ``shard-serve``
+brings up one shard standalone, ``manifest`` writes the cluster file
+naming every shard's replica endpoints, and ``serve --manifest``
+starts a router over those pre-existing servers (validating the
+container hash and epoch of each before answering).  ``connect`` runs
+the same query surface as ``query`` against a running server,
+printing identical output (so scripts can switch between a local file
+and a served endpoint by swapping one word).
 
 Graphs are read/written as edge lists (``source target [label]`` per
 line, ``#`` comments allowed); compressed grammars use the paper's
@@ -130,8 +141,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     srv = sub.add_parser("serve",
                          help="serve a container on a socket "
-                              "(one process per shard + a router)")
-    srv.add_argument("input", type=Path)
+                              "(forked shard processes + a router, "
+                              "or --manifest for remote shards)")
+    srv.add_argument("input", type=Path, nargs="?", default=None,
+                     help="the container to serve (optional with "
+                          "--manifest when the manifest names one)")
     srv.add_argument("--address", default="127.0.0.1:0",
                      help="endpoint to bind: 'host:port' (port 0 "
                           "picks a free one) or 'unix:/path' "
@@ -147,9 +161,64 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="concurrently evaluating batches per server "
                           "process (the event loop's worker pool; "
                           "default: 16)")
+    srv.add_argument("--replicas", type=int, default=1,
+                     help="forked replica processes per shard "
+                          "(round-robin reads + failover; default: 1)")
+    srv.add_argument("--manifest", type=Path, default=None,
+                     help="route to pre-existing shard servers named "
+                          "by this cluster-manifest file instead of "
+                          "forking loopback children")
+    srv.add_argument("--shard-timeout", type=float, default=None,
+                     help="per-request timeout on router-to-shard "
+                          "links, seconds (default: 30)")
     srv.add_argument("--ready-file", type=Path, default=None,
                      help="write the bound endpoint to this file "
                           "once serving (for scripts and tests)")
+
+    shardsrv = sub.add_parser(
+        "shard-serve",
+        help="serve ONE shard of a container standalone (the "
+             "building block of a --manifest deployment)")
+    shardsrv.add_argument("input", type=Path)
+    shardsrv.add_argument("--shard", type=int, default=0,
+                          help="which shard of the container to "
+                               "serve (default: 0)")
+    shardsrv.add_argument("--address", default="127.0.0.1:0",
+                          help="endpoint to bind (default: "
+                               "127.0.0.1:0)")
+    shardsrv.add_argument("--codec", choices=["json", "binary"],
+                          default="json",
+                          help="wire codec (default: json)")
+    shardsrv.add_argument("--epoch", type=int, default=0,
+                          help="deployment generation reported to "
+                               "routers (default: 0)")
+    shardsrv.add_argument("--cache-size", type=int, default=None,
+                          help="query-result LRU capacity")
+    shardsrv.add_argument("--pipeline", type=int, default=None,
+                          help="concurrently evaluating batches "
+                               "(default: 16)")
+    shardsrv.add_argument("--ready-file", type=Path, default=None,
+                          help="write the bound endpoint to this "
+                               "file once serving")
+
+    man = sub.add_parser(
+        "manifest",
+        help="write a cluster-manifest file for already-running "
+             "shard servers")
+    man.add_argument("input", type=Path,
+                     help="the container the shard servers decoded")
+    man.add_argument("output", type=Path,
+                     help="manifest file to write (JSON)")
+    man.add_argument("--endpoints", nargs="+", required=True,
+                     metavar="EP[,EP...]",
+                     help="one argument per shard: that shard's "
+                          "replica endpoints, comma-separated")
+    man.add_argument("--epoch", type=int, default=0,
+                     help="deployment generation (default: 0)")
+    man.add_argument("--codec", choices=["json", "binary"],
+                     default="json",
+                     help="wire codec routers use on shard links "
+                          "(default: json)")
 
     conn = sub.add_parser("connect",
                           help="run a query against a served graph")
@@ -373,24 +442,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     return _run_query(ask, args.kind, args.args)
 
 
-def _cmd_serve(args: argparse.Namespace) -> int:
+def _serve_until_signalled(server: Any, banner: str,
+                           ready_file: Optional[Path]) -> int:
     import signal
 
-    from repro.serving import serve
-
-    server = serve(args.input, address=args.address, codec=args.codec,
-                   cache_size=args.cache_size, pipeline=args.pipeline)
     # SIGTERM must tear the shard processes down like Ctrl-C does.
     def _terminate(*_: Any) -> None:
         raise SystemExit(0)
 
     signal.signal(signal.SIGTERM, _terminate)
     try:
-        print(f"serving {args.input} ({server.num_shards} shard"
-              f"{'s' if server.num_shards != 1 else ''}) "
-              f"at {server.endpoint}", flush=True)
-        if args.ready_file is not None:
-            args.ready_file.write_text(server.endpoint + "\n")
+        print(banner, flush=True)
+        if ready_file is not None:
+            ready_file.write_text(server.endpoint + "\n")
         try:
             while True:
                 signal.pause()
@@ -399,6 +463,71 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         server.close()
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serving import DEFAULT_SHARD_TIMEOUT, serve
+
+    if args.input is None and args.manifest is None:
+        raise ReproError("serve needs a container path or --manifest")
+    timeout = (DEFAULT_SHARD_TIMEOUT if args.shard_timeout is None
+               else args.shard_timeout)
+    server = serve(args.input, address=args.address, codec=args.codec,
+                   cache_size=args.cache_size, pipeline=args.pipeline,
+                   replicas=args.replicas, manifest=args.manifest,
+                   shard_timeout=timeout)
+    what = args.input if args.input is not None else args.manifest
+    banner = (f"serving {what} ({server.num_shards} shard"
+              f"{'s' if server.num_shards != 1 else ''}) "
+              f"at {server.endpoint}")
+    return _serve_until_signalled(server, banner, args.ready_file)
+
+
+def _cmd_shard_serve(args: argparse.Namespace) -> int:
+    from repro.serving import ShardHost
+
+    host = ShardHost(args.input, shard=args.shard,
+                     address=args.address, codec=args.codec,
+                     epoch=args.epoch, cache_size=args.cache_size,
+                     pipeline=args.pipeline)
+    host.start()
+    banner = (f"serving shard {args.shard} of {args.input} "
+              f"(epoch {args.epoch}) at {host.endpoint}")
+    return _serve_until_signalled(host, banner, args.ready_file)
+
+
+def _cmd_manifest(args: argparse.Namespace) -> int:
+    from repro.encoding.container import (
+        decode_sharded_container,
+        is_sharded_container,
+    )
+    from repro.serving import ClusterManifest
+
+    data = args.input.read_bytes()
+    shards = tuple(
+        tuple(part for part in group.split(",") if part)
+        for group in args.endpoints
+    )
+    if any(not group for group in shards):
+        raise ReproError("every shard needs at least one endpoint")
+    if is_sharded_container(data):
+        num_shards = len(decode_sharded_container(data)[1])
+    else:
+        num_shards = 1
+    if len(shards) != num_shards:
+        raise ReproError(
+            f"{args.input} holds {num_shards} shard"
+            f"{'s' if num_shards != 1 else ''} but --endpoints "
+            f"names {len(shards)} group"
+            f"{'s' if len(shards) != 1 else ''}")
+    manifest = ClusterManifest.for_container(
+        data, shards, epoch=args.epoch, codec=args.codec,
+        container=args.input)
+    manifest.save(args.output)
+    print(f"wrote {args.output}: {len(shards)} shard"
+          f"{'s' if len(shards) != 1 else ''}, "
+          f"epoch {args.epoch}")
+    return 0
 
 
 def _cmd_connect(args: argparse.Namespace) -> int:
@@ -420,6 +549,8 @@ _COMMANDS = {
     "stats": _cmd_stats,
     "query": _cmd_query,
     "serve": _cmd_serve,
+    "shard-serve": _cmd_shard_serve,
+    "manifest": _cmd_manifest,
     "connect": _cmd_connect,
 }
 

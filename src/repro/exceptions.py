@@ -36,5 +36,20 @@ class QueryError(ReproError):
     """Raised on invalid query arguments (e.g. node ID out of range)."""
 
 
+class ShardUnavailable(QueryError):
+    """Raised when every replica of one logical shard failed a query.
+
+    Deliberately a :class:`QueryError`: batch execution already turns
+    those into *per-request* errors, so queries owned by an
+    unreachable shard error individually while the rest of the batch
+    keeps answering — a dead shard never aborts a batch or hangs a
+    client.
+    """
+
+
+class ManifestError(ReproError):
+    """Raised on an invalid or inconsistent cluster manifest."""
+
+
 class DatasetError(ReproError):
     """Raised by dataset generators and loaders on invalid parameters."""

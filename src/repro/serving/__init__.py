@@ -19,11 +19,18 @@ Layering (each module only reaches down):
     :class:`ServerLoop`, the asyncio serving core: many in-flight
     sequence-tagged frames per connection, answered as each batch
     completes; legacy untagged frames stay strictly ordered.
+``cluster``
+    :class:`ClusterManifest` — the validated JSON topology file
+    (shard → replica endpoints, container hash, epoch) that lets
+    routers and shard servers start independently of each other.
 ``router``
-    :func:`serve` / :func:`connect`: one process per shard, a router
-    multiplexing planned batches over sockets, and the client —
-    pipelined (``pipeline=True``, ``execute_async``, ``pool_size=``)
-    or strict.
+    :func:`serve` / :func:`connect`: shard servers (forked per shard
+    — ``replicas=N`` for failover — or pre-existing, named by a
+    manifest), :class:`ReplicatedShard` links with round-robin reads
+    and retry-with-backoff, :class:`ShardHost` (one shard standalone,
+    the ``shard-serve`` building block), and the client — pipelined
+    (``pipeline=True``, ``execute_async``, ``pool_size=``) or strict,
+    with ``retries=`` on the blocking surface.
 
 :class:`repro.api.CompressedGraph` and
 :class:`repro.sharding.ShardedCompressedGraph` are the two in-process
@@ -32,7 +39,18 @@ sockets without changing a single answer.
 """
 
 from repro.serving.aio import DEFAULT_PIPELINE, ServerLoop
-from repro.serving.codec import FrameError, OversizedFrameError, WireError
+from repro.serving.cluster import (
+    MANIFEST_VERSION,
+    ClusterManifest,
+    container_hash,
+)
+from repro.serving.codec import (
+    ConnectionLost,
+    FrameError,
+    OversizedFrameError,
+    RequestTimeout,
+    WireError,
+)
 from repro.serving.executors import (
     EXECUTORS,
     Executor,
@@ -50,13 +68,17 @@ from repro.serving.protocol import (
     QueryKind,
     QueryRequest,
     QueryResult,
+    is_retryable,
     normalize_request,
     plan_batch,
 )
 from repro.serving.router import (
+    DEFAULT_SHARD_TIMEOUT,
     GraphClient,
     GraphServer,
     RemoteShard,
+    ReplicatedShard,
+    ShardHost,
     connect,
     serve,
 )
@@ -64,7 +86,10 @@ from repro.serving.router import (
 __all__ = [
     "BatchPlan",
     "CACHEABLE_KINDS",
+    "ClusterManifest",
+    "ConnectionLost",
     "DEFAULT_PIPELINE",
+    "DEFAULT_SHARD_TIMEOUT",
     "EXECUTORS",
     "Executor",
     "FrameError",
@@ -72,18 +97,24 @@ __all__ = [
     "GraphServer",
     "GraphService",
     "InlineExecutor",
+    "MANIFEST_VERSION",
     "OversizedFrameError",
     "ProcessExecutor",
     "QueryKind",
     "QueryRequest",
     "QueryResult",
     "RemoteShard",
+    "ReplicatedShard",
+    "RequestTimeout",
     "ServerLoop",
+    "ShardHost",
     "SocketExecutor",
     "ThreadExecutor",
     "WireError",
     "connect",
+    "container_hash",
     "fork_map",
+    "is_retryable",
     "make_executor",
     "normalize_request",
     "plan_batch",

@@ -334,9 +334,16 @@ class ServerLoop:
         except asyncio.CancelledError:
             raise
         except Exception as exc:
+            # The evaluation itself died — a shared fate, but still
+            # *this batch's* fate: report it per-request (the batch
+            # contract) instead of as a connection-level error that a
+            # pipelined client would treat as poisoning the link.
+            message = f"batch failed: {exc}"
             await self._reply(writer, write_lock, seq,
-                              {"op": "error",
-                               "message": f"batch failed: {exc}"})
+                              {"op": "results",
+                               "results": [{"id": client_id,
+                                            "error": message}
+                                           for client_id, _ in pairs]})
             return
         await self._reply(writer, write_lock, seq,
                           {"op": "results", "results": wire})

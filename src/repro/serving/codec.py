@@ -50,8 +50,10 @@ from repro.util.varint import read_uvarint, write_uvarint
 
 __all__ = [
     "CODECS",
+    "ConnectionLost",
     "FrameError",
     "OversizedFrameError",
+    "RequestTimeout",
     "WireError",
     "decode_frame",
     "decode_message",
@@ -90,6 +92,27 @@ _OP_CODES = {name: code for code, name in enumerate(_OPS)}
 
 class WireError(ReproError):
     """A malformed frame, message or value on the wire."""
+
+
+class ConnectionLost(WireError):
+    """A link died before the reply arrived.
+
+    Raised when a connection is refused or reset, closed cleanly with
+    requests still in flight, or closed instead of answering a strict
+    round trip.  Every §V query is a read, so a caller holding replica
+    endpoints may resend the same request elsewhere — see
+    :func:`repro.serving.protocol.is_retryable`.
+    """
+
+
+class RequestTimeout(ConnectionLost):
+    """No reply within the per-request timeout.
+
+    A :class:`ConnectionLost` subclass because the connection it was
+    issued on can no longer be trusted (a late reply would desync a
+    strict stream); the failed link is dropped and the request is fair
+    game for a replica retry.
+    """
 
 
 class FrameError(WireError):

@@ -416,17 +416,22 @@ class SocketExecutor(Executor):
     LRU, so only genuinely unanswered requests cross the wire, and
     remote answers are bulk-inserted locally like any other
     executor's.  ``service`` may be ``None`` — a pure client-side
-    batch with no local handle at all.
+    batch with no local handle at all.  ``retries=N`` resends the
+    planned jobs on up to N link deaths (reads are idempotent), so a
+    server restart or a dropped connection costs a reconnect, not a
+    batch.
     """
 
     name = "socket"
 
     def __init__(self, address: Union[str, tuple],
                  codec: str = "json",
-                 timeout: Optional[float] = None) -> None:
+                 timeout: Optional[float] = None,
+                 retries: int = 0) -> None:
         self.address = address
         self.codec = codec
         self.timeout = timeout
+        self.retries = retries
         self._client: Optional[Any] = None
         self._lock = threading.Lock()
 
@@ -436,7 +441,8 @@ class SocketExecutor(Executor):
             if self._client is None:
                 self._client = GraphClient(self.address,
                                            codec=self.codec,
-                                           timeout=self.timeout)
+                                           timeout=self.timeout,
+                                           retries=self.retries)
             return self._client
 
     def run(self, service: Any, requests: Sequence[RequestLike],

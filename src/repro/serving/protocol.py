@@ -72,9 +72,28 @@ __all__ = [
     "QueryKind",
     "QueryRequest",
     "QueryResult",
+    "is_retryable",
     "normalize_request",
     "plan_batch",
 ]
+
+
+def is_retryable(error: BaseException) -> bool:
+    """Whether a failed wire exchange may be resent to a replica.
+
+    The §V query family is read-only, so resending a request can never
+    double-apply anything — the only question is whether the failure
+    indicts the *link* or the *request*.  Retryable failures are link
+    deaths: a refused/reset connection (``OSError``), a frame truncated
+    mid-stream (:class:`~repro.serving.codec.FrameError`), a connection
+    closed with requests in flight or a per-request timeout
+    (:class:`~repro.serving.codec.ConnectionLost`).  A structured error
+    *reply* (plain :class:`~repro.serving.codec.WireError`) is not: the
+    server is alive and answered — a peer would say the same thing.
+    """
+    from repro.serving.codec import ConnectionLost, FrameError
+
+    return isinstance(error, (OSError, FrameError, ConnectionLost))
 
 
 class QueryKind(str, Enum):

@@ -49,15 +49,19 @@ import itertools
 import os
 import socket
 import threading
+import time
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.exceptions import ReproError
+from repro.exceptions import ManifestError, ReproError, ShardUnavailable
 from repro.serving.aio import ServerLoop
+from repro.serving.cluster import ClusterManifest, container_hash
 from repro.serving.codec import (
+    ConnectionLost,
     FrameError,
+    RequestTimeout,
     WireError,
     bind_socket,
     connect_socket,
@@ -74,17 +78,30 @@ from repro.serving.executors import (
     ThreadExecutor,
     _fork_context,
 )
-from repro.serving.protocol import QueryRequest, QueryResult
+from repro.serving.protocol import QueryRequest, QueryResult, is_retryable
 
 __all__ = [
     "GraphClient",
     "GraphServer",
     "RemoteShard",
+    "ReplicatedShard",
+    "ShardHost",
     "connect",
     "serve",
 ]
 
 _STARTUP_TIMEOUT_SECONDS = 60.0
+
+#: Default per-request timeout on router↔shard links: long enough for
+#: any §V query at this scale, short enough that a hung replica is
+#: abandoned for a peer instead of stalling a batch forever.
+DEFAULT_SHARD_TIMEOUT = 30.0
+
+#: Replica backoff after a link failure: ``base * 2**(failures-1)``
+#: seconds, capped.  Backoff gates *selection* (a cooling replica is
+#: tried last), it never sleeps in-call.
+_BACKOFF_BASE = 0.05
+_BACKOFF_CAP = 2.0
 
 
 # ----------------------------------------------------------------------
@@ -164,22 +181,47 @@ class _WireConnection:
             self._sock = connect_socket(self._address, self._timeout)
         return self._sock
 
+    def _drop(self) -> None:
+        """Close and forget the socket (caller holds the lock)."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
     def round_trip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         with self._lock:
             self.round_trips += 1
             sock = self._socket()
-            send_message(sock, message, self._codec)
             try:
+                send_message(sock, message, self._codec)
                 reply = recv_message(sock)
             except FrameError:
                 # Desynchronized stream: drop the connection so the
                 # next call starts clean, then surface the failure.
-                sock.close()
-                self._sock = None
+                self._drop()
                 raise
+            except socket.timeout as exc:
+                # A late reply would desync the stream — the link is
+                # unusable either way.
+                self._drop()
+                raise RequestTimeout(
+                    f"no reply from {self._address!r} within "
+                    f"{self._timeout}s") from exc
+            except OSError as exc:
+                self._drop()
+                raise ConnectionLost(
+                    f"connection to {self._address!r} failed "
+                    f"(errno {exc.errno}): {exc}") from exc
+            if reply is None:
+                # A clean close instead of a reply: drop the dead
+                # socket so the next call reconnects instead of
+                # reusing it.
+                self._drop()
         if reply is None:
-            raise WireError(f"server at {self._address!r} closed the "
-                            f"connection")
+            raise ConnectionLost(f"server at {self._address!r} closed "
+                                 f"the connection before replying")
         if reply.get("op") == "error":
             raise WireError(reply.get("message", "server error"))
         return reply
@@ -239,7 +281,11 @@ class _MuxConnection:
             if self._fault is not None:
                 raise self._fault
             if self._closed:
-                raise WireError("connection is closed")
+                # Deliberately closed — possibly under a concurrent
+                # caller's feet during failover, so the failure is
+                # retryable: the caller's next attempt gets a fresh
+                # connection (or a peer replica).
+                raise ConnectionLost("connection is closed")
             sock = self._ensure_socket()
             seq = next(self._seq)
             self._pending[seq] = future
@@ -247,7 +293,7 @@ class _MuxConnection:
                 send_frame(sock, message, self._codec, seq=seq)
             except OSError as exc:
                 self._pending.pop(seq, None)
-                self._fault = ReproError(
+                self._fault = ConnectionLost(
                     f"send to {self._address!r} failed unexpectedly "
                     f"(errno {exc.errno}): {exc}")
                 raise self._fault from exc
@@ -279,14 +325,14 @@ class _MuxConnection:
                     return
                 except OSError as exc:
                     if not self._closed:
-                        fault = ReproError(
+                        fault = ConnectionLost(
                             f"connection to {self._address!r} failed "
                             f"unexpectedly (errno {exc.errno}): {exc}")
                     return
                 if received is None:  # clean close on a boundary
                     with self._lock:
                         if self._pending and not self._closed:
-                            fault = WireError(
+                            fault = ConnectionLost(
                                 f"server at {self._address!r} closed "
                                 f"the connection with "
                                 f"{len(self._pending)} requests in "
@@ -334,7 +380,7 @@ class _MuxConnection:
             sock.close()
         except OSError:  # pragma: no cover
             pass
-        failure = fault if fault is not None else WireError(
+        failure = fault if fault is not None else ConnectionLost(
             "connection closed with requests in flight")
         for future in pending:
             if not future.done():
@@ -368,14 +414,26 @@ class GraphClient:
     batches ride each connection concurrently, and ``pool_size``
     connections share the traffic round-robin (one is plenty until a
     single reader thread saturates).
+
+    ``retries=N`` makes the blocking surface (``execute`` / ``batch``
+    / ``query`` / ``info`` / ``ping``) survive up to N link deaths per
+    call: on a retryable failure (see
+    :func:`repro.serving.protocol.is_retryable`) the dead connection
+    is replaced and the request resent — every §V query is a read, so
+    a resend cannot double-apply anything.  ``execute_async`` stays
+    single-shot (its caller owns the future's fate).
     """
 
     def __init__(self, address: Union[str, tuple], codec: str = "json",
                  timeout: Optional[float] = None,
-                 pipeline: bool = False, pool_size: int = 1) -> None:
+                 pipeline: bool = False, pool_size: int = 1,
+                 retries: int = 0) -> None:
         self.address = address
         self.pipeline = bool(pipeline)
+        self._codec = codec
         self._timeout = timeout
+        self._retries = max(0, int(retries))
+        self._retired_trips = 0
         self._conn: Optional[_WireConnection] = None
         self._pool: List[_MuxConnection] = []
         if self.pipeline:
@@ -397,13 +455,41 @@ class GraphClient:
         try:
             return future.result(self._timeout)
         except FutureTimeoutError:
-            raise WireError(f"no reply from {self.address!r} within "
-                            f"{self._timeout}s") from None
+            raise RequestTimeout(
+                f"no reply from {self.address!r} within "
+                f"{self._timeout}s") from None
+
+    def _reset_links(self) -> None:
+        """Replace every connection; completed-trip counters survive."""
+        if self.pipeline:
+            pool = self._pool
+            self._pool = [_MuxConnection(self.address, self._codec,
+                                         self._timeout)
+                          for _ in pool]
+            for conn in pool:
+                self._retired_trips += conn.round_trips
+                conn.close()
+        else:
+            conn, self._conn = self._conn, _WireConnection(
+                self.address, self._codec, self._timeout)
+            self._retired_trips += conn.round_trips
+            conn.close()
+
+    def _with_retries(self, attempt: Any) -> Any:
+        for remaining in range(self._retries, -1, -1):
+            try:
+                return attempt()
+            except (ReproError, OSError) as exc:
+                if remaining == 0 or not is_retryable(exc):
+                    raise
+                self._reset_links()
 
     def _roundtrip(self, message: Dict[str, Any]) -> Dict[str, Any]:
         if self.pipeline:
-            return self._await(self._next_mux().submit(message))
-        return self._conn.round_trip(message)
+            return self._with_retries(
+                lambda: self._await(self._next_mux().submit(message)))
+        return self._with_retries(
+            lambda: self._conn.round_trip(message))
 
     # -- typed ---------------------------------------------------------
     def execute(self, requests: Sequence[Union[QueryRequest,
@@ -415,13 +501,13 @@ class GraphClient:
         or failing request errors alone, everything else is answered.
         """
         if self.pipeline:
-            return self._await(self.execute_async(requests))
+            return self._with_retries(
+                lambda: self._await(self.execute_async(requests)))
         wire = requests_to_wire(requests)
         if not wire:
             return []
         return _settle_results(
-            wire, self._conn.round_trip({"op": "batch",
-                                         "requests": wire}))
+            wire, self._roundtrip({"op": "batch", "requests": wire}))
 
     def execute_async(self, requests: Sequence[Union[QueryRequest,
                                                      Sequence[Any]]]
@@ -478,8 +564,10 @@ class GraphClient:
     def round_trips(self) -> int:
         """Request/response exchanges this client has performed."""
         if self.pipeline:
-            return sum(conn.round_trips for conn in self._pool)
-        return self._conn.round_trips
+            live = sum(conn.round_trips for conn in self._pool)
+        else:
+            live = self._conn.round_trips
+        return self._retired_trips + live
 
     def close(self) -> None:
         for conn in self._pool:
@@ -517,6 +605,10 @@ class RemoteShard:
         self._client = GraphClient(address, codec=codec,
                                    timeout=timeout, pipeline=pipeline)
         self.address = address
+
+    def info(self) -> Dict[str, Any]:
+        """The shard server's self-description."""
+        return self._client.info()
 
     # -- the wire format ----------------------------------------------
     def execute(self, requests: Sequence[Union[QueryRequest,
@@ -583,11 +675,343 @@ class RemoteShard:
         self._client.close()
 
 
+class _Replica:
+    """One endpoint's failover state inside a :class:`ReplicatedShard`."""
+
+    __slots__ = ("endpoint", "shard", "failures", "down_until",
+                 "retired_trips")
+
+    def __init__(self, endpoint: Union[str, tuple]) -> None:
+        self.endpoint = endpoint
+        self.shard: Optional[RemoteShard] = None
+        self.failures = 0
+        self.down_until = 0.0
+        self.retired_trips = 0
+
+
+class ReplicatedShard:
+    """One logical shard behind N replica endpoints.
+
+    Duck-types the same :class:`~repro.api.CompressedGraph` surface as
+    :class:`RemoteShard`, so the sharded router (and the single-shard
+    server) cannot tell a replicated shard from a lone one.  Reads are
+    **round-robin load-balanced** across healthy replicas; a retryable
+    link failure (:func:`repro.serving.protocol.is_retryable` — kill,
+    hang past the per-request ``timeout``, truncation, reset) marks
+    that replica *down* with exponential backoff, drops its poisoned
+    connection, and resends the request to the next peer.  Backoff
+    gates replica *selection* only — nothing here ever sleeps, and a
+    cooling replica is still tried last rather than never (so a lone
+    surviving replica is always used).
+
+    When every replica fails one request, the sweep raises
+    :class:`~repro.exceptions.ShardUnavailable` — a ``QueryError``, so
+    batch execution reports it per-request instead of aborting.
+
+    ``round_trips`` sums *completed* exchanges across replicas (the
+    pipelined connections count replies, not sends), which is what
+    keeps the router's wire-cost budgets **per logical shard**: a
+    failed attempt that was retried onto a peer contributes exactly
+    one completed exchange, no matter how many replicas exist.
+    """
+
+    def __init__(self, endpoints: Sequence[Union[str, tuple]],
+                 codec: str = "json",
+                 timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT,
+                 pipeline: bool = True,
+                 shard_index: Optional[int] = None) -> None:
+        if not endpoints:
+            raise ReproError("a replicated shard needs at least one "
+                             "endpoint")
+        self._codec = codec
+        self._timeout = timeout
+        self._pipeline = pipeline
+        self.shard_index = shard_index
+        self._replicas = [_Replica(endpoint) for endpoint in endpoints]
+        self._rr = itertools.count()
+        self._lock = threading.Lock()
+        #: Retryable link failures that were resent to a peer — the
+        #: observable proof a fault-injection lane actually failed over.
+        self.failovers = 0
+
+    # -- replica selection and failover --------------------------------
+    def _plan(self, now: float) -> List[_Replica]:
+        """All replicas, rotated round-robin, healthy ones first."""
+        start = next(self._rr) % len(self._replicas)
+        rotated = (self._replicas[start:] + self._replicas[:start])
+        healthy = [r for r in rotated if r.down_until <= now]
+        cooling = [r for r in rotated if r.down_until > now]
+        # Cooling replicas last, least-recently-failed first: if every
+        # peer is down too, the one most likely to have recovered is
+        # retried first.
+        return healthy + sorted(cooling, key=lambda r: r.down_until)
+
+    def _ensure(self, replica: _Replica) -> RemoteShard:
+        with self._lock:
+            if replica.shard is None:
+                replica.shard = RemoteShard(
+                    replica.endpoint, codec=self._codec,
+                    timeout=self._timeout, pipeline=self._pipeline)
+            return replica.shard
+
+    def _mark_down(self, replica: _Replica, shard: RemoteShard) -> None:
+        with self._lock:
+            replica.failures += 1
+            replica.down_until = time.monotonic() + min(
+                _BACKOFF_CAP,
+                _BACKOFF_BASE * (2 ** (replica.failures - 1)))
+            if replica.shard is shard:
+                # The poisoned connection cannot be reused; a fresh
+                # RemoteShard reconnects on the next attempt.
+                replica.retired_trips += shard.round_trips
+                replica.shard = None
+        shard.close()
+
+    def _mark_up(self, replica: _Replica) -> None:
+        if replica.failures:
+            with self._lock:
+                replica.failures = 0
+                replica.down_until = 0.0
+
+    def _attempt(self, call: Any) -> Any:
+        """Run ``call(shard)`` against replicas until one answers."""
+        failures: List[str] = []
+        plan = self._plan(time.monotonic())
+        for replica in plan:
+            shard = self._ensure(replica)
+            try:
+                value = call(shard)
+            except (ReproError, OSError) as exc:
+                if not is_retryable(exc):
+                    raise
+                self._mark_down(replica, shard)
+                failures.append(f"{replica.endpoint}: {exc}")
+                if len(failures) < len(plan):
+                    with self._lock:
+                        self.failovers += 1
+                continue
+            self._mark_up(replica)
+            return value
+        raise ShardUnavailable(
+            f"shard {self.shard_index if self.shard_index is not None else '?'}: "
+            f"all {len(self._replicas)} replica"
+            f"{'s' if len(self._replicas) != 1 else ''} unavailable "
+            f"({'; '.join(failures)})")
+
+    # -- the wire surface ----------------------------------------------
+    def execute(self, requests: Sequence[Union[QueryRequest,
+                                               Sequence[Any]]],
+                executor: Optional[Executor] = None
+                ) -> List[QueryResult]:
+        return self._attempt(lambda shard: shard.execute(requests))
+
+    def batch(self, requests: Sequence[Sequence[Any]],
+              parallel: bool = False,
+              max_workers: Optional[int] = None) -> List[Any]:
+        return self._attempt(lambda shard: shard.batch(requests))
+
+    def _single(self, kind: str, *args: Any) -> Any:
+        return self._attempt(lambda shard: shard._single(kind, *args))
+
+    def info(self) -> Dict[str, Any]:
+        """Any live replica's self-description."""
+        return self._attempt(lambda shard: shard.info())
+
+    # -- the method surface the sharded router calls -------------------
+    def out_neighbors(self, node_id: int) -> List[int]:
+        return self._single("out", node_id)
+
+    def in_neighbors(self, node_id: int) -> List[int]:
+        return self._single("in", node_id)
+
+    def neighbors(self, node_id: int) -> List[int]:
+        return self._single("neighborhood", node_id)
+
+    def reachable(self, source_id: int, target_id: int) -> bool:
+        return self._single("reach", source_id, target_id)
+
+    def degree(self, node_id: Optional[int] = None,
+               direction: str = "out") -> Any:
+        if node_id is None:
+            return self._single("degree")
+        return self._single("degree", node_id, direction)
+
+    def connected_components(self) -> int:
+        return self._single("components")
+
+    def path(self, source_id: int, target_id: int
+             ) -> Optional[List[int]]:
+        return self._single("path", source_id, target_id)
+
+    def node_count(self) -> int:
+        return self._single("nodes")
+
+    def edge_count(self) -> int:
+        return self._single("edges")
+
+    # -- introspection -------------------------------------------------
+    @property
+    def endpoints(self) -> List[Union[str, tuple]]:
+        return [replica.endpoint for replica in self._replicas]
+
+    @property
+    def replica_round_trips(self) -> List[int]:
+        """Completed exchanges per replica endpoint (for tests)."""
+        with self._lock:
+            return [replica.retired_trips
+                    + (replica.shard.round_trips
+                       if replica.shard is not None else 0)
+                    for replica in self._replicas]
+
+    @property
+    def round_trips(self) -> int:
+        """Completed wire exchanges for this *logical* shard."""
+        return sum(self.replica_round_trips)
+
+    @property
+    def canonicalizations(self) -> int:
+        return 0
+
+    @property
+    def index_built(self) -> bool:
+        return True
+
+    def close(self) -> None:
+        with self._lock:
+            shards = [replica.shard for replica in self._replicas
+                      if replica.shard is not None]
+            for replica in self._replicas:
+                replica.shard = None
+        for shard in shards:
+            shard.close()
+
+
+# ----------------------------------------------------------------------
+# A standalone shard server (the `shard-serve` building block)
+# ----------------------------------------------------------------------
+class ShardHost:
+    """Serve exactly one shard of a container, standalone.
+
+    The building block of a manifest deployment: start N hosts per
+    shard on any machines (``repro shard-serve graph.grps --shard 2``),
+    write a :class:`~repro.serving.cluster.ClusterManifest` naming
+    their endpoints, and spawn routers from the manifest — no fork
+    relationship anywhere.  Each host reports the container build it
+    decoded (``grps_hash``) and its deployment ``epoch`` in its
+    ``info`` reply, which is how a router proves a manifest is neither
+    stale nor pointed at the wrong build.
+    """
+
+    def __init__(self, path: Union[str, Path, bytes], shard: int = 0,
+                 address: str = "127.0.0.1:0", codec: str = "json",
+                 epoch: int = 0, cache_size: Optional[int] = None,
+                 pipeline: Optional[int] = None) -> None:
+        self._data = (bytes(path) if isinstance(path, (bytes, bytearray))
+                      else Path(path).read_bytes())
+        self._shard = int(shard)
+        self._address = address
+        self._codec = codec
+        self._epoch = int(epoch)
+        self._cache_size = cache_size
+        self._pipeline = pipeline
+        self._listener: Optional[socket.socket] = None
+        self._loop: Optional[ServerLoop] = None
+        self.endpoint: Optional[str] = None
+
+    @property
+    def fault(self) -> Optional[ReproError]:
+        return self._loop.fault if self._loop is not None else None
+
+    def start(self) -> "ShardHost":
+        if self._listener is not None:
+            return self
+        from repro.api import DEFAULT_CACHE_SIZE, CompressedGraph
+        from repro.encoding.container import (
+            decode_sharded_container,
+            is_sharded_container,
+        )
+
+        if is_sharded_container(self._data):
+            _, blobs, _, _ = decode_sharded_container(self._data)
+            if not 0 <= self._shard < len(blobs):
+                raise ReproError(
+                    f"shard index {self._shard} out of range "
+                    f"(container has {len(blobs)} shards)")
+            blob = blobs[self._shard]
+        else:
+            if self._shard != 0:
+                raise ReproError(
+                    f"shard index {self._shard} out of range (a "
+                    f"single-grammar container has exactly shard 0)")
+            blob = self._data
+        handle = CompressedGraph.from_bytes(
+            blob, cache_size=(DEFAULT_CACHE_SIZE
+                              if self._cache_size is None
+                              else self._cache_size))
+        handle.warm()
+        self._listener, self.endpoint = bind_socket(self._address)
+        info = {
+            "type": "shard",
+            "shard": self._shard,
+            "epoch": self._epoch,
+            "grps_hash": container_hash(self._data),
+            "nodes": handle.node_count(),
+            "edges": handle.edge_count(),
+            "labels": [[label, handle.alphabet.name(label)]
+                       for label in handle.alphabet.terminals()],
+        }
+        self._loop = ServerLoop(self._listener, handle,
+                                InlineExecutor(), self._codec, info,
+                                pipeline=self._pipeline).start()
+        return self
+
+    def close(self) -> None:
+        if self._loop is not None:
+            self._loop.stop()
+            self._loop = None
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._listener = None
+        if self.endpoint and self.endpoint.startswith("unix:"):
+            try:
+                os.unlink(self.endpoint[len("unix:"):])
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShardHost":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
 # ----------------------------------------------------------------------
 # The server
 # ----------------------------------------------------------------------
 class GraphServer:
-    """Serve a compressed container: shard processes + a router.
+    """Serve a compressed container: shard endpoints + a router.
+
+    Two deployment shapes share this class:
+
+    * **Forked** (the default): one loopback shard-server process per
+      shard — ``replicas=N`` forks N per shard, and the router
+      load-balances reads across them.
+    * **Manifest** (``manifest=``): the shard servers already run —
+      on this machine or any other, started by ``repro shard-serve``
+      or :class:`ShardHost` — and a
+      :class:`~repro.serving.cluster.ClusterManifest` names their
+      endpoints.  Nothing is forked; the router validates that every
+      reachable replica serves the same container build
+      (``grps_hash``) and deployment generation (``epoch``) as the
+      manifest, and that at least one replica per shard is alive.
+
+    Either way every shard link is a :class:`ReplicatedShard`:
+    round-robin reads, reconnect/retry with backoff onto a peer when
+    a replica drops, per-request ``shard_timeout``
+    (default :data:`DEFAULT_SHARD_TIMEOUT` seconds).
 
     ``start()`` is idempotent-safe to pair with ``close()`` (also a
     context manager).  The ``endpoint`` attribute is the canonical
@@ -597,19 +1021,44 @@ class GraphServer:
     worker pool; default :data:`repro.serving.aio.DEFAULT_PIPELINE`).
     """
 
-    def __init__(self, path: Union[str, Path, bytes],
+    def __init__(self, path: Union[str, Path, bytes, None] = None,
                  address: str = "127.0.0.1:0",
                  codec: str = "json",
                  cache_size: Optional[int] = None,
-                 pipeline: Optional[int] = None) -> None:
+                 pipeline: Optional[int] = None,
+                 replicas: int = 1,
+                 manifest: Union[str, Path, ClusterManifest,
+                                 None] = None,
+                 shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+                 ) -> None:
+        if manifest is not None and not isinstance(manifest,
+                                                   ClusterManifest):
+            manifest = ClusterManifest.load(manifest)
+        self._manifest = manifest
+        if path is None:
+            if manifest is None:
+                raise ReproError("GraphServer needs a container (path "
+                                 "or bytes) or a cluster manifest")
+            if manifest.container is None:
+                raise ReproError("the manifest names no container "
+                                 "file; pass the container explicitly "
+                                 "(GraphServer(path, manifest=...))")
+            path = manifest.container
         self._data = (bytes(path) if isinstance(path, (bytes, bytearray))
                       else Path(path).read_bytes())
+        if int(replicas) < 1:
+            raise ReproError(f"replicas must be >= 1, got {replicas}")
         self._address = address
         self._codec = codec
         self._cache_size = cache_size
         self._pipeline = pipeline
+        self._replicas = int(replicas)
+        self._shard_timeout = shard_timeout
+        #: Forked mode: ``_process_groups[shard][replica]`` — empty in
+        #: manifest mode (the shard servers are not our children).
+        self._process_groups: List[List[Any]] = []
         self._processes: List[Any] = []
-        self._proxies: List[RemoteShard] = []
+        self._proxies: List[ReplicatedShard] = []
         self._listener: Optional[socket.socket] = None
         self._loop: Optional[ServerLoop] = None
         self._service: Optional[Any] = None
@@ -624,8 +1073,8 @@ class GraphServer:
         :class:`~repro.sharding.ShardedCompressedGraph` (its planner
         and closure are live objects — tests and operators can
         inspect or pin the cross-shard strategy); for a single
-        grammar it is the lone :class:`RemoteShard`.  ``None`` until
-        :meth:`start`.
+        grammar it is the lone :class:`ReplicatedShard`.  ``None``
+        until :meth:`start`.
         """
         return self._service
 
@@ -637,10 +1086,12 @@ class GraphServer:
 
     # ------------------------------------------------------------------
     def start(self) -> "GraphServer":
-        """Fork the shard servers, build the router, begin accepting.
+        """Acquire shard endpoints, build the router, begin accepting.
 
-        Idempotent: a started server (``serve()`` returns one) is not
-        started again by ``with server:``.
+        Forked mode spawns the shard-server children; manifest mode
+        validates the pre-existing endpoints instead.  Idempotent: a
+        started server (``serve()`` returns one) is not started again
+        by ``with server:``.
         """
         if self._listener is not None:
             return self
@@ -650,13 +1101,10 @@ class GraphServer:
             is_sharded_container,
         )
 
-        context = _fork_context()
-        if context is None:  # pragma: no cover - non-POSIX
-            raise ReproError("socket serving requires a platform with "
-                             "fork (POSIX)")
         cache_size = (DEFAULT_CACHE_SIZE if self._cache_size is None
                       else self._cache_size)
-        if is_sharded_container(self._data):
+        sharded = is_sharded_container(self._data)
+        if sharded:
             from repro.partition import BoundaryClosure
             from repro.sharding import (
                 ShardedCompressedGraph,
@@ -674,18 +1122,30 @@ class GraphServer:
                        if closure_blob is not None else None)
             rpq_closures = (_decode_rpq_closures(rpq_blob)
                             if rpq_blob is not None else None)
-            shard_endpoints = self._spawn_shards(context, blobs)
-            self._proxies = [RemoteShard(endpoint, codec=self._codec)
-                             for endpoint in shard_endpoints]
-            # The router owns no grammar, so boundary-edge label names
-            # (RPQ DFA steps, pattern-count corrections) come from the
-            # shard servers' startup info.
-            label_names: Dict[int, Optional[str]] = {}
-            for proxy in self._proxies:
-                for label, name in \
-                        proxy._client.info().get("labels", []):
-                    label_names.setdefault(label, name)
-            try:
+        else:
+            blobs = [self._data]
+        try:
+            if self._manifest is not None:
+                link_codec = self._manifest.codec
+                endpoint_groups = self._manifest_endpoints(len(blobs))
+            else:
+                link_codec = self._codec
+                endpoint_groups = self._spawn_shards(blobs)
+            self._proxies = [
+                ReplicatedShard(group, codec=link_codec,
+                                timeout=self._shard_timeout,
+                                shard_index=index)
+                for index, group in enumerate(endpoint_groups)]
+            if self._manifest is not None:
+                self._validate_cluster()
+            if sharded:
+                # The router owns no grammar, so boundary-edge label
+                # names (RPQ DFA steps, pattern-count corrections)
+                # come from the shard servers' startup info.
+                label_names: Dict[int, Optional[str]] = {}
+                for proxy in self._proxies:
+                    for label, name in proxy.info().get("labels", []):
+                        label_names.setdefault(label, name)
                 service: Any = ShardedCompressedGraph(
                     list(self._proxies), None, boundary_edges, blocks,
                     extrema, degree_error, shard_nodes, simple=simple,
@@ -695,32 +1155,34 @@ class GraphServer:
                     label_names=sorted(label_names.items()),
                     rpq_closures=rpq_closures,
                     rpq_closures_persisted=rpq_closures is not None)
-            except Exception:
-                # e.g. a closure/meta mismatch: don't leak the shard
-                # processes forked above.
-                self.close()
-                raise
-            executor: Executor = ThreadExecutor()
-            self.num_shards = len(blobs)
-            info = {
-                "type": "sharded",
-                "shards": len(blobs),
-                "nodes": sum(shard_nodes),
-                "boundary_edges": len(boundary_edges),
-                "partitioner": partitioner,
-                "closure": closure is not None,
-            }
-        else:
-            shard_endpoints = self._spawn_shards(context, [self._data])
-            proxy = RemoteShard(shard_endpoints[0], codec=self._codec)
-            self._proxies = [proxy]
-            service = proxy
-            executor = InlineExecutor()
-            self.num_shards = 1
-            info = {"type": "single", "shards": 1,
-                    **{key: value
-                       for key, value in proxy._client.info().items()
-                       if key in ("nodes", "edges")}}
+                executor: Executor = ThreadExecutor()
+                info = {
+                    "type": "sharded",
+                    "shards": len(blobs),
+                    "nodes": sum(shard_nodes),
+                    "boundary_edges": len(boundary_edges),
+                    "partitioner": partitioner,
+                    "closure": closure is not None,
+                    "replicas": [len(group)
+                                 for group in endpoint_groups],
+                }
+            else:
+                proxy = self._proxies[0]
+                service = proxy
+                executor = InlineExecutor()
+                info = {"type": "single", "shards": 1,
+                        "replicas": [len(endpoint_groups[0])],
+                        **{key: value
+                           for key, value in proxy.info().items()
+                           if key in ("nodes", "edges")}}
+            if self._manifest is not None:
+                info["epoch"] = self._manifest.epoch
+        except Exception:
+            # e.g. a closure/meta mismatch or a manifest validation
+            # failure: don't leak the shard processes forked above.
+            self.close()
+            raise
+        self.num_shards = len(blobs)
         self._service = service
         self._listener, self.endpoint = bind_socket(self._address)
         self._loop = ServerLoop(self._listener, service, executor,
@@ -728,26 +1190,119 @@ class GraphServer:
                                 pipeline=self._pipeline).start()
         return self
 
-    def _spawn_shards(self, context: Any, blobs: Iterable[bytes]
-                      ) -> List[str]:
-        endpoints: List[str] = []
+    def _manifest_endpoints(self, shard_count: int) -> List[List[str]]:
+        """The manifest's endpoint groups, shape-checked + hash-checked."""
+        manifest = self._manifest
+        manifest.verify_container(self._data)
+        if manifest.num_shards != shard_count:
+            raise ManifestError(
+                f"manifest lists {manifest.num_shards} shards but the "
+                f"container holds {shard_count}")
+        return [list(group) for group in manifest.shards]
+
+    def _validate_cluster(self) -> None:
+        """Probe every manifest endpoint before routing through it.
+
+        Per shard, at least one replica must be reachable, and every
+        *reachable* replica must self-describe as the right shard of
+        the right container build (``grps_hash``) at the manifest's
+        ``epoch`` — a stale manifest (or one pointing at a foreign
+        deployment) fails here, loudly, before any query is routed.
+        """
+        manifest = self._manifest
+        for index, proxy in enumerate(self._proxies):
+            reachable = 0
+            for endpoint in proxy.endpoints:
+                client = GraphClient(endpoint, codec=manifest.codec,
+                                     timeout=5.0)
+                try:
+                    info = client.info()
+                except (ReproError, OSError) as exc:
+                    if not is_retryable(exc):
+                        raise
+                    continue  # dead replica: failover's job, not ours
+                finally:
+                    client.close()
+                reachable += 1
+                if info.get("type") != "shard" or \
+                        info.get("shard") != index:
+                    raise ManifestError(
+                        f"endpoint {endpoint!r} serves "
+                        f"{info.get('type')!r} shard "
+                        f"{info.get('shard')!r}, manifest expects "
+                        f"shard {index}")
+                if info.get("grps_hash") != manifest.grps_hash:
+                    raise ManifestError(
+                        f"endpoint {endpoint!r} serves container "
+                        f"build {str(info.get('grps_hash'))[:12]}…, "
+                        f"manifest names "
+                        f"{manifest.grps_hash[:12]}…")
+                if info.get("epoch") != manifest.epoch:
+                    raise ManifestError(
+                        f"stale manifest: endpoint {endpoint!r} "
+                        f"serves epoch {info.get('epoch')!r}, "
+                        f"manifest says {manifest.epoch}")
+            if reachable == 0:
+                raise ManifestError(
+                    f"no reachable replica for shard {index} "
+                    f"(tried {list(proxy.endpoints)})")
+
+    def _spawn_shards(self, blobs: Iterable[bytes]
+                      ) -> List[List[str]]:
+        """Fork ``replicas`` loopback servers per shard blob."""
+        context = _fork_context()
+        if context is None:  # pragma: no cover - non-POSIX
+            raise ReproError("socket serving requires a platform with "
+                             "fork (POSIX)")
+        groups: List[List[str]] = []
         for blob in blobs:
-            parent_conn, child_conn = context.Pipe(duplex=False)
-            process = context.Process(
-                target=_shard_process_main,
-                args=(blob, child_conn, self._codec, self._cache_size,
-                      self._pipeline),
-                daemon=True)
-            process.start()
-            child_conn.close()
-            self._processes.append(process)
-            if not parent_conn.poll(_STARTUP_TIMEOUT_SECONDS):
-                self.close()
-                raise ReproError("shard server failed to start within "
-                                 f"{_STARTUP_TIMEOUT_SECONDS:.0f}s")
-            endpoints.append(parent_conn.recv())
-            parent_conn.close()
-        return endpoints
+            endpoints: List[str] = []
+            processes: List[Any] = []
+            for _ in range(self._replicas):
+                parent_conn, child_conn = context.Pipe(duplex=False)
+                process = context.Process(
+                    target=_shard_process_main,
+                    args=(blob, child_conn, self._codec,
+                          self._cache_size, self._pipeline),
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._processes.append(process)
+                processes.append(process)
+                if not parent_conn.poll(_STARTUP_TIMEOUT_SECONDS):
+                    self.close()
+                    raise ReproError(
+                        "shard server failed to start within "
+                        f"{_STARTUP_TIMEOUT_SECONDS:.0f}s")
+                endpoints.append(parent_conn.recv())
+                parent_conn.close()
+            groups.append(endpoints)
+            self._process_groups.append(processes)
+        return groups
+
+    def kill_replica(self, shard: int, replica: int = 0) -> str:
+        """Terminate one forked replica process (fault injection).
+
+        Returns the killed replica's endpoint.  The router keeps
+        routing: the dead link fails retryably and its queries fail
+        over to the shard's surviving replicas.  Only meaningful in
+        forked mode — manifest-mode shard servers are not children.
+        """
+        if not self._process_groups:
+            raise ReproError("kill_replica needs forked shard "
+                             "processes (not a manifest deployment)")
+        if not 0 <= shard < len(self._process_groups):
+            raise ReproError(f"shard index {shard} out of range")
+        group = self._process_groups[shard]
+        if not 0 <= replica < len(group):
+            raise ReproError(f"replica index {replica} out of range "
+                             f"(shard {shard} has {len(group)} "
+                             f"replicas)")
+        process = group[replica]
+        if process.is_alive():
+            process.terminate()
+        process.join(timeout=5.0)
+        return self._proxies[shard].endpoints[replica]
 
     # ------------------------------------------------------------------
     def connect(self, timeout: Optional[float] = None,
@@ -785,6 +1340,7 @@ class GraphServer:
                 process.terminate()
             process.join(timeout=5.0)
         self._processes = []
+        self._process_groups = []
         # Unix-domain endpoints leave a filesystem entry behind.
         if self.endpoint and self.endpoint.startswith("unix:"):
             try:
@@ -802,28 +1358,42 @@ class GraphServer:
 # ----------------------------------------------------------------------
 # Module-level conveniences (the documented entry points)
 # ----------------------------------------------------------------------
-def serve(path: Union[str, Path, bytes], address: str = "127.0.0.1:0",
+def serve(path: Union[str, Path, bytes, None] = None,
+          address: str = "127.0.0.1:0",
           codec: str = "json",
           cache_size: Optional[int] = None,
-          pipeline: Optional[int] = None) -> GraphServer:
+          pipeline: Optional[int] = None,
+          replicas: int = 1,
+          manifest: Union[str, Path, ClusterManifest, None] = None,
+          shard_timeout: Optional[float] = DEFAULT_SHARD_TIMEOUT
+          ) -> GraphServer:
     """Start serving a container; returns the running server.
 
     ``serve(...)`` / ``with serve(...) as server`` — the server
     accepts in a background thread, shard processes run until
     :meth:`GraphServer.close`.  ``pipeline`` bounds the concurrently
-    evaluating batches per server process.
+    evaluating batches per server process; ``replicas=N`` forks N
+    processes per shard (round-robin reads, automatic failover);
+    ``manifest=`` routes to pre-existing shard servers named by a
+    :class:`~repro.serving.cluster.ClusterManifest` instead of
+    forking anything.
     """
     return GraphServer(path, address=address, codec=codec,
-                       cache_size=cache_size, pipeline=pipeline).start()
+                       cache_size=cache_size, pipeline=pipeline,
+                       replicas=replicas, manifest=manifest,
+                       shard_timeout=shard_timeout).start()
 
 
 def connect(address: Union[str, tuple], codec: str = "json",
             timeout: Optional[float] = None,
             pipeline: bool = False,
-            pool_size: int = 1) -> GraphClient:
+            pool_size: int = 1,
+            retries: int = 0) -> GraphClient:
     """Connect to a :func:`serve` endpoint.
 
     ``pipeline=True`` returns the multiplexing client (sequence-tagged
-    frames, ``execute_async``, ``pool_size`` pooled connections)."""
+    frames, ``execute_async``, ``pool_size`` pooled connections);
+    ``retries=N`` resends a request on up to N link deaths."""
     return GraphClient(address, codec=codec, timeout=timeout,
-                       pipeline=pipeline, pool_size=pool_size)
+                       pipeline=pipeline, pool_size=pool_size,
+                       retries=retries)

@@ -1,0 +1,249 @@
+"""Controllable fault injection for the serving stack.
+
+:class:`FaultyProxy` is a frame-aware TCP relay that sits on any link
+of the deployment — client↔router or router↔shard — and breaks it *on
+the Kth frame*, deterministically:
+
+* ``kill``     — swallow the frame and close both sockets (the reader
+  sees a reset / clean-close-before-reply → ``ConnectionLost``).
+* ``hang``     — swallow the frame and every later one in that
+  direction, holding the connection open (the reader blocks until its
+  per-request timeout → ``RequestTimeout``).
+* ``truncate`` — forward the length header plus half the payload,
+  then close (the reader dies mid-frame → ``FrameError``).
+* ``delay``    — sleep ``delay`` seconds, then forward intact (past a
+  per-request timeout this forces a failover without losing bytes).
+
+Faults are **one-shot**: triggering clears the spec, so the very next
+attempt through the same proxy — a fresh client connection, a
+replica's reconnect — passes cleanly.  That is exactly the shape a
+retry lane needs: fail once, prove the caller recovered, and let the
+recovered path run against the same endpoint.
+
+Determinism comes from *frame counting*, not timing: the proxy parses
+the ``4-byte length | payload`` framing and counts only frames that
+match the armed direction and (optionally) op, so handshake ``info``
+or ``ping`` traffic never shifts which request gets hit.  Nothing
+here sleeps except the explicit ``delay`` fault.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.serving.codec import connect_socket, decode_frame
+
+_LENGTH = struct.Struct("!I")
+
+#: Fault kinds :meth:`FaultyProxy.arm` accepts.
+FAULTS = ("kill", "hang", "truncate", "delay")
+#: ``request`` = client→server frames, ``reply`` = server→client.
+DIRECTIONS = ("request", "reply")
+
+
+def _read_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Exactly ``count`` bytes, or ``None`` if the stream ended."""
+    chunks = bytearray()
+    while len(chunks) < count:
+        try:
+            chunk = sock.recv(count - len(chunks))
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.extend(chunk)
+    return bytes(chunks)
+
+
+class FaultyProxy:
+    """A TCP relay to ``target`` that breaks on the Kth matching frame.
+
+    ``arm()`` installs one fault; the :attr:`triggered` event proves a
+    lane actually exercised it (a test that never tripped its fault is
+    vacuous, so assert ``proxy.triggered.is_set()``).
+    """
+
+    def __init__(self, target: str, host: str = "127.0.0.1") -> None:
+        self._target = target
+        self.triggered = threading.Event()
+        self._lock = threading.Lock()
+        self._fault: Optional[Dict[str, Any]] = None
+        self._count = 0
+        self._closing = False
+        self._conns: List[socket.socket] = []
+        self._threads: List[threading.Thread] = []
+        self._listener = socket.socket(socket.AF_INET,
+                                       socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, 0))
+        self._listener.listen(16)
+        bound_host, port = self._listener.getsockname()[:2]
+        self.endpoint = f"{bound_host}:{port}"
+        acceptor = threading.Thread(target=self._accept_loop,
+                                    daemon=True)
+        acceptor.start()
+        self._threads.append(acceptor)
+
+    # -- fault control --------------------------------------------------
+    def arm(self, kind: str, direction: str = "reply", after: int = 1,
+            only_op: Optional[str] = None, delay: float = 0.0
+            ) -> "FaultyProxy":
+        """Install a one-shot fault on the ``after``-th matching frame.
+
+        ``only_op`` counts only frames whose decoded message has that
+        ``op`` (e.g. ``"batch"`` on the request direction, ``"results"``
+        on the reply direction), so connection-setup traffic cannot
+        shift the target.
+        """
+        if kind not in FAULTS:
+            raise ValueError(f"unknown fault {kind!r}; expected one "
+                             f"of {FAULTS}")
+        if direction not in DIRECTIONS:
+            raise ValueError(f"unknown direction {direction!r}; "
+                             f"expected one of {DIRECTIONS}")
+        with self._lock:
+            self._fault = {"kind": kind, "direction": direction,
+                           "after": int(after), "only_op": only_op,
+                           "delay": float(delay)}
+            self._count = 0
+        self.triggered.clear()
+        return self
+
+    def clear(self) -> None:
+        """Disarm without triggering."""
+        with self._lock:
+            self._fault = None
+            self._count = 0
+
+    def _check(self, direction: str, payload: bytes
+               ) -> Optional[Dict[str, Any]]:
+        """The armed fault if this frame is the Kth match, else None."""
+        with self._lock:
+            spec = self._fault
+            if spec is None or spec["direction"] != direction:
+                return None
+            if spec["only_op"] is not None:
+                try:
+                    _, message = decode_frame(payload)
+                except Exception:
+                    return None
+                if message.get("op") != spec["only_op"]:
+                    return None
+            self._count += 1
+            if self._count < spec["after"]:
+                return None
+            self._fault = None  # one-shot: the next attempt passes
+        return spec
+
+    # -- relay mechanics ------------------------------------------------
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            try:
+                upstream = connect_socket(self._target, timeout=10.0)
+            except Exception:
+                client.close()
+                continue
+            try:
+                client.setsockopt(socket.IPPROTO_TCP,
+                                  socket.TCP_NODELAY, 1)
+            except OSError:  # pragma: no cover
+                pass
+            with self._lock:
+                if self._closing:
+                    client.close()
+                    upstream.close()
+                    return
+                self._conns.extend([client, upstream])
+            for source, sink, direction in (
+                    (client, upstream, "request"),
+                    (upstream, client, "reply")):
+                pump = threading.Thread(
+                    target=self._pump,
+                    args=(source, sink, direction), daemon=True)
+                pump.start()
+                with self._lock:
+                    self._threads.append(pump)
+
+    def _pump(self, source: socket.socket, sink: socket.socket,
+              direction: str) -> None:
+        try:
+            while True:
+                header = _read_exact(source, _LENGTH.size)
+                if header is None:
+                    return
+                (length,) = _LENGTH.unpack(header)
+                payload = _read_exact(source, length)
+                if payload is None:
+                    return
+                spec = self._check(direction, payload)
+                if spec is None:
+                    sink.sendall(header + payload)
+                    continue
+                self.triggered.set()
+                kind = spec["kind"]
+                if kind == "delay":
+                    time.sleep(spec["delay"])
+                    sink.sendall(header + payload)
+                    continue
+                if kind == "truncate":
+                    sink.sendall(header + payload[:max(1, length // 2)])
+                    return
+                if kind == "hang":
+                    # Swallow everything further in this direction but
+                    # hold both sockets open: the reader must *time
+                    # out*, not see a close.  Ends when the source (or
+                    # the proxy) closes.
+                    while _read_exact(source, 1) is not None:
+                        pass
+                    return
+                return  # kill: fall through to the close below
+        except OSError:
+            pass
+        finally:
+            for sock in (source, sink):
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                try:
+                    sock.close()
+                except OSError:  # pragma: no cover
+                    pass
+
+    # -- lifecycle ------------------------------------------------------
+    def close(self) -> None:
+        with self._lock:
+            self._closing = True
+            conns = list(self._conns)
+            self._conns = []
+            threads = list(self._threads)
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover
+            pass
+        for sock in conns:
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultyProxy":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()

@@ -214,6 +214,38 @@ class TestShardedConformance:
         with server.connect() as client:
             assert_identical(truth, client.batch(requests))
 
+    @pytest.mark.parametrize("corpus,shards,codec", [
+        (corpus, 2, "json") for corpus in SHARDED_CORPORA
+    ] + [("communication", 4, "json"),
+         ("er-random", 2, "binary"),
+         ("communication", 4, "binary")])
+    @pytest.mark.timeout(120)
+    def test_replicated_socket_with_one_dead_replica(self, corpus,
+                                                     shards, codec,
+                                                     sharded):
+        """The fifth conformance axis: a *replicated* served endpoint
+        with one replica of every shard killed mid-session must stay
+        bit-identical to the inline reference — Inline ≡ Thread ≡
+        Process ≡ Socket already holds above, so Inline is the only
+        oracle needed here."""
+        handle = sharded(corpus, shards)
+        requests = serving_workload(handle.node_count(),
+                                    labels=label_names(handle))
+        reference = run_through(InlineExecutor(), handle, requests)
+        server = GraphServer(handle.to_bytes(), codec=codec,
+                             replicas=2, cache_size=0).start()
+        try:
+            assert_identical(reference, run_through(
+                SocketExecutor(server.endpoint, codec=codec),
+                handle, requests))
+            for shard in range(server.num_shards):
+                server.kill_replica(shard, 0)
+            assert_identical(reference, run_through(
+                SocketExecutor(server.endpoint, codec=codec),
+                handle, requests))
+        finally:
+            server.close()
+
     @pytest.mark.smoke
     def test_pipelined_client_equals_in_process_router(self, sharded,
                                                        served):

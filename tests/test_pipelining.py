@@ -433,8 +433,8 @@ class TestPipelinedServing:
 class TestServerKilledMidBatch:
     def test_shard_death_surfaces_as_error_not_hang(self):
         """Kill the shard processes under a served router: an
-        in-flight client batch must come back as an error (the wire
-        layer's fault, or per-request errors) — never a hang."""
+        in-flight client batch must come back as **per-request
+        structured errors** — never a hang, never a batch abort."""
         graph, alphabet = SMOKE_CORPORA["er-random"]()
         handle = ShardedCompressedGraph.compress(
             graph, alphabet, shards=2, validate=False)
@@ -446,10 +446,8 @@ class TestServerKilledMidBatch:
                     process.kill()
                 for process in server._processes:
                     process.join(timeout=5)
-                with pytest.raises(ReproError):
-                    results = client.execute(requests)
-                    # If the router already answered from its own
-                    # merge path, every result must carry an error.
-                    if not all(result.error for result in results):
-                        raise AssertionError(
-                            "batch succeeded against dead shards")
+                results = client.execute(requests)
+                assert len(results) == len(requests)
+                assert all(result.error for result in results)
+                assert any("unavailable" in result.error
+                           for result in results)

@@ -186,14 +186,8 @@ class TestProtocolRobustness:
             raw.close()
 
 
-class TestCrossShardReachRoundTrips:
-    """Wire-cost budgets of the planned cross-shard reach routes.
-
-    A 4-shard chain (1 -> 2 -> ... -> 20, five nodes per shard) makes
-    the boundary sparse and the hop count maximal, so per-hop routing
-    would cost one round trip per probe.  The batched routes must
-    stay within one ``batch()`` frame per shard touched.
-    """
+class _ChainBudgetHelpers:
+    """The 4-shard chain graph + per-proxy round-trip accounting."""
 
     SHARDS = 4
     PER_SHARD = 5
@@ -215,6 +209,16 @@ class TestCrossShardReachRoundTrips:
     def _deltas(self, server, before):
         return [proxy.round_trips - start
                 for proxy, start in zip(server._proxies, before)]
+
+
+class TestCrossShardReachRoundTrips(_ChainBudgetHelpers):
+    """Wire-cost budgets of the planned cross-shard reach routes.
+
+    A 4-shard chain (1 -> 2 -> ... -> 20, five nodes per shard) makes
+    the boundary sparse and the hop count maximal, so per-hop routing
+    would cost one round trip per probe.  The batched routes must
+    stay within one ``batch()`` frame per shard touched.
+    """
 
     def test_closure_reach_one_frame_per_endpoint_shard(self):
         """Acceptance: a persisted closure answers cross-shard reach
@@ -278,6 +282,66 @@ class TestCrossShardReachRoundTrips:
             with running.connect() as client:
                 assert client.batch(requests) == expected
         assert total == self.SHARDS * self.PER_SHARD
+
+
+class TestReplicatedRoundTripBudgets(_ChainBudgetHelpers):
+    """The wire-cost budgets are **per logical shard**, not per
+    endpoint: replicating a shard must not multiply round trips.
+
+    Every lane here runs with ``replicas=2`` and asserts the *same*
+    budgets the single-replica lanes above pin — one completed
+    exchange per logical shard touched, no matter how many replicas
+    stand behind it.
+    """
+
+    def test_closure_reach_budget_holds_under_replicas(self):
+        handle = self._chain_handle()
+        blob = handle.to_bytes(include_closure=True)
+        with serve(blob, replicas=2, cache_size=0) as running:
+            assert all(len(proxy.endpoints) == 2
+                       for proxy in running._proxies)
+            with running.connect() as client:
+                before = [proxy.round_trips
+                          for proxy in running._proxies]
+                assert client.query("reach", 2, 18) is True
+                deltas = self._deltas(running, before)
+                assert deltas[0] <= 1          # source-shard batch
+                assert deltas[-1] <= 1         # target-shard batch
+                assert deltas[1] == deltas[2] == 0  # no chaining hops
+
+    def test_replica_trips_sum_to_the_logical_counter(self):
+        handle = self._chain_handle()
+        blob = handle.to_bytes(include_closure=True)
+        with serve(blob, replicas=2, cache_size=0) as running:
+            with running.connect() as client:
+                for node in range(1, 19):
+                    assert client.query("out", node) == \
+                        handle.out(node)
+            for proxy in running._proxies:
+                trips = proxy.replica_round_trips
+                assert len(trips) == 2
+                assert sum(trips) == proxy.round_trips
+
+    def test_failover_costs_one_completed_exchange(self):
+        """A request that failed over still counts a single completed
+        exchange on the logical shard: the dead replica's aborted
+        attempt never completed, so it never hits the meter."""
+        handle = self._chain_handle()
+        blob = handle.to_bytes(include_closure=True)
+        with serve(blob, replicas=2, cache_size=0) as running:
+            with running.connect() as client:
+                # Warm the links so the kill poisons live connections.
+                assert client.query("out", 2) == handle.out(2)
+                assert client.query("out", 3) == handle.out(3)
+                running.kill_replica(0, 0)
+                before = running._proxies[0].round_trips
+                failovers = running._proxies[0].failovers
+                # Two queries cover both round-robin positions: one
+                # of them fails over from the dead replica.
+                assert client.query("out", 2) == handle.out(2)
+                assert client.query("out", 4) == handle.out(4)
+                assert running._proxies[0].failovers > failovers
+                assert running._proxies[0].round_trips - before <= 2
 
 
 class TestShutdownRaces:
