@@ -1,0 +1,194 @@
+"""Traversal-kernel and zero-copy cold-open gates.
+
+Two absolute acceptance measurements for the raw-speed pass, shared
+with ``scripts/check_bench_regression.py``:
+
+* **kernel gate** — batch reachability over a hot-set-skewed workload
+  (the shape serving traffic has: 80% of pairs land in a small hot
+  set, so the bitmask kernel's per-source-bit closure cache pays each
+  BFS once per batch).  Summed across *all* smoke corpora, the
+  ``"bitmask"`` kernel must answer the batch at least
+  :data:`GATE_KERNEL_SPEEDUP` (5x) faster than the ``"legacy"``
+  dict/set kernel, with every answer identical.  The aggregate is the
+  gate — per-corpus ratios vary with graph shape (sparse line graphs
+  barely touch the closure cache; dense communication graphs clear
+  30x) and the sum is what a mixed serving fleet experiences.
+
+* **cold-open gate** — a :class:`repro.serving.router.ShardHost`
+  opening a 4-shard container to serve shard 1 must *materialize*
+  (copy out of the mmap into owned ``bytes``) less than
+  :data:`GATE_COLD_OPEN_FRACTION` (30%) of the container bytes.  The
+  :attr:`DecodedContainer.materialized_bytes` counter is the
+  observable; with the lazy span decoder the host copies exactly its
+  own shard blob (~1-2% at 4 shards), and anything approaching 30%
+  means someone re-grew an eager decode.
+
+Run the smoke lane with ``pytest -m smoke benchmarks/bench_kernels.py``.
+"""
+
+import random
+import tempfile
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.api import CompressedGraph
+from repro.bench import Report, SMOKE_CORPORA
+from repro.queries.reachability import ReachabilityQueries
+from repro.sharding import ShardedCompressedGraph
+
+_SECTION = "Traversal kernels: bitmask vs legacy batch reach"
+
+#: Aggregate batch-reach speedup the bitmask kernel must clear across
+#: all smoke corpora, and the materialized fraction a 1-of-4-shard
+#: cold open must stay under.
+GATE_KERNEL_SPEEDUP = 5.0
+GATE_COLD_OPEN_FRACTION = 0.30
+GATE_COLD_OPEN_CORPUS = "communication"
+GATE_COLD_OPEN_SHARDS = 4
+
+
+def reach_workload(total_nodes, count=400, seed=11, hot=24):
+    """Hot-set-skewed reach pairs: 80% within a small hot set."""
+    rng = random.Random(seed)
+    hot_nodes = [rng.randint(1, total_nodes) for _ in range(hot)]
+    pairs = []
+    for _ in range(count):
+        if rng.random() < 0.8:
+            pairs.append((rng.choice(hot_nodes), rng.choice(hot_nodes)))
+        else:
+            pairs.append((rng.randint(1, total_nodes),
+                          rng.randint(1, total_nodes)))
+    return pairs
+
+
+def _time_batch(engine, pairs, rounds=2):
+    """Best-of-N wall time answering the whole batch; answers too."""
+    answers = None
+    best = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        current = [engine.reachable(s, t) for s, t in pairs]
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+        if answers is None:
+            answers = current
+        else:
+            assert current == answers
+    return best, answers
+
+
+def measure_kernel_speedup():
+    """Per-corpus and aggregate legacy-vs-bitmask batch reach times.
+
+    Both kernels run over the *same* :class:`GrammarIndex` (the index
+    is kernel-agnostic; only the traversal engine differs), each from
+    a cold engine so the bitmask side pays its mask build and closure
+    cache inside the measurement — the gate covers the whole batch
+    cost, not just the steady state.
+    """
+    per_corpus = {}
+    legacy_total = bitmask_total = 0.0
+    for name in sorted(SMOKE_CORPORA):
+        graph, alphabet = SMOKE_CORPORA[name]()
+        # The facade's index is built over the *canonical* grammar —
+        # the numbering GrammarIndex documents and both kernels share.
+        index = CompressedGraph.compress(graph, alphabet).index
+        pairs = reach_workload(index.total_nodes)
+        legacy_time, legacy_answers = _time_batch(
+            ReachabilityQueries(index, kernel="legacy"), pairs)
+        bitmask_time, bitmask_answers = _time_batch(
+            ReachabilityQueries(index, kernel="bitmask"), pairs)
+        assert bitmask_answers == legacy_answers, name
+        per_corpus[name] = {
+            "legacy_ms": round(legacy_time * 1e3, 2),
+            "bitmask_ms": round(bitmask_time * 1e3, 2),
+            "speedup": round(legacy_time / bitmask_time, 2),
+        }
+        legacy_total += legacy_time
+        bitmask_total += bitmask_time
+    return per_corpus, legacy_total, bitmask_total
+
+
+def kernel_gate():
+    """The check_bench_regression measurement: aggregate >= 5x."""
+    per_corpus, legacy_total, bitmask_total = measure_kernel_speedup()
+    return {
+        "corpora": per_corpus,
+        "requests": 400,
+        "legacy_ms": round(legacy_total * 1e3, 2),
+        "bitmask_ms": round(bitmask_total * 1e3, 2),
+        "speedup": round(legacy_total / bitmask_total, 2),
+        "required_speedup": GATE_KERNEL_SPEEDUP,
+    }
+
+
+def cold_open_gate():
+    """Cold-open a 4-shard GRPS for one shard; measure copied bytes."""
+    from repro.serving.router import ShardHost
+
+    graph, alphabet = SMOKE_CORPORA[GATE_COLD_OPEN_CORPUS]()
+    blob = ShardedCompressedGraph.compress(
+        graph, alphabet, shards=GATE_COLD_OPEN_SHARDS,
+        partitioner="bfs", validate=False).to_bytes()
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "gate.grps"
+        path.write_bytes(blob)
+        start = time.perf_counter()
+        host = ShardHost(path, shard=1).start()
+        open_ms = (time.perf_counter() - start) * 1e3
+        try:
+            container = host.container
+            materialized = container.materialized_bytes
+            total = container.total_bytes
+            sections = dict(container.materialized_sections)
+        finally:
+            host.close()
+    return {
+        "corpus": GATE_COLD_OPEN_CORPUS,
+        "shards": GATE_COLD_OPEN_SHARDS,
+        "served_shard": 1,
+        "open_ms": round(open_ms, 2),
+        "container_bytes": total,
+        "materialized_bytes": materialized,
+        "materialized_sections": sections,
+        "fraction": round(materialized / total, 4),
+        "required_fraction": GATE_COLD_OPEN_FRACTION,
+    }
+
+
+@pytest.mark.smoke
+def test_bitmask_kernel_clears_aggregate_speedup_gate():
+    """Acceptance gate: >= 5x aggregate batch reach, all corpora."""
+    per_corpus, legacy_total, bitmask_total = measure_kernel_speedup()
+    speedup = legacy_total / bitmask_total
+    slowest = min(per_corpus.items(), key=lambda kv: kv[1]["speedup"])
+    Report.add(_SECTION,
+               f"{len(per_corpus)} corpora x 400 reach: legacy "
+               f"{legacy_total * 1e3:.1f} ms, bitmask "
+               f"{bitmask_total * 1e3:.1f} ms ({speedup:.2f}x "
+               f"aggregate; slowest corpus {slowest[0]} at "
+               f"{slowest[1]['speedup']:.2f}x)")
+    assert speedup >= GATE_KERNEL_SPEEDUP, (
+        f"bitmask kernel is only {speedup:.2f}x legacy on the "
+        f"aggregate batch (gate: {GATE_KERNEL_SPEEDUP}x)"
+    )
+
+
+@pytest.mark.smoke
+def test_cold_open_materializes_under_fraction_gate():
+    """Acceptance gate: 1-of-4-shard open copies < 30% of the file."""
+    result = cold_open_gate()
+    Report.add(_SECTION,
+               f"cold open {result['corpus']} shard "
+               f"{result['served_shard']}/{result['shards']}: "
+               f"{result['materialized_bytes']}/"
+               f"{result['container_bytes']} bytes copied "
+               f"({result['fraction']:.1%}) in {result['open_ms']} ms")
+    assert result["fraction"] < GATE_COLD_OPEN_FRACTION, (
+        f"cold open materialized {result['fraction']:.1%} of the "
+        f"container (gate: < {GATE_COLD_OPEN_FRACTION:.0%}); "
+        f"sections: {result['materialized_sections']}"
+    )

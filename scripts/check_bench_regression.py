@@ -43,15 +43,26 @@ ratios for both engines over the shared smoke corpora
   decompress-then-product-BFS evaluator, and RPQ traffic through the
   socket router must clear an absolute q/s floor, with answers
   identical lane for lane (shared with
-  ``benchmarks/bench_rpq_extension.py``).
+  ``benchmarks/bench_rpq_extension.py``),
+* the traversal kernels: the ``"bitmask"`` kernel must answer the
+  hot-set batch-reach workload at least 5x faster than the
+  ``"legacy"`` set kernel, summed across all smoke corpora, with
+  identical answers (shared with ``benchmarks/bench_kernels.py``),
+* the zero-copy decode path: cold-opening a 4-shard container to
+  serve one shard must materialize less than 30% of the container
+  bytes (shared with ``benchmarks/bench_kernels.py``).
 
 Exit code 0 means no regression; 1 means at least one check failed;
-``--update`` rewrites the baseline instead of checking.
+``--update`` rewrites the baseline instead of checking;
+``--snapshot N`` additionally writes the full measurement to
+``benchmarks/BENCH_<N>.json`` — the per-PR performance snapshot
+trail next to the gating baseline.
 
 Usage::
 
-    python scripts/check_bench_regression.py            # check
-    python scripts/check_bench_regression.py --update   # re-baseline
+    python scripts/check_bench_regression.py               # check
+    python scripts/check_bench_regression.py --update      # re-baseline
+    python scripts/check_bench_regression.py --snapshot 10 # check + snap
 """
 
 from __future__ import annotations
@@ -202,6 +213,32 @@ def partition_gate() -> dict:
     return partitioner_gate()
 
 
+def kernel_lane() -> dict:
+    """Batch-reach speedup probe of the bitmask traversal kernel.
+
+    Reuses the exact measurement of ``benchmarks/bench_kernels.py``
+    (answers asserted identical inside the measurement); checked
+    absolutely — a bitmask kernel under the fixed multiple of the
+    legacy set kernel on the aggregate batch is a regression
+    regardless of any baseline.
+    """
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+    from bench_kernels import kernel_gate  # noqa: E402
+    return kernel_gate()
+
+
+def cold_open_lane() -> dict:
+    """Materialized-bytes probe of the zero-copy container decode.
+
+    Reuses the exact measurement of ``benchmarks/bench_kernels.py``;
+    checked absolutely (a 1-of-4-shard open copying toward the whole
+    file means an eager decode crept back in).
+    """
+    sys.path.insert(0, str(_ROOT / "benchmarks"))
+    from bench_kernels import cold_open_gate  # noqa: E402
+    return cold_open_gate()
+
+
 def rpq_lane() -> dict:
     """Speedup + served-throughput probe of the RPQ subsystem.
 
@@ -239,7 +276,8 @@ def measure() -> dict:
         corpora[name] = entry
     return {"corpora": corpora, "sharded": sharded_gate(),
             "serving": serving_gate(), "partition": partition_gate(),
-            "rpq": rpq_lane()}
+            "rpq": rpq_lane(), "kernels": kernel_lane(),
+            "cold_open": cold_open_lane()}
 
 
 def check(current: dict, baseline: dict, tolerance: float,
@@ -376,6 +414,26 @@ def check(current: dict, baseline: dict, tolerance: float,
              f"served RPQ reached only {served_qps:.0f} q/s at "
              f"{rpq.get('served_shards')} shards "
              f"(floor: {served_floor:.0f})")
+    # Kernel gate (absolute): the bitmask kernel must keep its batch
+    # edge over the legacy set kernel on the aggregate workload.
+    kernels = current.get("kernels", {})
+    speedup = kernels.get("speedup", 0.0)
+    required = kernels.get("required_speedup", 5.0)
+    if speedup < required:
+        fail("kernel-gate",
+             f"bitmask kernel is only {speedup:.2f}x legacy on the "
+             f"aggregate batch-reach workload (gate: {required}x)")
+    # Cold-open gate (absolute): lazy decode must stay lazy — a
+    # 1-of-4-shard open copies only its own shard blob.
+    cold = current.get("cold_open", {})
+    fraction = cold.get("fraction", 1.0)
+    max_fraction = cold.get("required_fraction", 0.30)
+    if fraction >= max_fraction:
+        fail("cold-open-gate",
+             f"cold-opening shard {cold.get('served_shard')} of "
+             f"{cold.get('shards')} materialized {fraction:.1%} of "
+             f"the container (gate: < {max_fraction:.0%}; sections: "
+             f"{cold.get('materialized_sections')})")
     return failures
 
 
@@ -390,9 +448,19 @@ def main(argv=None) -> int:
     parser.add_argument("--work-slack", type=float, default=1.25,
                         help="allowed growth factor for settle/queue "
                              "work (default 1.25)")
+    parser.add_argument("--snapshot", type=int, metavar="N",
+                        help="also write the measurement to "
+                             "benchmarks/BENCH_<N>.json (the per-PR "
+                             "snapshot trail)")
     args = parser.parse_args(argv)
 
     current = measure()
+    if args.snapshot is not None:
+        snapshot_path = (BASELINE_PATH.parent
+                         / f"BENCH_{args.snapshot}.json")
+        snapshot_path.write_text(json.dumps(current, indent=2,
+                                            sort_keys=True) + "\n")
+        print(f"snapshot written: {snapshot_path}")
     if args.update:
         BASELINE_PATH.write_text(json.dumps(current, indent=2,
                                             sort_keys=True) + "\n")
@@ -449,6 +517,22 @@ def main(argv=None) -> int:
               f"(gate {rpq['required_speedup']}x) "
               f"served={rpq['served_qps']:.0f}q/s "
               f"(floor {rpq['required_served_qps']:.0f})")
+    kernels = current.get("kernels", {})
+    if kernels:
+        print(f"{'kernel-gate':14s} corpora={len(kernels['corpora'])} "
+              f"legacy={kernels['legacy_ms']}ms "
+              f"bitmask={kernels['bitmask_ms']}ms "
+              f"speedup={kernels['speedup']:.2f}x "
+              f"(gate {kernels['required_speedup']}x)")
+    cold = current.get("cold_open", {})
+    if cold:
+        print(f"{'cold-open-gate':14s} corpus={cold['corpus']} "
+              f"shard={cold['served_shard']}/{cold['shards']} "
+              f"materialized={cold['materialized_bytes']}/"
+              f"{cold['container_bytes']}B "
+              f"({cold['fraction']:.1%}, gate "
+              f"<{cold['required_fraction']:.0%}) "
+              f"open={cold['open_ms']}ms")
     partition = current.get("partition", {})
     if partition:
         cut = partition.get("cut", {})

@@ -66,6 +66,7 @@ from repro.encoding.container import (
     container_sections,
     decode_grammar,
     encode_grammar,
+    map_file,
 )
 from repro.exceptions import GrammarError, QueryError
 from repro.queries.cache import QueryCache
@@ -243,11 +244,17 @@ class CompressedGraph(GraphService):
         return cls(grammar, cache_size=cache_size)
 
     @classmethod
-    def from_bytes(cls, buf: Union[bytes, bytearray, GrammarFile],
+    def from_bytes(cls, buf: Union[bytes, bytearray, memoryview,
+                                   GrammarFile],
                    cache_size: int = DEFAULT_CACHE_SIZE
                    ) -> "CompressedGraph":
         """Load a handle from serialized container bytes."""
-        data = buf.data if isinstance(buf, GrammarFile) else bytes(buf)
+        if isinstance(buf, GrammarFile):
+            data = buf.data
+        elif isinstance(buf, bytearray):
+            data = bytes(buf)  # defend against caller mutation
+        else:
+            data = buf
         grammar = decode_grammar(data)
         container = GrammarFile(data=data,
                                 section_bytes=container_sections(data))
@@ -261,9 +268,8 @@ class CompressedGraph(GraphService):
     @classmethod
     def open(cls, path: Union[str, Path],
              cache_size: int = DEFAULT_CACHE_SIZE) -> "CompressedGraph":
-        """Load a handle from a ``.grpr`` container file."""
-        return cls.from_bytes(Path(path).read_bytes(),
-                              cache_size=cache_size)
+        """Load a handle from a ``.grpr`` container file (mmap-backed)."""
+        return cls.from_bytes(map_file(path), cache_size=cache_size)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -282,7 +288,8 @@ class CompressedGraph(GraphService):
 
     def to_bytes(self, include_names: bool = True, k: int = 2) -> bytes:
         """Serialize to the paper's binary container format."""
-        return self._ensure_container(include_names, k).data
+        data = self._ensure_container(include_names, k).data
+        return data if isinstance(data, bytes) else bytes(data)
 
     def save(self, path: Union[str, Path], include_names: bool = True,
              k: int = 2) -> GrammarFile:

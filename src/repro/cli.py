@@ -125,6 +125,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     stats = sub.add_parser("stats", help="inspect a .grpr container")
     stats.add_argument("input", type=Path)
+    stats.add_argument("--timing", action="store_true",
+                       help="also measure cold/warm open time and "
+                            "report per-section bytes materialized "
+                            "by the decoder (full open vs a "
+                            "single-shard lazy open)")
 
     query = sub.add_parser("query", help="evaluate queries on a .grpr")
     query.add_argument("input", type=Path)
@@ -300,8 +305,69 @@ def _cmd_decompress(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stats_timing(path: Path, cold_seconds: float) -> None:
+    """The ``stats --timing`` tail: open times + materialization.
+
+    The cold open is the one :func:`_cmd_stats` already paid (first
+    decode in this process); the warm open repeats it with the page
+    cache and mmap hot.  The materialization report replays the
+    container's span decoder twice — a full open (every section
+    copied, what a local handle pays) and a shard-0-only lazy open
+    (what a :class:`~repro.serving.router.ShardHost` pays) — and
+    prints the :attr:`DecodedContainer.materialized_sections`
+    counters of each.
+    """
+    import time
+
+    from repro.encoding.container import (
+        decode_sharded_container,
+        is_sharded_container,
+        map_file,
+    )
+
+    start = time.perf_counter()
+    open_compressed(path)
+    warm_seconds = time.perf_counter() - start
+    print(f"cold open:      {cold_seconds * 1e3:.2f} ms")
+    print(f"warm open:      {warm_seconds * 1e3:.2f} ms")
+
+    data = map_file(path)
+    if not is_sharded_container(data):
+        total = len(data)
+        print(f"materialized:   {total}/{total} bytes (100.0%; "
+              f"single-grammar containers decode eagerly)")
+        return
+
+    full = decode_sharded_container(data)
+    full.meta
+    for index in range(full.num_shards):
+        full.shard(index)
+    if full.has_closure:
+        full.closure
+    if full.has_rpq_closures:
+        full.rpq_closures
+    breakdown = ", ".join(f"{name}={size}" for name, size
+                          in full.materialized_sections.items())
+    print(f"materialized:   {full.materialized_bytes}/"
+          f"{full.total_bytes} bytes "
+          f"({full.materialized_bytes / full.total_bytes:.1%} "
+          f"full open)")
+    print(f"  sections:     {breakdown}")
+
+    lazy = decode_sharded_container(data)
+    lazy.shard(0)
+    print(f"  shard 0 only: {lazy.materialized_bytes}/"
+          f"{lazy.total_bytes} bytes "
+          f"({lazy.materialized_bytes / lazy.total_bytes:.1%} "
+          f"lazy open)")
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    start = time.perf_counter()
     handle = open_compressed(args.input)
+    cold_seconds = time.perf_counter() - start
     sections = handle.sizes
     print(f"container:      {handle.total_bytes} bytes")
     if sections:
@@ -336,6 +402,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     cache = handle.cache_info
     print(f"query cache:    capacity={cache['capacity']} "
           f"hits={cache['hits']} misses={cache['misses']}")
+    if args.timing:
+        _stats_timing(args.input, cold_seconds)
     return 0
 
 
@@ -511,7 +579,7 @@ def _cmd_manifest(args: argparse.Namespace) -> int:
     if any(not group for group in shards):
         raise ReproError("every shard needs at least one endpoint")
     if is_sharded_container(data):
-        num_shards = len(decode_sharded_container(data)[1])
+        num_shards = decode_sharded_container(data).num_shards
     else:
         num_shards = 1
     if len(shards) != num_shards:

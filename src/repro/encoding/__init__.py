@@ -17,6 +17,7 @@ compressor (see :mod:`repro.baselines.k2baseline`).
 """
 
 from repro.encoding.container import (
+    DecodedContainer,
     GrammarFile,
     ShardedFile,
     container_sections,
@@ -25,13 +26,20 @@ from repro.encoding.container import (
     encode_grammar,
     encode_sharded_container,
     is_sharded_container,
+    map_file,
     sharded_container_sections,
+)
+from repro.encoding.k2backend import (
+    get_backend as get_k2_backend,
+    numpy_available,
+    set_backend as set_k2_backend,
 )
 from repro.encoding.k2tree import K2Tree
 from repro.encoding.rules import decode_rules, encode_rules
 from repro.encoding.startgraph import decode_start_graph, encode_start_graph
 
 __all__ = [
+    "DecodedContainer",
     "GrammarFile",
     "K2Tree",
     "ShardedFile",
@@ -44,6 +52,10 @@ __all__ = [
     "encode_rules",
     "encode_sharded_container",
     "encode_start_graph",
+    "get_k2_backend",
     "is_sharded_container",
+    "map_file",
+    "numpy_available",
+    "set_k2_backend",
     "sharded_container_sections",
 ]

@@ -47,10 +47,26 @@ re-probing the shards.
 when present) next to the existing per-section accounting of every
 embedded shard container under ``shard<i>/<section>`` keys, so
 benchmarks keep the same size breakdown they have for single grammars.
+
+Zero-copy decode
+----------------
+Nothing in the framing requires the payloads up front:
+:func:`decode_sharded_container` parses only the length headers and
+returns a :class:`DecodedContainer` whose sections are *spans* into the
+source buffer, materialized (copied into owned ``bytes``) one at a time
+on first access.  Files enter as ``mmap``-backed memoryviews
+(:func:`map_file`, used by :meth:`GrammarFile.read` /
+:meth:`ShardedFile.read`), so a :class:`~repro.serving.router.ShardHost`
+opening a many-shard container copies exactly its own shard blob, and a
+manifest-mode router copies only the meta and closure trailers — the
+kernel never even pages in the shards it does not touch.  The
+:attr:`DecodedContainer.materialized_bytes` counter is the observable
+the cold-open benchmark gate checks.
 """
 
 from __future__ import annotations
 
+import mmap
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -67,12 +83,37 @@ _MAGIC = b"GRPR"
 _SHARDED_MAGIC = b"GRPS"
 _VERSION = 1
 
+#: Anything the decoders accept: parsing indexes single bytes and
+#: compares slices, both of which memoryviews support, so file-backed
+#: containers never round-trip through an up-front ``read_bytes`` copy.
+Buffer = Union[bytes, bytearray, memoryview]
+
+
+def map_file(path: Union[str, Path]) -> Buffer:
+    """Map ``path`` read-only into memory, returning a memoryview.
+
+    The view keeps its ``mmap`` exporter alive, so callers treat the
+    result like bytes; pages are faulted in on access rather than read
+    eagerly.  Empty files (``mmap`` rejects length 0) and filesystems
+    without mmap support fall back to a plain read.
+    """
+    try:
+        with open(path, "rb") as handle:
+            return memoryview(mmap.mmap(handle.fileno(), 0,
+                                        access=mmap.ACCESS_READ))
+    except (ValueError, OSError):
+        return Path(path).read_bytes()
+
 
 @dataclass
 class GrammarFile:
-    """A serialized grammar plus size accounting."""
+    """A serialized grammar plus size accounting.
 
-    data: bytes
+    ``data`` is any buffer (freshly encoded ``bytes``, or an
+    mmap-backed memoryview when loaded with :meth:`read`).
+    """
+
+    data: Buffer
     section_bytes: Dict[str, int]
 
     @property
@@ -92,12 +133,15 @@ class GrammarFile:
 
     @classmethod
     def read(cls, path: Union[str, Path]) -> "GrammarFile":
-        """Load a container previously written with :meth:`write`."""
-        data = Path(path).read_bytes()
+        """Load a container previously written with :meth:`write`.
+
+        Zero-copy: the data is memory-mapped, not read eagerly.
+        """
+        data = map_file(path)
         return cls(data=data, section_bytes=container_sections(data))
 
 
-def container_sections(data: bytes) -> Dict[str, int]:
+def container_sections(data: Buffer) -> Dict[str, int]:
     """Per-section byte sizes of a serialized container.
 
     Parses only the length headers (no payload decoding), so loaded
@@ -162,7 +206,7 @@ def _decode_alphabet(data: bytes) -> Alphabet:
             if pos + length > len(data):
                 raise EncodingError("truncated label name")
             try:
-                name = data[pos:pos + length].decode("utf-8")
+                name = bytes(data[pos:pos + length]).decode("utf-8")
             except UnicodeDecodeError as exc:
                 raise EncodingError(f"corrupt label name: {exc}") \
                     from None
@@ -252,7 +296,7 @@ def encode_grammar(grammar: SLHRGrammar, k: int = 2,
     )
 
 
-def decode_grammar(source: Union[GrammarFile, bytes]) -> SLHRGrammar:
+def decode_grammar(source: Union[GrammarFile, Buffer]) -> SLHRGrammar:
     """Rebuild a working grammar from a container.
 
     The result is canonical: ``val(decoded)`` equals
@@ -300,7 +344,7 @@ class ShardedFile:
     ``shard<i>/<section>`` keys next to the framing's ``meta`` entry.
     """
 
-    data: bytes
+    data: Buffer
     section_bytes: Dict[str, int]
 
     @property
@@ -320,13 +364,16 @@ class ShardedFile:
 
     @classmethod
     def read(cls, path: Union[str, Path]) -> "ShardedFile":
-        """Load a container previously written with :meth:`write`."""
-        data = Path(path).read_bytes()
+        """Load a container previously written with :meth:`write`.
+
+        Zero-copy: the data is memory-mapped, not read eagerly.
+        """
+        data = map_file(path)
         return cls(data=data,
                    section_bytes=sharded_container_sections(data))
 
 
-def is_sharded_container(data: bytes) -> bool:
+def is_sharded_container(data: Buffer) -> bool:
     """True when ``data`` frames a multi-shard ("GRPS") container."""
     return len(data) >= 5 and data[:4] == _SHARDED_MAGIC
 
@@ -385,18 +432,146 @@ def encode_sharded_container(meta: bytes,
     return ShardedFile(data=bytes(out), section_bytes=sections)
 
 
-def decode_sharded_container(data: bytes
-                             ) -> Tuple[bytes, List[bytes],
-                                        Optional[bytes],
-                                        Optional[bytes]]:
-    """Split a "GRPS" container into
-    ``(meta, [shard blobs], closure, rpq_closures)``.
+#: One parsed section: ``(start offset, byte length)`` into the buffer.
+_Span = Tuple[int, int]
 
-    ``closure`` / ``rpq_closures`` are ``None`` when the file carries
-    no such trailer section (every pre-closure container).  Only the
-    framing is validated here; the shard blobs are decoded by
-    :func:`decode_grammar`, the meta payload by :mod:`repro.sharding`
-    and the closure payloads by :mod:`repro.partition.boundary`.
+
+class DecodedContainer:
+    """A parsed "GRPS" framing with lazily materialized sections.
+
+    Holds *spans* into the source buffer rather than copies: ``meta``,
+    ``shard(i)``, ``closure`` and ``rpq_closures`` copy their payload
+    into owned ``bytes`` on first access and cache it, so a reader that
+    serves one shard of an N-shard file materializes ~1/N of the
+    container (plus the trailers it asks for).
+    :attr:`materialized_bytes` / :attr:`materialized_sections` account
+    every copy — the cold-open benchmark gate and
+    ``repro stats --timing`` read them.
+    """
+
+    __slots__ = ("data", "_meta_span", "_shard_spans", "_closure_span",
+                 "_rpq_span", "_meta", "_shards", "_closure", "_rpq",
+                 "materialized_bytes", "materialized_sections")
+
+    def __init__(self, data: Buffer, meta_span: _Span,
+                 shard_spans: Sequence[_Span],
+                 closure_span: Optional[_Span],
+                 rpq_span: Optional[_Span]) -> None:
+        self.data = data
+        self._meta_span = meta_span
+        self._shard_spans = tuple(shard_spans)
+        self._closure_span = closure_span
+        self._rpq_span = rpq_span
+        self._meta: Optional[bytes] = None
+        self._shards: List[Optional[bytes]] = [None] * len(shard_spans)
+        self._closure: Optional[bytes] = None
+        self._rpq: Optional[bytes] = None
+        #: Bytes copied out of the buffer so far, total / per section.
+        self.materialized_bytes = 0
+        self.materialized_sections: Dict[str, int] = {}
+
+    def _take(self, name: str, span: _Span) -> bytes:
+        start, length = span
+        self.materialized_bytes += length
+        self.materialized_sections[name] = length
+        return bytes(self.data[start:start + length])
+
+    @property
+    def total_bytes(self) -> int:
+        """Size of the complete container in bytes."""
+        return len(self.data)
+
+    @property
+    def num_shards(self) -> int:
+        """Number of embedded shard blobs (without decoding any)."""
+        return len(self._shard_spans)
+
+    @property
+    def meta(self) -> bytes:
+        """The routing-summary payload (materialized on first access)."""
+        if self._meta is None:
+            self._meta = self._take("meta", self._meta_span)
+        return self._meta
+
+    def shard(self, index: int) -> bytes:
+        """Shard ``index``'s "GRPR" blob (materialized on first access)."""
+        blob = self._shards[index]
+        if blob is None:
+            blob = self._take(f"shard{index}",
+                              self._shard_spans[index])
+            self._shards[index] = blob
+        return blob
+
+    def shard_view(self, index: int) -> Buffer:
+        """A zero-copy view of shard ``index``'s blob.
+
+        For header-only consumers (size accounting, k sniffing) that
+        must not count as materialization.
+        """
+        start, length = self._shard_spans[index]
+        return self.data[start:start + length]
+
+    @property
+    def shards(self) -> List[bytes]:
+        """All shard blobs — the eager path for full-open readers."""
+        return [self.shard(index) for index in range(self.num_shards)]
+
+    @property
+    def has_closure(self) -> bool:
+        """Whether a boundary-closure trailer is present."""
+        return self._closure_span is not None
+
+    @property
+    def has_rpq_closures(self) -> bool:
+        """Whether an RPQ-closure trailer is present."""
+        return self._rpq_span is not None
+
+    @property
+    def closure(self) -> Optional[bytes]:
+        """The boundary-closure payload, or ``None`` when absent."""
+        if self._closure_span is None:
+            return None
+        if self._closure is None:
+            self._closure = self._take("closure", self._closure_span)
+        return self._closure
+
+    @property
+    def rpq_closures(self) -> Optional[bytes]:
+        """The RPQ-closure payload, or ``None`` when absent."""
+        if self._rpq_span is None:
+            return None
+        if self._rpq is None:
+            self._rpq = self._take("rpq_closures", self._rpq_span)
+        return self._rpq
+
+    def section_bytes(self) -> Dict[str, int]:
+        """Per-section size breakdown without materializing anything.
+
+        Same shape :func:`sharded_container_sections` always reported:
+        framing entries plus every shard's own sections under
+        ``shard<i>/<section>`` keys.
+        """
+        sections: Dict[str, int] = {"header": 5,
+                                    "meta": self._meta_span[1]}
+        for index in range(self.num_shards):
+            for name, size in container_sections(
+                    self.shard_view(index)).items():
+                sections[f"shard{index}/{name}"] = size
+        if self._closure_span is not None:
+            sections["closure"] = self._closure_span[1]
+        if self._rpq_span is not None:
+            sections["rpq_closures"] = self._rpq_span[1]
+        return sections
+
+
+def decode_sharded_container(data: Buffer) -> DecodedContainer:
+    """Parse a "GRPS" container into a :class:`DecodedContainer`.
+
+    Only the framing is validated (and only the length headers are
+    read — payloads stay in the source buffer until accessed); the
+    shard blobs are decoded by :func:`decode_grammar`, the meta payload
+    by :mod:`repro.sharding` and the closure payloads by
+    :mod:`repro.partition.boundary`.
     """
     if len(data) < 6:
         raise EncodingError("sharded container too short")
@@ -414,23 +589,23 @@ def decode_sharded_container(data: bytes
         meta_len, pos = read_uvarint(data, pos)
         if pos + meta_len > len(data):
             raise EncodingError("truncated sharded meta section")
-        meta = bytes(data[pos:pos + meta_len])
+        meta_span = (pos, meta_len)
         pos += meta_len
-        blobs: List[bytes] = []
+        shard_spans: List[_Span] = []
         for _ in range(num_shards):
             blob_len, pos = read_uvarint(data, pos)
             if pos + blob_len > len(data):
                 raise EncodingError("truncated shard blob")
-            blobs.append(bytes(data[pos:pos + blob_len]))
+            shard_spans.append((pos, blob_len))
             pos += blob_len
-        closure: Optional[bytes] = None
-        rpq_closures: Optional[bytes] = None
+        closure_span: Optional[_Span] = None
+        rpq_span: Optional[_Span] = None
         while pos < len(data):
             tag = data[pos]
             pos += 1
-            if tag == _CLOSURE_TAG and closure is None:
+            if tag == _CLOSURE_TAG and closure_span is None:
                 name = "closure"
-            elif tag == _RPQ_CLOSURE_TAG and rpq_closures is None:
+            elif tag == _RPQ_CLOSURE_TAG and rpq_span is None:
                 name = "rpq closure"
             else:
                 raise EncodingError(
@@ -439,38 +614,29 @@ def decode_sharded_container(data: bytes
             section_len, pos = read_uvarint(data, pos)
             if pos + section_len > len(data):
                 raise EncodingError(f"truncated {name} section")
-            payload = bytes(data[pos:pos + section_len])
-            pos += section_len
             if tag == _CLOSURE_TAG:
-                closure = payload
+                closure_span = (pos, section_len)
             else:
-                rpq_closures = payload
+                rpq_span = (pos, section_len)
+            pos += section_len
     except (IndexError, ValueError) as exc:
         raise EncodingError(f"corrupt sharded container: {exc}") \
             from None
     if pos != len(data):
         raise EncodingError(
             f"{len(data) - pos} trailing bytes after the last section")
-    return meta, blobs, closure, rpq_closures
+    return DecodedContainer(data, meta_span, shard_spans,
+                            closure_span, rpq_span)
 
 
-def sharded_container_sections(data: bytes) -> Dict[str, int]:
+def sharded_container_sections(data: Buffer) -> Dict[str, int]:
     """Per-section byte sizes of a serialized sharded container.
 
     ``{}`` for data that is not a well-formed "GRPS" container,
-    matching the :func:`container_sections` convention.
+    matching the :func:`container_sections` convention.  Header-only:
+    no payload is materialized.
     """
     try:
-        meta, blobs, closure, rpq_closures = \
-            decode_sharded_container(data)
+        return decode_sharded_container(data).section_bytes()
     except EncodingError:
         return {}
-    sections: Dict[str, int] = {"header": 5, "meta": len(meta)}
-    for index, blob in enumerate(blobs):
-        for section, size in container_sections(blob).items():
-            sections[f"shard{index}/{section}"] = size
-    if closure is not None:
-        sections["closure"] = len(closure)
-    if rpq_closures is not None:
-        sections["rpq_closures"] = len(rpq_closures)
-    return sections

@@ -1,0 +1,155 @@
+"""Optional numpy backend for k2-tree rank support.
+
+The k2-tree's only random-access primitive is ``rank1`` over the
+internal-level bit array ``T`` (child navigation is
+``rank1(i+1) * k^2``), so the whole query surface accelerates through
+one data structure: the rank directory.  Two interchangeable builds:
+
+* ``"python"`` — the original pure-Python directory (prefix 1-counts
+  every 64 bits, O(64) tail scan per query).  Always available.
+* ``"numpy"`` — ``T`` packed MSB-first with ``np.packbits``, a
+  byte-popcount lookup table and one ``np.cumsum`` building a
+  byte-granular prefix directory in a handful of vector ops; ``rank1``
+  is then O(1) (one directory load plus one masked-byte popcount).
+
+Outputs are bit-identical by construction — the differential tests in
+``tests/test_k2tree.py`` hold both backends to the same answers on the
+same trees, including at exact 64-bit block boundaries.
+
+Selection mirrors :mod:`repro.queries.kernels`: the
+``REPRO_K2_BACKEND`` environment variable (``auto`` / ``numpy`` /
+``python``, default ``auto``) sets the process-wide default,
+:func:`set_backend` switches it programmatically, and trees read the
+default at construction time.  ``auto`` resolves to numpy when the
+import succeeds and silently falls back to pure Python otherwise —
+numpy is an accelerator here, never a dependency (``setup.py`` does not
+require it, and the full suite passes without it).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.exceptions import EncodingError
+
+try:  # soft dependency: the accelerated path only
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised via set_backend
+    _np = None
+
+BACKENDS = ("auto", "numpy", "python")
+
+_default = os.environ.get("REPRO_K2_BACKEND", "auto")
+
+
+def numpy_available() -> bool:
+    """Whether the numpy backend can be resolved at all."""
+    return _np is not None
+
+
+def validate_backend(name: str) -> str:
+    """Return ``name`` if it names a backend, raise otherwise."""
+    if name not in BACKENDS:
+        raise EncodingError(
+            f"unknown k2 backend {name!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    return name
+
+
+def get_backend() -> str:
+    """The configured default backend (possibly ``"auto"``)."""
+    return validate_backend(_default)
+
+
+def set_backend(name: str) -> str:
+    """Set the process-wide default; returns the previous default.
+
+    Affects trees constructed *afterwards* — existing trees keep the
+    rank structure they were built with.
+    """
+    global _default
+    previous = _default
+    _default = validate_backend(name)
+    return previous
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """The concrete backend (``"numpy"`` / ``"python"``) to build with.
+
+    ``None`` takes the process default.  ``auto`` falls back to pure
+    Python when numpy is absent; an *explicit* ``numpy`` request
+    without numpy raises instead of silently degrading.
+    """
+    name = validate_backend(_default if name is None else name)
+    if name == "auto":
+        return "numpy" if _np is not None else "python"
+    if name == "numpy" and _np is None:
+        raise EncodingError(
+            "k2 backend 'numpy' requested but numpy is not installed")
+    return name
+
+
+class PythonRank:
+    """Prefix 1-counts every 64 bits; O(64) tail scan per query."""
+
+    __slots__ = ("_bits", "_dir")
+
+    def __init__(self, bits: Sequence[bool]) -> None:
+        self._bits = bits
+        directory = [0]
+        count = 0
+        for index, bit in enumerate(bits):
+            if index and index % 64 == 0:
+                directory.append(count)
+            if bit:
+                count += 1
+        directory.append(count)
+        self._dir = directory
+
+    def rank1(self, position: int) -> int:
+        """Number of 1-bits in ``bits[0:position]``."""
+        block = position // 64
+        count = self._dir[min(block, len(self._dir) - 1)]
+        for index in range(block * 64, position):
+            if self._bits[index]:
+                count += 1
+        return count
+
+
+if _np is not None:
+    #: Per-byte popcounts, and the mask keeping a byte's first ``r``
+    #: (most significant) bits — the partial-byte tail of a rank query.
+    _POPCOUNT = _np.array([bin(value).count("1") for value in range(256)],
+                          dtype=_np.int64)
+    _HEAD_MASK = [0] + [(0xFF << (8 - rem)) & 0xFF for rem in range(1, 8)]
+
+
+class NumpyRank:
+    """Packed bits + cumsum byte directory; O(1) per query."""
+
+    __slots__ = ("_packed", "_dir")
+
+    def __init__(self, bits: Sequence[bool]) -> None:
+        if _np is None:  # pragma: no cover - guarded by resolve_backend
+            raise EncodingError("numpy backend built without numpy")
+        packed = _np.packbits(_np.asarray(bits, dtype=_np.uint8))
+        self._packed = packed
+        self._dir = _np.concatenate(
+            (_np.zeros(1, dtype=_np.int64),
+             _np.cumsum(_POPCOUNT[packed], dtype=_np.int64)))
+
+    def rank1(self, position: int) -> int:
+        """Number of 1-bits in ``bits[0:position]``."""
+        byte, rem = divmod(position, 8)
+        count = int(self._dir[byte])
+        if rem:
+            count += int(_POPCOUNT[self._packed[byte] & _HEAD_MASK[rem]])
+        return count
+
+
+def build_rank(bits: Sequence[bool], backend: Optional[str] = None):
+    """A rank structure over ``bits`` using the resolved backend."""
+    if resolve_backend(backend) == "numpy":
+        return NumpyRank(bits)
+    return PythonRank(bits)

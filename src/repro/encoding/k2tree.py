@@ -19,12 +19,18 @@ The paper uses k2-trees with ``k = 2`` ("as this provides the best
 compression") for the start graph of the grammar, for the plain
 k2-tree baseline compressor, and (per edge label) for the RDF
 representation of [8].
+
+The rank directory is pluggable (see :mod:`repro.encoding.k2backend`):
+a numpy build packs ``T`` and answers ``rank1`` in O(1) off a cumsum
+directory, the pure-Python build keeps the original 64-bit-block
+directory.  Both are bit-identical; numpy is optional.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Sequence, Tuple
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from repro.encoding.k2backend import build_rank
 from repro.exceptions import EncodingError
 from repro.util.bitio import BitReader, BitWriter
 from repro.util.varint import read_uvarint, write_uvarint
@@ -45,7 +51,8 @@ class K2Tree:
     """
 
     def __init__(self, k: int, size: int, virtual_size: int,
-                 t_bits: List[bool], l_bits: List[bool]) -> None:
+                 t_bits: List[bool], l_bits: List[bool],
+                 backend: Optional[str] = None) -> None:
         if k < 2:
             raise EncodingError(f"k must be >= 2, got {k}")
         self.k = k
@@ -55,14 +62,17 @@ class K2Tree:
         self.virtual_size = virtual_size
         self._t = t_bits
         self._l = l_bits
-        self._rank_dir = self._build_rank_directory(t_bits)
+        #: Rank support over ``T``; ``backend=None`` takes the process
+        #: default from :mod:`repro.encoding.k2backend`.
+        self._rank = build_rank(t_bits, backend)
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod
     def from_cells(cls, cells: Iterable[Tuple[int, int]], size: int,
-                   k: int = 2) -> "K2Tree":
+                   k: int = 2,
+                   backend: Optional[str] = None) -> "K2Tree":
         """Build a k2-tree for the 1-cells of an ``size x size`` matrix.
 
         Cells outside the matrix raise :class:`EncodingError`.  The
@@ -107,32 +117,14 @@ class K2Tree:
                             )
                 current_blocks = next_blocks
                 block //= k
-        return cls(k, size, virtual, t_bits, l_bits)
+        return cls(k, size, virtual, t_bits, l_bits, backend=backend)
 
     # ------------------------------------------------------------------
     # Rank support
     # ------------------------------------------------------------------
-    @staticmethod
-    def _build_rank_directory(bits: Sequence[bool]) -> List[int]:
-        """Prefix 1-counts every 64 bits (rank1 in O(64))."""
-        directory = [0]
-        count = 0
-        for index, bit in enumerate(bits):
-            if index and index % 64 == 0:
-                directory.append(count)
-            if bit:
-                count += 1
-        directory.append(count)
-        return directory
-
     def _rank1(self, position: int) -> int:
         """Number of 1-bits in ``T[0:position]``."""
-        block = position // 64
-        count = self._rank_dir[min(block, len(self._rank_dir) - 1)]
-        for index in range(block * 64, position):
-            if self._t[index]:
-                count += 1
-        return count
+        return self._rank.rank1(position)
 
     # ------------------------------------------------------------------
     # Queries
@@ -206,6 +198,58 @@ class K2Tree:
         """Reverse neighbors: rows with a 1 in ``col``."""
         return sorted(row for row in self._axis_ones(col, transposed=True))
 
+    def rows_ones(self, rows: Sequence[int]) -> List[List[int]]:
+        """Batched :meth:`row_ones`: one answer list per queried row.
+
+        Queries descending into the same subtree share the traversal
+        (and its rank calls), so a batch costs one tree walk over the
+        union of the paths instead of one walk per row.  Answers equal
+        ``[self.row_ones(r) for r in rows]`` exactly.
+        """
+        return self._axis_ones_batch(rows, transposed=False)
+
+    def cols_ones(self, cols: Sequence[int]) -> List[List[int]]:
+        """Batched :meth:`col_ones` (see :meth:`rows_ones`)."""
+        return self._axis_ones_batch(cols, transposed=True)
+
+    def _axis_ones_batch(self, fixed_list: Sequence[int],
+                         transposed: bool) -> List[List[int]]:
+        for fixed in fixed_list:
+            if not 0 <= fixed < self.size:
+                raise EncodingError(f"index {fixed} outside {self.size}")
+        results: List[List[int]] = [[] for _ in fixed_list]
+        if self.is_empty() or not fixed_list:
+            return results
+        k = self.k
+        # stack: (children-block offset, block size, base of the free
+        # axis, [(fixed offset within block, query number), ...])
+        stack = [(0, self.virtual_size // k, 0,
+                  [(fixed, query) for query, fixed
+                   in enumerate(fixed_list)])]
+        while stack:
+            offset, block, base, members = stack.pop()
+            groups: dict = {}
+            for fix, query in members:
+                groups.setdefault(fix // block, []).append(
+                    (fix % block, query))
+            for j in range(k):
+                free_base = base + j * block
+                if free_base >= self.size:
+                    continue
+                for fixed_child, sub in groups.items():
+                    if transposed:
+                        idx = offset + j * k + fixed_child
+                    else:
+                        idx = offset + fixed_child * k + j
+                    if block == 1:
+                        if self._l_bit(idx - len(self._t)):
+                            for _, query in sub:
+                                results[query].append(free_base)
+                    elif self._t_bit(idx):
+                        stack.append((self._children_start(idx),
+                                      block // k, free_base, sub))
+        return [sorted(result) for result in results]
+
     def _axis_ones(self, fixed: int, transposed: bool) -> Iterator[int]:
         if not 0 <= fixed < self.size:
             raise EncodingError(f"index {fixed} outside {self.size}")
@@ -274,11 +318,12 @@ class K2Tree:
 
     @classmethod
     def read(cls, reader: BitReader, k: int, size: int, t_len: int,
-             l_len: int) -> "K2Tree":
+             l_len: int, backend: Optional[str] = None) -> "K2Tree":
         """Read payload bits from an open stream (header known)."""
         t_bits = reader.read_bools(t_len)
         l_bits = reader.read_bools(l_len)
-        return cls(k, size, _next_power(k, max(size, 1)), t_bits, l_bits)
+        return cls(k, size, _next_power(k, max(size, 1)), t_bits,
+                   l_bits, backend=backend)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "K2Tree":

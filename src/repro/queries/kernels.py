@@ -1,0 +1,61 @@
+"""Traversal-kernel selection: bitmask word ops vs legacy sets.
+
+The query evaluators have two interchangeable in-shard traversal
+implementations:
+
+* ``"bitmask"`` (the default) — adjacency of every host graph is
+  precomputed once per handle as integer bit-rows (one arbitrary-
+  precision int per node, bit ``j`` set when node ``j`` is a direct
+  successor), so BFS waves, the paper's ``E_i``/``F_i`` level sets and
+  the skeleton relations are AND/OR word operations instead of
+  dict-and-set frontier code.  The idiom is the one
+  :class:`repro.partition.boundary.BoundaryClosure` proved out at the
+  boundary layer, generalized to every host graph.
+* ``"legacy"`` — the original per-query dict/set evaluation, kept as
+  a differential oracle (``tests/test_bitmask_kernels.py`` holds the
+  two bit-identical on every smoke corpus) and as the pre-PR baseline
+  the ``check_bench_regression.py`` kernel gate measures against.
+
+The default is process-wide: ``REPRO_TRAVERSAL_KERNEL=legacy`` in the
+environment selects the oracle for a whole run, and
+:func:`set_default_kernel` switches it programmatically (evaluators
+read the default at construction time, so switch *before* building a
+handle's index).  Individual evaluators also accept an explicit
+``kernel=`` argument, which wins over the default.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import QueryError
+
+KERNELS = ("bitmask", "legacy")
+
+_default = os.environ.get("REPRO_TRAVERSAL_KERNEL", "bitmask")
+
+
+def validate_kernel(name: str) -> str:
+    """Return ``name`` if it names a kernel, raise otherwise."""
+    if name not in KERNELS:
+        raise QueryError(
+            f"unknown traversal kernel {name!r}; expected one of "
+            f"{', '.join(KERNELS)}")
+    return name
+
+
+def default_kernel() -> str:
+    """The kernel evaluators pick when built without an override."""
+    return validate_kernel(_default)
+
+
+def set_default_kernel(name: str) -> str:
+    """Set the process-wide default; returns the previous default.
+
+    Affects evaluators constructed *afterwards* — already-built
+    handles keep the kernel they were born with.
+    """
+    global _default
+    previous = _default
+    _default = validate_kernel(name)
+    return previous

@@ -16,15 +16,26 @@ Directions apply to rank-2 terminal edges; the ``direction``
 parameter selects outgoing (``att = (v, u)``), incoming
 (``att = (u, v)``) or any incidence (which also covers terminal
 hyperedges, should the input contain any).
+
+With the default ``"bitmask"`` traversal kernel (see
+:mod:`repro.queries.kernels`) the recursive descent is *memoized per
+rule*: the terminal targets reachable from ``(label, position,
+direction)`` depend only on the rule structure, never on the instance,
+so they are flattened once into ``(relative edge path, node)`` pairs
+and every later query over any instance of that rule replays the flat
+list (one ``getID`` per neighbor) instead of re-walking the rule
+graphs.  The ``"legacy"`` kernel keeps the original walk as the
+differential oracle.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core.hypergraph import Edge
 from repro.exceptions import QueryError
 from repro.queries.index import GrammarIndex
+from repro.queries.kernels import default_kernel, validate_kernel
 
 
 def _terminal_targets(edge: Edge, position: int,
@@ -47,9 +58,21 @@ def _terminal_targets(edge: Edge, position: int,
 class NeighborhoodQueries:
     """In/out/any neighborhood evaluation on a :class:`GrammarIndex`."""
 
-    def __init__(self, index: GrammarIndex) -> None:
+    def __init__(self, index: GrammarIndex,
+                 kernel: Optional[str] = None) -> None:
         self.index = index
         self.grammar = index.grammar
+        self.kernel = (default_kernel() if kernel is None
+                       else validate_kernel(kernel))
+        #: ``(label, position, direction)`` -> flattened descent:
+        #: ``((relative edge path, target node), ...)``.
+        self._descent_memo: Dict[Tuple[int, int, str],
+                                 Tuple[Tuple[Tuple[int, ...], int],
+                                       ...]] = {}
+        #: Labeled twin: targets carry their terminal edge label.
+        self._labeled_memo: Dict[Tuple[int, int],
+                                 Tuple[Tuple[Tuple[int, ...], int, int],
+                                       ...]] = {}
 
     # ------------------------------------------------------------------
     # Public API
@@ -121,7 +144,18 @@ class NeighborhoodQueries:
         last element is the edge itself); ``position`` is the
         attachment position of the queried node.  Iterative with an
         explicit stack (grammar height can be large).
+
+        The bitmask kernel replays the rule's memoized flat target
+        list instead (one walk per ``(label, position, direction)``
+        per handle lifetime); answers are identical.
         """
+        if self.kernel == "bitmask":
+            label = self.index.label_of_path(path_to_edge)
+            get_id = self.index.get_id
+            for suffix, node in self._descent_targets(label, position,
+                                                      direction):
+                result.add(get_id(path_to_edge + list(suffix), node))
+            return
         stack: List[Tuple[List[int], int]] = [(path_to_edge, position)]
         while stack:
             path, pos = stack.pop()
@@ -139,9 +173,58 @@ class NeighborhoodQueries:
                     result.add(self.index.get_id(path,
                                                  edge.att[target]))
 
+    def _descent_targets(self, label: int, position: int,
+                         direction: str
+                         ) -> Tuple[Tuple[Tuple[int, ...], int], ...]:
+        """Flattened descent of one rule: ``(edge path, node)`` pairs.
+
+        Instance-independent: the relative edge path is appended to
+        the instance's own path and resolved through ``getID``.
+        Nested nonterminals reuse their own memo entries (prefixed),
+        so a rule's flat list is assembled from its children's.
+        """
+        key = (label, position, direction)
+        cached = self._descent_memo.get(key)
+        if cached is not None:
+            return cached
+        targets: List[Tuple[Tuple[int, ...], int]] = []
+        stack: List[Tuple[Tuple[int, ...], int, int]] = \
+            [((), label, position)]
+        while stack:
+            suffix, lab, pos = stack.pop()
+            rhs = self.grammar.rhs(lab)
+            entry = rhs.ext[pos]
+            for eid in rhs.incident(entry):
+                edge = rhs.edge(eid)
+                local_pos = edge.att.index(entry)
+                if self.grammar.has_rule(edge.label):
+                    child = self._descent_memo.get(
+                        (edge.label, local_pos, direction))
+                    if child is not None:
+                        targets.extend((suffix + (eid,) + sub, node)
+                                       for sub, node in child)
+                    else:
+                        stack.append((suffix + (eid,), edge.label,
+                                      local_pos))
+                    continue
+                for target in _terminal_targets(edge, local_pos,
+                                                direction):
+                    targets.append((suffix, edge.att[target]))
+        flat = tuple(targets)
+        self._descent_memo[key] = flat
+        return flat
+
     def _descend_labeled(self, path_to_edge: List[int], position: int,
                          result: Set[Tuple[int, int]]) -> None:
         """``getNeighboring`` keeping labels: (label, target) pairs."""
+        if self.kernel == "bitmask":
+            label = self.index.label_of_path(path_to_edge)
+            get_id = self.index.get_id
+            for suffix, edge_label, node in self._labeled_targets(
+                    label, position):
+                result.add((edge_label,
+                            get_id(path_to_edge + list(suffix), node)))
+            return
         stack: List[Tuple[List[int], int]] = [(path_to_edge, position)]
         while stack:
             path, pos = stack.pop()
@@ -159,3 +242,41 @@ class NeighborhoodQueries:
                         result.add(
                             (edge.label,
                              self.index.get_id(path, edge.att[1])))
+
+    def _labeled_targets(self, label: int, position: int
+                         ) -> Tuple[Tuple[Tuple[int, ...], int, int],
+                                    ...]:
+        """Flattened labeled descent: ``(edge path, label, node)``."""
+        key = (label, position)
+        cached = self._labeled_memo.get(key)
+        if cached is not None:
+            return cached
+        targets: List[Tuple[Tuple[int, ...], int, int]] = []
+        stack: List[Tuple[Tuple[int, ...], int, int]] = \
+            [((), label, position)]
+        while stack:
+            suffix, lab, pos = stack.pop()
+            rhs = self.grammar.rhs(lab)
+            entry = rhs.ext[pos]
+            for eid in rhs.incident(entry):
+                edge = rhs.edge(eid)
+                for local_pos, node in enumerate(edge.att):
+                    if node != entry:
+                        continue
+                    if self.grammar.has_rule(edge.label):
+                        child = self._labeled_memo.get(
+                            (edge.label, local_pos))
+                        if child is not None:
+                            targets.extend(
+                                (suffix + (eid,) + sub, sub_label,
+                                 sub_node)
+                                for sub, sub_label, sub_node in child)
+                        else:
+                            stack.append((suffix + (eid,), edge.label,
+                                          local_pos))
+                    elif len(edge.att) == 2 and local_pos == 0:
+                        targets.append((suffix, edge.label,
+                                        edge.att[1]))
+        flat = tuple(targets)
+        self._labeled_memo[key] = flat
+        return flat

@@ -30,16 +30,29 @@ Every level's search is linear in the host's size and each host is
 visited a constant number of times, so a query costs ``O(|G|)`` —
 a speed-up proportional to the compression ratio, since BFS on the
 decompressed graph costs ``O(|val(G)|)``.
+
+Two kernels implement the searches (see :mod:`repro.queries.kernels`):
+
+* ``"bitmask"`` (default) — every distinct host graph (the start graph
+  plus one right-hand side per rule) gets its skeleton-expanded
+  adjacency precomputed **once per handle** as integer bit-rows; the
+  ``E_i``/``F_i`` level sets and every BFS wave are then AND/OR word
+  operations.  A query touches no dict-of-lists construction at all.
+* ``"legacy"`` — the original per-query adjacency-dict build and
+  set-based BFS, kept as the differential oracle and the baseline the
+  bench-regression kernel gate measures against.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, \
+    Set, Tuple
 
 from repro.core.hypergraph import Hypergraph
 from repro.exceptions import QueryError
 from repro.queries.index import GrammarIndex
+from repro.queries.kernels import default_kernel, validate_kernel
 
 
 def _expanded_adjacency(
@@ -94,30 +107,130 @@ def _search(adjacency: Dict[int, List[int]],
     return seen
 
 
-class ReachabilityQueries:
-    """(s,t)-reachability on a :class:`GrammarIndex`."""
+class _HostMasks:
+    """One host graph's skeleton-expanded adjacency as bit-rows.
 
-    def __init__(self, index: GrammarIndex) -> None:
+    ``fwd[i]`` / ``rev[i]`` are integer bitmasks over the host's local
+    bit numbering (``bit_of``); ``ext_bits`` are the bits of the
+    external nodes in attachment order.  Built once per host per
+    handle; every query after that is pure word arithmetic.
+    """
+
+    __slots__ = ("host", "bit_of", "fwd", "rev", "ext_bits",
+                 "closure_fwd", "closure_rev")
+
+    def __init__(self, host: Hypergraph, grammar,
+                 skeletons: Dict[int, FrozenSet[Tuple[int, int]]]
+                 ) -> None:
+        self.host = host
+        #: Lazily filled per-source-bit transitive-closure rows
+        #: (``bit -> reached mask``): a search from a frontier is the
+        #: OR of its bits' closures, so repeated searches over one
+        #: host — the shape of every batch — pay each BFS once.
+        self.closure_fwd: Dict[int, int] = {}
+        self.closure_rev: Dict[int, int] = {}
+        nodes = sorted(host.nodes())
+        bit_of = {node: bit for bit, node in enumerate(nodes)}
+        self.bit_of = bit_of
+        fwd = [0] * len(nodes)
+        rev = [0] * len(nodes)
+        for _, edge in host.edges():
+            if grammar.has_rule(edge.label):
+                att = edge.att
+                for i, j in skeletons[edge.label]:
+                    src, dst = bit_of[att[i]], bit_of[att[j]]
+                    fwd[src] |= 1 << dst
+                    rev[dst] |= 1 << src
+                continue
+            if len(edge.att) != 2:
+                raise QueryError(
+                    "reachability requires a simple derived graph; "
+                    f"found a terminal edge of rank {len(edge.att)}"
+                )
+            src, dst = bit_of[edge.att[0]], bit_of[edge.att[1]]
+            fwd[src] |= 1 << dst
+            rev[dst] |= 1 << src
+        self.fwd = fwd
+        self.rev = rev
+        self.ext_bits = tuple(bit_of[node] for node in host.ext)
+
+
+def _search_bits(rows: List[int], frontier: int) -> int:
+    """Bits reachable from ``frontier`` (inclusive) via wave BFS.
+
+    Each wave ORs the rows of the frontier's set bits — one word
+    operation per machine word instead of one set insertion per node.
+    """
+    seen = frontier
+    while frontier:
+        union = 0
+        while frontier:
+            low = frontier & -frontier
+            union |= rows[low.bit_length() - 1]
+            frontier &= frontier - 1
+        frontier = union & ~seen
+        seen |= frontier
+    return seen
+
+
+class ReachabilityQueries:
+    """(s,t)-reachability on a :class:`GrammarIndex`.
+
+    ``kernel`` selects the traversal implementation (``"bitmask"`` /
+    ``"legacy"``); ``None`` takes the process default from
+    :mod:`repro.queries.kernels`.  Answers are identical either way —
+    the differential suite holds that line.
+    """
+
+    def __init__(self, index: GrammarIndex,
+                 kernel: Optional[str] = None) -> None:
         self.index = index
         self.grammar = index.grammar
-        self._skeletons = self._compute_skeletons()
+        self.kernel = (default_kernel() if kernel is None
+                       else validate_kernel(kernel))
+        #: Per-host bit-row cache: ``None`` keys the start graph, a
+        #: nonterminal label keys its right-hand side.  Rule hosts are
+        #: populated eagerly by the skeleton pass (they are needed
+        #: bottom-up anyway); the start graph joins on first query.
+        self._masks: Dict[Optional[int], _HostMasks] = {}
+        self._skeletons: Dict[int, FrozenSet[Tuple[int, int]]] = {}
+        self._compute_skeletons()
 
     # ------------------------------------------------------------------
     # Precomputation
     # ------------------------------------------------------------------
-    def _compute_skeletons(self) -> Dict[int, FrozenSet[Tuple[int, int]]]:
-        skeletons: Dict[int, FrozenSet[Tuple[int, int]]] = {}
+    def _masks_for(self, label: Optional[int]) -> _HostMasks:
+        """The (cached) bit-rows of one host graph."""
+        masks = self._masks.get(label)
+        if masks is None:
+            host = (self.grammar.start if label is None
+                    else self.grammar.rhs(label))
+            masks = _HostMasks(host, self.grammar, self._skeletons)
+            self._masks[label] = masks
+        return masks
+
+    def _compute_skeletons(self) -> None:
+        bitmask = self.kernel == "bitmask"
         for lhs in self.grammar.bottom_up_order():
             rhs = self.grammar.rhs(lhs)
-            adjacency = _expanded_adjacency(rhs, self.grammar, skeletons)
             pairs: Set[Tuple[int, int]] = set()
-            for i, ext_node in enumerate(rhs.ext):
-                reached = _search(adjacency, [ext_node])
-                for j, other in enumerate(rhs.ext):
-                    if i != j and other in reached:
-                        pairs.add((i, j))
-            skeletons[lhs] = frozenset(pairs)
-        return skeletons
+            if bitmask:
+                masks = self._masks_for(lhs)
+                ext_bits = masks.ext_bits
+                for i, bit in enumerate(ext_bits):
+                    reached = self._reach_bits(masks, False, 1 << bit)
+                    for j, other in enumerate(ext_bits):
+                        if i != j and reached >> other & 1:
+                            pairs.add((i, j))
+            else:
+                adjacency = _expanded_adjacency(rhs, self.grammar,
+                                                self._skeletons)
+                for i, ext_node in enumerate(rhs.ext):
+                    reached = _search(adjacency, [ext_node])
+                    for j, other in enumerate(rhs.ext):
+                        if i != j and other in reached:
+                            pairs.add((i, j))
+            self._skeletons[lhs] = frozenset(pairs)
 
     def skeleton(self, lhs: int) -> FrozenSet[Tuple[int, int]]:
         """The skeleton relation of nonterminal ``lhs`` (positions)."""
@@ -143,6 +256,9 @@ class ReachabilityQueries:
                 break
             common += 1
 
+        if self.kernel == "bitmask":
+            return self._reachable_bits(source_rep, target_rep, common)
+
         source_sets = self._lift(source_rep, reverse=False)
         target_sets = self._lift(target_rep, reverse=True)
 
@@ -156,6 +272,90 @@ class ReachabilityQueries:
                 return True
         return False
 
+    # -- bitmask kernel -------------------------------------------------
+    @staticmethod
+    def _reach_bits(masks: _HostMasks, reverse: bool,
+                    frontier: int) -> int:
+        """Bits reachable from ``frontier`` through one host's rows.
+
+        Decomposes the frontier into single bits and ORs their cached
+        transitive-closure rows, filling the cache by wave BFS on the
+        first search from each bit.  Reachability is union-
+        decomposable, so the OR equals one BFS from the whole
+        frontier — but across a batch every host pays each source bit
+        at most once, which is where the ≥5x batch speed-up over the
+        per-query set kernel comes from.
+        """
+        cache = masks.closure_rev if reverse else masks.closure_fwd
+        rows = masks.rev if reverse else masks.fwd
+        reached = 0
+        while frontier:
+            low = frontier & -frontier
+            frontier &= frontier - 1
+            bit = low.bit_length() - 1
+            hit = cache.get(bit)
+            if hit is None:
+                hit = _search_bits(rows, low)
+                cache[bit] = hit
+            reached |= hit
+        return reached
+
+    def _labels_along(self, edges: Sequence[int]
+                      ) -> List[Optional[int]]:
+        """Host labels per level: ``[None, label_1, ..., label_n]``."""
+        labels: List[Optional[int]] = [None]
+        host = self.grammar.start
+        for eid in edges:
+            label = host.edge(eid).label
+            labels.append(label)
+            host = self.grammar.rhs(label)
+        return labels
+
+    def _reachable_bits(self, source_rep, target_rep,
+                        common: int) -> bool:
+        source_labels = self._labels_along(source_rep.edges)
+        target_labels = self._labels_along(target_rep.edges)
+        source_sets = self._lift_bits(source_rep, source_labels,
+                                      reverse=False)
+        target_sets = self._lift_bits(target_rep, target_labels,
+                                      reverse=True)
+        # The shared prefix means shared hosts (hence one bit space)
+        # per level up to the divergence point.
+        for level in range(common, -1, -1):
+            masks = self._masks_for(source_labels[level])
+            reached = self._reach_bits(masks, False, source_sets[level])
+            if reached & target_sets[level]:
+                return True
+        return False
+
+    def _lift_bits(self, rep, labels: Sequence[Optional[int]],
+                   reverse: bool) -> List[int]:
+        """Per-level bitmasks of exits (or entries, reversed).
+
+        The bitmask twin of :meth:`_lift`: ``result[level]`` is a mask
+        in the level host's bit space, holding the nodes from which
+        the represented node is reachable (``reverse=True``) or which
+        are reachable from it (``reverse=False``) through the subtree
+        below.
+        """
+        edges = rep.edges
+        depth = len(edges)
+        sets = [0] * (depth + 1)
+        masks = self._masks_for(labels[depth])
+        sets[depth] = 1 << masks.bit_of[rep.node]
+        for level in range(depth, 0, -1):
+            reached = self._reach_bits(masks, reverse, sets[level])
+            parent = self._masks_for(labels[level - 1])
+            attachment = parent.host.edge(edges[level - 1]).att
+            lifted = 0
+            for position, bit in enumerate(masks.ext_bits):
+                if reached >> bit & 1:
+                    lifted |= 1 << parent.bit_of[attachment[position]]
+            sets[level - 1] = lifted
+            masks = parent
+        return sets
+
+    # -- legacy kernel --------------------------------------------------
     def _host_at(self, edges: Sequence[int], level: int) -> Hypergraph:
         """Host graph at depth ``level`` along an edge path."""
         return self.index._host_for(edges[:level])

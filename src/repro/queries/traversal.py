@@ -14,6 +14,11 @@ downstream users do not have to re-derive them:
 
 All operate purely through :class:`GrammarQueries` neighborhoods; none
 materialize ``val(G)``.
+
+Frontier bookkeeping uses flat ``bytearray`` visited rows indexed by
+node ID (IDs are dense, ``1..node_count``) instead of hashed sets —
+membership is one byte load, and the row is allocated once per
+traversal.  Results are unchanged.
 """
 
 from __future__ import annotations
@@ -32,6 +37,8 @@ def bfs_distances(queries: GrammarQueries, source: int,
     if not 1 <= source <= total:
         raise QueryError(f"source {source} out of range 1..{total}")
     distances = {source: 0}
+    seen = bytearray(total + 1)
+    seen[source] = 1
     frontier = deque([source])
     while frontier:
         node = frontier.popleft()
@@ -39,7 +46,8 @@ def bfs_distances(queries: GrammarQueries, source: int,
         if max_hops is not None and depth >= max_hops:
             continue
         for succ in queries.out_neighbors(node):
-            if succ not in distances:
+            if not seen[succ]:
+                seen[succ] = 1
                 distances[succ] = depth + 1
                 frontier.append(succ)
     return distances
@@ -55,12 +63,15 @@ def shortest_path(queries: GrammarQueries, source: int,
     if source == target:
         return [source]
     parents: Dict[int, int] = {source: source}
+    seen = bytearray(total + 1)
+    seen[source] = 1
     frontier = deque([source])
     while frontier:
         node = frontier.popleft()
         for succ in queries.out_neighbors(node):
-            if succ in parents:
+            if seen[succ]:
                 continue
+            seen[succ] = 1
             parents[succ] = node
             if succ == target:
                 path = [target]

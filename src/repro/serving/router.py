@@ -107,12 +107,22 @@ _BACKOFF_CAP = 2.0
 # ----------------------------------------------------------------------
 # Shard server child process
 # ----------------------------------------------------------------------
-def _shard_process_main(blob: bytes, conn: Any, codec: str,
+def _shard_process_main(source: Any, shard: int, conn: Any, codec: str,
                         cache_size: Optional[int],
                         pipeline: Optional[int]) -> None:
-    """Decode one shard, warm it, serve it forever on a loopback port."""
-    from repro.api import DEFAULT_CACHE_SIZE, CompressedGraph
+    """Decode one shard, warm it, serve it forever on a loopback port.
 
+    ``source`` is either a
+    :class:`~repro.encoding.container.DecodedContainer` (the child
+    materializes exactly shard ``shard`` out of the fork-inherited
+    mapping — the parent never copies any blob) or a single-grammar
+    buffer (``shard`` is 0).
+    """
+    from repro.api import DEFAULT_CACHE_SIZE, CompressedGraph
+    from repro.encoding.container import DecodedContainer
+
+    blob = (source.shard(shard)
+            if isinstance(source, DecodedContainer) else source)
     handle = CompressedGraph.from_bytes(
         blob, cache_size=(DEFAULT_CACHE_SIZE if cache_size is None
                           else cache_size))
@@ -906,8 +916,9 @@ class ShardHost:
                  address: str = "127.0.0.1:0", codec: str = "json",
                  epoch: int = 0, cache_size: Optional[int] = None,
                  pipeline: Optional[int] = None) -> None:
+        from repro.encoding.container import map_file
         self._data = (bytes(path) if isinstance(path, (bytes, bytearray))
-                      else Path(path).read_bytes())
+                      else map_file(path))
         self._shard = int(shard)
         self._address = address
         self._codec = codec
@@ -917,6 +928,11 @@ class ShardHost:
         self._listener: Optional[socket.socket] = None
         self._loop: Optional[ServerLoop] = None
         self.endpoint: Optional[str] = None
+        #: The lazily decoded "GRPS" framing (``None`` before
+        #: :meth:`start` and for single-grammar containers).  Its
+        #: ``materialized_bytes`` counter is how the cold-open bench
+        #: gate verifies a host copies only its own shard.
+        self.container: Optional[Any] = None
 
     @property
     def fault(self) -> Optional[ReproError]:
@@ -932,12 +948,15 @@ class ShardHost:
         )
 
         if is_sharded_container(self._data):
-            _, blobs, _, _ = decode_sharded_container(self._data)
-            if not 0 <= self._shard < len(blobs):
+            # Lazy decode: only the owned shard's blob is copied out
+            # of the (mmap-backed) container.
+            container = decode_sharded_container(self._data)
+            self.container = container
+            if not 0 <= self._shard < container.num_shards:
                 raise ReproError(
                     f"shard index {self._shard} out of range "
-                    f"(container has {len(blobs)} shards)")
-            blob = blobs[self._shard]
+                    f"(container has {container.num_shards} shards)")
+            blob = container.shard(self._shard)
         else:
             if self._shard != 0:
                 raise ReproError(
@@ -1044,8 +1063,13 @@ class GraphServer:
                                  "file; pass the container explicitly "
                                  "(GraphServer(path, manifest=...))")
             path = manifest.container
+        from repro.encoding.container import map_file
         self._data = (bytes(path) if isinstance(path, (bytes, bytearray))
-                      else Path(path).read_bytes())
+                      else map_file(path))
+        #: Lazily decoded "GRPS" framing (set by :meth:`start` for
+        #: sharded containers): its ``materialized_bytes`` counter
+        #: shows how little of the file the router itself copied.
+        self.container: Optional[Any] = None
         if int(replicas) < 1:
             raise ReproError(f"replicas must be >= 1, got {replicas}")
         self._address = address
@@ -1104,6 +1128,7 @@ class GraphServer:
         cache_size = (DEFAULT_CACHE_SIZE if self._cache_size is None
                       else self._cache_size)
         sharded = is_sharded_container(self._data)
+        container = None
         if sharded:
             from repro.partition import BoundaryClosure
             from repro.sharding import (
@@ -1111,26 +1136,33 @@ class GraphServer:
                 _decode_meta,
                 _decode_rpq_closures,
             )
-            meta, blobs, closure_blob, rpq_blob = \
-                decode_sharded_container(self._data)
+            # Lazy decode: the router itself materializes only the
+            # meta and closure trailers; shard blobs are copied by the
+            # forked children (each exactly its own — the parent's
+            # mmap is inherited), or not at all in manifest mode.
+            container = decode_sharded_container(self._data)
+            self.container = container
+            shard_count = container.num_shards
             (shard_nodes, boundary_edges, blocks, extrema,
              degree_error, simple, partitioner) = _decode_meta(
-                meta, len(blobs))
+                container.meta, shard_count)
             # A persisted closure means a cold-started router answers
             # cross-shard reach without ever re-probing the shards.
-            closure = (BoundaryClosure.from_bytes(closure_blob)
-                       if closure_blob is not None else None)
-            rpq_closures = (_decode_rpq_closures(rpq_blob)
-                            if rpq_blob is not None else None)
+            closure = (BoundaryClosure.from_bytes(container.closure)
+                       if container.has_closure else None)
+            rpq_closures = (_decode_rpq_closures(container.rpq_closures)
+                            if container.has_rpq_closures else None)
         else:
-            blobs = [self._data]
+            shard_count = 1
         try:
             if self._manifest is not None:
                 link_codec = self._manifest.codec
-                endpoint_groups = self._manifest_endpoints(len(blobs))
+                endpoint_groups = self._manifest_endpoints(shard_count)
             else:
                 link_codec = self._codec
-                endpoint_groups = self._spawn_shards(blobs)
+                endpoint_groups = self._spawn_shards(
+                    container if container is not None else self._data,
+                    shard_count)
             self._proxies = [
                 ReplicatedShard(group, codec=link_codec,
                                 timeout=self._shard_timeout,
@@ -1158,7 +1190,7 @@ class GraphServer:
                 executor: Executor = ThreadExecutor()
                 info = {
                     "type": "sharded",
-                    "shards": len(blobs),
+                    "shards": shard_count,
                     "nodes": sum(shard_nodes),
                     "boundary_edges": len(boundary_edges),
                     "partitioner": partitioner,
@@ -1182,7 +1214,7 @@ class GraphServer:
             # failure: don't leak the shard processes forked above.
             self.close()
             raise
-        self.num_shards = len(blobs)
+        self.num_shards = shard_count
         self._service = service
         self._listener, self.endpoint = bind_socket(self._address)
         self._loop = ServerLoop(self._listener, service, executor,
@@ -1247,22 +1279,28 @@ class GraphServer:
                     f"no reachable replica for shard {index} "
                     f"(tried {list(proxy.endpoints)})")
 
-    def _spawn_shards(self, blobs: Iterable[bytes]
+    def _spawn_shards(self, source: Any, shard_count: int
                       ) -> List[List[str]]:
-        """Fork ``replicas`` loopback servers per shard blob."""
+        """Fork ``replicas`` loopback servers per shard.
+
+        ``source`` (a ``DecodedContainer`` or a single-grammar buffer)
+        is passed to the children whole: fork start-method arguments
+        are inherited, not pickled, so each child copies only its own
+        shard blob out of the shared mapping.
+        """
         context = _fork_context()
         if context is None:  # pragma: no cover - non-POSIX
             raise ReproError("socket serving requires a platform with "
                              "fork (POSIX)")
         groups: List[List[str]] = []
-        for blob in blobs:
+        for shard in range(shard_count):
             endpoints: List[str] = []
             processes: List[Any] = []
             for _ in range(self._replicas):
                 parent_conn, child_conn = context.Pipe(duplex=False)
                 process = context.Process(
                     target=_shard_process_main,
-                    args=(blob, child_conn, self._codec,
+                    args=(source, shard, child_conn, self._codec,
                           self._cache_size, self._pipeline),
                     daemon=True)
                 process.start()

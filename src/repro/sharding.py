@@ -98,7 +98,7 @@ from repro.encoding.container import (
     decode_sharded_container,
     encode_sharded_container,
     is_sharded_container,
-    sharded_container_sections,
+    map_file,
 )
 from repro.exceptions import EncodingError, GrammarError, QueryError
 from repro.partition import (
@@ -419,17 +419,31 @@ class ShardedCompressedGraph(GraphService):
                    cache_size=cache_size)
 
     @classmethod
-    def from_bytes(cls, buf: Union[bytes, bytearray, ShardedFile],
+    def from_bytes(cls, buf: Union[bytes, bytearray, memoryview,
+                                   ShardedFile],
                    cache_size: int = DEFAULT_CACHE_SIZE
                    ) -> "ShardedCompressedGraph":
-        """Load a handle from serialized "GRPS" container bytes."""
-        data = buf.data if isinstance(buf, ShardedFile) else bytes(buf)
-        meta, blobs, closure_blob, rpq_blob = \
-            decode_sharded_container(data)
+        """Load a handle from serialized "GRPS" container bytes.
+
+        This is the full-open path: every shard is decoded (a local
+        handle serves all of them), so all blobs materialize.  Readers
+        that own a subset of shards decode the
+        :class:`~repro.encoding.container.DecodedContainer` themselves
+        and materialize only their own — see
+        :class:`repro.serving.router.ShardHost`.
+        """
+        if isinstance(buf, ShardedFile):
+            data = buf.data
+        elif isinstance(buf, bytearray):
+            data = bytes(buf)  # defend against caller mutation
+        else:
+            data = buf
+        parsed = decode_sharded_container(data)
+        blobs = parsed.shards
         shards = [CompressedGraph.from_bytes(blob, cache_size=cache_size)
                   for blob in blobs]
         (shard_nodes, boundary_edges, blocks, extrema, degree_error,
-         simple, partitioner) = _decode_meta(meta, len(blobs))
+         simple, partitioner) = _decode_meta(parsed.meta, len(blobs))
         if len(shard_nodes) != len(shards):
             raise EncodingError(
                 f"meta lists {len(shard_nodes)} shards, container "
@@ -457,12 +471,12 @@ class ShardedCompressedGraph(GraphService):
                     "build"
                 )
         reference = shards[0].grammar.alphabet
-        closure = (BoundaryClosure.from_bytes(closure_blob)
-                   if closure_blob is not None else None)
-        rpq_closures = (_decode_rpq_closures(rpq_blob)
-                        if rpq_blob is not None else None)
+        closure = (BoundaryClosure.from_bytes(parsed.closure)
+                   if parsed.has_closure else None)
+        rpq_closures = (_decode_rpq_closures(parsed.rpq_closures)
+                        if parsed.has_rpq_closures else None)
         container = ShardedFile(
-            data=data, section_bytes=sharded_container_sections(data))
+            data=data, section_bytes=parsed.section_bytes())
         # Like CompressedGraph.from_bytes: remember the k the file was
         # encoded with so save()/to_bytes() reuse the loaded bytes only
         # when the requested parameters match.
@@ -482,9 +496,8 @@ class ShardedCompressedGraph(GraphService):
     def open(cls, path: Union[str, Path],
              cache_size: int = DEFAULT_CACHE_SIZE
              ) -> "ShardedCompressedGraph":
-        """Load a handle from a ``.grps`` container file."""
-        return cls.from_bytes(Path(path).read_bytes(),
-                              cache_size=cache_size)
+        """Load a handle from a ``.grps`` container file (mmap-backed)."""
+        return cls.from_bytes(map_file(path), cache_size=cache_size)
 
     # ------------------------------------------------------------------
     # Persistence
@@ -552,7 +565,8 @@ class ShardedCompressedGraph(GraphService):
     def to_bytes(self, include_names: bool = True, k: int = 2,
                  include_closure: Optional[bool] = None) -> bytes:
         """Serialize to "GRPS" container bytes."""
-        return self.to_container(include_names, k, include_closure).data
+        data = self.to_container(include_names, k, include_closure).data
+        return data if isinstance(data, bytes) else bytes(data)
 
     def save(self, path: Union[str, Path], include_names: bool = True,
              k: int = 2,
@@ -1970,9 +1984,10 @@ def open_compressed(path: Union[str, Path],
 
     "GRPS" files yield a :class:`ShardedCompressedGraph`, "GRPR" files
     a :class:`CompressedGraph`; both expose the same query surface, so
-    callers (the CLI among them) need not care which they got.
+    callers (the CLI among them) need not care which they got.  The
+    file is memory-mapped, not read eagerly.
     """
-    data = Path(path).read_bytes()
+    data = map_file(path)
     if is_sharded_container(data):
         return ShardedCompressedGraph.from_bytes(data,
                                                  cache_size=cache_size)

@@ -1,0 +1,170 @@
+"""Differential lane: bitmask traversal kernels ≡ legacy sets.
+
+The ``"bitmask"`` kernel (precomputed integer bit-row adjacency, wave
+BFS by word ops, memoized rule descents — see
+:mod:`repro.queries.kernels`) must answer every frontier query
+*bit-identically* to the original ``"legacy"`` dict/set evaluation.
+This lane holds that line on all smoke corpora, unsharded and through
+2- and 4-shard containers, across every frontier query kind:
+reachability, neighborhoods, paths (BFS distances + shortest path) and
+the RPQ product-automaton BFS fallback (which steps on the memoized
+labeled descent).
+
+Kernel selection is process-global and read at construction time, so
+each handle pair is built under an explicitly pinned default.
+"""
+
+import random
+
+import pytest
+
+from repro.api import CompressedGraph
+from repro.bench import SMOKE_CORPORA
+from repro.queries import set_default_kernel
+from repro.queries.kernels import default_kernel
+from repro.queries.traversal import bfs_distances, shortest_path
+from repro.sharding import ShardedCompressedGraph
+
+
+def _pinned(kernel, build):
+    """Run ``build`` with the process-default kernel pinned."""
+    previous = set_default_kernel(kernel)
+    try:
+        return build()
+    finally:
+        set_default_kernel(previous)
+
+
+def _handle_pair(name):
+    """(legacy, bitmask) unsharded handles over one grammar."""
+    graph, alphabet = SMOKE_CORPORA[name]()
+    base = CompressedGraph.compress(graph, alphabet)
+    legacy = _pinned("legacy",
+                     lambda: CompressedGraph.from_grammar(base.grammar))
+    bitmask = _pinned("bitmask",
+                      lambda: CompressedGraph.from_grammar(base.grammar))
+    return legacy, bitmask
+
+
+def _sharded_pair(name, shards):
+    """(legacy, bitmask) sharded handles over one container."""
+    graph, alphabet = SMOKE_CORPORA[name]()
+    blob = _pinned("legacy", lambda: ShardedCompressedGraph.compress(
+        graph, alphabet, shards=shards, partitioner="bfs",
+        validate=False)).to_bytes()
+    legacy = _pinned("legacy",
+                     lambda: ShardedCompressedGraph.from_bytes(blob))
+    bitmask = _pinned("bitmask",
+                      lambda: ShardedCompressedGraph.from_bytes(blob))
+    return legacy, bitmask
+
+
+def _probe_pairs(total, count, seed=7):
+    rng = random.Random(seed)
+    pairs = [(1, total), (total, 1), (1, 1)]
+    pairs += [(rng.randint(1, total), rng.randint(1, total))
+              for _ in range(count)]
+    return pairs
+
+
+def _probe_nodes(total, count, seed=11):
+    rng = random.Random(seed)
+    nodes = {1, total}
+    nodes.update(rng.randint(1, total) for _ in range(count))
+    return sorted(nodes)
+
+
+def _first_label_name(handle):
+    alphabet = handle.alphabet
+    for label in alphabet.terminals():
+        name = alphabet.name(label)
+        if name is not None:
+            return name
+    return None
+
+
+def _assert_frontier_queries_agree(legacy, bitmask, pair_count,
+                                   node_count):
+    total = legacy.node_count()
+    assert bitmask.node_count() == total
+    for source, target in _probe_pairs(total, pair_count):
+        assert legacy.reachable(source, target) == \
+            bitmask.reachable(source, target), (source, target)
+    for node in _probe_nodes(total, node_count):
+        assert legacy.out_neighbors(node) == bitmask.out_neighbors(node)
+        assert legacy.in_neighbors(node) == bitmask.in_neighbors(node)
+        assert legacy.neighbors(node) == bitmask.neighbors(node)
+
+
+def _assert_paths_agree(legacy, bitmask, pair_count):
+    total = legacy.node_count()
+    sources = _probe_nodes(total, 3, seed=5)
+    for source in sources:
+        assert bfs_distances(legacy, source) == \
+            bfs_distances(bitmask, source)
+    for source, target in _probe_pairs(total, pair_count, seed=13):
+        path_legacy = shortest_path(legacy, source, target)
+        path_bitmask = shortest_path(bitmask, source, target)
+        # BFS over sorted neighbor lists is deterministic, so the
+        # actual paths match, not just their lengths.
+        assert path_legacy == path_bitmask, (source, target)
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_CORPORA))
+def test_unsharded_kernels_agree(name):
+    legacy, bitmask = _handle_pair(name)
+    _assert_frontier_queries_agree(legacy, bitmask,
+                                   pair_count=40, node_count=30)
+    _assert_paths_agree(legacy, bitmask, pair_count=8)
+
+
+@pytest.mark.parametrize("name", sorted(SMOKE_CORPORA))
+def test_unsharded_rpq_product_bfs_agrees(name):
+    legacy, bitmask = _handle_pair(name)
+    label = _first_label_name(legacy)
+    if label is None:
+        pytest.skip("corpus has no named labels")
+    # Pin the BFS fallback on both engines: it steps the product
+    # automaton on ``out_edges``, the labeled memoized descent.
+    legacy._rpq_engine().force = "bfs"
+    bitmask._rpq_engine().force = "bfs"
+    pattern = f"<{label}>+"
+    total = legacy.node_count()
+    for source, target in _probe_pairs(total, 15, seed=3):
+        assert legacy.rpq(pattern, source, target) == \
+            bitmask.rpq(pattern, source, target), (source, target)
+
+
+@pytest.mark.parametrize("shards", [2, 4])
+@pytest.mark.parametrize("name", sorted(SMOKE_CORPORA))
+def test_sharded_kernels_agree(name, shards):
+    legacy, bitmask = _sharded_pair(name, shards)
+    _assert_frontier_queries_agree(legacy, bitmask,
+                                   pair_count=12, node_count=8)
+    _assert_paths_agree(legacy, bitmask, pair_count=3)
+    label = _first_label_name(legacy)
+    if label is None:
+        return
+    # In-shard RPQ engines pinned to the product-BFS fallback; the
+    # cross-shard route is whatever the planner picks on both sides.
+    for shard in legacy.shards:
+        shard._rpq_engine().force = "bfs"
+    for shard in bitmask.shards:
+        shard._rpq_engine().force = "bfs"
+    pattern = f"<{label}>+"
+    total = legacy.node_count()
+    for source, target in _probe_pairs(total, 5, seed=3):
+        assert legacy.rpq(pattern, source, target) == \
+            bitmask.rpq(pattern, source, target), (source, target)
+
+
+def test_default_kernel_roundtrip():
+    previous = set_default_kernel("legacy")
+    try:
+        assert default_kernel() == "legacy"
+        set_default_kernel("bitmask")
+        assert default_kernel() == "bitmask"
+    finally:
+        set_default_kernel(previous)
+    with pytest.raises(Exception, match="unknown traversal kernel"):
+        set_default_kernel("simd")

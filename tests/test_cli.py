@@ -236,6 +236,25 @@ class TestSharded:
         assert "shard balance:" in out
         assert "closure:        absent" in out
 
+    def test_stats_timing_reports_materialization(self, sharded,
+                                                  capsys):
+        assert main(["stats", "--timing", str(sharded)]) == 0
+        out = capsys.readouterr().out
+        assert "cold open:" in out
+        assert "warm open:" in out
+        assert "full open)" in out
+        assert "shard0=" in out  # per-section byte breakdown
+        # A shard-0-only lazy open copies strictly less than the full
+        # open (the other shard blobs stay inside the mmap).
+        assert "shard 0 only:" in out
+        full_line = next(line for line in out.splitlines()
+                         if line.startswith("materialized:"))
+        lazy_line = next(line for line in out.splitlines()
+                         if "shard 0 only:" in line)
+        full_bytes = int(full_line.split()[1].split("/")[0])
+        lazy_bytes = int(lazy_line.split()[3].split("/")[0])
+        assert lazy_bytes < full_bytes
+
     @pytest.mark.parametrize("partitioner", ["bfs", "label"])
     def test_edge_cut_partitioners(self, tmp_path, edge_list,
                                    partitioner, capsys):
@@ -269,6 +288,13 @@ class TestSharded:
                                               capsys):
         assert main(["stats", str(compressed)]) == 0
         assert "query cache:" in capsys.readouterr().out
+
+    def test_stats_timing_on_single_grammar(self, compressed, capsys):
+        assert main(["stats", "--timing", str(compressed)]) == 0
+        out = capsys.readouterr().out
+        assert "cold open:" in out
+        assert "warm open:" in out
+        assert "decode eagerly" in out
 
     def test_queries_route_through_sharded_container(self, sharded,
                                                      capsys):

@@ -461,10 +461,10 @@ class TestClosurePersistence:
             graph, alphabet, shards=4, partitioner="bfs",
             validate=False)
         handle.warm_closure()
-        meta, blobs, closure, _ = decode_sharded_container(
-            handle.to_bytes())
+        container = decode_sharded_container(handle.to_bytes())
         wrong = BoundaryClosure([1, 2], [2, 1]).to_bytes()
-        spliced = encode_sharded_container(meta, blobs, wrong)
+        spliced = encode_sharded_container(container.meta,
+                                           container.shards, wrong)
         with pytest.raises(EncodingError, match="boundary node"):
             ShardedCompressedGraph.from_bytes(spliced.data)
 

@@ -499,7 +499,7 @@ class TestClosurePersistence:
         assert sharded.rpq_closures_built == 2
         assert not sharded.rpq_closures_persisted
         blob = sharded.to_bytes()
-        _, _, _, rpq_blob = decode_sharded_container(blob)
+        rpq_blob = decode_sharded_container(blob).rpq_closures
         assert rpq_blob is not None
         assert sharded.rpq_closures_persisted
         loaded = ShardedCompressedGraph.from_bytes(blob)
@@ -529,8 +529,7 @@ class TestClosurePersistence:
         names = label_names(sharded.alphabet)
         sharded.warm_rpq_closure(f"<{names[0]}>")
         blob = sharded.to_bytes()
-        meta, blobs, closure_blob, rpq_blob = \
-            decode_sharded_container(blob)
+        rpq_blob = decode_sharded_container(blob).rpq_closures
         with pytest.raises(EncodingError, match="rpq closure"):
             from repro.sharding import _decode_rpq_closures
             _decode_rpq_closures(rpq_blob[:-2])

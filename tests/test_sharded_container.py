@@ -48,10 +48,11 @@ class TestFraming:
     def test_meta_and_blobs_roundtrip(self):
         handle = _sharded_handle(shards=2)
         blob = handle.to_bytes()
-        meta, blobs, closure, _ = decode_sharded_container(blob)
-        assert len(blobs) == 2
-        assert closure is None  # no closure was built before saving
-        rebuilt = encode_sharded_container(meta, blobs)
+        container = decode_sharded_container(blob)
+        assert container.num_shards == 2
+        assert not container.has_closure  # none was built before saving
+        rebuilt = encode_sharded_container(container.meta,
+                                           container.shards)
         assert rebuilt.data == blob
 
     def test_zero_shards_rejected(self):
@@ -181,10 +182,11 @@ class TestRoundtrip:
 
     def test_meta_shard_count_mismatch_rejected(self):
         handle = _sharded_handle(shards=2)
-        meta, blobs, _, _ = decode_sharded_container(handle.to_bytes())
+        container = decode_sharded_container(handle.to_bytes())
         with pytest.raises(EncodingError):
             ShardedCompressedGraph.from_bytes(
-                encode_sharded_container(meta, blobs[:1]))
+                encode_sharded_container(container.meta,
+                                         container.shards[:1]))
 
     def test_bits_per_edge(self):
         handle = _sharded_handle()
